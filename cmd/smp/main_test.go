@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDTD = `<!DOCTYPE site [
+	<!ELEMENT site (regions)>
+	<!ELEMENT regions (africa, asia, australia)>
+	<!ELEMENT africa (item*)>
+	<!ELEMENT asia (item*)>
+	<!ELEMENT australia (item*)>
+	<!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+	<!ELEMENT incategory EMPTY>
+	<!ATTLIST incategory category ID #REQUIRED>
+	<!ELEMENT location (#PCDATA)>
+	<!ELEMENT name (#PCDATA)>
+	<!ELEMENT payment (#PCDATA)>
+	<!ELEMENT description (#PCDATA)>
+	<!ELEMENT shipping (#PCDATA)>
+]>`
+
+const testDoc = `<site><regions><africa><item><location>US</location><name>TV</name><payment>Cash</payment><description>flat</description><shipping>yes</shipping><incategory category="1"/></item></africa><asia/><australia><item><location>Egypt</location><name>PDA</name><payment>Check</payment><description>Palm</description><shipping>no</shipping><incategory category="2"/></item></australia></regions></site>`
+
+func writeFiles(t *testing.T) (dtdPath, docPath, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	dtdPath = filepath.Join(dir, "site.dtd")
+	docPath = filepath.Join(dir, "site.xml")
+	if err := os.WriteFile(dtdPath, []byte(testDTD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(docPath, []byte(testDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dtdPath, docPath, dir
+}
+
+func TestRunProjectsWithPaths(t *testing.T) {
+	dtdPath, docPath, dir := writeFiles(t)
+	outPath := filepath.Join(dir, "out.xml")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-dtd", dtdPath,
+		"-paths", "/*, //australia//description#",
+		"-in", docPath,
+		"-out", outPath,
+		"-stats",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<site><australia><description>Palm</description></australia></site>`
+	if string(data) != want {
+		t.Errorf("output = %q, want %q", data, want)
+	}
+	if !strings.Contains(stderr.String(), "char comparisons") {
+		t.Errorf("stats output missing: %q", stderr.String())
+	}
+}
+
+func TestRunProjectsWithQueryToStdout(t *testing.T) {
+	dtdPath, docPath, _ := writeFiles(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-dtd", dtdPath,
+		"-query", "<q>{//australia//description}</q>",
+		"-in", docPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "<description>Palm</description>") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}
+
+func TestRunDescribe(t *testing.T) {
+	dtdPath, _, _ := writeFiles(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-dtd", dtdPath, "-paths", "/*, //australia#", "-describe"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"projection paths", "V:", "J:", "T:"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("describe output missing %q", want)
+		}
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	dtdPath, docPath, _ := writeFiles(t)
+	cases := [][]string{
+		{},                                   // missing -dtd
+		{"-dtd", dtdPath},                    // neither -paths nor -query
+		{"-dtd", dtdPath, "-paths", "/*", "-query", "<q>{/a}</q>"}, // both
+		{"-dtd", "/does/not/exist.dtd", "-paths", "/*"},
+		{"-dtd", dtdPath, "-paths", "bad path"},
+		{"-dtd", dtdPath, "-paths", "/*", "-in", "/does/not/exist.xml"},
+		{"-dtd", dtdPath, "-paths", "/*", "-in", docPath, "-out", "/no/such/dir/out.xml"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

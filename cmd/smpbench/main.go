@@ -1,0 +1,123 @@
+// Command smpbench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section on the bundled synthetic
+// datasets.
+//
+// Examples:
+//
+//	smpbench -experiment all
+//	smpbench -experiment table1 -xmark 64MiB
+//	smpbench -experiment fig7b -medline 32MiB -format markdown
+//	smpbench -experiment table2 -queries M1,M5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"smp/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "smpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("smpbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "all",
+			fmt.Sprintf("experiment to run: one of %v or all", experiments.Names()))
+		xmarkSize   = fs.String("xmark", "8MiB", "XMark-like document size")
+		medlineSize = fs.String("medline", "8MiB", "MEDLINE-like document size")
+		sweep       = fs.String("sweep", "", "comma-separated document sizes for the fig7a sweep (e.g. 1MiB,4MiB,16MiB)")
+		budget      = fs.String("budget", "", "memory budget of the in-memory engine for fig7a (e.g. 16MiB)")
+		seed        = fs.Uint64("seed", 0, "dataset generator seed")
+		queries     = fs.String("queries", "", "comma-separated query IDs to restrict the workload (e.g. XM1,XM13,M5)")
+		format      = fs.String("format", "text", "output format: text, markdown or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Seed: *seed}
+	var err error
+	if cfg.XMarkSize, err = parseSize(*xmarkSize); err != nil {
+		return err
+	}
+	if cfg.MedlineSize, err = parseSize(*medlineSize); err != nil {
+		return err
+	}
+	if *budget != "" {
+		if cfg.MemoryBudget, err = parseSize(*budget); err != nil {
+			return err
+		}
+	}
+	if *sweep != "" {
+		for _, s := range strings.Split(*sweep, ",") {
+			v, err := parseSize(s)
+			if err != nil {
+				return err
+			}
+			cfg.SweepSizes = append(cfg.SweepSizes, v)
+		}
+	}
+	if *queries != "" {
+		cfg.Queries = strings.Split(*queries, ",")
+	}
+
+	tables, err := experiments.Run(*experiment, cfg)
+	if err != nil {
+		return err
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Fprint(stdout, t.Markdown())
+		case "csv":
+			fmt.Fprintf(stdout, "# %s\n%s", t.Title, t.CSV())
+		case "text":
+			fmt.Fprint(stdout, t.String())
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+	return nil
+}
+
+// parseSize parses sizes like "64MiB", "500KB", "2GiB" or plain byte counts.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	units := []struct {
+		suffix string
+		factor int64
+	}{
+		{"GiB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MiB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KiB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"B", 1},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimSuffix(s, u.suffix)), 64)
+			if err != nil {
+				return 0, fmt.Errorf("invalid size %q", s)
+			}
+			return int64(v * float64(u.factor)), nil
+		}
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-experiment", "table2",
+		"-medline", "200KiB",
+		"-queries", "M1,M5",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Table II", "M1", "M5", "Char Comp."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "M2") {
+		t.Error("query filter was not applied")
+	}
+}
+
+func TestRunMarkdownAndCSV(t *testing.T) {
+	for _, format := range []string{"markdown", "csv"} {
+		var stdout, stderr bytes.Buffer
+		err := run([]string{
+			"-experiment", "table1",
+			"-xmark", "150KiB",
+			"-queries", "XM13",
+			"-format", format,
+		}, &stdout, &stderr)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		out := stdout.String()
+		if format == "markdown" && !strings.Contains(out, "| Query |") {
+			t.Errorf("markdown output malformed:\n%s", out)
+		}
+		if format == "csv" && !strings.Contains(out, "Query,") {
+			t.Errorf("csv output malformed:\n%s", out)
+		}
+	}
+}
+
+func TestRunSweepAndBudgetFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-experiment", "fig7a",
+		"-sweep", "32KiB,256KiB",
+		"-budget", "512KiB",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Fig. 7(a)") {
+		t.Errorf("output:\n%s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-experiment", "nonsense"},
+		{"-xmark", "bogus"},
+		{"-medline", "bogus"},
+		{"-sweep", "1MiB,bogus"},
+		{"-budget", "bogus"},
+		{"-experiment", "table1", "-xmark", "100KiB", "-queries", "XM13", "-format", "yaml"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

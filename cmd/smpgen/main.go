@@ -1,0 +1,100 @@
+// Command smpgen generates the synthetic benchmark datasets (XMark-like and
+// MEDLINE-like documents) together with their DTDs.
+//
+// Examples:
+//
+//	smpgen -dataset xmark -size 64MiB -out xmark.xml -dtdout xmark.dtd
+//	smpgen -dataset medline -size 16MiB -seed 7 > medline.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"smp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "smpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("smpgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dataset = fs.String("dataset", "xmark", "dataset to generate: xmark or medline")
+		size    = fs.String("size", "16MiB", "approximate document size (e.g. 500KiB, 64MiB, 1GiB)")
+		seed    = fs.Uint64("seed", 0, "generator seed")
+		out     = fs.String("out", "", "output file (default: stdout)")
+		dtdOut  = fs.String("dtdout", "", "also write the dataset's DTD to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target, err := parseSize(*size)
+	if err != nil {
+		return err
+	}
+	d := smp.Dataset(strings.ToLower(*dataset))
+
+	if *dtdOut != "" {
+		dtdSrc, err := smp.DatasetDTD(d)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*dtdOut, []byte(dtdSrc), 0o644); err != nil {
+			return err
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := smp.Generate(d, w, target, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d bytes of %s data\n", n, d)
+	return nil
+}
+
+// parseSize parses sizes like "64MiB", "500KB", "2GiB" or plain byte counts.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	units := []struct {
+		suffix string
+		factor int64
+	}{
+		{"GiB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MiB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KiB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"B", 1},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimSuffix(s, u.suffix)), 64)
+			if err != nil {
+				return 0, fmt.Errorf("invalid size %q", s)
+			}
+			return int64(v * float64(u.factor)), nil
+		}
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"1024":   1024,
+		"2KiB":   2048,
+		"2KB":    2048,
+		"1MiB":   1 << 20,
+		"1.5MiB": 3 << 19,
+		"1GiB":   1 << 30,
+		"10B":    10,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12Q"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestGenerateToFiles(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "xmark.xml")
+	dtdOut := filepath.Join(dir, "xmark.dtd")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-dataset", "xmark", "-size", "50KiB", "-out", out, "-dtdout", dtdOut}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc) < 30_000 || !bytes.HasPrefix(doc, []byte("<site>")) {
+		t.Errorf("unexpected document (%d bytes)", len(doc))
+	}
+	dtdSrc, err := os.ReadFile(dtdOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dtdSrc), "<!ELEMENT site") {
+		t.Error("DTD output missing the site element")
+	}
+	if !strings.Contains(stderr.String(), "wrote") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestGenerateMedlineToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dataset", "medline", "-size", "30KiB"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "<MedlineCitationSet>") {
+		t.Errorf("stdout starts with %q", stdout.String()[:40])
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "protein"},
+		{"-size", "nonsense"},
+		{"-dataset", "xmark", "-out", "/no/such/dir/x.xml"},
+		{"-dataset", "protein", "-dtdout", t.TempDir() + "/x.dtd"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package compile
+
+import (
+	"container/heap"
+	"strings"
+
+	"smp/internal/dtd"
+	"smp/internal/glushkov"
+)
+
+// This file computes table J, the initial jump offsets (paper Examples 1
+// and 3). When the runtime enters a state, the DTD guarantees a minimum
+// number of characters before the earliest position at which any keyword of
+// the state's frontier vocabulary can occur; those characters are skipped
+// unconditionally before the string search starts.
+//
+// The offset is a shortest-path computation on the document-level
+// DTD-automaton. Each transition is charged a lower bound on the number of
+// characters its tag contributes to any valid serialization:
+//
+//	opening tag of element e:  len("<e") + required-attribute minimum + 1
+//	closing tag of element e:  1
+//
+// Charging only one character for closing tags makes the open+close pair of
+// an empty element cost exactly len("<e/>") plus its required attributes, so
+// the bound stays exact for the bachelor form and conservative (an
+// underestimate) otherwise — the jump can never overshoot a keyword.
+//
+// The search stops at the first transition whose tag could *textually*
+// contain one of the frontier keywords. This includes tags of elements whose
+// name merely has a frontier name as a prefix (the Abstract/AbstractText
+// situation of Section II): their serialization contains the keyword string,
+// so the cursor must not jump past them.
+
+// jumpFor computes J for one runtime state: the minimum over its NFA member
+// states of the guaranteed character distance to the first possible
+// occurrence of any frontier keyword.
+func jumpFor(aut *glushkov.Automaton, minLens *dtd.MinLens, ds *dfaState, vocab []Keyword) int {
+	if len(vocab) == 0 {
+		return 0
+	}
+	costs := newTagCosts(aut.DTD)
+	best := -1
+	for _, nfaState := range ds.nfa {
+		d := minDistanceToKeyword(aut, costs, nfaState, vocab)
+		if best < 0 || d < best {
+			best = d
+		}
+		if best == 0 {
+			return 0
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// tagCosts caches the per-token lower-bound character costs for one DTD.
+type tagCosts struct {
+	d    *dtd.DTD
+	open map[string]int
+}
+
+func newTagCosts(d *dtd.DTD) *tagCosts {
+	return &tagCosts{d: d, open: make(map[string]int)}
+}
+
+// openCost returns the minimal length of an opening tag of the element:
+// "<name" + required attributes + ">".
+func (c *tagCosts) openCost(name string) int {
+	if v, ok := c.open[name]; ok {
+		return v
+	}
+	cost := 1 + len(name) + requiredAttrsMinLen(c.d, name) + 1
+	c.open[name] = cost
+	return cost
+}
+
+// cost returns the lower-bound character contribution of one transition.
+func (c *tagCosts) cost(tok glushkov.Token) int {
+	if tok.Close {
+		return 1
+	}
+	return c.openCost(tok.Name)
+}
+
+// requiredAttrsMinLen returns the minimal serialized length of the required
+// attributes of an element: ` name=""` per attribute, plus the fixed value
+// where one is declared.
+func requiredAttrsMinLen(d *dtd.DTD, name string) int {
+	total := 0
+	for _, a := range d.RequiredAttributes(name) {
+		total += 1 + len(a.Name) + 1 + 2 + len(a.Value)
+	}
+	return total
+}
+
+// keywordCanMatch reports whether the serialization of the given tag token
+// contains any of the frontier keywords. An opening keyword "<n" occurs in
+// the tag of any element whose name has n as a prefix, and analogously for
+// closing keywords.
+func keywordCanMatch(tok glushkov.Token, vocab []Keyword) bool {
+	for _, k := range vocab {
+		if k.Token.Close != tok.Close {
+			continue
+		}
+		if strings.HasPrefix(tok.Name, k.Token.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// distHeap is a small binary heap for the Dijkstra run.
+type distItem struct {
+	state int
+	dist  int
+}
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// minDistanceToKeyword runs Dijkstra over the DTD-automaton starting at the
+// given state. The distance of a path is the summed cost of its transitions;
+// the result is the minimum distance accumulated *before* the first
+// transition whose tag could contain a frontier keyword. It returns 0 if a
+// keyword can occur immediately.
+func minDistanceToKeyword(aut *glushkov.Automaton, costs *tagCosts, start int, vocab []Keyword) int {
+	dist := map[int]int{start: 0}
+	h := &distHeap{{state: start, dist: 0}}
+	best := -1
+	for h.Len() > 0 {
+		item := heap.Pop(h).(distItem)
+		if best >= 0 && item.dist >= best {
+			break
+		}
+		if d, ok := dist[item.state]; ok && item.dist > d {
+			continue
+		}
+		for tok, to := range aut.Transitions(item.state) {
+			if keywordCanMatch(tok, vocab) {
+				if best < 0 || item.dist < best {
+					best = item.dist
+				}
+				continue
+			}
+			nd := item.dist + costs.cost(tok)
+			if d, ok := dist[to]; !ok || nd < d {
+				dist[to] = nd
+				heap.Push(h, distItem{state: to, dist: nd})
+			}
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

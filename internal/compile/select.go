@@ -1,0 +1,147 @@
+package compile
+
+import (
+	"sort"
+
+	"smp/internal/glushkov"
+	"smp/internal/projection"
+)
+
+// selectStates implements step (1) of the compilation procedure of paper
+// Fig. 6: it chooses the subset S of DTD-automaton states the runtime
+// automaton will visit.
+//
+//	(a) every state whose document branch is relevant (Definition 5) is
+//	    selected — these are the nodes that must be preserved;
+//	(b) for dual state pairs whose subtree is copied in full anyway
+//	    ("copy on"), the states strictly inside the subtree are dropped —
+//	    the runtime scans directly for the closing tag (Example 12);
+//	(c) "orientation" states are added so that skipping can never confuse a
+//	    selected tag with an equally-labelled tag in a skipped region
+//	    (Example 11).
+func selectStates(aut *glushkov.Automaton, rel *projection.Relevance) map[int]bool {
+	selected := make(map[int]bool)
+
+	// Step (a): relevant states.
+	for _, s := range aut.States {
+		if s.IsInitial() {
+			continue
+		}
+		if rel.TagRelevant(aut.Branch(s.ID)) {
+			selected[s.ID] = true
+		}
+	}
+
+	// Step (b): prune the interior of fully-copied subtrees. The guard uses
+	// the subtree-relevance condition C2 directly: if the node's complete
+	// subtree is preserved, every interior state is relevant (so the paper's
+	// "R ⊆ S" test holds) and the runtime can scan straight for the closing
+	// tag.
+	for _, s := range aut.States {
+		if s.IsInitial() || s.Close || !selected[s.ID] {
+			continue
+		}
+		if !rel.SubtreeRelevant(aut.Branch(s.ID)) {
+			continue
+		}
+		for _, inner := range interiorStates(aut, s.ID) {
+			delete(selected, inner)
+		}
+	}
+
+	// Step (c): add orientation states until a fixpoint is reached. The
+	// hazard: from a selected state q, a skipped region may contain a tag
+	// with the same label as a selected target p; the runtime would match
+	// the wrong occurrence. Adding the parent states of the confusable
+	// occurrence p' forces the runtime to stop over there and stay oriented.
+	for {
+		changed := false
+		qs := make([]int, 0, len(selected)+1)
+		qs = append(qs, aut.Initial)
+		for id := range selected {
+			qs = append(qs, id)
+		}
+		sort.Ints(qs)
+		for _, q := range qs {
+			inS, outS := reachableThroughUnselected(aut, q, selected)
+			for _, p := range inS {
+				for _, pPrime := range outS {
+					if p == pPrime {
+						continue
+					}
+					sp, spp := aut.State(p), aut.State(pPrime)
+					if sp.Label != spp.Label || sp.Close != spp.Close {
+						continue
+					}
+					for _, parent := range aut.ParentStates(pPrime) {
+						if parent == aut.Initial {
+							continue
+						}
+						if !selected[parent] {
+							selected[parent] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return selected
+}
+
+// interiorStates returns the states strictly between the open state and its
+// dual close state: every state that lies on some path from open to close.
+// For the tree-shaped document-level automaton these are exactly the states
+// of the element occurrence's descendants.
+func interiorStates(aut *glushkov.Automaton, openID int) []int {
+	closeID := aut.State(openID).Dual
+	var out []int
+	seen := map[int]bool{openID: true}
+	stack := []int{openID}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, to := range aut.Transitions(cur) {
+			if to == closeID || seen[to] {
+				continue
+			}
+			seen[to] = true
+			out = append(out, to)
+			stack = append(stack, to)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// reachableThroughUnselected explores the DTD-automaton from q following
+// transitions whose intermediate states are not selected. It returns the
+// selected states reachable this way (the endpoints p of Definition 4 /
+// step 1(c)) and the unselected states passed or reached (the candidate
+// confusable occurrences p').
+func reachableThroughUnselected(aut *glushkov.Automaton, q int, selected map[int]bool) (inS, outS []int) {
+	seen := make(map[int]bool)
+	stack := []int{q}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, to := range aut.Transitions(cur) {
+			if seen[to] {
+				continue
+			}
+			seen[to] = true
+			if selected[to] {
+				inS = append(inS, to)
+				continue // do not expand through selected states
+			}
+			outS = append(outS, to)
+			stack = append(stack, to)
+		}
+	}
+	sort.Ints(inS)
+	sort.Ints(outS)
+	return inS, outS
+}

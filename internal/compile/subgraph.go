@@ -1,0 +1,222 @@
+package compile
+
+import (
+	"sort"
+
+	"smp/internal/glushkov"
+)
+
+// This file implements step (2) of the compilation procedure — the subgraph
+// automaton D|S of Definition 4 — and step (3), its determinization by
+// subset construction. Homogeneity (all transitions into a state carry the
+// same token) is preserved by both constructions, which is what allows
+// assigning a unique action per runtime state.
+
+// subgraph is the (possibly nondeterministic) automaton D|S over the
+// selected states plus the initial state.
+type subgraph struct {
+	aut     *glushkov.Automaton
+	initial int
+	// states lists the member states (initial first, then selected in ID
+	// order).
+	states []int
+	// trans[q][token] lists the successor states of q on the token.
+	trans map[int]map[glushkov.Token][]int
+	// final marks the accepting states of D|S.
+	final map[int]bool
+}
+
+// buildSubgraph computes D|S for the selected state set.
+func buildSubgraph(aut *glushkov.Automaton, selected map[int]bool) *subgraph {
+	sg := &subgraph{
+		aut:     aut,
+		initial: aut.Initial,
+		trans:   make(map[int]map[glushkov.Token][]int),
+		final:   make(map[int]bool),
+	}
+	members := []int{aut.Initial}
+	ids := make([]int, 0, len(selected))
+	for id := range selected {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	members = append(members, ids...)
+	sg.states = members
+
+	for _, q := range members {
+		sg.exploreFrom(q, selected)
+	}
+	return sg
+}
+
+// exploreFrom walks the DTD-automaton from q through unselected states and
+// records, for every selected state p reached, the transition q --t--> p
+// where t is the token of the final hop (Definition 4). It also marks q as
+// final if a final state of D is reachable without touching another
+// selected state.
+func (sg *subgraph) exploreFrom(q int, selected map[int]bool) {
+	aut := sg.aut
+	if aut.Final[q] {
+		sg.final[q] = true
+	}
+	seen := map[int]bool{q: true}
+	stack := []int{q}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for tok, to := range aut.Transitions(cur) {
+			if selected[to] {
+				sg.addTransition(q, tok, to)
+				continue
+			}
+			if aut.Final[to] {
+				sg.final[q] = true
+			}
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+}
+
+func (sg *subgraph) addTransition(from int, tok glushkov.Token, to int) {
+	m := sg.trans[from]
+	if m == nil {
+		m = make(map[glushkov.Token][]int)
+		sg.trans[from] = m
+	}
+	for _, existing := range m[tok] {
+		if existing == to {
+			return
+		}
+	}
+	m[tok] = append(m[tok], to)
+	sort.Ints(m[tok])
+}
+
+// dfaState is one determinized runtime-automaton state: a set of D|S states
+// that share the same incoming token (hence the same label and open/close
+// kind).
+type dfaState struct {
+	id          int
+	label       string
+	close       bool
+	final       bool
+	nfa         []int
+	transitions map[glushkov.Token]int
+}
+
+// dfa is the determinized runtime automaton.
+type dfa struct {
+	states  []*dfaState
+	initial int
+}
+
+// determinize applies the subset construction to D|S.
+func determinize(sg *subgraph) *dfa {
+	d := &dfa{}
+	index := make(map[string]int) // subset key -> dfa state id
+
+	newState := func(nfa []int, label string, close bool) *dfaState {
+		st := &dfaState{
+			id:          len(d.states),
+			label:       label,
+			close:       close,
+			nfa:         nfa,
+			transitions: make(map[glushkov.Token]int),
+		}
+		for _, q := range nfa {
+			if sg.final[q] {
+				st.final = true
+			}
+		}
+		d.states = append(d.states, st)
+		index[subsetKey(nfa)] = st.id
+		return st
+	}
+
+	initial := newState([]int{sg.initial}, "", false)
+	d.initial = initial.id
+
+	work := []*dfaState{initial}
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		// Collect the union of outgoing transitions of the member states.
+		byToken := make(map[glushkov.Token][]int)
+		for _, q := range cur.nfa {
+			for tok, targets := range sg.trans[q] {
+				byToken[tok] = mergeSorted(byToken[tok], targets)
+			}
+		}
+		tokens := make([]glushkov.Token, 0, len(byToken))
+		for tok := range byToken {
+			tokens = append(tokens, tok)
+		}
+		sort.Slice(tokens, func(i, j int) bool {
+			if tokens[i].Name != tokens[j].Name {
+				return tokens[i].Name < tokens[j].Name
+			}
+			return !tokens[i].Close && tokens[j].Close
+		})
+		for _, tok := range tokens {
+			subset := byToken[tok]
+			id, ok := index[subsetKey(subset)]
+			if !ok {
+				st := newState(subset, tok.Name, tok.Close)
+				id = st.id
+				work = append(work, st)
+			}
+			cur.transitions[tok] = id
+		}
+	}
+	return d
+}
+
+// subsetKey builds a canonical key for a sorted NFA state subset.
+func subsetKey(states []int) string {
+	b := make([]byte, 0, len(states)*3)
+	for _, s := range states {
+		b = appendInt(b, s)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// mergeSorted merges two ascending int slices without duplicates.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

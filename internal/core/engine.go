@@ -1,0 +1,523 @@
+// Package core implements the SMP runtime algorithm (paper Fig. 4): a
+// single-pass, skip-based scan over the XML input that switches between
+// string matching problems as directed by the precompiled runtime automaton,
+// and copies exactly the query-relevant parts of the document to the output.
+//
+// The engine reads the input through a forward-moving window of fixed chunk
+// size (the paper uses eight times the system page size). Within the window
+// the string matchers jump back and forth; across iterations only data
+// needed for pending copy regions is retained, so memory stays proportional
+// to the chunk size.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"smp/internal/compile"
+	"smp/internal/glushkov"
+	"smp/internal/projection"
+	"smp/internal/stringmatch"
+)
+
+// SingleAlgorithm selects the string matching algorithm for states whose
+// frontier vocabulary contains a single keyword.
+type SingleAlgorithm int
+
+// Single-keyword search algorithms.
+const (
+	// SingleBoyerMoore is the paper's choice (bad character + good suffix).
+	SingleBoyerMoore SingleAlgorithm = iota
+	// SingleHorspool is the simplified Boyer-Moore-Horspool variant
+	// (ablation).
+	SingleHorspool
+	// SingleNaive compares position by position (ablation baseline).
+	SingleNaive
+)
+
+// MultiAlgorithm selects the algorithm for multi-keyword frontiers.
+type MultiAlgorithm int
+
+// Multi-keyword search algorithms.
+const (
+	// MultiCommentzWalter is the paper's choice.
+	MultiCommentzWalter MultiAlgorithm = iota
+	// MultiAhoCorasick inspects every character (the [21]-style alternative;
+	// ablation).
+	MultiAhoCorasick
+	// MultiSetHorspool is the set-Horspool variant (ablation).
+	MultiSetHorspool
+	// MultiNaive tries every keyword at every position (ablation baseline).
+	MultiNaive
+)
+
+// DefaultChunkSize is the streaming window chunk: eight times a common 4 KiB
+// page, as in the paper's prototype.
+const DefaultChunkSize = 8 * 4096
+
+// Options configures the runtime engine.
+type Options struct {
+	// ChunkSize is the window read granularity in bytes (default
+	// DefaultChunkSize).
+	ChunkSize int
+	// Single selects the single-keyword search algorithm.
+	Single SingleAlgorithm
+	// Multi selects the multi-keyword search algorithm.
+	Multi MultiAlgorithm
+}
+
+// Prefilter executes XML prefiltering for one compiled runtime automaton.
+// It is safe to reuse for many documents; each run builds its own lazy
+// matcher set.
+type Prefilter struct {
+	table *compile.Table
+	opts  Options
+}
+
+// New builds a prefilter from a compiled table.
+func New(table *compile.Table, opts Options) *Prefilter {
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	return &Prefilter{table: table, opts: opts}
+}
+
+// Table returns the compiled runtime automaton the prefilter executes.
+func (p *Prefilter) Table() *compile.Table { return p.table }
+
+// Run prefilters the document read from r, writing the projection to w.
+func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
+	e := &engine{
+		table:  p.table,
+		opts:   p.opts,
+		win:    newWindow(r, p.opts.ChunkSize),
+		out:    w,
+		single: make(map[int]stringmatch.Matcher),
+		multi:  make(map[int]stringmatch.MultiMatcher),
+	}
+	err := e.run()
+	e.finishStats()
+	return e.stats, err
+}
+
+// ProjectBytes prefilters an in-memory document and returns the projection.
+func (p *Prefilter) ProjectBytes(doc []byte) ([]byte, Stats, error) {
+	var out bytes.Buffer
+	out.Grow(len(doc) / 8)
+	stats, err := p.Run(bytes.NewReader(doc), &out)
+	return out.Bytes(), stats, err
+}
+
+// engine is the per-run state of the runtime algorithm.
+type engine struct {
+	table *compile.Table
+	opts  Options
+	win   *window
+	out   io.Writer
+
+	single map[int]stringmatch.Matcher
+	multi  map[int]stringmatch.MultiMatcher
+
+	copyActive bool
+	copyStart  int64
+
+	stats    Stats
+	writeErr error
+}
+
+// maxTagLength bounds the scan for a tag's closing bracket; a longer "tag"
+// indicates input that is not well-formed XML (for example a stray '<').
+const maxTagLength = 1 << 20
+
+// run executes the algorithm of paper Fig. 4.
+func (e *engine) run() error {
+	q := e.table.Initial
+	cursor := int64(0)
+
+	for {
+		st := e.table.State(q)
+		if len(st.Vocabulary) == 0 {
+			// Nothing left to search for; the state is final by construction.
+			break
+		}
+
+		// Initial jump (table J).
+		if st.Jump > 0 {
+			cursor += int64(st.Jump)
+			e.stats.InitialJumpBytes += int64(st.Jump)
+		}
+
+		// Single- or multi-keyword search for the frontier vocabulary
+		// (table V), with verification of the character following the
+		// keyword (tagname-prefix disambiguation).
+		pos, kwIdx, found, err := e.findNext(q, st, cursor)
+		if err != nil {
+			return err
+		}
+		if !found {
+			if st.Final {
+				break
+			}
+			return fmt.Errorf("core: unexpected end of input in state q%d (%s): document does not conform to the DTD",
+				q, describeState(st))
+		}
+		kw := st.Vocabulary[kwIdx]
+
+		// Scan right for the end of the tag.
+		tagEnd, bachelor, err := e.scanTagEnd(pos, len(kw.Keyword))
+		if err != nil {
+			return err
+		}
+		if kw.Token.Close {
+			bachelor = false
+		}
+
+		// Transition (table A) and action (table T), treating a bachelor tag
+		// as its opening tag immediately followed by its closing tag.
+		if kw.Token.Close {
+			next := e.table.Successor(q, kw.Token)
+			if next < 0 {
+				return e.transitionError(q, kw.Token)
+			}
+			e.performClose(e.table.State(next), tagEnd, false)
+			q = next
+		} else {
+			next := e.table.Successor(q, kw.Token)
+			if next < 0 {
+				return e.transitionError(q, kw.Token)
+			}
+			e.performOpen(e.table.State(next), pos, tagEnd, bachelor)
+			q = next
+			if bachelor {
+				closeTok := glushkov.Closing(kw.Token.Name)
+				nextClose := e.table.Successor(q, closeTok)
+				if nextClose < 0 {
+					return e.transitionError(q, closeTok)
+				}
+				e.performClose(e.table.State(nextClose), tagEnd, true)
+				q = nextClose
+			}
+		}
+		if e.writeErr != nil {
+			return e.writeErr
+		}
+		e.stats.TagsMatched++
+
+		// The cursor points at the '>' of the matched tag; searching resumes
+		// after it.
+		cursor = tagEnd + 1
+
+		// Release window data that can no longer be needed.
+		keep := cursor
+		if e.copyActive && e.copyStart < keep {
+			keep = e.copyStart
+		}
+		e.win.compact(keep)
+	}
+	return e.writeErr
+}
+
+func describeState(st *compile.State) string {
+	if st.Label == "" {
+		return "initial state"
+	}
+	if st.Close {
+		return "after </" + st.Label + ">"
+	}
+	return "after <" + st.Label + ">"
+}
+
+func (e *engine) transitionError(q int, tok glushkov.Token) error {
+	return fmt.Errorf("core: no transition for %s in state q%d: document does not conform to the DTD", tok, q)
+}
+
+// findNext locates the next verified occurrence of any frontier keyword of
+// state q at or after the absolute offset from.
+func (e *engine) findNext(q int, st *compile.State, from int64) (pos int64, kwIdx int, found bool, err error) {
+	minKw, maxKw := keywordLengths(st)
+	searchFrom := from
+	for {
+		if !e.win.ensure(searchFrom + int64(minKw) - 1) {
+			return 0, 0, false, nil
+		}
+		text := e.win.bytes()
+		rel := int(searchFrom - e.win.base)
+		if rel < 0 {
+			rel = 0
+		}
+
+		var p, k int
+		if len(st.Vocabulary) == 1 {
+			p = e.singleMatcher(q, st).Next(text, rel)
+			k = 0
+		} else {
+			p, k = e.multiMatcher(q, st).Next(text, rel)
+		}
+		if p >= 0 {
+			abs := e.win.base + int64(p)
+			idx, valid, verr := e.verifyAt(st, abs, k)
+			if verr != nil {
+				return 0, 0, false, verr
+			}
+			if valid {
+				return abs, idx, true, nil
+			}
+			e.stats.RejectedMatches++
+			searchFrom = abs + 1
+			continue
+		}
+
+		// No occurrence within the buffered window. An occurrence could
+		// still start within the last maxKw-1 bytes (spanning the boundary),
+		// so resume from there after extending the window.
+		if e.win.eof {
+			return 0, 0, false, nil
+		}
+		resume := e.win.end() - int64(maxKw) + 1
+		if resume < searchFrom {
+			resume = searchFrom
+		}
+		// Flush the open copy region up to the resume point so that window
+		// memory stays bounded even for huge copied subtrees.
+		if e.copyActive && e.copyStart < resume {
+			e.writeRaw(e.copyStart, resume)
+			e.copyStart = resume
+		}
+		e.win.compact(resume)
+		e.win.more()
+		searchFrom = resume
+	}
+}
+
+// verifyAt checks which frontier keyword actually matches at the given
+// position: the keyword bytes must be followed by whitespace, '>' or (for
+// opening tags) '/'. Among several matching keywords the longest wins, which
+// resolves tagname-prefix collisions such as Abstract/AbstractText.
+func (e *engine) verifyAt(st *compile.State, pos int64, reported int) (int, bool, error) {
+	order := vocabularyByLength(st)
+	for _, idx := range order {
+		kw := st.Vocabulary[idx]
+		end := pos + int64(len(kw.Keyword))
+		if !e.win.ensure(end) {
+			continue // the keyword plus its terminator does not fit before EOF
+		}
+		if idx != reported {
+			e.stats.CharComparisons += int64(len(kw.Keyword))
+			if !bytes.Equal(e.win.slice(pos, end), []byte(kw.Keyword)) {
+				continue
+			}
+		}
+		c := e.win.byteAt(end)
+		e.stats.CharComparisons++
+		if isTagTerminator(c, kw.Token.Close) {
+			return idx, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// isTagTerminator reports whether c may directly follow a tagname inside a
+// tag: whitespace, '>' and, for opening tags, '/'.
+func isTagTerminator(c byte, closing bool) bool {
+	switch c {
+	case ' ', '\t', '\r', '\n', '>':
+		return true
+	case '/':
+		return !closing
+	default:
+		return false
+	}
+}
+
+// scanTagEnd scans right from the end of the keyword for the closing '>' of
+// the tag, honouring quoted attribute values. It returns the absolute offset
+// of the '>' and whether the tag is a bachelor tag ("/>").
+func (e *engine) scanTagEnd(tagStart int64, keywordLen int) (tagEnd int64, bachelor bool, err error) {
+	i := tagStart + int64(keywordLen)
+	var quote byte
+	lastNonQuote := byte(0)
+	for {
+		if !e.win.ensure(i) {
+			return 0, false, fmt.Errorf("core: unexpected end of input inside tag at offset %d", tagStart)
+		}
+		c := e.win.byteAt(i)
+		e.stats.CharComparisons++
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			i++
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '>':
+			return i, lastNonQuote == '/', nil
+		}
+		lastNonQuote = c
+		i++
+		if i-tagStart > maxTagLength {
+			return 0, false, fmt.Errorf("core: no '>' within %d bytes of offset %d: input is not well-formed XML", maxTagLength, tagStart)
+		}
+	}
+}
+
+// performOpen executes the action of the state entered by an opening tag.
+func (e *engine) performOpen(st *compile.State, tagStart, tagEnd int64, bachelor bool) {
+	switch st.Action {
+	case projection.CopySubtree:
+		// "copy on": remember where the subtree starts; the matching
+		// "copy off" (or the incremental flush) writes the bytes.
+		e.copyActive = true
+		e.copyStart = tagStart
+	case projection.CopyTagAttrs:
+		e.writeRaw(tagStart, tagEnd+1)
+	case projection.CopyTag:
+		if bachelor {
+			e.writeString("<" + st.Label + "/>")
+		} else {
+			e.writeString("<" + st.Label + ">")
+		}
+	}
+}
+
+// performClose executes the action of the state entered by a closing tag.
+// For bachelor tags the opening-tag action has already written the complete
+// tag, so nothing further is emitted.
+func (e *engine) performClose(st *compile.State, tagEnd int64, bachelor bool) {
+	switch st.Action {
+	case projection.CopySubtree:
+		// "copy off": emit everything from the recorded start position up to
+		// and including the closing tag.
+		if e.copyActive {
+			e.writeRaw(e.copyStart, tagEnd+1)
+			e.copyActive = false
+		} else if !bachelor {
+			e.writeString("</" + st.Label + ">")
+		}
+	case projection.CopyTagAttrs, projection.CopyTag:
+		if !bachelor {
+			e.writeString("</" + st.Label + ">")
+		}
+	}
+}
+
+// writeRaw copies the buffered input bytes [from, to) to the output.
+func (e *engine) writeRaw(from, to int64) {
+	if e.writeErr != nil || to <= from {
+		return
+	}
+	n, err := e.out.Write(e.win.slice(from, to))
+	e.stats.BytesWritten += int64(n)
+	if err != nil {
+		e.writeErr = err
+	}
+}
+
+// writeString writes a synthesized tag to the output.
+func (e *engine) writeString(s string) {
+	if e.writeErr != nil {
+		return
+	}
+	n, err := io.WriteString(e.out, s)
+	e.stats.BytesWritten += int64(n)
+	if err != nil {
+		e.writeErr = err
+	}
+}
+
+// singleMatcher returns (building lazily) the single-keyword matcher of a
+// state.
+func (e *engine) singleMatcher(q int, st *compile.State) stringmatch.Matcher {
+	if m, ok := e.single[q]; ok {
+		return m
+	}
+	pattern := []byte(st.Vocabulary[0].Keyword)
+	var m stringmatch.Matcher
+	switch e.opts.Single {
+	case SingleHorspool:
+		m = stringmatch.NewHorspool(pattern)
+	case SingleNaive:
+		m = stringmatch.NewNaive(pattern)
+	default:
+		m = stringmatch.NewBoyerMoore(pattern)
+	}
+	e.single[q] = m
+	e.stats.MatchersBuilt++
+	return m
+}
+
+// multiMatcher returns (building lazily) the multi-keyword matcher of a
+// state.
+func (e *engine) multiMatcher(q int, st *compile.State) stringmatch.MultiMatcher {
+	if m, ok := e.multi[q]; ok {
+		return m
+	}
+	patterns := make([][]byte, len(st.Vocabulary))
+	for i, k := range st.Vocabulary {
+		patterns[i] = []byte(k.Keyword)
+	}
+	var m stringmatch.MultiMatcher
+	switch e.opts.Multi {
+	case MultiAhoCorasick:
+		m = stringmatch.NewAhoCorasick(patterns)
+	case MultiSetHorspool:
+		m = stringmatch.NewSetHorspool(patterns)
+	case MultiNaive:
+		m = stringmatch.NewNaiveMulti(patterns)
+	default:
+		m = stringmatch.NewCommentzWalter(patterns)
+	}
+	e.multi[q] = m
+	e.stats.MatchersBuilt++
+	return m
+}
+
+// finishStats folds the matcher counters and table sizes into the run stats.
+func (e *engine) finishStats() {
+	for _, m := range e.single {
+		e.stats.addMatcher(*m.Stats())
+	}
+	for _, m := range e.multi {
+		e.stats.addMatcher(*m.Stats())
+	}
+	e.stats.BytesRead = e.win.bytesRead
+	e.stats.States = e.table.Stats.States
+	e.stats.CWStates = e.table.Stats.CWStates
+	e.stats.BMStates = e.table.Stats.BMStates
+	e.stats.MaxBufferBytes = int64(e.win.maxBuffer)
+}
+
+// keywordLengths returns the minimum and maximum keyword length of a state's
+// vocabulary.
+func keywordLengths(st *compile.State) (min, max int) {
+	min, max = 1<<30, 0
+	for _, k := range st.Vocabulary {
+		if len(k.Keyword) < min {
+			min = len(k.Keyword)
+		}
+		if len(k.Keyword) > max {
+			max = len(k.Keyword)
+		}
+	}
+	if max == 0 {
+		min = 0
+	}
+	return min, max
+}
+
+// vocabularyByLength returns the vocabulary indices sorted by descending
+// keyword length (longest first, for prefix disambiguation).
+func vocabularyByLength(st *compile.State) []int {
+	order := make([]int, len(st.Vocabulary))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(st.Vocabulary[order[a]].Keyword) > len(st.Vocabulary[order[b]].Keyword)
+	})
+	return order
+}

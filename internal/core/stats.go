@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"smp/internal/stringmatch"
+)
+
+// Stats collects the runtime counters behind the columns of the paper's
+// Tables I and II.
+type Stats struct {
+	// BytesRead is the document size in bytes (the window reads everything;
+	// only a fraction is inspected).
+	BytesRead int64
+	// BytesWritten is the size of the projected output ("Proj. Size").
+	BytesWritten int64
+	// CharComparisons is the number of characters inspected: string-matcher
+	// comparisons plus the characters examined while scanning for tag ends
+	// and verifying matches ("Char Comp.").
+	CharComparisons int64
+	// InitialJumpBytes is the number of characters skipped by initial jump
+	// offsets alone ("Initial Jumps").
+	InitialJumpBytes int64
+	// Shifts and ShiftTotal accumulate the forward shifts performed by the
+	// string matchers ("Ø Shift Size").
+	Shifts     int64
+	ShiftTotal int64
+	// TagsMatched counts tag tokens the runtime automaton consumed.
+	TagsMatched int64
+	// RejectedMatches counts keyword occurrences discarded by the
+	// verification scan (tagname-prefix collisions such as
+	// Abstract/AbstractText).
+	RejectedMatches int64
+	// States is the total number of runtime-automaton states; CWStates and
+	// BMStates count the states for which Commentz-Walter respectively
+	// Boyer-Moore lookup tables exist ("States (CW + BM)").
+	States   int
+	CWStates int
+	BMStates int
+	// MatchersBuilt counts the matcher tables constructed lazily at runtime
+	// (states actually entered).
+	MatchersBuilt int
+	// MaxBufferBytes is the high-water mark of the streaming window plus the
+	// size of the precompiled lookup tables ("Mem", approximately).
+	MaxBufferBytes int64
+}
+
+// CharCompPercent returns CharComparisons relative to the document size.
+func (s Stats) CharCompPercent() float64 {
+	if s.BytesRead == 0 {
+		return 0
+	}
+	return 100 * float64(s.CharComparisons) / float64(s.BytesRead)
+}
+
+// InitialJumpPercent returns the characters skipped by initial jumps
+// relative to the document size.
+func (s Stats) InitialJumpPercent() float64 {
+	if s.BytesRead == 0 {
+		return 0
+	}
+	return 100 * float64(s.InitialJumpBytes) / float64(s.BytesRead)
+}
+
+// AvgShift returns the average forward shift size in characters.
+func (s Stats) AvgShift() float64 {
+	if s.Shifts == 0 {
+		return 0
+	}
+	return float64(s.ShiftTotal) / float64(s.Shifts)
+}
+
+// OutputRatio returns the projected size relative to the input size.
+func (s Stats) OutputRatio() float64 {
+	if s.BytesRead == 0 {
+		return 0
+	}
+	return float64(s.BytesWritten) / float64(s.BytesRead)
+}
+
+// addMatcher accumulates a string matcher's counters.
+func (s *Stats) addMatcher(m stringmatch.Stats) {
+	s.CharComparisons += m.Comparisons
+	s.Shifts += m.Shifts
+	s.ShiftTotal += m.ShiftTotal
+}
+
+// String renders the stats in the shape of one Table I column.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"proj=%dB mem=%dB states=%d(%d+%d) shift=%.2f jumps=%.2f%% charcomp=%.2f%%",
+		s.BytesWritten, s.MaxBufferBytes, s.States, s.CWStates, s.BMStates,
+		s.AvgShift(), s.InitialJumpPercent(), s.CharCompPercent())
+}

@@ -1,0 +1,102 @@
+package core
+
+import "io"
+
+// window is the streaming read buffer of the runtime algorithm. The paper's
+// prototype reads the document in fixed-size chunks into a pre-allocated
+// buffer; within the buffered window the algorithm can jump back and forth
+// freely while the window itself only ever moves forward.
+//
+// All positions handed to the window are absolute input offsets. The window
+// keeps every byte from its retain point onward; data before the retain
+// point may be discarded when space is needed. Copy regions that grow past
+// the window are flushed incrementally by the engine, which keeps memory
+// proportional to the chunk size rather than to the document or output size.
+type window struct {
+	r     io.Reader
+	buf   []byte
+	base  int64 // absolute offset of buf[0]
+	n     int   // valid bytes in buf
+	eof   bool
+	chunk int
+
+	bytesRead int64
+	maxBuffer int
+}
+
+// newWindow returns a window reading from r in chunks of the given size.
+func newWindow(r io.Reader, chunk int) *window {
+	if chunk < 64 {
+		chunk = 64
+	}
+	return &window{r: r, chunk: chunk, buf: make([]byte, 0, 2*chunk)}
+}
+
+// end returns the absolute offset one past the last buffered byte.
+func (w *window) end() int64 { return w.base + int64(w.n) }
+
+// bytes returns the buffered window contents.
+func (w *window) bytes() []byte { return w.buf[:w.n] }
+
+// slice returns the buffered bytes of the absolute interval [from, to).
+// The caller must have ensured availability.
+func (w *window) slice(from, to int64) []byte {
+	return w.buf[from-w.base : to-w.base]
+}
+
+// byteAt returns the byte at the absolute offset (which must be buffered).
+func (w *window) byteAt(pos int64) byte { return w.buf[pos-w.base] }
+
+// compact allows the window to discard buffered data before the absolute
+// offset keep. To keep the per-tag cost amortized constant, data is only
+// physically dropped once at least one chunk's worth of bytes can go;
+// keeping more data than necessary is always safe.
+func (w *window) compact(keep int64) {
+	if keep > w.end() {
+		keep = w.end()
+	}
+	if keep-w.base < int64(w.chunk) {
+		return
+	}
+	drop := int(keep - w.base)
+	copy(w.buf, w.buf[drop:w.n])
+	w.n -= drop
+	w.base = keep
+	w.buf = w.buf[:w.n]
+}
+
+// more reads one more chunk from the underlying reader. It reports whether
+// any new data became available.
+func (w *window) more() bool {
+	if w.eof {
+		return false
+	}
+	if w.n+w.chunk > cap(w.buf) {
+		grown := make([]byte, w.n, w.n+2*w.chunk)
+		copy(grown, w.buf[:w.n])
+		w.buf = grown
+	}
+	w.buf = w.buf[:w.n+w.chunk]
+	m, err := w.r.Read(w.buf[w.n : w.n+w.chunk])
+	w.n += m
+	w.buf = w.buf[:w.n]
+	w.bytesRead += int64(m)
+	if cap(w.buf) > w.maxBuffer {
+		w.maxBuffer = cap(w.buf)
+	}
+	if err != nil {
+		w.eof = true
+	}
+	return m > 0
+}
+
+// ensure makes the absolute offset pos available in the buffer (i.e. pos <
+// end()). It reports false if the input ends before pos.
+func (w *window) ensure(pos int64) bool {
+	for w.end() <= pos {
+		if !w.more() {
+			return w.end() > pos
+		}
+	}
+	return true
+}

@@ -1,0 +1,327 @@
+// Package dtd parses Document Type Definitions and exposes the schema
+// information the SMP static analysis needs: element content models,
+// required attributes, parent/child relationships, recursion detection and
+// minimum serialized lengths (which drive the initial-jump table J of the
+// runtime automaton).
+//
+// The parser understands the subset of XML 1.0 DTD syntax used by the
+// datasets in the paper (XMark, MEDLINE, Protein Sequence): <!DOCTYPE> with
+// an internal subset, <!ELEMENT> declarations with arbitrary content models
+// (EMPTY, ANY, #PCDATA, mixed content, sequences, choices and the ?, *, +
+// occurrence operators) and <!ATTLIST> declarations. Entity declarations,
+// notations, processing instructions and comments are skipped.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	// Root is the document element named in the DOCTYPE declaration. If the
+	// input consists of bare declarations without a DOCTYPE, Root is the
+	// first declared element.
+	Root string
+	// Elements maps element names to their declarations.
+	Elements map[string]*Element
+}
+
+// Element is a single <!ELEMENT> declaration together with any attributes
+// declared for it.
+type Element struct {
+	Name       string
+	Content    *Content
+	Attributes []Attribute
+}
+
+// Attribute is a single attribute definition from an <!ATTLIST> declaration.
+type Attribute struct {
+	Name string
+	// Type is the attribute type as written in the DTD (CDATA, ID, IDREF,
+	// NMTOKEN, an enumeration, ...).
+	Type string
+	// Default is the default declaration: "#REQUIRED", "#IMPLIED", "#FIXED"
+	// or a quoted default value.
+	Default string
+	// Value is the literal default value for #FIXED or value defaults.
+	Value string
+}
+
+// Required reports whether the attribute must appear on every instance of
+// the element.
+func (a Attribute) Required() bool { return a.Default == "#REQUIRED" || a.Default == "#FIXED" }
+
+// Occurrence is the repetition operator attached to a content particle.
+type Occurrence int
+
+// Occurrence operators, in DTD syntax: (nothing), "?", "*", "+".
+const (
+	Once Occurrence = iota
+	Optional
+	ZeroOrMore
+	OneOrMore
+)
+
+// String returns the DTD syntax of the occurrence operator.
+func (o Occurrence) String() string {
+	switch o {
+	case Optional:
+		return "?"
+	case ZeroOrMore:
+		return "*"
+	case OneOrMore:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// ContentKind distinguishes the forms a content particle can take.
+type ContentKind int
+
+// Content particle kinds.
+const (
+	// KindEmpty is the EMPTY content model.
+	KindEmpty ContentKind = iota
+	// KindAny is the ANY content model.
+	KindAny
+	// KindPCDATA is character data (#PCDATA), either alone or as part of
+	// mixed content.
+	KindPCDATA
+	// KindName is a reference to a child element.
+	KindName
+	// KindSequence is a sequence group (a, b, c).
+	KindSequence
+	// KindChoice is a choice group (a | b | c); mixed content
+	// (#PCDATA | a | b)* is represented as a choice whose first child is a
+	// KindPCDATA particle with occurrence ZeroOrMore on the group.
+	KindChoice
+)
+
+// Content is a node of a content model expression tree.
+type Content struct {
+	Kind ContentKind
+	// Name is the referenced element name for KindName particles.
+	Name string
+	// Children are the members of KindSequence and KindChoice groups.
+	Children []*Content
+	// Occur is the repetition operator applied to this particle.
+	Occur Occurrence
+}
+
+// String renders the content particle in DTD syntax.
+func (c *Content) String() string {
+	if c == nil {
+		return ""
+	}
+	var base string
+	switch c.Kind {
+	case KindEmpty:
+		return "EMPTY"
+	case KindAny:
+		return "ANY"
+	case KindPCDATA:
+		base = "#PCDATA"
+	case KindName:
+		base = c.Name
+	case KindSequence:
+		parts := make([]string, len(c.Children))
+		for i, ch := range c.Children {
+			parts[i] = ch.String()
+		}
+		base = "(" + strings.Join(parts, ",") + ")"
+	case KindChoice:
+		parts := make([]string, len(c.Children))
+		for i, ch := range c.Children {
+			parts[i] = ch.String()
+		}
+		base = "(" + strings.Join(parts, "|") + ")"
+	}
+	return base + c.Occur.String()
+}
+
+// ChildNames returns the set of element names referenced (at any depth) by
+// the content particle, in sorted order.
+func (c *Content) ChildNames() []string {
+	set := make(map[string]bool)
+	c.collectNames(set)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (c *Content) collectNames(set map[string]bool) {
+	if c == nil {
+		return
+	}
+	if c.Kind == KindName {
+		set[c.Name] = true
+	}
+	for _, ch := range c.Children {
+		ch.collectNames(set)
+	}
+}
+
+// HasPCDATA reports whether the content model allows character data.
+func (c *Content) HasPCDATA() bool {
+	if c == nil {
+		return false
+	}
+	if c.Kind == KindPCDATA || c.Kind == KindAny {
+		return true
+	}
+	for _, ch := range c.Children {
+		if ch.HasPCDATA() {
+			return true
+		}
+	}
+	return false
+}
+
+// Element lookup helpers.
+
+// Element returns the declaration of the named element, or nil.
+func (d *DTD) Element(name string) *Element {
+	if d == nil {
+		return nil
+	}
+	return d.Elements[name]
+}
+
+// ElementNames returns all declared element names in sorted order.
+func (d *DTD) ElementNames() []string {
+	names := make([]string, 0, len(d.Elements))
+	for n := range d.Elements {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RequiredAttributes returns the required attributes of the named element in
+// declaration order.
+func (d *DTD) RequiredAttributes(name string) []Attribute {
+	el := d.Element(name)
+	if el == nil {
+		return nil
+	}
+	var out []Attribute
+	for _, a := range el.Attributes {
+		if a.Required() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Children returns the child element names that may appear in the content of
+// the named element, in sorted order.
+func (d *DTD) Children(name string) []string {
+	el := d.Element(name)
+	if el == nil || el.Content == nil {
+		return nil
+	}
+	if el.Content.Kind == KindAny {
+		return d.ElementNames()
+	}
+	return el.Content.ChildNames()
+}
+
+// Validate checks the internal consistency of the DTD: the root element and
+// every referenced child element must be declared.
+func (d *DTD) Validate() error {
+	if d.Root == "" {
+		return fmt.Errorf("dtd: no root element")
+	}
+	if d.Element(d.Root) == nil {
+		return fmt.Errorf("dtd: root element %q is not declared", d.Root)
+	}
+	for name, el := range d.Elements {
+		for _, child := range d.Children(name) {
+			if d.Element(child) == nil {
+				return fmt.Errorf("dtd: element %q references undeclared element %q", el.Name, child)
+			}
+		}
+	}
+	return nil
+}
+
+// IsRecursive reports whether any element can (directly or transitively)
+// contain itself. The SMP static analysis, like the paper, requires a
+// non-recursive schema.
+func (d *DTD) IsRecursive() bool { return len(d.RecursiveElements()) > 0 }
+
+// RecursiveElements returns the names of all elements that participate in a
+// containment cycle, in sorted order.
+func (d *DTD) RecursiveElements() []string {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	recursive := make(map[string]bool)
+
+	var visit func(name string, stack []string)
+	visit = func(name string, stack []string) {
+		switch state[name] {
+		case inStack:
+			// Every element from the previous occurrence of name on the
+			// stack participates in the cycle.
+			for i := len(stack) - 1; i >= 0; i-- {
+				recursive[stack[i]] = true
+				if stack[i] == name {
+					break
+				}
+			}
+			return
+		case done:
+			return
+		}
+		state[name] = inStack
+		for _, child := range d.Children(name) {
+			visit(child, append(stack, name))
+		}
+		state[name] = done
+	}
+	for _, name := range d.ElementNames() {
+		if state[name] == unvisited {
+			visit(name, nil)
+		}
+	}
+	names := make([]string, 0, len(recursive))
+	for n := range recursive {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the DTD as a sequence of declarations (without the DOCTYPE
+// wrapper), primarily for debugging and golden tests.
+func (d *DTD) String() string {
+	var b strings.Builder
+	for _, name := range d.ElementNames() {
+		el := d.Elements[name]
+		fmt.Fprintf(&b, "<!ELEMENT %s %s>\n", el.Name, el.Content.String())
+		for _, a := range el.Attributes {
+			def := a.Default
+			if a.Value != "" {
+				if def == "#FIXED" {
+					def = def + " " + quote(a.Value)
+				} else {
+					def = quote(a.Value)
+				}
+			}
+			fmt.Fprintf(&b, "<!ATTLIST %s %s %s %s>\n", el.Name, a.Name, a.Type, def)
+		}
+	}
+	return b.String()
+}
+
+func quote(s string) string { return `"` + s + `"` }

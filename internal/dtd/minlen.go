@@ -1,0 +1,184 @@
+package dtd
+
+// This file computes minimum serialized lengths of elements and content
+// models. The SMP static analysis uses these lengths for the initial-jump
+// table J: when the runtime automaton enters a state, the DTD guarantees a
+// minimum number of characters before the next keyword of interest can
+// start, so the cursor may skip them unconditionally (paper Example 1 and
+// Example 3).
+//
+// The minimum serialization of an element e is:
+//
+//	<e a1="" a2=""/>              if e may have empty content
+//	<e a1="">…children…</e>       otherwise
+//
+// where a1, a2, ... are the #REQUIRED (and #FIXED) attributes of e, each
+// contributing len(" ai=\"\"")+len(value for #FIXED) characters, and the
+// children contribute the minimum length of the content model.
+
+// MinLens caches minimum-length computations for one DTD.
+type MinLens struct {
+	d *DTD
+	// elem caches MinElementLen results; -1 marks "in progress" so that
+	// recursive DTDs yield a large sentinel rather than infinite recursion.
+	elem map[string]int
+}
+
+// infiniteLen is returned for elements whose minimal expansion is unbounded
+// (only possible with recursive DTDs, which the SMP compiler rejects
+// anyway). It is large but far from overflow so that sums stay meaningful.
+const infiniteLen = 1 << 20
+
+// NewMinLens returns a minimum-length calculator for d.
+func NewMinLens(d *DTD) *MinLens {
+	return &MinLens{d: d, elem: make(map[string]int)}
+}
+
+// MinElementLen returns the minimum number of characters of any serialized
+// instance of the named element, including its own tags and required
+// attributes. Undeclared elements are assumed to be empty (<e/>).
+func (m *MinLens) MinElementLen(name string) int {
+	if v, ok := m.elem[name]; ok {
+		if v == -1 {
+			return infiniteLen
+		}
+		return v
+	}
+	m.elem[name] = -1
+
+	attrs := 0
+	el := m.d.Element(name)
+	if el != nil {
+		for _, a := range el.Attributes {
+			if !a.Required() {
+				continue
+			}
+			attrs += 1 + len(a.Name) + 1 + 2 + len(a.Value) // ` name=""` (+ fixed value)
+		}
+	}
+
+	content := 0
+	if el != nil {
+		content = m.MinContentLen(el.Content)
+	}
+
+	var total int
+	if content == 0 {
+		// <name attrs/>
+		total = 1 + len(name) + attrs + 2
+	} else {
+		// <name attrs>content</name>
+		total = 1 + len(name) + attrs + 1 + content + 2 + len(name) + 1
+	}
+	if total > infiniteLen {
+		total = infiniteLen
+	}
+	m.elem[name] = total
+	return total
+}
+
+// MinContentLen returns the minimum number of characters contributed by a
+// content particle (0 for EMPTY, ANY, #PCDATA and optional particles).
+func (m *MinLens) MinContentLen(c *Content) int {
+	if c == nil {
+		return 0
+	}
+	if c.Occur == Optional || c.Occur == ZeroOrMore {
+		return 0
+	}
+	var base int
+	switch c.Kind {
+	case KindEmpty, KindAny, KindPCDATA:
+		base = 0
+	case KindName:
+		base = m.MinElementLen(c.Name)
+	case KindSequence:
+		for _, ch := range c.Children {
+			base += m.MinContentLen(ch)
+		}
+	case KindChoice:
+		base = infiniteLen
+		for _, ch := range c.Children {
+			if l := m.MinContentLen(ch); l < base {
+				base = l
+			}
+		}
+		if base == infiniteLen && len(c.Children) == 0 {
+			base = 0
+		}
+	}
+	if base > infiniteLen {
+		base = infiniteLen
+	}
+	// OneOrMore contributes at least one instance, the same as Once.
+	return base
+}
+
+// MinPrefixBefore returns the minimum number of characters that must appear
+// inside the content of parent before the first possible occurrence of an
+// instance of target, assuming target can occur in parent's content model at
+// all. The second return value reports whether target is reachable in the
+// content model. This is the quantity behind the paper's Example 1: before
+// the first <australia> inside <regions>, the DTD forces at least
+// "<africa.../><asia.../>" — with the simplified DTD of Fig. 1,
+// "<regions><africa/><asia/>" minus the parent's own tag.
+func (m *MinLens) MinPrefixBefore(parent, target string) (int, bool) {
+	el := m.d.Element(parent)
+	if el == nil {
+		return 0, false
+	}
+	return m.minPrefix(el.Content, target)
+}
+
+// minPrefix returns the minimum length preceding the first occurrence of
+// target within particle c, and whether target is reachable inside c.
+func (m *MinLens) minPrefix(c *Content, target string) (int, bool) {
+	if c == nil {
+		return 0, false
+	}
+	switch c.Kind {
+	case KindEmpty, KindAny, KindPCDATA:
+		// ANY can contain anything, with no forced prefix.
+		return 0, c.Kind == KindAny && m.d.Element(target) != nil
+	case KindName:
+		if c.Name == target {
+			return 0, true
+		}
+		return 0, false
+	case KindChoice:
+		best, ok := infiniteLen, false
+		for _, ch := range c.Children {
+			if l, reach := m.minPrefix(ch, target); reach {
+				ok = true
+				if l < best {
+					best = l
+				}
+			}
+		}
+		if !ok {
+			return 0, false
+		}
+		return best, true
+	case KindSequence:
+		prefix := 0
+		best, ok := infiniteLen, false
+		for _, ch := range c.Children {
+			if l, reach := m.minPrefix(ch, target); reach {
+				// The occurrence may be in this child: everything before it
+				// is the accumulated mandatory prefix plus the offset inside
+				// the child. If the child is optional the occurrence can
+				// still be chosen, so no extra cost.
+				if prefix+l < best {
+					best = prefix + l
+				}
+				ok = true
+			}
+			prefix += m.MinContentLen(ch)
+		}
+		if !ok {
+			return 0, false
+		}
+		return best, true
+	}
+	return 0, false
+}

@@ -1,0 +1,146 @@
+package dtd
+
+import "testing"
+
+func TestMinElementLenExample2(t *testing.T) {
+	// Paper Example 3: element c has content (b,b?); the shortest encoding
+	// of its mandatory child is "<b/>", four characters, which is exactly
+	// the initial jump J[q3] = 4.
+	d := MustParse(exampleDTD)
+	m := NewMinLens(d)
+
+	if got := m.MinElementLen("b"); got != len("<b/>") {
+		t.Errorf("MinElementLen(b) = %d, want %d", got, len("<b/>"))
+	}
+	if got := m.MinContentLen(d.Element("c").Content); got != 4 {
+		t.Errorf("MinContentLen(c) = %d, want 4", got)
+	}
+	// a has content (b|c)*, so it may be empty: "<a/>".
+	if got := m.MinElementLen("a"); got != len("<a/>") {
+		t.Errorf("MinElementLen(a) = %d, want %d", got, len("<a/>"))
+	}
+	// c itself: "<c><b/></c>".
+	if got := m.MinElementLen("c"); got != len("<c><b/></c>") {
+		t.Errorf("MinElementLen(c) = %d, want %d", got, len("<c><b/></c>"))
+	}
+}
+
+func TestMinElementLenXMark(t *testing.T) {
+	// Paper Example 1: "According to the DTD, "<regions><africa/><asia/>"
+	// with length 25 is the minimum string preceding this tag
+	// [<australia>]". The 25 characters are the regions opening tag (9)
+	// plus the minimal africa (9) and asia (7) instances.
+	d := MustParse(xmarkExcerptDTD)
+	m := NewMinLens(d)
+
+	if got := m.MinElementLen("africa"); got != len("<africa/>") {
+		t.Errorf("MinElementLen(africa) = %d, want %d", got, len("<africa/>"))
+	}
+	if got := m.MinElementLen("asia"); got != len("<asia/>") {
+		t.Errorf("MinElementLen(asia) = %d, want %d", got, len("<asia/>"))
+	}
+	// incategory is EMPTY but has a required attribute:
+	// <incategory category=""/> — 25 characters.
+	if got := m.MinElementLen("incategory"); got != len(`<incategory category=""/>`) {
+		t.Errorf("MinElementLen(incategory) = %d, want %d", got, len(`<incategory category=""/>`))
+	}
+
+	// Minimum prefix before australia within the content of regions:
+	// minimal africa + minimal asia.
+	got, ok := m.MinPrefixBefore("regions", "australia")
+	if !ok {
+		t.Fatal("australia not reachable in regions")
+	}
+	want := len("<africa/>") + len("<asia/>")
+	if got != want {
+		t.Errorf("MinPrefixBefore(regions, australia) = %d, want %d", got, want)
+	}
+	// Adding the regions opening tag reproduces the paper's 25 characters.
+	if total := len("<regions>") + got; total != 25 {
+		t.Errorf("jump before <australia> = %d, want 25", total)
+	}
+}
+
+func TestMinPrefixBefore(t *testing.T) {
+	d := MustParse(xmarkExcerptDTD)
+	m := NewMinLens(d)
+
+	// description inside item: location, name, payment precede it.
+	got, ok := m.MinPrefixBefore("item", "description")
+	if !ok {
+		t.Fatal("description not reachable in item")
+	}
+	want := len("<location/>") + len("<name/>") + len("<payment/>")
+	if got != want {
+		t.Errorf("MinPrefixBefore(item, description) = %d, want %d", got, want)
+	}
+
+	// location is the first child: nothing precedes it.
+	if got, ok := m.MinPrefixBefore("item", "location"); !ok || got != 0 {
+		t.Errorf("MinPrefixBefore(item, location) = (%d, %v), want (0, true)", got, ok)
+	}
+
+	// item is not a child of item.
+	if _, ok := m.MinPrefixBefore("item", "item"); ok {
+		t.Error("item unexpectedly reachable within item")
+	}
+
+	// Targets inside optional/repeated particles: item* in africa means an
+	// item can be first, with nothing before it.
+	if got, ok := m.MinPrefixBefore("africa", "item"); !ok || got != 0 {
+		t.Errorf("MinPrefixBefore(africa, item) = (%d, %v), want (0, true)", got, ok)
+	}
+}
+
+func TestMinPrefixBeforeChoice(t *testing.T) {
+	d := MustParse(`
+		<!ELEMENT r ((a | b), c)>
+		<!ELEMENT a (#PCDATA)>
+		<!ELEMENT b (x, y)>
+		<!ELEMENT c EMPTY>
+		<!ELEMENT x EMPTY>
+		<!ELEMENT y EMPTY>
+	`)
+	m := NewMinLens(d)
+	// c is preceded by either a minimal a (4 chars) or a minimal b
+	// (<b><x/><y/></b> = 15 chars); the minimum is 4.
+	got, ok := m.MinPrefixBefore("r", "c")
+	if !ok || got != len("<a/>") {
+		t.Errorf("MinPrefixBefore(r, c) = (%d, %v), want (%d, true)", got, ok, len("<a/>"))
+	}
+	// b can be chosen immediately.
+	if got, ok := m.MinPrefixBefore("r", "b"); !ok || got != 0 {
+		t.Errorf("MinPrefixBefore(r, b) = (%d, %v), want (0, true)", got, ok)
+	}
+}
+
+func TestMinLensOnRecursiveDTDDoesNotLoop(t *testing.T) {
+	d := MustParse(recursiveDTD)
+	m := NewMinLens(d)
+	// The computation must terminate and produce a finite value for the
+	// non-recursive elements and a large-but-finite sentinel for the
+	// recursive ones.
+	if got := m.MinElementLen("para"); got != len("<para/>") {
+		t.Errorf("MinElementLen(para) = %d, want %d", got, len("<para/>"))
+	}
+	if got := m.MinElementLen("section"); got <= 0 {
+		t.Errorf("MinElementLen(section) = %d, want positive", got)
+	}
+}
+
+func TestMinContentLenOperators(t *testing.T) {
+	d := MustParse(`
+		<!ELEMENT r (a+, b?, c*)>
+		<!ELEMENT a EMPTY>
+		<!ELEMENT b EMPTY>
+		<!ELEMENT c EMPTY>
+	`)
+	m := NewMinLens(d)
+	// a+ forces one <a/>, b? and c* contribute nothing.
+	if got := m.MinContentLen(d.Element("r").Content); got != len("<a/>") {
+		t.Errorf("MinContentLen(r) = %d, want %d", got, len("<a/>"))
+	}
+	if got := m.MinElementLen("undeclared"); got != len("<undeclared/>") {
+		t.Errorf("MinElementLen(undeclared) = %d, want %d", got, len("<undeclared/>"))
+	}
+}

@@ -1,0 +1,471 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a DTD from its textual form. The input may be a full
+// <!DOCTYPE root [ ... ]> declaration (possibly with leading XML
+// declaration, whitespace or comments), or a bare sequence of <!ELEMENT> and
+// <!ATTLIST> declarations (an "external subset").
+func Parse(input string) (*DTD, error) {
+	p := &parser{src: input}
+	return p.parse()
+}
+
+// MustParse is like Parse but panics on error. It is intended for embedding
+// well-known DTDs (such as the XMark and MEDLINE schemas bundled with the
+// generators) in package initialisation.
+func MustParse(input string) *DTD {
+	d, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+// errorf returns an error annotated with the 1-based line of the current
+// position.
+func (p *parser) errorf(format string, args ...interface{}) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("dtd: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) skipSpaceAndComments() error {
+	for {
+		p.skipSpace()
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			end := strings.Index(p.src[p.pos+4:], "-->")
+			if end < 0 {
+				return p.errorf("unterminated comment")
+			}
+			p.pos += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "<?") {
+			end := strings.Index(p.src[p.pos:], "?>")
+			if end < 0 {
+				return p.errorf("unterminated processing instruction")
+			}
+			p.pos += end + 2
+			continue
+		}
+		return nil
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (p *parser) name() (string, error) {
+	if p.eof() || !isNameStart(p.peek()) {
+		return "", p.errorf("expected a name")
+	}
+	start := p.pos
+	for !p.eof() && isNameChar(p.peek()) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) expect(s string) error {
+	if !strings.HasPrefix(p.src[p.pos:], s) {
+		return p.errorf("expected %q", s)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *parser) parse() (*DTD, error) {
+	d := &DTD{Elements: make(map[string]*Element)}
+	if err := p.skipSpaceAndComments(); err != nil {
+		return nil, err
+	}
+
+	inDoctype := false
+	if strings.HasPrefix(p.src[p.pos:], "<!DOCTYPE") {
+		p.pos += len("<!DOCTYPE")
+		p.skipSpace()
+		root, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		d.Root = root
+		p.skipSpace()
+		// Optional external identifier (SYSTEM/PUBLIC ...) is skipped up to
+		// the internal subset or the closing '>'.
+		for !p.eof() && p.peek() != '[' && p.peek() != '>' {
+			if p.peek() == '"' || p.peek() == '\'' {
+				if _, err := p.quoted(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			p.pos++
+		}
+		if p.eof() {
+			return nil, p.errorf("unterminated DOCTYPE declaration")
+		}
+		if p.peek() == '[' {
+			p.pos++
+			inDoctype = true
+		} else {
+			p.pos++ // consume '>'
+			return d, d.Validate()
+		}
+	}
+
+	firstElement := ""
+	for {
+		if err := p.skipSpaceAndComments(); err != nil {
+			return nil, err
+		}
+		if p.eof() {
+			break
+		}
+		if inDoctype && p.peek() == ']' {
+			p.pos++
+			p.skipSpace()
+			if !p.eof() && p.peek() == '>' {
+				p.pos++
+			}
+			break
+		}
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<!ELEMENT"):
+			el, err := p.elementDecl()
+			if err != nil {
+				return nil, err
+			}
+			if existing, ok := d.Elements[el.Name]; ok {
+				// An <!ATTLIST> may have created a placeholder, or the DTD
+				// may re-declare the element: the latest content model wins
+				// and attributes are preserved.
+				existing.Content = el.Content
+			} else {
+				d.Elements[el.Name] = el
+				if firstElement == "" {
+					firstElement = el.Name
+				}
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!ATTLIST"):
+			if err := p.attlistDecl(d); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!ENTITY") || strings.HasPrefix(p.src[p.pos:], "<!NOTATION"):
+			if err := p.skipDecl(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unexpected content %q", truncate(p.src[p.pos:], 20))
+		}
+	}
+
+	if d.Root == "" {
+		d.Root = firstElement
+	}
+	return d, d.Validate()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// quoted consumes a quoted literal and returns its contents.
+func (p *parser) quoted() (string, error) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", p.errorf("expected a quoted literal")
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.peek() != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errorf("unterminated literal")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+// skipDecl consumes a declaration we do not interpret (<!ENTITY, <!NOTATION).
+func (p *parser) skipDecl() error {
+	for !p.eof() && p.peek() != '>' {
+		if p.peek() == '"' || p.peek() == '\'' {
+			if _, err := p.quoted(); err != nil {
+				return err
+			}
+			continue
+		}
+		p.pos++
+	}
+	if p.eof() {
+		return p.errorf("unterminated declaration")
+	}
+	p.pos++
+	return nil
+}
+
+// elementDecl parses "<!ELEMENT name contentspec>".
+func (p *parser) elementDecl() (*Element, error) {
+	if err := p.expect("<!ELEMENT"); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	content, err := p.contentSpec()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	return &Element{Name: name, Content: content}, nil
+}
+
+// contentSpec parses EMPTY | ANY | #PCDATA | mixed | children.
+func (p *parser) contentSpec() (*Content, error) {
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "EMPTY"):
+		p.pos += len("EMPTY")
+		return &Content{Kind: KindEmpty}, nil
+	case strings.HasPrefix(p.src[p.pos:], "ANY"):
+		p.pos += len("ANY")
+		return &Content{Kind: KindAny}, nil
+	case strings.HasPrefix(p.src[p.pos:], "#PCDATA"):
+		// Some DTDs (including the simplified XMark DTD in the paper) write
+		// "<!ELEMENT b #PCDATA>" without the enclosing parentheses.
+		p.pos += len("#PCDATA")
+		return &Content{Kind: KindPCDATA}, nil
+	case p.peek() == '(':
+		return p.group()
+	default:
+		return nil, p.errorf("expected a content model")
+	}
+}
+
+// group parses a parenthesised content particle: a sequence, a choice or
+// mixed content, with an optional trailing occurrence operator.
+func (p *parser) group() (*Content, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+
+	var children []*Content
+	sep := byte(0) // ',' for sequences, '|' for choices
+
+	for {
+		child, err := p.particle()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		p.skipSpace()
+		switch p.peek() {
+		case ',', '|':
+			if sep == 0 {
+				sep = p.peek()
+			} else if sep != p.peek() {
+				return nil, p.errorf("mixed ',' and '|' separators in one group")
+			}
+			p.pos++
+			p.skipSpace()
+		case ')':
+			p.pos++
+			group := &Content{Children: children}
+			if sep == '|' || len(children) == 1 && children[0].Kind == KindPCDATA {
+				group.Kind = KindChoice
+			} else {
+				group.Kind = KindSequence
+			}
+			group.Occur = p.occurrence()
+			return group, nil
+		default:
+			return nil, p.errorf("expected ',', '|' or ')' in content model")
+		}
+	}
+}
+
+// particle parses one member of a group: #PCDATA, a name, or a nested group.
+func (p *parser) particle() (*Content, error) {
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "#PCDATA"):
+		p.pos += len("#PCDATA")
+		return &Content{Kind: KindPCDATA}, nil
+	case p.peek() == '(':
+		return p.group()
+	default:
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		c := &Content{Kind: KindName, Name: name}
+		c.Occur = p.occurrence()
+		return c, nil
+	}
+}
+
+func (p *parser) occurrence() Occurrence {
+	switch p.peek() {
+	case '?':
+		p.pos++
+		return Optional
+	case '*':
+		p.pos++
+		return ZeroOrMore
+	case '+':
+		p.pos++
+		return OneOrMore
+	default:
+		return Once
+	}
+}
+
+// attlistDecl parses "<!ATTLIST element (name type default)*>".
+func (p *parser) attlistDecl(d *DTD) error {
+	if err := p.expect("<!ATTLIST"); err != nil {
+		return err
+	}
+	p.skipSpace()
+	elName, err := p.name()
+	if err != nil {
+		return err
+	}
+	el := d.Elements[elName]
+	if el == nil {
+		// Attribute lists may precede the element declaration; create a
+		// placeholder that the element declaration will not overwrite.
+		el = &Element{Name: elName, Content: &Content{Kind: KindAny}}
+		d.Elements[elName] = el
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '>' {
+			p.pos++
+			return nil
+		}
+		attName, err := p.name()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		attType, err := p.attType()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		def, val, err := p.defaultDecl()
+		if err != nil {
+			return err
+		}
+		el.Attributes = append(el.Attributes, Attribute{
+			Name: attName, Type: attType, Default: def, Value: val,
+		})
+	}
+}
+
+// attType parses an attribute type: a keyword (CDATA, ID, IDREF, ...),
+// NOTATION (...), or an enumeration (a|b|c).
+func (p *parser) attType() (string, error) {
+	if p.peek() == '(' {
+		start := p.pos
+		depth := 0
+		for !p.eof() {
+			switch p.peek() {
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 {
+					p.pos++
+					return p.src[start:p.pos], nil
+				}
+			}
+			p.pos++
+		}
+		return "", p.errorf("unterminated enumeration")
+	}
+	name, err := p.name()
+	if err != nil {
+		return "", err
+	}
+	if name == "NOTATION" {
+		p.skipSpace()
+		rest, err := p.attType()
+		if err != nil {
+			return "", err
+		}
+		return name + " " + rest, nil
+	}
+	return name, nil
+}
+
+// defaultDecl parses #REQUIRED | #IMPLIED | [#FIXED] quoted-value.
+func (p *parser) defaultDecl() (def, val string, err error) {
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "#REQUIRED"):
+		p.pos += len("#REQUIRED")
+		return "#REQUIRED", "", nil
+	case strings.HasPrefix(p.src[p.pos:], "#IMPLIED"):
+		p.pos += len("#IMPLIED")
+		return "#IMPLIED", "", nil
+	case strings.HasPrefix(p.src[p.pos:], "#FIXED"):
+		p.pos += len("#FIXED")
+		p.skipSpace()
+		v, err := p.quoted()
+		if err != nil {
+			return "", "", err
+		}
+		return "#FIXED", v, nil
+	case p.peek() == '"' || p.peek() == '\'':
+		v, err := p.quoted()
+		if err != nil {
+			return "", "", err
+		}
+		return "", v, nil
+	default:
+		return "", "", p.errorf("expected a default declaration")
+	}
+}

@@ -1,0 +1,248 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExampleDTD(t *testing.T) {
+	d, err := Parse(exampleDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "a" {
+		t.Errorf("Root = %q, want a", d.Root)
+	}
+	if got := d.ElementNames(); len(got) != 3 {
+		t.Errorf("ElementNames = %v, want 3 elements", got)
+	}
+	a := d.Element("a")
+	if a == nil {
+		t.Fatal("element a missing")
+	}
+	if a.Content.Kind != KindChoice || a.Content.Occur != ZeroOrMore {
+		t.Errorf("content of a = %s, want (b|c)*", a.Content)
+	}
+	if got := d.Children("a"); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("Children(a) = %v, want [b c]", got)
+	}
+	b := d.Element("b")
+	if !b.Content.HasPCDATA() {
+		t.Errorf("content of b = %s, expected #PCDATA", b.Content)
+	}
+	c := d.Element("c")
+	if c.Content.Kind != KindSequence || len(c.Content.Children) != 2 {
+		t.Errorf("content of c = %s, want (b,b?)", c.Content)
+	}
+	if c.Content.Children[1].Occur != Optional {
+		t.Errorf("second particle of c = %s, want b?", c.Content.Children[1])
+	}
+	if d.IsRecursive() {
+		t.Error("example DTD reported recursive")
+	}
+}
+
+func TestParseXMarkExcerpt(t *testing.T) {
+	d, err := Parse(xmarkExcerptDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "site" {
+		t.Errorf("Root = %q, want site", d.Root)
+	}
+	item := d.Element("item")
+	if item == nil {
+		t.Fatal("element item missing")
+	}
+	if got := item.Content.String(); got != "(location,name,payment,description,shipping,incategory+)" {
+		t.Errorf("item content = %s", got)
+	}
+	inc := d.Element("incategory")
+	if inc.Content.Kind != KindEmpty {
+		t.Errorf("incategory content = %s, want EMPTY", inc.Content)
+	}
+	req := d.RequiredAttributes("incategory")
+	if len(req) != 1 || req[0].Name != "category" || req[0].Type != "ID" {
+		t.Errorf("RequiredAttributes(incategory) = %+v", req)
+	}
+	if d.IsRecursive() {
+		t.Error("XMark excerpt reported recursive")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestParseRecursiveDTD(t *testing.T) {
+	d, err := Parse(recursiveDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsRecursive() {
+		t.Fatal("recursive DTD not detected")
+	}
+	rec := d.RecursiveElements()
+	if len(rec) != 1 || rec[0] != "section" {
+		t.Errorf("RecursiveElements = %v, want [section]", rec)
+	}
+}
+
+func TestParseBareDeclarations(t *testing.T) {
+	d, err := Parse(`
+		<!-- a bare external subset -->
+		<!ELEMENT library (book+)>
+		<!ELEMENT book (title, author*)>
+		<!ATTLIST book isbn CDATA #REQUIRED lang CDATA "en">
+		<!ELEMENT title (#PCDATA)>
+		<!ELEMENT author (#PCDATA)>
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "library" {
+		t.Errorf("Root = %q, want library (first declared element)", d.Root)
+	}
+	book := d.Element("book")
+	if len(book.Attributes) != 2 {
+		t.Fatalf("book attributes = %+v, want 2", book.Attributes)
+	}
+	if !book.Attributes[0].Required() {
+		t.Errorf("isbn should be required")
+	}
+	if book.Attributes[1].Required() {
+		t.Errorf("lang should not be required")
+	}
+	if book.Attributes[1].Value != "en" {
+		t.Errorf("lang default = %q, want en", book.Attributes[1].Value)
+	}
+}
+
+func TestParseMixedContentAndEnumerations(t *testing.T) {
+	d, err := Parse(`
+		<!ELEMENT note (#PCDATA | emph | code)*>
+		<!ELEMENT emph (#PCDATA)>
+		<!ELEMENT code (#PCDATA)>
+		<!ATTLIST note kind (todo|done) "todo" priority NMTOKEN #IMPLIED>
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := d.Element("note")
+	if note.Content.Kind != KindChoice || note.Content.Occur != ZeroOrMore {
+		t.Errorf("note content = %s, want mixed choice with *", note.Content)
+	}
+	if !note.Content.HasPCDATA() {
+		t.Error("mixed content should report PCDATA")
+	}
+	if got := d.Children("note"); len(got) != 2 {
+		t.Errorf("Children(note) = %v", got)
+	}
+	if note.Attributes[0].Type != "(todo|done)" {
+		t.Errorf("enumeration type = %q", note.Attributes[0].Type)
+	}
+}
+
+func TestParseSkipsEntitiesAndPI(t *testing.T) {
+	d, err := Parse(`<?xml version="1.0"?>
+		<!DOCTYPE root [
+			<!ENTITY % common "CDATA">
+			<!ENTITY copy "&#169;">
+			<!NOTATION gif SYSTEM "image/gif">
+			<!ELEMENT root (leaf*)>
+			<!ELEMENT leaf EMPTY>
+		]>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "root" || len(d.Elements) != 2 {
+		t.Errorf("unexpected parse result: root=%q elements=%v", d.Root, d.ElementNames())
+	}
+}
+
+func TestParseDoctypeWithExternalIDOnly(t *testing.T) {
+	d, err := Parse(`<!DOCTYPE html SYSTEM "http://example.org/html.dtd">
+		<!ELEMENT html (body)>
+		<!ELEMENT body (#PCDATA)>`)
+	// The declarations after the DOCTYPE are not read in this form: the
+	// DOCTYPE is self-contained. The result has no element for the root.
+	if err == nil {
+		t.Fatalf("expected validation error for undeclared root, got %v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, input, wantSubstr string
+	}{
+		{"garbage", "<!ELEMENT a (b)>\nnot a declaration", "unexpected content"},
+		{"unterminated comment", "<!-- never closed", "unterminated comment"},
+		{"bad content model", "<!ELEMENT a foo>", "expected a content model"},
+		{"mixed separators", "<!ELEMENT a (b, c | d)>", "mixed ',' and '|'"},
+		{"undeclared child", "<!ELEMENT a (b)>", "undeclared element"},
+		{"missing name", "<!ELEMENT >", "expected a name"},
+		{"unterminated attlist literal", `<!ELEMENT a EMPTY><!ATTLIST a x CDATA "oops>`, "unterminated literal"},
+		{"empty input", "   \n\t ", "no root element"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.input)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.wantSubstr)
+			}
+			if !strings.Contains(err.Error(), c.wantSubstr) {
+				t.Errorf("error = %v, want substring %q", err, c.wantSubstr)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Parse("<!ELEMENT a (b)>\n<!ELEMENT b (#PCDATA)>\n<!ELEMENT ***>")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error = %v, want line 3 annotation", err)
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on invalid input")
+		}
+	}()
+	MustParse("<!ELEMENT broken")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	d := MustParse(xmarkExcerptDTD)
+	rendered := d.String()
+	d2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parsing rendered DTD: %v\n%s", err, rendered)
+	}
+	if len(d2.Elements) != len(d.Elements) {
+		t.Errorf("round trip lost elements: %d vs %d", len(d2.Elements), len(d.Elements))
+	}
+	if d2.Element("item").Content.String() != d.Element("item").Content.String() {
+		t.Errorf("round trip changed item content model")
+	}
+}
+
+func TestAttlistBeforeElement(t *testing.T) {
+	d, err := Parse(`
+		<!ATTLIST img src CDATA #REQUIRED>
+		<!ELEMENT img EMPTY>
+		<!ELEMENT fig (img)>
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ATTLIST placeholder must not clobber the real declaration's
+	// content model, and the attribute must survive.
+	img := d.Element("img")
+	if img.Content.Kind != KindEmpty {
+		t.Errorf("img content = %s, want EMPTY", img.Content)
+	}
+	if len(d.RequiredAttributes("img")) != 1 {
+		t.Errorf("img required attributes = %v", d.RequiredAttributes("img"))
+	}
+}

@@ -1,0 +1,41 @@
+package dtd
+
+// Shared DTD fixtures used across the package tests. They mirror the DTDs
+// the paper uses in its running examples.
+
+// exampleDTD is the DTD of paper Example 2:
+//
+//	<!DOCTYPE a [ <!ELEMENT a (b|c)*>
+//	<!ELEMENT b #PCDATA> <!ELEMENT c (b,b?)> ]>
+const exampleDTD = `<!DOCTYPE a [
+	<!ELEMENT a (b|c)*>
+	<!ELEMENT b #PCDATA>
+	<!ELEMENT c (b,b?)>
+]>`
+
+// xmarkExcerptDTD is the simplified XMark excerpt of paper Fig. 1, completed
+// with #PCDATA declarations for the unlisted tags (as the paper assumes).
+const xmarkExcerptDTD = `<!DOCTYPE site [
+	<!ELEMENT site (regions)>
+	<!ELEMENT regions (africa, asia, australia)>
+	<!ELEMENT africa (item*)>
+	<!ELEMENT asia (item*)>
+	<!ELEMENT australia (item*)>
+	<!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+	<!ELEMENT incategory EMPTY>
+	<!ATTLIST incategory category ID #REQUIRED>
+	<!ELEMENT location (#PCDATA)>
+	<!ELEMENT name (#PCDATA)>
+	<!ELEMENT payment (#PCDATA)>
+	<!ELEMENT description (#PCDATA)>
+	<!ELEMENT shipping (#PCDATA)>
+]>`
+
+// recursiveDTD contains a containment cycle (section within section), as in
+// the unmodified XMark description lists.
+const recursiveDTD = `<!DOCTYPE doc [
+	<!ELEMENT doc (section*)>
+	<!ELEMENT section (title, (para | section)*)>
+	<!ELEMENT title (#PCDATA)>
+	<!ELEMENT para (#PCDATA)>
+]>`

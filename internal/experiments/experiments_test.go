@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"smp/internal/stats"
+)
+
+// smallCfg keeps the experiment tests fast; the CLI and benchmarks use
+// larger documents.
+func smallCfg() Config {
+	return Config{
+		XMarkSize:    200 << 10,
+		MedlineSize:  200 << 10,
+		SweepSizes:   []int64{32 << 10, 512 << 10},
+		MemoryBudget: 512 << 10,
+		Seed:         1,
+	}
+}
+
+func TestTableI(t *testing.T) {
+	tbl, err := TableI(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 18 {
+		t.Fatalf("Table I has %d rows, want 18", len(tbl.Rows))
+	}
+	// Shape check: every query inspects well below the full document.
+	col := columnIndex(t, tbl, "Char Comp. [%]")
+	for _, row := range tbl.Rows {
+		v := parseFloat(t, row[col])
+		if v <= 0 || v >= 80 {
+			t.Errorf("%s: Char Comp. %.2f%%, want a small fraction of the input", row[0], v)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	tbl, err := TableII(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("Table II has %d rows, want 5", len(tbl.Rows))
+	}
+	// M1 selects nothing but the root element (CollectionTitle is absent).
+	projCol := columnIndex(t, tbl, "Proj. Size")
+	if !strings.Contains(tbl.Rows[0][projCol], "B") {
+		t.Errorf("M1 Proj. Size cell = %q", tbl.Rows[0][projCol])
+	}
+	charCol := columnIndex(t, tbl, "Char Comp. [%]")
+	for _, row := range tbl.Rows {
+		v := parseFloat(t, row[charCol])
+		if v <= 0 || v >= 80 {
+			t.Errorf("%s: Char Comp. %.2f%%", row[0], v)
+		}
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	tbl, err := TableIII(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Table III has %d rows, want 4 (XM3, XM6, XM7, XM19)", len(tbl.Rows))
+	}
+	speedupCol := columnIndex(t, tbl, "Run Speedup")
+	for _, row := range tbl.Rows {
+		cell := strings.TrimSuffix(row[speedupCol], "x")
+		v := parseFloat(t, cell)
+		if v <= 1 {
+			t.Errorf("%s: SMP speedup over the tokenizing projector is %.1fx, want > 1x", row[0], v)
+		}
+	}
+}
+
+func TestFig7a(t *testing.T) {
+	tbl, err := Fig7a(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("Fig. 7(a) has %d rows, want 2", len(tbl.Rows))
+	}
+	aloneCol := columnIndex(t, tbl, "Engine alone")
+	pipelineCol := columnIndex(t, tbl, "SMP + Engine")
+	// The larger document must exceed the memory budget stand-alone but
+	// succeed behind the prefilter (the Fig. 7(a) crossover).
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if !strings.Contains(last[aloneCol], "FAIL") {
+		t.Errorf("largest document: engine alone = %q, want FAIL (memory)", last[aloneCol])
+	}
+	if strings.Contains(last[pipelineCol], "FAIL") {
+		t.Errorf("largest document: SMP + engine = %q, want success", last[pipelineCol])
+	}
+	// The smallest document succeeds in both configurations.
+	first := tbl.Rows[0]
+	if strings.Contains(first[aloneCol], "FAIL") || strings.Contains(first[pipelineCol], "FAIL") {
+		t.Errorf("smallest document should succeed in both setups: %v", first)
+	}
+}
+
+func TestFig7b(t *testing.T) {
+	tbl, err := Fig7b(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("Fig. 7(b) has %d rows, want 5", len(tbl.Rows))
+	}
+}
+
+func TestFig7c(t *testing.T) {
+	cfg := smallCfg()
+	// Restrict to a few queries to keep the test quick; the ratio shape is
+	// what matters.
+	cfg.Queries = []string{"XM5", "XM13", "M1", "M4"}
+	tbl, err := Fig7c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("Fig. 7(c) has %d rows, want 2 (XMark, MEDLINE)", len(tbl.Rows))
+	}
+	ratioCol := columnIndex(t, tbl, "SMP/SAX")
+	for _, row := range tbl.Rows {
+		v := parseFloat(t, strings.TrimSuffix(row[ratioCol], "x"))
+		if v <= 1 {
+			t.Errorf("%s: SMP/SAX throughput ratio %.1fx, want > 1x (paper reports 3-9x)", row[0], v)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Queries = []string{"XM1", "XM5", "XM13"}
+	tables, err := Run(ExpAblations, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("got %d ablation tables, want 3", len(tables))
+	}
+	// The algorithm ablation: the naive configuration must inspect more
+	// characters than the paper's BM/CW configuration.
+	algo := tables[0]
+	col := columnIndex(t, algo, "Char Comp. [%]")
+	paper := parseFloat(t, algo.Rows[0][col])
+	naive := parseFloat(t, algo.Rows[len(algo.Rows)-1][col])
+	if naive <= paper {
+		t.Errorf("naive search inspects %.2f%%, BM/CW %.2f%% — expected the skip-based configuration to inspect less", naive, paper)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Queries = []string{"XM13", "M1"}
+	for _, name := range []string{ExpTableI, ExpTableII} {
+		tables, err := Run(name, cfg)
+		if err != nil {
+			t.Errorf("Run(%s): %v", name, err)
+		}
+		if len(tables) != 1 {
+			t.Errorf("Run(%s) returned %d tables", name, len(tables))
+		}
+	}
+	if _, err := Run("nonsense", cfg); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	if len(Names()) != 7 {
+		t.Errorf("Names() has %d entries", len(Names()))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.XMarkSize == 0 || cfg.MedlineSize == 0 || len(cfg.SweepSizes) == 0 || cfg.MemoryBudget == 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if !cfg.wantQuery("XM1") {
+		t.Error("empty query filter must accept everything")
+	}
+	cfg.Queries = []string{"XM2"}
+	if cfg.wantQuery("XM1") || !cfg.wantQuery("XM2") {
+		t.Error("query filter is not applied correctly")
+	}
+}
+
+func columnIndex(t *testing.T, tbl *stats.Table, name string) int {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("table %q has no column %q (columns: %v)", tbl.Title, name, tbl.Columns)
+	return -1
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSpace(strings.TrimSuffix(s, "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as float: %v", s, err)
+	}
+	return v
+}

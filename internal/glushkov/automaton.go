@@ -1,0 +1,278 @@
+package glushkov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smp/internal/dtd"
+)
+
+// Token is one input symbol of the DTD-automaton: an opening or closing tag
+// of a named element. (Bachelor tags <t/> are processed as the opening tag
+// immediately followed by the closing tag, exactly as in the runtime
+// algorithm of paper Fig. 4.)
+type Token struct {
+	Name  string
+	Close bool
+}
+
+// Open returns the opening-tag token for name.
+func Open(name string) Token { return Token{Name: name} }
+
+// Closing returns the closing-tag token for name.
+func Closing(name string) Token { return Token{Name: name, Close: true} }
+
+// String renders the token as the paper writes it: ⟨a⟩ or ⟨/a⟩, in ASCII.
+func (t Token) String() string {
+	if t.Close {
+		return "</" + t.Name + ">"
+	}
+	return "<" + t.Name + ">"
+}
+
+// Keyword returns the search keyword for this token as used by the runtime
+// string matching: the tag prefix without the trailing bracket ("<name" or
+// "</name"), because tags may carry attributes or whitespace before '>'.
+func (t Token) Keyword() string {
+	if t.Close {
+		return "</" + t.Name
+	}
+	return "<" + t.Name
+}
+
+// State is one state of the document-level DTD-automaton. Every element
+// occurrence in the (finite, because non-recursive) unfolding of the DTD
+// contributes a dual pair of states: the open state is entered by reading
+// the occurrence's opening tag, the close state by reading its closing tag.
+type State struct {
+	ID int
+	// Label is the element name carried by all incoming transitions
+	// (homogeneity); it is empty only for the initial state.
+	Label string
+	// Close reports whether this is the closing-tag state of its occurrence.
+	Close bool
+	// Dual is the ID of the partner state of the same element occurrence
+	// (open for close and vice versa), or -1 for the initial state.
+	Dual int
+	// Parent is the ID of the open state of the parent element occurrence,
+	// or -1 for the root occurrence and the initial state.
+	Parent int
+	// Depth is the number of ancestor element occurrences (the root
+	// occurrence has depth 1; the initial state has depth 0).
+	Depth int
+}
+
+// IsInitial reports whether the state is the initial state q0.
+func (s *State) IsInitial() bool { return s.Label == "" }
+
+// Automaton is the document-level DTD-automaton of paper Fig. 5: a
+// homogeneous finite-state automaton recognizing the tag-token sequences of
+// all documents valid w.r.t. the DTD.
+type Automaton struct {
+	DTD     *dtd.DTD
+	States  []*State
+	Initial int
+	// Final is the set of accepting states (the close state of the root
+	// occurrence).
+	Final map[int]bool
+	// trans[state][token] is the successor state. The automaton is
+	// deterministic because XML requires 1-unambiguous content models.
+	trans map[int]map[Token]int
+}
+
+// ErrRecursive is returned by Build for recursive DTDs.
+type ErrRecursive struct {
+	Elements []string
+}
+
+func (e *ErrRecursive) Error() string {
+	return fmt.Sprintf("glushkov: recursive DTD (cycle through %s); the SMP analysis requires a non-recursive schema",
+		strings.Join(e.Elements, ", "))
+}
+
+// Build unfolds the non-recursive DTD into its document-level DTD-automaton.
+func Build(d *dtd.DTD) (*Automaton, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if rec := d.RecursiveElements(); len(rec) > 0 {
+		return nil, &ErrRecursive{Elements: rec}
+	}
+	a := &Automaton{
+		DTD:   d,
+		Final: make(map[int]bool),
+		trans: make(map[int]map[Token]int),
+	}
+	q0 := a.newState("", false, -1, 0)
+	a.Initial = q0.ID
+
+	openRoot, closeRoot := a.buildOccurrence(d.Root, -1, 1)
+	a.addTransition(q0.ID, Open(d.Root), openRoot)
+	a.Final[closeRoot] = true
+	return a, nil
+}
+
+// MustBuild is like Build but panics on error; intended for tests and for
+// embedding well-known schemas.
+func MustBuild(d *dtd.DTD) *Automaton {
+	a, err := Build(d)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *Automaton) newState(label string, close bool, parent, depth int) *State {
+	s := &State{ID: len(a.States), Label: label, Close: close, Dual: -1, Parent: parent, Depth: depth}
+	a.States = append(a.States, s)
+	return s
+}
+
+func (a *Automaton) addTransition(from int, t Token, to int) {
+	m := a.trans[from]
+	if m == nil {
+		m = make(map[Token]int)
+		a.trans[from] = m
+	}
+	m[t] = to
+}
+
+// buildOccurrence creates the dual state pair for one occurrence of element
+// name under the given parent open state and recursively unfolds its content
+// model. It returns the IDs of the open and close states.
+func (a *Automaton) buildOccurrence(name string, parent, depth int) (openID, closeID int) {
+	open := a.newState(name, false, parent, depth)
+	closeState := a.newState(name, true, parent, depth)
+	open.Dual, closeState.Dual = closeState.ID, open.ID
+
+	var content *dtd.Content
+	if el := a.DTD.Element(name); el != nil {
+		content = el.Content
+	}
+	ca := BuildContent(content)
+
+	childOpen := make([]int, len(ca.Positions))
+	childClose := make([]int, len(ca.Positions))
+	for i, p := range ca.Positions {
+		childOpen[i], childClose[i] = a.buildOccurrence(p.Name, open.ID, depth+1)
+	}
+
+	for _, p := range ca.First {
+		a.addTransition(open.ID, Open(ca.Positions[p].Name), childOpen[p])
+	}
+	if ca.Nullable {
+		a.addTransition(open.ID, Closing(name), closeState.ID)
+	}
+	for p, follows := range ca.Follow {
+		for _, f := range follows {
+			a.addTransition(childClose[p], Open(ca.Positions[f].Name), childOpen[f])
+		}
+	}
+	for p := range ca.Last {
+		a.addTransition(childClose[p], Closing(name), closeState.ID)
+	}
+	return open.ID, closeState.ID
+}
+
+// State returns the state with the given ID.
+func (a *Automaton) State(id int) *State { return a.States[id] }
+
+// Transitions returns the outgoing transitions of the state as a map from
+// token to successor ID. The returned map is the automaton's own; callers
+// must not modify it.
+func (a *Automaton) Transitions(id int) map[Token]int { return a.trans[id] }
+
+// Successor returns the successor of state id on token t, or -1.
+func (a *Automaton) Successor(id int, t Token) int {
+	if to, ok := a.trans[id][t]; ok {
+		return to
+	}
+	return -1
+}
+
+// NumStates returns the number of states.
+func (a *Automaton) NumStates() int { return len(a.States) }
+
+// ParentStates returns the IDs of the parent states of state id in the sense
+// of paper Example 8: the dual state pair of the parent element occurrence
+// (or the initial state for the root occurrence).
+func (a *Automaton) ParentStates(id int) []int {
+	s := a.States[id]
+	if s.IsInitial() {
+		return nil
+	}
+	if s.Parent < 0 {
+		return []int{a.Initial}
+	}
+	p := a.States[s.Parent]
+	return []int{p.ID, p.Dual}
+}
+
+// Branch returns the document branch of the state (paper Example 9): the
+// chain of ancestor element labels from the root down to the state's own
+// label. The initial state has an empty branch.
+func (a *Automaton) Branch(id int) []string {
+	s := a.States[id]
+	if s.IsInitial() {
+		return nil
+	}
+	var labels []string
+	for cur := s; cur != nil && !cur.IsInitial(); {
+		labels = append(labels, cur.Label)
+		if cur.Parent < 0 {
+			break
+		}
+		cur = a.States[cur.Parent]
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	return labels
+}
+
+// StatesByLabel returns the IDs of all states carrying the given label, in
+// ID order.
+func (a *Automaton) StatesByLabel(label string) []int {
+	var out []int
+	for _, s := range a.States {
+		if s.Label == label {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// String renders the automaton's transitions for debugging and golden tests.
+func (a *Automaton) String() string {
+	var b strings.Builder
+	for _, s := range a.States {
+		tokens := make([]Token, 0, len(a.trans[s.ID]))
+		for t := range a.trans[s.ID] {
+			tokens = append(tokens, t)
+		}
+		sort.Slice(tokens, func(i, j int) bool {
+			if tokens[i].Name != tokens[j].Name {
+				return tokens[i].Name < tokens[j].Name
+			}
+			return !tokens[i].Close && tokens[j].Close
+		})
+		for _, t := range tokens {
+			fmt.Fprintf(&b, "%s --%s--> %s\n", a.describe(s.ID), t, a.describe(a.trans[s.ID][t]))
+		}
+	}
+	return b.String()
+}
+
+func (a *Automaton) describe(id int) string {
+	s := a.States[id]
+	if s.IsInitial() {
+		return "q0"
+	}
+	kind := "open"
+	if s.Close {
+		kind = "close"
+	}
+	return fmt.Sprintf("q%d[%s %s]", s.ID, kind, s.Label)
+}

@@ -1,0 +1,267 @@
+package glushkov
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"smp/internal/dtd"
+)
+
+// example2DTD is the DTD of paper Example 2 whose DTD-automaton is Fig. 5.
+const example2DTD = `<!DOCTYPE a [
+	<!ELEMENT a (b|c)*>
+	<!ELEMENT b #PCDATA>
+	<!ELEMENT c (b,b?)>
+]>`
+
+const xmarkExcerptDTD = `<!DOCTYPE site [
+	<!ELEMENT site (regions)>
+	<!ELEMENT regions (africa, asia, australia)>
+	<!ELEMENT africa (item*)>
+	<!ELEMENT asia (item*)>
+	<!ELEMENT australia (item*)>
+	<!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+	<!ELEMENT incategory EMPTY>
+	<!ATTLIST incategory category ID #REQUIRED>
+	<!ELEMENT location (#PCDATA)>
+	<!ELEMENT name (#PCDATA)>
+	<!ELEMENT payment (#PCDATA)>
+	<!ELEMENT description (#PCDATA)>
+	<!ELEMENT shipping (#PCDATA)>
+]>`
+
+func buildExample2(t *testing.T) *Automaton {
+	t.Helper()
+	a, err := Build(dtd.MustParse(example2DTD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// findState locates the unique state with the given label, close flag and
+// parent label (parent label "" means the root occurrence).
+func findState(t *testing.T, a *Automaton, label string, close bool, parentLabel string, nth int) *State {
+	t.Helper()
+	count := 0
+	for _, s := range a.States {
+		if s.Label != label || s.Close != close || s.IsInitial() {
+			continue
+		}
+		pl := ""
+		if s.Parent >= 0 {
+			pl = a.States[s.Parent].Label
+		}
+		if pl != parentLabel {
+			continue
+		}
+		if count == nth {
+			return s
+		}
+		count++
+	}
+	t.Fatalf("state %q close=%v parent=%q #%d not found", label, close, parentLabel, nth)
+	return nil
+}
+
+func TestBuildExample2MatchesFig5(t *testing.T) {
+	a := buildExample2(t)
+
+	// Fig. 5 has 11 states: q0 plus dual pairs for the occurrences
+	// a, b-in-a, c-in-a, first b-in-c and second b-in-c.
+	if a.NumStates() != 11 {
+		t.Fatalf("NumStates = %d, want 11\n%s", a.NumStates(), a)
+	}
+
+	q0 := a.State(a.Initial)
+	if !q0.IsInitial() {
+		t.Fatal("initial state is not marked initial")
+	}
+
+	openA := findState(t, a, "a", false, "", 0)
+	closeA := a.State(openA.Dual)
+	openBinA := findState(t, a, "b", false, "a", 0)
+	closeBinA := a.State(openBinA.Dual)
+	openC := findState(t, a, "c", false, "a", 0)
+	closeC := a.State(openC.Dual)
+	openB1 := findState(t, a, "b", false, "c", 0)
+	closeB1 := a.State(openB1.Dual)
+	openB2 := findState(t, a, "b", false, "c", 1)
+	closeB2 := a.State(openB2.Dual)
+
+	type edge struct {
+		from *State
+		tok  Token
+		to   *State
+	}
+	wantEdges := []edge{
+		{q0, Open("a"), openA},
+		{openA, Open("b"), openBinA},
+		{openA, Open("c"), openC},
+		{openA, Closing("a"), closeA},
+		{openBinA, Closing("b"), closeBinA},
+		{closeBinA, Open("b"), openBinA},
+		{closeBinA, Open("c"), openC},
+		{closeBinA, Closing("a"), closeA},
+		{openC, Open("b"), openB1},
+		{openB1, Closing("b"), closeB1},
+		{closeB1, Open("b"), openB2},
+		{closeB1, Closing("c"), closeC},
+		{openB2, Closing("b"), closeB2},
+		{closeB2, Closing("c"), closeC},
+		{closeC, Open("b"), openBinA},
+		{closeC, Open("c"), openC},
+		{closeC, Closing("a"), closeA},
+	}
+	for _, e := range wantEdges {
+		if got := a.Successor(e.from.ID, e.tok); got != e.to.ID {
+			t.Errorf("missing/incorrect transition %s --%s--> %s (got state %d)",
+				a.describe(e.from.ID), e.tok, a.describe(e.to.ID), got)
+		}
+	}
+	// The open state of c must not allow an immediate </c>: its content
+	// (b,b?) is not nullable.
+	if got := a.Successor(openC.ID, Closing("c")); got != -1 {
+		t.Errorf("open c has an unexpected </c> transition to %d", got)
+	}
+	// Exactly one final state: the close state of the root occurrence.
+	if len(a.Final) != 1 || !a.Final[closeA.ID] {
+		t.Errorf("Final = %v, want {%d}", a.Final, closeA.ID)
+	}
+	// Count all transitions: the edges above are exhaustive.
+	total := 0
+	for _, s := range a.States {
+		total += len(a.Transitions(s.ID))
+	}
+	if total != len(wantEdges) {
+		t.Errorf("total transitions = %d, want %d\n%s", total, len(wantEdges), a)
+	}
+}
+
+func TestBranchesAndParents(t *testing.T) {
+	a := buildExample2(t)
+
+	openA := findState(t, a, "a", false, "", 0)
+	openBinA := findState(t, a, "b", false, "a", 0)
+	openB1 := findState(t, a, "b", false, "c", 0)
+	closeB1 := a.State(openB1.Dual)
+
+	if got := a.Branch(a.Initial); len(got) != 0 {
+		t.Errorf("Branch(q0) = %v, want empty", got)
+	}
+	if got := a.Branch(openA.ID); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("Branch(open a) = %v, want [a]", got)
+	}
+	if got := a.Branch(openBinA.ID); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Branch(b in a) = %v, want [a b]", got)
+	}
+	if got := a.Branch(closeB1.ID); !reflect.DeepEqual(got, []string{"a", "c", "b"}) {
+		t.Errorf("Branch(b in c) = %v, want [a c b]", got)
+	}
+
+	// Paper Example 8: q0 has no parent states but is the parent of the
+	// a-occurrence states; the a-occurrence states are the parents of the
+	// b-in-a and c-in-a states.
+	if got := a.ParentStates(a.Initial); got != nil {
+		t.Errorf("ParentStates(q0) = %v, want none", got)
+	}
+	if got := a.ParentStates(openA.ID); !reflect.DeepEqual(got, []int{a.Initial}) {
+		t.Errorf("ParentStates(open a) = %v, want [q0]", got)
+	}
+	gotParents := a.ParentStates(openBinA.ID)
+	wantParents := []int{openA.ID, openA.Dual}
+	if !reflect.DeepEqual(gotParents, wantParents) {
+		t.Errorf("ParentStates(b in a) = %v, want %v", gotParents, wantParents)
+	}
+
+	if depth := a.State(openB1.ID).Depth; depth != 3 {
+		t.Errorf("Depth(b in c) = %d, want 3", depth)
+	}
+}
+
+func TestBuildRejectsRecursiveDTD(t *testing.T) {
+	d := dtd.MustParse(`<!DOCTYPE doc [
+		<!ELEMENT doc (section*)>
+		<!ELEMENT section (title, section*)>
+		<!ELEMENT title (#PCDATA)>
+	]>`)
+	_, err := Build(d)
+	if err == nil {
+		t.Fatal("expected an error for a recursive DTD")
+	}
+	var rec *ErrRecursive
+	if ok := errorsAs(err, &rec); !ok {
+		t.Fatalf("error = %v, want *ErrRecursive", err)
+	}
+	if len(rec.Elements) != 1 || rec.Elements[0] != "section" {
+		t.Errorf("recursive elements = %v, want [section]", rec.Elements)
+	}
+	if !strings.Contains(err.Error(), "non-recursive") {
+		t.Errorf("error message %q should mention the non-recursive requirement", err)
+	}
+}
+
+// errorsAs is a tiny local wrapper to avoid importing errors just for As in
+// this test file.
+func errorsAs(err error, target **ErrRecursive) bool {
+	if e, ok := err.(*ErrRecursive); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestBuildXMarkExcerpt(t *testing.T) {
+	a, err := Build(dtd.MustParse(xmarkExcerptDTD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occurrences: site, regions, africa, asia, australia, one item per
+	// region (3), and 6 children per item (18) = 26 dual pairs plus q0.
+	if got, want := a.NumStates(), 1+2*26; got != want {
+		t.Errorf("NumStates = %d, want %d", got, want)
+	}
+	// All transitions into a state carry the state's label (homogeneity).
+	for _, s := range a.States {
+		for tok, to := range a.Transitions(s.ID) {
+			target := a.State(to)
+			if target.Label != tok.Name || target.Close != tok.Close {
+				t.Errorf("transition %s --%s--> %s violates homogeneity",
+					a.describe(s.ID), tok, a.describe(to))
+			}
+		}
+	}
+	// The description occurrence under the australia item has the full
+	// ancestor chain in its branch.
+	var found bool
+	for _, id := range a.StatesByLabel("description") {
+		branch := a.Branch(id)
+		if reflect.DeepEqual(branch, []string{"site", "regions", "australia", "item", "description"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no description state with branch site/regions/australia/item/description")
+	}
+}
+
+func TestTokenHelpers(t *testing.T) {
+	if Open("a").String() != "<a>" || Closing("a").String() != "</a>" {
+		t.Error("Token.String rendering incorrect")
+	}
+	if Open("item").Keyword() != "<item" || Closing("item").Keyword() != "</item" {
+		t.Error("Token.Keyword rendering incorrect")
+	}
+}
+
+func TestStatesByLabelAndDescribe(t *testing.T) {
+	a := buildExample2(t)
+	bStates := a.StatesByLabel("b")
+	if len(bStates) != 6 {
+		t.Errorf("StatesByLabel(b) = %v, want 6 states (3 occurrences x 2)", bStates)
+	}
+	if !strings.Contains(a.String(), "--<a>-->") {
+		t.Errorf("String() should render transitions:\n%s", a)
+	}
+}

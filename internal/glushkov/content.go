@@ -1,0 +1,158 @@
+// Package glushkov builds the automata behind the SMP static analysis: the
+// Glushkov (position) automaton of a DTD content model and the homogeneous
+// document-level DTD-automaton (paper Section IV, Fig. 5) that recognizes
+// the token sequences of all documents valid with respect to a
+// non-recursive DTD.
+//
+// A Glushkov automaton has one state per occurrence ("position") of a child
+// element name in the content model. All transitions into a position carry
+// the position's element name, which gives the automaton the homogeneity
+// property the paper relies on for assigning per-state actions.
+package glushkov
+
+import (
+	"smp/internal/dtd"
+)
+
+// ContentPosition is one occurrence of a child element name inside a content
+// model.
+type ContentPosition struct {
+	// Index is the position number (0-based, in left-to-right order of the
+	// content model expression).
+	Index int
+	// Name is the child element name at this position.
+	Name string
+}
+
+// ContentAutomaton is the Glushkov automaton of a single content model. It
+// captures which child elements may appear first, which may follow which,
+// and which may appear last; character data does not contribute positions.
+type ContentAutomaton struct {
+	Positions []ContentPosition
+	// Nullable reports whether the content model accepts the empty sequence
+	// of child elements (character data only, or nothing).
+	Nullable bool
+	// First lists the positions that can start a valid child sequence.
+	First []int
+	// Last reports the positions that can end a valid child sequence.
+	Last map[int]bool
+	// Follow maps each position to the positions that may immediately
+	// follow it.
+	Follow map[int][]int
+}
+
+// BuildContent constructs the Glushkov automaton of a content model. ANY
+// content is treated like character data: it contributes no positions and is
+// nullable (the SMP compiler treats elements with ANY content as opaque).
+func BuildContent(c *dtd.Content) *ContentAutomaton {
+	ca := &ContentAutomaton{
+		Last:   make(map[int]bool),
+		Follow: make(map[int][]int),
+	}
+	if c == nil {
+		ca.Nullable = true
+		return ca
+	}
+	info := ca.build(c)
+	ca.Nullable = info.nullable
+	ca.First = info.first
+	for _, p := range info.last {
+		ca.Last[p] = true
+	}
+	return ca
+}
+
+// nodeInfo carries the classic Glushkov attributes of a sub-expression.
+type nodeInfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+func (ca *ContentAutomaton) addFollow(from int, to []int) {
+	ca.Follow[from] = appendUnique(ca.Follow[from], to)
+}
+
+func appendUnique(dst []int, src []int) []int {
+	seen := make(map[int]bool, len(dst))
+	for _, v := range dst {
+		seen[v] = true
+	}
+	for _, v := range src {
+		if !seen[v] {
+			dst = append(dst, v)
+			seen[v] = true
+		}
+	}
+	return dst
+}
+
+func (ca *ContentAutomaton) build(c *dtd.Content) nodeInfo {
+	var info nodeInfo
+	switch c.Kind {
+	case dtd.KindEmpty, dtd.KindAny, dtd.KindPCDATA:
+		info = nodeInfo{nullable: true}
+	case dtd.KindName:
+		idx := len(ca.Positions)
+		ca.Positions = append(ca.Positions, ContentPosition{Index: idx, Name: c.Name})
+		info = nodeInfo{nullable: false, first: []int{idx}, last: []int{idx}}
+	case dtd.KindSequence:
+		info = nodeInfo{nullable: true}
+		for _, ch := range c.Children {
+			chInfo := ca.build(ch)
+			// follow(last of prefix) ∪= first(child)
+			for _, l := range info.last {
+				ca.addFollow(l, chInfo.first)
+			}
+			if info.nullable {
+				info.first = appendUnique(info.first, chInfo.first)
+			}
+			if chInfo.nullable {
+				info.last = appendUnique(info.last, chInfo.last)
+			} else {
+				info.last = append([]int(nil), chInfo.last...)
+			}
+			info.nullable = info.nullable && chInfo.nullable
+		}
+	case dtd.KindChoice:
+		info = nodeInfo{nullable: false}
+		if len(c.Children) == 0 {
+			info.nullable = true
+		}
+		for _, ch := range c.Children {
+			chInfo := ca.build(ch)
+			info.nullable = info.nullable || chInfo.nullable
+			info.first = appendUnique(info.first, chInfo.first)
+			info.last = appendUnique(info.last, chInfo.last)
+		}
+	}
+
+	switch c.Occur {
+	case dtd.Optional:
+		info.nullable = true
+	case dtd.ZeroOrMore, dtd.OneOrMore:
+		// Repetition: the last positions may be followed by the first ones.
+		for _, l := range info.last {
+			ca.addFollow(l, info.first)
+		}
+		if c.Occur == dtd.ZeroOrMore {
+			info.nullable = true
+		}
+	}
+	return info
+}
+
+// FirstNames returns the distinct element names that may start the content,
+// in position order.
+func (ca *ContentAutomaton) FirstNames() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, p := range ca.First {
+		name := ca.Positions[p].Name
+		if !seen[name] {
+			out = append(out, name)
+			seen[name] = true
+		}
+	}
+	return out
+}

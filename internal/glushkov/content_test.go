@@ -1,0 +1,142 @@
+package glushkov
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"smp/internal/dtd"
+)
+
+func contentModel(t *testing.T, decl string) *dtd.Content {
+	t.Helper()
+	d, err := dtd.Parse("<!ELEMENT r " + decl + ">" + "<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
+	if err != nil {
+		t.Fatalf("parsing content model %q: %v", decl, err)
+	}
+	return d.Element("r").Content
+}
+
+func names(ca *ContentAutomaton, positions []int) []string {
+	out := make([]string, len(positions))
+	for i, p := range positions {
+		out[i] = ca.Positions[p].Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lastNames(ca *ContentAutomaton) []string {
+	var idx []int
+	for p := range ca.Last {
+		idx = append(idx, p)
+	}
+	return names(ca, idx)
+}
+
+func TestBuildContentSequenceWithOptional(t *testing.T) {
+	// (b, b?) — the content model of element c in paper Example 2.
+	ca := BuildContent(contentModel(t, "(b,b?)"))
+	if len(ca.Positions) != 2 {
+		t.Fatalf("positions = %d, want 2", len(ca.Positions))
+	}
+	if ca.Nullable {
+		t.Error("content (b,b?) must not be nullable")
+	}
+	if got := names(ca, ca.First); !reflect.DeepEqual(got, []string{"b"}) || len(ca.First) != 1 {
+		t.Errorf("First = %v, want the first b only", ca.First)
+	}
+	if !ca.Last[0] || !ca.Last[1] {
+		t.Errorf("Last = %v, want both positions", ca.Last)
+	}
+	if got := ca.Follow[0]; !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("Follow(0) = %v, want [1]", got)
+	}
+	if got := ca.Follow[1]; len(got) != 0 {
+		t.Errorf("Follow(1) = %v, want empty", got)
+	}
+}
+
+func TestBuildContentChoiceStar(t *testing.T) {
+	// (b|c)* — the content model of element a in paper Example 2.
+	ca := BuildContent(contentModel(t, "(b|c)*"))
+	if !ca.Nullable {
+		t.Error("(b|c)* must be nullable")
+	}
+	if got := names(ca, ca.First); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Errorf("First = %v, want b and c", got)
+	}
+	if got := lastNames(ca); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Errorf("Last = %v, want b and c", got)
+	}
+	// Repetition: both positions follow both positions.
+	for p := 0; p < 2; p++ {
+		if got := names(ca, ca.Follow[p]); !reflect.DeepEqual(got, []string{"b", "c"}) {
+			t.Errorf("Follow(%d) = %v, want b and c", p, got)
+		}
+	}
+}
+
+func TestBuildContentSkipsNullableParticles(t *testing.T) {
+	// (a, b?, c): c must follow a directly when b is omitted.
+	ca := BuildContent(contentModel(t, "(a,b?,c)"))
+	if got := names(ca, ca.Follow[0]); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Errorf("Follow(a) = %v, want b and c", got)
+	}
+	if got := names(ca, ca.First); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("First = %v, want a", got)
+	}
+	if got := lastNames(ca); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Errorf("Last = %v, want c", got)
+	}
+}
+
+func TestBuildContentPlusAndNested(t *testing.T) {
+	// ((a|b)+, c)
+	ca := BuildContent(contentModel(t, "((a|b)+,c)"))
+	if ca.Nullable {
+		t.Error("((a|b)+, c) must not be nullable")
+	}
+	if got := names(ca, ca.First); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("First = %v", got)
+	}
+	// After a or b we may see a, b (repetition) or c (sequence).
+	for p := 0; p < 2; p++ {
+		if got := names(ca, ca.Follow[p]); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+			t.Errorf("Follow(%d) = %v, want a b c", p, got)
+		}
+	}
+	if got := lastNames(ca); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Errorf("Last = %v, want c", got)
+	}
+}
+
+func TestBuildContentMixedAndLeafModels(t *testing.T) {
+	mixed := BuildContent(contentModel(t, "(#PCDATA|a|b)*"))
+	if !mixed.Nullable {
+		t.Error("mixed content must be nullable")
+	}
+	if got := names(mixed, mixed.First); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("First of mixed = %v", got)
+	}
+
+	for _, decl := range []string{"EMPTY", "ANY", "(#PCDATA)"} {
+		ca := BuildContent(contentModel(t, decl))
+		if !ca.Nullable || len(ca.Positions) != 0 {
+			t.Errorf("%s: nullable=%v positions=%d, want nullable with no positions",
+				decl, ca.Nullable, len(ca.Positions))
+		}
+	}
+	if ca := BuildContent(nil); !ca.Nullable || len(ca.Positions) != 0 {
+		t.Error("nil content must behave like EMPTY")
+	}
+}
+
+func TestFirstNames(t *testing.T) {
+	ca := BuildContent(contentModel(t, "((a|b)?,a,c)"))
+	got := ca.FirstNames()
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("FirstNames = %v, want [a b]", got)
+	}
+}

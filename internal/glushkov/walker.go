@@ -1,0 +1,54 @@
+package glushkov
+
+import "fmt"
+
+// Walker replays a tag-token sequence against the DTD-automaton. It is used
+// to check that documents (in particular the synthetic datasets generated
+// for the experiments) are valid with respect to the DTD, which is the
+// precondition of the SMP runtime algorithm.
+type Walker struct {
+	aut   *Automaton
+	state int
+	steps int
+}
+
+// NewWalker returns a walker positioned at the initial state.
+func (a *Automaton) NewWalker() *Walker {
+	return &Walker{aut: a, state: a.Initial}
+}
+
+// Step consumes one tag token. It returns an error if the DTD-automaton has
+// no transition for the token in the current state.
+func (w *Walker) Step(t Token) error {
+	next := w.aut.Successor(w.state, t)
+	if next < 0 {
+		return fmt.Errorf("glushkov: token %s not allowed after %s (step %d)",
+			t, w.describe(), w.steps)
+	}
+	w.state = next
+	w.steps++
+	return nil
+}
+
+// InFinal reports whether the walker has reached an accepting state (the
+// document element has been closed).
+func (w *Walker) InFinal() bool { return w.aut.Final[w.state] }
+
+// Finish returns an error unless the walker is in an accepting state.
+func (w *Walker) Finish() error {
+	if !w.InFinal() {
+		return fmt.Errorf("glushkov: document ends %s, which is not accepting", w.describe())
+	}
+	return nil
+}
+
+func (w *Walker) describe() string {
+	s := w.aut.State(w.state)
+	if s.IsInitial() {
+		return "at the initial state"
+	}
+	if s.Close {
+		return "after </" + s.Label + ">"
+	}
+	return "after <" + s.Label + ">"
+}

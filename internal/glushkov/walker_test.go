@@ -1,0 +1,71 @@
+package glushkov
+
+import (
+	"testing"
+
+	"smp/internal/dtd"
+)
+
+const walkerDTD = `<!DOCTYPE a [
+	<!ELEMENT a (b|c)*>
+	<!ELEMENT b (#PCDATA)>
+	<!ELEMENT c (b,b?)>
+]>`
+
+func tokens(spec ...Token) []Token { return spec }
+
+func TestWalkerAcceptsValidDocuments(t *testing.T) {
+	aut := MustBuild(dtd.MustParse(walkerDTD))
+	cases := [][]Token{
+		tokens(Open("a"), Closing("a")),
+		tokens(Open("a"), Open("b"), Closing("b"), Closing("a")),
+		tokens(Open("a"), Open("c"), Open("b"), Closing("b"), Closing("c"), Closing("a")),
+		tokens(Open("a"), Open("c"), Open("b"), Closing("b"), Open("b"), Closing("b"), Closing("c"), Open("b"), Closing("b"), Closing("a")),
+	}
+	for i, seq := range cases {
+		w := aut.NewWalker()
+		for _, tok := range seq {
+			if err := w.Step(tok); err != nil {
+				t.Fatalf("case %d: %v", i, err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestWalkerRejectsInvalidDocuments(t *testing.T) {
+	aut := MustBuild(dtd.MustParse(walkerDTD))
+	rejectMidway := [][]Token{
+		tokens(Open("b")),                                        // wrong root
+		tokens(Open("a"), Open("c"), Closing("c")),               // c needs a b child
+		tokens(Open("a"), Open("c"), Open("b"), Closing("b"), Open("b"), Closing("b"), Open("b")), // third b in c
+	}
+	for i, seq := range rejectMidway {
+		w := aut.NewWalker()
+		var err error
+		for _, tok := range seq {
+			if err = w.Step(tok); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("case %d: expected a step error", i)
+		}
+	}
+
+	// Incomplete documents pass every step but fail Finish.
+	w := aut.NewWalker()
+	for _, tok := range tokens(Open("a"), Open("b")) {
+		if err := w.Step(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err == nil {
+		t.Error("expected Finish to fail for an incomplete document")
+	}
+	if w.InFinal() {
+		t.Error("InFinal must be false for an incomplete document")
+	}
+}

@@ -1,0 +1,671 @@
+package paths
+
+// This file implements the static projection-path extraction of paper
+// Example 4: given an XPath expression or a (downward-axis) XQuery FLWOR
+// query, compute the set of projection paths whose preservation suffices for
+// evaluating the query on the projected document. The algorithm follows the
+// extraction of Marian & Siméon ("Projecting XML Documents", VLDB 2003) for
+// the query fragment the paper uses: child and descendant-or-self axes,
+// name and wildcard tests, predicates (whose inner paths are extracted with a
+// '#' flag because arbitrary sub-expressions may inspect subtrees), and
+// FLWOR expressions "for $x in e1 ... return e2" with variable references.
+//
+// The extracted set always contains the default path "/*" which preserves
+// the top-level element and thereby guarantees well-formed output.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExtractOptions tunes the path extraction.
+type ExtractOptions struct {
+	// KeepTopLevel adds the default path "/*" (paper Section III). It is on
+	// by default via Extract and ExtractXPath.
+	KeepTopLevel bool
+}
+
+// ExtractXPath extracts the projection paths of a single XPath expression.
+// The result of the expression itself is required with its full subtree
+// (flagged '#'), and every path used inside a predicate is required with its
+// subtree as well, because predicates may inspect text content anywhere
+// below the addressed node (e.g. contains(.//text(), "x")).
+func ExtractXPath(expr string) (*Set, error) {
+	return extract(expr, ExtractOptions{KeepTopLevel: true})
+}
+
+// ExtractQuery extracts the projection paths of an XQuery expression from
+// the downward fragment used in the paper: element constructors, embedded
+// XPath expressions in braces, and FLWOR expressions with for/let/where/
+// return clauses and variable references.
+func ExtractQuery(query string) (*Set, error) {
+	return extract(query, ExtractOptions{KeepTopLevel: true})
+}
+
+// Extract extracts projection paths from a query string that may be either a
+// plain XPath expression or an XQuery expression.
+func Extract(query string, opts ExtractOptions) (*Set, error) {
+	return extract(query, opts)
+}
+
+// extract drives the shared extraction machinery.
+func extract(query string, opts ExtractOptions) (*Set, error) {
+	e := &extractor{
+		vars: make(map[string]*Path),
+		out:  &Set{},
+	}
+	if err := e.expression(normalizeSpace(query)); err != nil {
+		return nil, err
+	}
+	if opts.KeepTopLevel {
+		e.out.Add(&Path{Steps: []Step{{Name: "*"}}})
+	}
+	return e.out, nil
+}
+
+// extractor carries the state of one extraction run: the binding environment
+// for FLWOR variables and the accumulated output set.
+type extractor struct {
+	vars map[string]*Path
+	out  *Set
+}
+
+// expression dispatches on the syntactic form of the (sub-)expression.
+func (e *extractor) expression(s string) error {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Element constructor: <tag ...> body </tag>. We extract from every
+	// embedded expression { ... } in the attributes and the body.
+	if strings.HasPrefix(s, "<") && !strings.HasPrefix(s, "</") {
+		return e.constructor(s)
+	}
+	// FLWOR expression.
+	if strings.HasPrefix(s, "for ") || strings.HasPrefix(s, "let ") {
+		return e.flwor(s)
+	}
+	// Comma-separated sequence of expressions.
+	if parts := splitTop(s, ','); len(parts) > 1 {
+		for _, p := range parts {
+			if err := e.expression(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Plain path expression (possibly rooted in a variable).
+	return e.pathExpression(s, true)
+}
+
+// constructor handles element constructors by extracting from all embedded
+// {...} expressions.
+func (e *extractor) constructor(s string) error {
+	depth := 0
+	start := -1
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{':
+			if depth == 0 {
+				start = i + 1
+			}
+			depth++
+		case '}':
+			depth--
+			if depth == 0 && start >= 0 {
+				if err := e.expression(s[start:i]); err != nil {
+					return err
+				}
+				start = -1
+			}
+			if depth < 0 {
+				return fmt.Errorf("paths: unbalanced '}' in constructor %q", truncateQuery(s))
+			}
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("paths: unbalanced '{' in constructor %q", truncateQuery(s))
+	}
+	return nil
+}
+
+// flwor handles "for $x in expr (, $y in expr)* (let $z := expr)* (where expr)? return expr".
+func (e *extractor) flwor(s string) error {
+	rest := s
+	for {
+		rest = strings.TrimSpace(rest)
+		switch {
+		case strings.HasPrefix(rest, "for "):
+			clause, tail := cutClause(rest[len("for "):])
+			if err := e.forBindings(clause); err != nil {
+				return err
+			}
+			rest = tail
+		case strings.HasPrefix(rest, "let "):
+			clause, tail := cutClause(rest[len("let "):])
+			if err := e.letBindings(clause); err != nil {
+				return err
+			}
+			rest = tail
+		case strings.HasPrefix(rest, "where "):
+			clause, tail := cutClause(rest[len("where "):])
+			// Everything inspected by a where clause must be preserved with
+			// its subtree (it may be compared as text).
+			if err := e.predicateExpression(clause); err != nil {
+				return err
+			}
+			rest = tail
+		case strings.HasPrefix(rest, "order by "):
+			clause, tail := cutClause(rest[len("order by "):])
+			if err := e.predicateExpression(clause); err != nil {
+				return err
+			}
+			rest = tail
+		case strings.HasPrefix(rest, "return "):
+			return e.expression(rest[len("return "):])
+		case rest == "":
+			return nil
+		default:
+			return e.expression(rest)
+		}
+	}
+}
+
+// cutClause splits the text of one FLWOR clause from the remainder of the
+// query. A clause ends where the next top-level FLWOR keyword begins.
+func cutClause(s string) (clause, rest string) {
+	keywords := []string{" for ", " let ", " where ", " order by ", " return "}
+	depth, quote := 0, byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		}
+		if depth == 0 {
+			for _, kw := range keywords {
+				if strings.HasPrefix(s[i:], kw) {
+					return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
+				}
+			}
+		}
+	}
+	return strings.TrimSpace(s), ""
+}
+
+// forBindings handles "$x in expr, $y in expr, ...".
+func (e *extractor) forBindings(clause string) error {
+	for _, b := range splitTop(clause, ',') {
+		b = strings.TrimSpace(b)
+		idx := strings.Index(b, " in ")
+		if idx < 0 || !strings.HasPrefix(b, "$") {
+			return fmt.Errorf("paths: malformed for binding %q", b)
+		}
+		name := strings.TrimSpace(b[:idx])
+		expr := strings.TrimSpace(b[idx+len(" in "):])
+		p, err := e.bindingPath(expr)
+		if err != nil {
+			return err
+		}
+		e.vars[name] = p
+	}
+	return nil
+}
+
+// letBindings handles "$x := expr, ...".
+func (e *extractor) letBindings(clause string) error {
+	for _, b := range splitTop(clause, ',') {
+		b = strings.TrimSpace(b)
+		idx := strings.Index(b, ":=")
+		if idx < 0 || !strings.HasPrefix(b, "$") {
+			return fmt.Errorf("paths: malformed let binding %q", b)
+		}
+		name := strings.TrimSpace(b[:idx])
+		expr := strings.TrimSpace(b[idx+len(":="):])
+		p, err := e.bindingPath(expr)
+		if err != nil {
+			return err
+		}
+		e.vars[name] = p
+	}
+	return nil
+}
+
+// bindingPath resolves the path expression bound to a FLWOR variable. The
+// binding itself does not force preservation; only uses of the variable do.
+// It also records the predicate paths encountered inside the binding.
+func (e *extractor) bindingPath(expr string) (*Path, error) {
+	p, err := e.resolvePath(expr)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// pathExpression extracts a top-level path expression whose result is
+// returned to the user: the selected nodes are required together with their
+// subtrees, so the extracted path carries the '#' flag (paper Example 4:
+// //australia//description extracts //australia//description#).
+func (e *extractor) pathExpression(s string, withSubtree bool) error {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// String or numeric literals contribute nothing.
+	if s[0] == '\'' || s[0] == '"' || (s[0] >= '0' && s[0] <= '9') {
+		return nil
+	}
+	// Function calls: extract from each argument as a predicate-style use.
+	if name, args, ok := splitCall(s); ok {
+		_ = name
+		for _, a := range args {
+			if err := e.predicateExpression(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	p, err := e.resolvePath(s)
+	if err != nil {
+		return err
+	}
+	if p == nil {
+		return nil
+	}
+	q := p.Clone()
+	if withSubtree {
+		q.Descendants = true
+	}
+	// text(), node() and attribute steps address content below the parent
+	// step; requiring the parent with its subtree covers them.
+	e.out.Add(q)
+	return nil
+}
+
+// predicateExpression extracts paths used inside predicates, where clauses
+// and function arguments. Their nodes are preserved with subtrees because
+// the expression may look arbitrarily deep (contains(), text() =, ...).
+func (e *extractor) predicateExpression(s string) error {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Split on top-level boolean/comparison operators and extract from each
+	// operand separately.
+	for _, op := range []string{" or ", " and ", "!=", ">=", "<=", "=", ">", "<"} {
+		if parts := splitTopStr(s, op); len(parts) > 1 {
+			for _, p := range parts {
+				if err := e.predicateExpression(p); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return e.pathExpression(s, true)
+}
+
+// resolvePath parses a downward path expression, resolving a leading
+// variable reference against the binding environment and recording the
+// paths of embedded predicates. It returns nil (and no error) for
+// expressions that address no document nodes (literals, ".", "position()").
+func (e *extractor) resolvePath(s string) (*Path, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "." {
+		return nil, nil
+	}
+	if s[0] == '\'' || s[0] == '"' || (s[0] >= '0' && s[0] <= '9') {
+		return nil, nil
+	}
+	base := &Path{}
+	if s[0] == '$' {
+		// Variable reference: split the variable name from the trailing path.
+		end := 1
+		for end < len(s) && (isNameByte(s[end]) || s[end] == '$') {
+			end++
+		}
+		name := s[:end]
+		bound, ok := e.vars[name]
+		if !ok {
+			return nil, fmt.Errorf("paths: unbound variable %s", name)
+		}
+		if bound != nil {
+			base = bound.Clone()
+		}
+		s = s[end:]
+		if s == "" {
+			return base, nil
+		}
+		if s[0] != '/' {
+			return nil, fmt.Errorf("paths: unexpected %q after variable %s", s, name)
+		}
+	} else if s[0] != '/' {
+		// A relative path outside a FLWOR body (e.g. inside a predicate):
+		// treat it as descendant-or-self from the predicate's context node.
+		// We conservatively root it with '//' at the current base, which for
+		// predicate extraction collapses to a '//name' path.
+		s = "//" + s
+	}
+
+	steps, err := e.parseSteps(s)
+	if err != nil {
+		return nil, err
+	}
+	base.Steps = append(base.Steps, steps...)
+	return base, nil
+}
+
+// parseSteps parses "/step", "//step" sequences, stripping and recursively
+// extracting predicates, and dropping trailing node-test functions such as
+// text() and node().
+func (e *extractor) parseSteps(s string) ([]Step, error) {
+	var steps []Step
+	for len(s) > 0 {
+		descendant := false
+		if strings.HasPrefix(s, "//") {
+			descendant = true
+			s = s[2:]
+		} else if strings.HasPrefix(s, "/") {
+			s = s[1:]
+		} else {
+			return nil, fmt.Errorf("paths: malformed path near %q", truncateQuery(s))
+		}
+		// Find the end of this step: the next top-level '/'.
+		end := len(s)
+		depth := 0
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case '[', '(':
+				depth++
+			case ']', ')':
+				depth--
+			case '/':
+				if depth == 0 {
+					end = i
+					i = len(s)
+				}
+			}
+		}
+		step := s[:end]
+		s = s[end:]
+
+		// Split off predicates.
+		var preds []string
+		if i := strings.IndexByte(step, '['); i >= 0 {
+			rest := step[i:]
+			step = step[:i]
+			for len(rest) > 0 {
+				if rest[0] != '[' {
+					return nil, fmt.Errorf("paths: malformed predicate near %q", truncateQuery(rest))
+				}
+				depth := 0
+				j := 0
+				for ; j < len(rest); j++ {
+					if rest[j] == '[' {
+						depth++
+					} else if rest[j] == ']' {
+						depth--
+						if depth == 0 {
+							break
+						}
+					}
+				}
+				if depth != 0 {
+					return nil, fmt.Errorf("paths: unbalanced '[' in %q", truncateQuery(rest))
+				}
+				preds = append(preds, rest[1:j])
+				rest = rest[j+1:]
+			}
+		}
+
+		step = strings.TrimSpace(step)
+		switch {
+		case step == "", step == ".":
+			// "//" followed by nothing, or a self step: no navigation.
+		case step == "text()", step == "node()", strings.HasPrefix(step, "@"):
+			// Content below the previous step; the previous step's subtree
+			// already covers it. Mark the last extracted path accordingly by
+			// leaving the steps unchanged.
+		case strings.HasPrefix(step, "descendant-or-self::"):
+			name := strings.TrimPrefix(step, "descendant-or-self::")
+			if name == "node()" {
+				// "/descendant-or-self::node()/x" is the expansion of "//x":
+				// fold into the next step by marking it descendant. We handle
+				// this by remembering it via a pseudo step with empty name.
+				// Simpler: treat the next step as descendant by prepending
+				// "//" to the remaining text.
+				if strings.HasPrefix(s, "/") && !strings.HasPrefix(s, "//") {
+					s = "/" + s
+				}
+				continue
+			}
+			steps = append(steps, Step{Name: name, Descendant: true})
+		case strings.HasPrefix(step, "child::"):
+			steps = append(steps, Step{Name: strings.TrimPrefix(step, "child::"), Descendant: descendant})
+		default:
+			if !validStepName(step) {
+				return nil, fmt.Errorf("paths: unsupported step %q", step)
+			}
+			steps = append(steps, Step{Name: step, Descendant: descendant})
+		}
+
+		// Predicates: every path inside is preserved with its subtree,
+		// rooted at the current step.
+		for _, pred := range preds {
+			if err := e.extractPredicate(steps, pred); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return steps, nil
+}
+
+// extractPredicate extracts the paths of a predicate expression, rooted at
+// the element addressed by ctx (the steps parsed so far).
+func (e *extractor) extractPredicate(ctx []Step, pred string) error {
+	pred = strings.TrimSpace(pred)
+	if pred == "" {
+		return nil
+	}
+	// Positional predicates address no further structure.
+	if isNumber(pred) || pred == "last()" || pred == "position()" {
+		return nil
+	}
+	for _, op := range []string{" or ", " and ", "!=", ">=", "<=", "=", ">", "<"} {
+		if parts := splitTopStr(pred, op); len(parts) > 1 {
+			for _, p := range parts {
+				if err := e.extractPredicate(ctx, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if name, args, ok := splitCall(pred); ok {
+		_ = name
+		for _, a := range args {
+			if err := e.extractPredicate(ctx, a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if pred[0] == '\'' || pred[0] == '"' || isNumber(pred) {
+		return nil
+	}
+	// A relative path inside the predicate: root it at the context steps.
+	rel := pred
+	if !strings.HasPrefix(rel, "/") && !strings.HasPrefix(rel, ".") && !strings.HasPrefix(rel, "$") {
+		rel = "/" + rel
+	}
+	if rel == "." || rel == "" {
+		// The predicate inspects the context node itself (e.g. text
+		// comparison): its subtree must be preserved.
+		e.out.Add(&Path{Steps: append([]Step(nil), ctx...), Descendants: true})
+		return nil
+	}
+	if strings.HasPrefix(rel, ".//") {
+		rel = "/" + rel[1:]
+	} else if strings.HasPrefix(rel, "./") {
+		rel = rel[1:]
+	}
+	if strings.HasPrefix(rel, "$") {
+		p, err := e.resolvePath(rel)
+		if err != nil {
+			return err
+		}
+		if p != nil {
+			q := p.Clone()
+			q.Descendants = true
+			e.out.Add(q)
+		}
+		return nil
+	}
+	sub, err := e.parseSteps(rel)
+	if err != nil {
+		return err
+	}
+	full := append(append([]Step(nil), ctx...), sub...)
+	if len(full) == 0 {
+		return nil
+	}
+	e.out.Add(&Path{Steps: full, Descendants: true})
+	return nil
+}
+
+// splitCall recognizes a function call expression "name(arg, arg, ...)" and
+// returns its name and top-level arguments.
+func splitCall(s string) (name string, args []string, ok bool) {
+	s = strings.TrimSpace(s)
+	i := 0
+	for i < len(s) && (isNameByte(s[i]) || s[i] == '-') {
+		i++
+	}
+	if i == 0 || i >= len(s) || s[i] != '(' || !strings.HasSuffix(s, ")") {
+		return "", nil, false
+	}
+	// Make sure the opening parenthesis at i matches the final ')'.
+	depth := 0
+	for j := i; j < len(s); j++ {
+		switch s[j] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 && j != len(s)-1 {
+				return "", nil, false
+			}
+		}
+	}
+	if depth != 0 {
+		return "", nil, false
+	}
+	inner := s[i+1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return s[:i], nil, true
+	}
+	return s[:i], splitTop(inner, ','), true
+}
+
+// splitTop splits s on the separator byte at nesting depth zero (outside
+// parentheses, brackets, braces and quotes).
+func splitTop(s string, sep byte) []string {
+	var parts []string
+	depth, quote := 0, byte(0)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts
+}
+
+// splitTopStr splits s on a multi-character separator at depth zero.
+func splitTopStr(s, sep string) []string {
+	var parts []string
+	depth, quote := 0, byte(0)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		}
+		if depth == 0 && quote == 0 && strings.HasPrefix(s[i:], sep) {
+			parts = append(parts, strings.TrimSpace(s[start:i]))
+			start = i + len(sep)
+			i += len(sep) - 1
+		}
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.' || c == ':'
+}
+
+func isNumber(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if (s[i] < '0' || s[i] > '9') && s[i] != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeSpace collapses all whitespace runs into single spaces so that
+// multi-line queries parse the same as single-line ones.
+func normalizeSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func truncateQuery(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}

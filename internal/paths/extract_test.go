@@ -1,0 +1,197 @@
+package paths
+
+import (
+	"reflect"
+	"testing"
+)
+
+func extractStrings(t *testing.T, query string) []string {
+	t.Helper()
+	s, err := ExtractQuery(query)
+	if err != nil {
+		t.Fatalf("ExtractQuery(%q): %v", query, err)
+	}
+	return s.Strings()
+}
+
+// TestExtractPaperExample4XPath reproduces the first half of paper Example 4:
+// the query <q>{//australia//description}</q> extracts //australia//description#
+// and /*.
+func TestExtractPaperExample4XPath(t *testing.T) {
+	got := extractStrings(t, "<q>{//australia//description}</q>")
+	want := []string{"/*", "//australia//description#"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+// TestExtractPaperExample4XM13 reproduces the second half of paper Example 4:
+// XMark query Q13 extracts /site/regions/australia/item/name#,
+// /site/regions/australia/item/description#, and /*.
+func TestExtractPaperExample4XM13(t *testing.T) {
+	query := `for $i in /site/regions/australia/item
+return <item name="{$i/name/text()}"> {$i/description} </item>`
+	got := extractStrings(t, query)
+	want := []string{
+		"/*",
+		"/site/regions/australia/item/description#",
+		"/site/regions/australia/item/name#",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractPlainXPath(t *testing.T) {
+	got := extractStrings(t, "/site/people/person")
+	want := []string{"/*", "/site/people/person#"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractPredicatePaths(t *testing.T) {
+	// Paths used in predicates are extracted with the '#' flag (they may be
+	// inspected as text), rooted at the step carrying the predicate.
+	got := extractStrings(t,
+		"/MedlineCitationSet//DataBank[DataBankName/text()=\"PDB\"]/AccessionNumberList")
+	want := []string{
+		"/*",
+		"/MedlineCitationSet//DataBank/AccessionNumberList#",
+		"/MedlineCitationSet//DataBank/DataBankName#",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractContainsPredicate(t *testing.T) {
+	got := extractStrings(t,
+		"/MedlineCitationSet//CopyrightInformation[contains(text(),\"NASA\")]")
+	want := []string{
+		"/*",
+		"/MedlineCitationSet//CopyrightInformation#",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractOrPredicate(t *testing.T) {
+	got := extractStrings(t,
+		`/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject[LastName/text()="Hippocrates" or DatesAssociatedWithName="Oct2006"]/TitleAssociatedWithName`)
+	want := []string{
+		"/*",
+		"/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject/DatesAssociatedWithName#",
+		"/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject/LastName#",
+		"/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject/TitleAssociatedWithName#",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractNestedFLWOR(t *testing.T) {
+	query := `for $p in /site/people/person
+let $a := $p/address
+where $p/creditcard
+return <out>{$p/name, $a/city}</out>`
+	got := extractStrings(t, query)
+	want := []string{
+		"/*",
+		"/site/people/person/address/city#",
+		"/site/people/person/creditcard#",
+		"/site/people/person/name#",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractMultipleForBindings(t *testing.T) {
+	query := `for $r in /site/regions, $i in $r/australia/item return <x>{$i/name}</x>`
+	got := extractStrings(t, query)
+	want := []string{
+		"/*",
+		"/site/regions/australia/item/name#",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractDescendantOrSelfExpansion(t *testing.T) {
+	got := extractStrings(t, "/descendant-or-self::node()/item")
+	want := []string{"/*", "//item#"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractSequenceExpression(t *testing.T) {
+	got := extractStrings(t, "<x>{/a/b,//b}</x>")
+	want := []string{"/*", "//b#", "/a/b#"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractUnboundVariable(t *testing.T) {
+	if _, err := ExtractQuery("<x>{$nope/name}</x>"); err == nil {
+		t.Error("expected error for unbound variable")
+	}
+}
+
+func TestExtractUnbalancedBraces(t *testing.T) {
+	if _, err := ExtractQuery("<x>{/a/b</x>"); err == nil {
+		t.Error("expected error for unbalanced braces")
+	}
+}
+
+func TestExtractTextStepDropsToParent(t *testing.T) {
+	got := extractStrings(t, "/site/people/person/name/text()")
+	want := []string{"/*", "/site/people/person/name#"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractPositionalPredicateIgnored(t *testing.T) {
+	got := extractStrings(t, "/site/open_auctions/open_auction[1]/bidder")
+	want := []string{"/*", "/site/open_auctions/open_auction/bidder#"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractWithoutTopLevel(t *testing.T) {
+	s, err := Extract("/a/b", ExtractOptions{KeepTopLevel: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/a/b#"}
+	if got := s.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSplitTopRespectsNesting(t *testing.T) {
+	got := splitTop("a, f(b, c), 'x,y', d", ',')
+	want := []string{"a", "f(b, c)", "'x,y'", "d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSplitCall(t *testing.T) {
+	name, args, ok := splitCall("contains(MedlineJournalInfo//text(),\"Sterilization\")")
+	if !ok || name != "contains" || len(args) != 2 {
+		t.Fatalf("splitCall failed: %q %v %v", name, args, ok)
+	}
+	if _, _, ok := splitCall("/a/b"); ok {
+		t.Error("path must not be recognized as a call")
+	}
+	if _, _, ok := splitCall("f(a) or g(b)"); ok {
+		t.Error("boolean combination must not be recognized as a single call")
+	}
+}

@@ -1,0 +1,228 @@
+// Package paths implements projection paths (paper Section III): simple
+// downward XPath expressions, optionally flagged with '#' to indicate that
+// the descendants of the selected nodes are required as well, plus the
+// prefix closure P+ and the branch-matching primitives on which the
+// relevance conditions C1-C3 of Definition 3 are built.
+//
+// The package also contains the static path extraction that turns an XQuery
+// or XPath query into the projection-path set the SMP compiler consumes
+// (paper Example 4, following Marian & Siméon's extraction algorithm).
+package paths
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Step is a single downward navigation step of a simple path.
+type Step struct {
+	// Name is the element name, or "*" for the wildcard step.
+	Name string
+	// Descendant is true when the step is reached via "//"
+	// (descendant-or-self followed by a child step) rather than "/".
+	Descendant bool
+}
+
+// String renders the step with its leading axis separator.
+func (s Step) String() string {
+	if s.Descendant {
+		return "//" + s.Name
+	}
+	return "/" + s.Name
+}
+
+// Path is a projection path: a simple path of downward steps, optionally
+// flagged with '#' to request the full subtrees of the selected nodes.
+type Path struct {
+	Steps []Step
+	// Descendants is the '#' flag: the descendants of matched nodes are
+	// also relevant (paper Section III).
+	Descendants bool
+}
+
+// Parse parses a projection path such as "/a/b", "//item#", "/*" or "/".
+func Parse(s string) (*Path, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("paths: empty path")
+	}
+	p := &Path{}
+	if strings.HasSuffix(s, "#") {
+		p.Descendants = true
+		s = s[:len(s)-1]
+	}
+	if s == "/" || s == "" {
+		// The empty path (written "/") selects the document root; it occurs
+		// in prefix closures.
+		return p, nil
+	}
+	if s[0] != '/' {
+		return nil, fmt.Errorf("paths: path %q must start with '/'", orig)
+	}
+	for len(s) > 0 {
+		descendant := false
+		if strings.HasPrefix(s, "//") {
+			descendant = true
+			s = s[2:]
+		} else if strings.HasPrefix(s, "/") {
+			s = s[1:]
+		} else {
+			return nil, fmt.Errorf("paths: malformed path %q", orig)
+		}
+		end := strings.IndexByte(s, '/')
+		var name string
+		if end < 0 {
+			name, s = s, ""
+		} else {
+			name, s = s[:end], s[end:]
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("paths: empty step in %q", orig)
+		}
+		if !validStepName(name) {
+			return nil, fmt.Errorf("paths: invalid step %q in %q", name, orig)
+		}
+		p.Steps = append(p.Steps, Step{Name: name, Descendant: descendant})
+	}
+	return p, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for embedding
+// well-known query workloads (such as the XMark projection-path sets used by
+// the benchmarks).
+func MustParse(s string) *Path {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func validStepName(name string) bool {
+	if name == "*" {
+		return true
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.', c == ':':
+		default:
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
+// String renders the path in the syntax accepted by Parse.
+func (p *Path) String() string {
+	var b strings.Builder
+	if len(p.Steps) == 0 {
+		b.WriteByte('/')
+	}
+	for _, s := range p.Steps {
+		b.WriteString(s.String())
+	}
+	if p.Descendants {
+		b.WriteByte('#')
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the path.
+func (p *Path) Clone() *Path {
+	return &Path{Steps: append([]Step(nil), p.Steps...), Descendants: p.Descendants}
+}
+
+// Equal reports whether two paths have the same steps and flag.
+func (p *Path) Equal(o *Path) bool {
+	if p.Descendants != o.Descendants || len(p.Steps) != len(o.Steps) {
+		return false
+	}
+	for i := range p.Steps {
+		if p.Steps[i] != o.Steps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Prefixes returns all proper prefix paths of p (without the '#' flag), from
+// the empty path "/" up to the prefix of length len(Steps)-1. The paper
+// calls the union of a path set with all such prefixes P+.
+func (p *Path) Prefixes() []*Path {
+	out := make([]*Path, 0, len(p.Steps))
+	for n := 0; n < len(p.Steps); n++ {
+		out = append(out, &Path{Steps: append([]Step(nil), p.Steps[:n]...)})
+	}
+	return out
+}
+
+// stepMatches reports whether the step matches an element label.
+func (s Step) stepMatches(label string) bool {
+	return s.Name == "*" || s.Name == label
+}
+
+// MatchesBranch reports whether the path selects the leaf node of the given
+// document branch (the chain of element labels from the root element to the
+// node, as produced by the DTD-automaton or by the branch function of
+// Definition 3). The empty path matches only the empty branch (the document
+// root).
+func (p *Path) MatchesBranch(branch []string) bool {
+	return matchSteps(p.Steps, branch, true)
+}
+
+// MatchesAncestorOrSelf reports whether the path selects the leaf of the
+// branch or any of its ancestors. Together with the '#' flag this implements
+// condition C2 of Definition 3.
+func (p *Path) MatchesAncestorOrSelf(branch []string) bool {
+	for n := len(branch); n >= 0; n-- {
+		if matchSteps(p.Steps, branch[:n], true) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchSteps checks whether the step sequence can be assigned to positions
+// of the branch in order, with '/' forcing adjacency and '//' allowing gaps,
+// such that the last step maps to the last branch element (when exact is
+// true).
+func matchSteps(steps []Step, branch []string, exact bool) bool {
+	type key struct{ si, bi int }
+	memo := make(map[key]bool)
+
+	var rec func(si, bi int) bool
+	rec = func(si, bi int) bool {
+		if si == len(steps) {
+			if exact {
+				return bi == len(branch)
+			}
+			return true
+		}
+		k := key{si, bi}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		step := steps[si]
+		res := false
+		if step.Descendant {
+			// The step may match any branch element at or after bi.
+			for j := bi; j < len(branch); j++ {
+				if step.stepMatches(branch[j]) && rec(si+1, j+1) {
+					res = true
+					break
+				}
+			}
+		} else {
+			if bi < len(branch) && step.stepMatches(branch[bi]) {
+				res = rec(si+1, bi+1)
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	return rec(0, 0)
+}

@@ -1,0 +1,300 @@
+package paths
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"/",
+		"/*",
+		"/a",
+		"/a/b",
+		"/a/b#",
+		"//b",
+		"//b#",
+		"/site/regions/australia/item/name#",
+		"/a//b/c#",
+		"//australia//description#",
+		"/MedlineCitationSet//CollectionTitle#",
+	}
+	for _, c := range cases {
+		p, err := Parse(c)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c, err)
+		}
+		if got := p.String(); got != c {
+			t.Errorf("Parse(%q).String() = %q", c, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"a/b",
+		"/a//",
+		"/a/ /b",
+		"/a/b[1]",
+		"/a/&",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestParseTrimsWhitespace(t *testing.T) {
+	p, err := Parse("  /a/b#  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "/a/b#" {
+		t.Errorf("got %q", p.String())
+	}
+}
+
+func TestParseEmptyPathSelectsRoot(t *testing.T) {
+	p := MustParse("/")
+	if len(p.Steps) != 0 || p.Descendants {
+		t.Fatalf("unexpected path %+v", p)
+	}
+	if !p.MatchesBranch(nil) {
+		t.Error("empty path must match the empty branch")
+	}
+	if p.MatchesBranch([]string{"a"}) {
+		t.Error("empty path must not match a non-empty branch")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	if got := (Step{Name: "a"}).String(); got != "/a" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Step{Name: "b", Descendant: true}).String(); got != "//b" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustParse("/a/b#")
+	q := p.Clone()
+	q.Steps[0].Name = "x"
+	q.Descendants = false
+	if p.Steps[0].Name != "a" || !p.Descendants {
+		t.Error("Clone is not independent of the original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"/a/b", "/a/b", true},
+		{"/a/b", "/a/b#", false},
+		{"/a/b", "/a//b", false},
+		{"/a/b", "/a/c", false},
+		{"/", "/", true},
+		{"/*", "/", false},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.a).Equal(MustParse(c.b)); got != c.want {
+			t.Errorf("Equal(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPrefixes(t *testing.T) {
+	p := MustParse("/a//b/c#")
+	pre := p.Prefixes()
+	want := []string{"/", "/a", "/a//b"}
+	if len(pre) != len(want) {
+		t.Fatalf("got %d prefixes, want %d", len(pre), len(want))
+	}
+	for i, w := range want {
+		if pre[i].String() != w {
+			t.Errorf("prefix %d = %q, want %q", i, pre[i].String(), w)
+		}
+		if pre[i].Descendants {
+			t.Errorf("prefix %d carries the '#' flag", i)
+		}
+	}
+}
+
+func TestMatchesBranch(t *testing.T) {
+	cases := []struct {
+		path   string
+		branch []string
+		want   bool
+	}{
+		{"/a", []string{"a"}, true},
+		{"/a", []string{"b"}, false},
+		{"/a", []string{"a", "b"}, false},
+		{"/a/b", []string{"a", "b"}, true},
+		{"/*", []string{"a"}, true},
+		{"/*", []string{"a", "b"}, false},
+		{"//b", []string{"a", "b"}, true},
+		{"//b", []string{"a", "c", "b"}, true},
+		{"//b", []string{"a", "b", "c"}, false},
+		{"/a//c", []string{"a", "b", "c"}, true},
+		{"/a//c", []string{"x", "b", "c"}, false},
+		{"//australia//description", []string{"site", "regions", "australia", "item", "description"}, true},
+		{"//australia//description", []string{"site", "regions", "africa", "item", "description"}, false},
+		{"/site/regions/australia/item/name", []string{"site", "regions", "australia", "item", "name"}, true},
+		{"/site/regions/australia/item/name", []string{"site", "regions", "australia", "name"}, false},
+		// '//' may match zero intermediate elements: //b on branch [b].
+		{"//b", []string{"b"}, true},
+		{"/a//b", []string{"a", "b"}, true},
+		// Wildcards in the middle.
+		{"/a/*/c", []string{"a", "b", "c"}, true},
+		{"/a/*/c", []string{"a", "c"}, false},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.path).MatchesBranch(c.branch); got != c.want {
+			t.Errorf("MatchesBranch(%q, %v) = %v, want %v", c.path, c.branch, got, c.want)
+		}
+	}
+}
+
+func TestMatchesAncestorOrSelf(t *testing.T) {
+	cases := []struct {
+		path   string
+		branch []string
+		want   bool
+	}{
+		{"/a", []string{"a", "b", "c"}, true},
+		{"/a/b", []string{"a", "b", "c"}, true},
+		{"/a/b/c", []string{"a", "b", "c"}, true},
+		{"/a/x", []string{"a", "b", "c"}, false},
+		{"//b", []string{"a", "b", "c"}, true},
+		{"//c", []string{"a", "b"}, false},
+		{"/", []string{"a"}, true},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.path).MatchesAncestorOrSelf(c.branch); got != c.want {
+			t.Errorf("MatchesAncestorOrSelf(%q, %v) = %v, want %v", c.path, c.branch, got, c.want)
+		}
+	}
+}
+
+// branchGen draws random element-label branches from a small alphabet so
+// that collisions (and hence matches) are likely.
+func randomBranch(r *rand.Rand) []string {
+	labels := []string{"a", "b", "c", "d"}
+	n := r.Intn(6)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = labels[r.Intn(len(labels))]
+	}
+	return out
+}
+
+func randomPath(r *rand.Rand) *Path {
+	labels := []string{"a", "b", "c", "d", "*"}
+	n := 1 + r.Intn(4)
+	p := &Path{Descendants: r.Intn(2) == 0}
+	for i := 0; i < n; i++ {
+		p.Steps = append(p.Steps, Step{
+			Name:       labels[r.Intn(len(labels))],
+			Descendant: r.Intn(3) == 0,
+		})
+	}
+	return p
+}
+
+// TestQuickParseStringRoundTrip checks that String/Parse are inverse on
+// randomly generated paths.
+func TestQuickParseStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPath(r)
+		q, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return q.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDescendantWeakening checks the containment property that
+// rewriting every child step '/x' into a descendant step '//x' can only add
+// matches, never remove them.
+func TestQuickDescendantWeakening(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPath(r)
+		branch := randomBranch(r)
+		weak := p.Clone()
+		for i := range weak.Steps {
+			weak.Steps[i].Descendant = true
+		}
+		if p.MatchesBranch(branch) && !weak.MatchesBranch(branch) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSelfConstructedBranchMatches checks that a path made of child
+// steps always matches the branch spelled out by its own step names.
+func TestQuickSelfConstructedBranchMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		labels := []string{"a", "b", "c", "d"}
+		n := 1 + r.Intn(5)
+		p := &Path{}
+		var branch []string
+		for i := 0; i < n; i++ {
+			name := labels[r.Intn(len(labels))]
+			p.Steps = append(p.Steps, Step{Name: name})
+			branch = append(branch, name)
+		}
+		return p.MatchesBranch(branch)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAncestorConsistency: if a path matches the branch exactly it also
+// matches ancestor-or-self of any extension of that branch.
+func TestQuickAncestorConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPath(r)
+		branch := randomBranch(r)
+		if !p.MatchesBranch(branch) {
+			return true
+		}
+		ext := append(append([]string(nil), branch...), randomBranch(r)...)
+		return p.MatchesAncestorOrSelf(ext)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchStepsMemoization(t *testing.T) {
+	// A pathological pattern with many '//' steps over a repetitive branch
+	// must still terminate quickly thanks to memoization.
+	steps := strings.Repeat("//a", 12)
+	p := MustParse(steps)
+	branch := make([]string, 40)
+	for i := range branch {
+		branch[i] = "a"
+	}
+	if !p.MatchesBranch(branch) {
+		t.Error("expected match")
+	}
+}

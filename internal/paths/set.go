@@ -1,0 +1,137 @@
+package paths
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a set of projection paths P, optionally extended with all prefix
+// paths (P+ in the paper).
+type Set struct {
+	Paths []*Path
+}
+
+// NewSet builds a set from the given paths, dropping duplicates.
+func NewSet(paths ...*Path) *Set {
+	s := &Set{}
+	for _, p := range paths {
+		s.Add(p)
+	}
+	return s
+}
+
+// ParseSet parses a whitespace- or comma-separated list of projection paths.
+func ParseSet(spec string) (*Set, error) {
+	fields := strings.FieldsFunc(spec, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == ';'
+	})
+	s := &Set{}
+	for _, f := range fields {
+		p, err := Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(p)
+	}
+	return s, nil
+}
+
+// MustParseSet is like ParseSet but panics on error.
+func MustParseSet(spec string) *Set {
+	s, err := ParseSet(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add inserts a path unless an equal path is already present.
+func (s *Set) Add(p *Path) {
+	for _, q := range s.Paths {
+		if q.Equal(p) {
+			return
+		}
+	}
+	s.Paths = append(s.Paths, p.Clone())
+}
+
+// Contains reports whether an equal path is in the set.
+func (s *Set) Contains(p *Path) bool {
+	for _, q := range s.Paths {
+		if q.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of paths in the set.
+func (s *Set) Len() int { return len(s.Paths) }
+
+// Strings returns the paths rendered as strings, sorted.
+func (s *Set) Strings() []string {
+	out := make([]string, len(s.Paths))
+	for i, p := range s.Paths {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set as a comma-separated list.
+func (s *Set) String() string { return strings.Join(s.Strings(), ", ") }
+
+// WithPrefixes returns P+: the set extended by all prefix paths of its
+// members (paper Section III). The original paths keep their '#' flags; the
+// added prefixes carry none.
+func (s *Set) WithPrefixes() *Set {
+	out := &Set{}
+	for _, p := range s.Paths {
+		out.Add(p)
+		for _, pre := range p.Prefixes() {
+			out.Add(pre)
+		}
+	}
+	return out
+}
+
+// MatchesLeaf reports whether any path in the set matches the leaf of the
+// branch (condition C1 uses this on P+).
+func (s *Set) MatchesLeaf(branch []string) bool {
+	for _, p := range s.Paths {
+		if p.MatchesBranch(branch) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchesAncestorWithDescendants reports whether any '#'-flagged path in the
+// set matches the leaf of the branch or one of its ancestors (condition C2).
+func (s *Set) MatchesAncestorWithDescendants(branch []string) bool {
+	for _, p := range s.Paths {
+		if p.Descendants && p.MatchesAncestorOrSelf(branch) {
+			return true
+		}
+	}
+	return false
+}
+
+// ElementNames returns the element names mentioned in any step of any path,
+// sorted. The wildcard "*" is omitted.
+func (s *Set) ElementNames() []string {
+	seen := make(map[string]bool)
+	for _, p := range s.Paths {
+		for _, st := range p.Steps {
+			if st.Name != "*" {
+				seen[st.Name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

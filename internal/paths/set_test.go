@@ -1,0 +1,120 @@
+package paths
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSetAddDeduplicates(t *testing.T) {
+	s := NewSet(MustParse("/a/b"), MustParse("/a/b"), MustParse("/a/b#"))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(MustParse("/a/b")) || !s.Contains(MustParse("/a/b#")) {
+		t.Error("set is missing an added path")
+	}
+	if s.Contains(MustParse("/a/c")) {
+		t.Error("set contains a path that was never added")
+	}
+}
+
+func TestSetAddClones(t *testing.T) {
+	p := MustParse("/a/b")
+	s := NewSet(p)
+	p.Steps[0].Name = "x"
+	if !s.Contains(MustParse("/a/b")) {
+		t.Error("Add must store a copy, not the caller's path")
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	s, err := ParseSet("/a/b#, //c \n /d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"//c", "/a/b#", "/d"}
+	if got := s.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Strings() = %v, want %v", got, want)
+	}
+}
+
+func TestParseSetError(t *testing.T) {
+	if _, err := ParseSet("/a, b/c"); err == nil {
+		t.Error("expected error for relative path")
+	}
+}
+
+func TestWithPrefixes(t *testing.T) {
+	s := MustParseSet("/a/b#, //c")
+	plus := s.WithPrefixes()
+	want := []string{"/", "//c", "/a", "/a/b#"}
+	if got := plus.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("P+ = %v, want %v", got, want)
+	}
+}
+
+// TestWithPrefixesPaperExample6 reproduces paper Example 6:
+// P = {/*, /a/b#, //b#} gives P+ = {/, /a, /*, /a/b#, //b#}.
+func TestWithPrefixesPaperExample6(t *testing.T) {
+	s := MustParseSet("/*, /a/b#, //b#")
+	plus := s.WithPrefixes()
+	want := []string{"/", "/*", "//b#", "/a", "/a/b#"}
+	if got := plus.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("P+ = %v, want %v", got, want)
+	}
+}
+
+func TestMatchesLeaf(t *testing.T) {
+	s := MustParseSet("/a/b, //c#").WithPrefixes()
+	cases := []struct {
+		branch []string
+		want   bool
+	}{
+		{nil, true},                  // "/" prefix
+		{[]string{"a"}, true},        // "/a" prefix
+		{[]string{"a", "b"}, true},   // "/a/b"
+		{[]string{"x", "c"}, true},   // "//c#"
+		{[]string{"a", "d"}, false},  // nothing matches
+		{[]string{"b"}, false},       // "/a/b" needs parent a
+		{[]string{"a", "b", "c"}, true},
+	}
+	for _, c := range cases {
+		if got := s.MatchesLeaf(c.branch); got != c.want {
+			t.Errorf("MatchesLeaf(%v) = %v, want %v", c.branch, got, c.want)
+		}
+	}
+}
+
+func TestMatchesAncestorWithDescendants(t *testing.T) {
+	s := MustParseSet("/a/b#, /x/y")
+	cases := []struct {
+		branch []string
+		want   bool
+	}{
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "b", "c", "d"}, true},
+		{[]string{"a"}, false},
+		{[]string{"x", "y"}, false},        // not '#'-flagged
+		{[]string{"x", "y", "z"}, false},   // not '#'-flagged
+	}
+	for _, c := range cases {
+		if got := s.MatchesAncestorWithDescendants(c.branch); got != c.want {
+			t.Errorf("MatchesAncestorWithDescendants(%v) = %v, want %v", c.branch, got, c.want)
+		}
+	}
+}
+
+func TestElementNames(t *testing.T) {
+	s := MustParseSet("/site/regions/australia/item/name#, //description#, /*")
+	want := []string{"australia", "description", "item", "name", "regions", "site"}
+	if got := s.ElementNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ElementNames = %v, want %v", got, want)
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := MustParseSet("/b, /a")
+	if got := s.String(); got != "/a, /b" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,89 @@
+package projection
+
+import (
+	"fmt"
+	"strings"
+
+	"smp/internal/sax"
+)
+
+// This file provides the document comparison helpers behind the paper's
+// Definition 1 (top-level equality) and behind the repository's correctness
+// tests: the skip-based SMP runtime and the tokenizing reference projector
+// must produce equivalent documents, where "equivalent" ignores attribute
+// whitespace, tag formatting and entity spelling but preserves structure,
+// attribute values and character data.
+
+// Canonicalize parses the document and re-serializes it deterministically:
+// attributes keep document order but are printed with single spaces and
+// double quotes, character data is entity-escaped, bachelor tags are
+// expanded, and comments, processing instructions and the prolog are
+// dropped. Two documents with equal canonical forms are indistinguishable
+// for downward XPath evaluation.
+func Canonicalize(doc []byte) (string, error) {
+	var b strings.Builder
+	b.Grow(len(doc))
+	_, err := sax.ParseBytes(doc, sax.HandlerFunc(func(ev sax.Event) error {
+		switch ev.Kind {
+		case sax.StartElement:
+			b.WriteString(renderStartTag(ev, true))
+		case sax.EndElement:
+			b.WriteString("</" + ev.Name + ">")
+		case sax.CharData:
+			b.WriteString(sax.EscapeText(ev.Text))
+		}
+		return nil
+	}), sax.Options{})
+	if err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Equal reports whether two documents have the same canonical form. The
+// error reports which document failed to parse.
+func Equal(a, b []byte) (bool, error) {
+	ca, err := Canonicalize(a)
+	if err != nil {
+		return false, fmt.Errorf("projection: first document: %w", err)
+	}
+	cb, err := Canonicalize(b)
+	if err != nil {
+		return false, fmt.Errorf("projection: second document: %w", err)
+	}
+	return ca == cb, nil
+}
+
+// Diff returns a short human-readable description of the first point where
+// the canonical forms of two documents diverge, or "" if they are equal. It
+// is intended for test failure messages.
+func Diff(a, b []byte) (string, error) {
+	ca, err := Canonicalize(a)
+	if err != nil {
+		return "", fmt.Errorf("projection: first document: %w", err)
+	}
+	cb, err := Canonicalize(b)
+	if err != nil {
+		return "", fmt.Errorf("projection: second document: %w", err)
+	}
+	if ca == cb {
+		return "", nil
+	}
+	i := 0
+	for i < len(ca) && i < len(cb) && ca[i] == cb[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	return fmt.Sprintf("documents diverge at canonical offset %d:\n  first:  ...%s\n  second: ...%s",
+		i, clip(ca[lo:], 80), clip(cb[lo:], 80)), nil
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}

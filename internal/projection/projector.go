@@ -1,0 +1,181 @@
+package projection
+
+import (
+	"io"
+	"strings"
+
+	"smp/internal/paths"
+	"smp/internal/sax"
+)
+
+// Projector is the tokenizing reference projector: it SAX-parses the entire
+// input and writes exactly the relevant nodes (Definition 3) to the output.
+// It is projection-safe by construction (Lemma 1) and serves as the oracle
+// for the skip-based SMP runtime as well as the stand-in for the paper's
+// type-based projection baseline (Table III), which similarly tokenizes its
+// complete input.
+type Projector struct {
+	rel  *Relevance
+	opts Options
+}
+
+// Options configures the reference projector.
+type Options struct {
+	// SAX configures the underlying tokenizer.
+	SAX sax.Options
+}
+
+// Stats summarizes one projection run.
+type Stats struct {
+	// Parse carries the tokenizer's counters (every byte is read).
+	Parse sax.Stats
+	// BytesWritten is the size of the projected document.
+	BytesWritten int64
+	// NodesCopied counts element nodes that reached the output.
+	NodesCopied int64
+	// NodesSkipped counts element nodes that were dropped.
+	NodesSkipped int64
+}
+
+// New builds a reference projector for a projection path set.
+func New(pathSet *paths.Set, opts Options) *Projector {
+	return &Projector{rel: NewRelevance(pathSet), opts: opts}
+}
+
+// NewForQuery builds a reference projector from an XPath/XQuery expression,
+// using the same path extraction the SMP compiler uses.
+func NewForQuery(query string, opts Options) (*Projector, error) {
+	set, err := paths.ExtractQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return New(set, opts), nil
+}
+
+// Relevance exposes the relevance evaluator (shared with the compiler).
+func (p *Projector) Relevance() *Relevance { return p.rel }
+
+// Project reads an XML document from r and writes its projection to w.
+func (p *Projector) Project(r io.Reader, w io.Writer) (Stats, error) {
+	h := &projectionHandler{rel: p.rel, w: w}
+	parseStats, err := sax.Parse(r, h, p.opts.SAX)
+	stats := Stats{
+		Parse:        parseStats,
+		BytesWritten: h.written,
+		NodesCopied:  h.copied,
+		NodesSkipped: h.skipped,
+	}
+	if err != nil {
+		return stats, err
+	}
+	return stats, h.err
+}
+
+// ProjectBytes projects an in-memory document and returns the projection.
+func (p *Projector) ProjectBytes(doc []byte) ([]byte, Stats, error) {
+	var out strings.Builder
+	out.Grow(len(doc) / 4)
+	stats, err := p.Project(strings.NewReader(string(doc)), &stringsWriter{&out})
+	return []byte(out.String()), stats, err
+}
+
+// stringsWriter adapts a strings.Builder to io.Writer without the extra copy
+// of bytes.Buffer.
+type stringsWriter struct{ b *strings.Builder }
+
+func (w *stringsWriter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+// projectionHandler is the SAX handler that performs the projection.
+type projectionHandler struct {
+	rel *Relevance
+	w   io.Writer
+
+	branch []string
+	// copyDepth > 0 means the handler is inside a subtree selected for full
+	// copying ("copy on" region); it counts the nesting depth of elements
+	// opened since the region began, including the region's root.
+	copyDepth int
+
+	written int64
+	copied  int64
+	skipped int64
+	err     error
+}
+
+func (h *projectionHandler) emit(s string) {
+	if h.err != nil {
+		return
+	}
+	n, err := io.WriteString(h.w, s)
+	h.written += int64(n)
+	if err != nil {
+		h.err = err
+	}
+}
+
+func (h *projectionHandler) Event(ev sax.Event) error {
+	if h.err != nil {
+		return h.err
+	}
+	switch ev.Kind {
+	case sax.StartElement:
+		h.branch = append(h.branch, ev.Name)
+		if h.copyDepth > 0 {
+			h.copyDepth++
+			h.copied++
+			h.emit(renderStartTag(ev, true))
+			return h.err
+		}
+		switch h.rel.ActionFor(h.branch) {
+		case CopySubtree:
+			h.copyDepth = 1
+			h.copied++
+			h.emit(renderStartTag(ev, true))
+		case CopyTagAttrs:
+			h.copied++
+			h.emit(renderStartTag(ev, true))
+		case CopyTag:
+			h.copied++
+			h.emit(renderStartTag(ev, false))
+		default:
+			h.skipped++
+		}
+	case sax.EndElement:
+		if h.copyDepth > 0 {
+			h.copyDepth--
+			h.emit("</" + ev.Name + ">")
+		} else if h.rel.TagRelevant(h.branch) {
+			h.emit("</" + ev.Name + ">")
+		}
+		if len(h.branch) > 0 {
+			h.branch = h.branch[:len(h.branch)-1]
+		}
+	case sax.CharData:
+		if h.copyDepth > 0 {
+			h.emit(sax.EscapeText(ev.Text))
+		}
+	case sax.Comment, sax.ProcInst, sax.Directive, sax.EndOfDocument:
+		// Projection drops comments, processing instructions and the prolog.
+	}
+	return h.err
+}
+
+// renderStartTag re-serializes a start tag, optionally with its attributes.
+// Bachelor tags are expanded into an opening tag; the tokenizer delivers the
+// matching EndElement separately, which keeps the output well-formed.
+func renderStartTag(ev sax.Event, withAttrs bool) string {
+	var b strings.Builder
+	b.WriteByte('<')
+	b.WriteString(ev.Name)
+	if withAttrs {
+		for _, a := range ev.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(sax.EscapeAttr(a.Value))
+			b.WriteByte('"')
+		}
+	}
+	b.WriteByte('>')
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package projection
+
+import (
+	"strings"
+	"testing"
+
+	"smp/internal/paths"
+)
+
+// paperFig2Document is the document from paper Fig. 2 (reconstructed from
+// the figure, with the original spacing of "<item >" preserved).
+const paperFig2Document = `<site><regions><africa><item><location>United States</location><name>T V</name><payment>Creditcard</payment><description>15''LCD-FlatPanel</description><shipping>Within country</shipping><incategory category="3"/></item></africa><asia/><australia><item ><location>Egypt</location><name>PDA</name><payment>Check</payment><description>Palm Zire 71</description><shipping/><incategory category="3"/></item></australia></regions></site>`
+
+func projectString(t *testing.T, pathSpec, doc string) string {
+	t.Helper()
+	p := New(paths.MustParseSet(pathSpec), Options{})
+	out, _, err := p.ProjectBytes([]byte(doc))
+	if err != nil {
+		t.Fatalf("ProjectBytes: %v", err)
+	}
+	return string(out)
+}
+
+// TestProjectPaperExample1 reproduces paper Example 1: prefiltering Fig. 2
+// for the query //australia//description yields
+// <site><australia><description>Palm Zire 71</description></australia></site>.
+func TestProjectPaperExample1(t *testing.T) {
+	got := projectString(t, "/*, //australia//description#", paperFig2Document)
+	want := `<site><australia><description>Palm Zire 71</description></australia></site>`
+	if got != want {
+		t.Errorf("projection = %q, want %q", got, want)
+	}
+}
+
+// TestProjectPaperExample6 reproduces paper Example 6: all tokens of
+// <a><c><b>T</b></c></a> are relevant for P = {/*, /a/b#, //b#}.
+func TestProjectPaperExample6(t *testing.T) {
+	doc := `<a><c><b>T</b></c></a>`
+	got := projectString(t, "/*, /a/b#, //b#", doc)
+	if got != doc {
+		t.Errorf("projection = %q, want the unchanged document", got)
+	}
+}
+
+// TestProjectExample6Contrast shows that without the /a/b path the c-tags
+// are dropped (and the result differs, as the paper notes).
+func TestProjectExample6Contrast(t *testing.T) {
+	doc := `<a><c><b>T</b></c></a>`
+	got := projectString(t, "/*, //b#", doc)
+	want := `<a><b>T</b></a>`
+	if got != want {
+		t.Errorf("projection = %q, want %q", got, want)
+	}
+}
+
+func TestProjectPaperExample2(t *testing.T) {
+	// Paper Example 2: /a/b against a document with b-children both of a and
+	// of c. Only top-level a and its direct b-children survive.
+	doc := `<a><b>keep1</b><c><b>drop</b></c><b>keep2</b></a>`
+	got := projectString(t, "/*, /a/b#", doc)
+	want := `<a><b>keep1</b><b>keep2</b></a>`
+	if got != want {
+		t.Errorf("projection = %q, want %q", got, want)
+	}
+}
+
+func TestProjectKeepsAttributesOnMatchedLeaves(t *testing.T) {
+	doc := `<site><regions><australia><item id="i1" featured="yes"><name>PDA</name></item></australia></regions></site>`
+	got := projectString(t, "/*, /site/regions/australia/item#", doc)
+	want := `<site><regions><australia><item id="i1" featured="yes"><name>PDA</name></item></australia></regions></site>`
+	if got != want {
+		t.Errorf("projection = %q, want %q", got, want)
+	}
+	// Prefix-only ancestors (regions, australia) keep their tags but lose
+	// attributes.
+	doc2 := `<site><regions continent="all"><australia code="au"><item id="i1"/></australia></regions></site>`
+	got2 := projectString(t, "/*, /site/regions/australia/item#", doc2)
+	want2 := `<site><regions><australia><item id="i1"></item></australia></regions></site>`
+	if got2 != want2 {
+		t.Errorf("projection = %q, want %q", got2, want2)
+	}
+}
+
+func TestProjectDropsTextOutsideCopyRegions(t *testing.T) {
+	doc := `<a>noise<b>keep</b>noise</a>`
+	got := projectString(t, "/*, /a/b#", doc)
+	want := `<a><b>keep</b></a>`
+	if got != want {
+		t.Errorf("projection = %q, want %q", got, want)
+	}
+}
+
+func TestProjectEmptyResult(t *testing.T) {
+	// A query that matches nothing still keeps the top-level element.
+	doc := `<a><b/><c/></a>`
+	got := projectString(t, "/*, /a/zzz#", doc)
+	want := `<a></a>`
+	if got != want {
+		t.Errorf("projection = %q, want %q", got, want)
+	}
+}
+
+func TestProjectStats(t *testing.T) {
+	p := New(paths.MustParseSet("/*, /a/b#"), Options{})
+	doc := []byte(`<a><b>x</b><c><d/></c></a>`)
+	out, stats, err := p.ProjectBytes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BytesWritten != int64(len(out)) {
+		t.Errorf("BytesWritten = %d, want %d", stats.BytesWritten, len(out))
+	}
+	if stats.Parse.BytesRead != int64(len(doc)) {
+		t.Errorf("BytesRead = %d, want %d (the reference projector reads everything)", stats.Parse.BytesRead, len(doc))
+	}
+	if stats.NodesCopied != 2 { // a and b
+		t.Errorf("NodesCopied = %d, want 2", stats.NodesCopied)
+	}
+	if stats.NodesSkipped != 2 { // c and d
+		t.Errorf("NodesSkipped = %d, want 2", stats.NodesSkipped)
+	}
+}
+
+func TestProjectMalformedInput(t *testing.T) {
+	p := New(paths.MustParseSet("/*"), Options{})
+	if _, _, err := p.ProjectBytes([]byte(`<a><b></a>`)); err == nil {
+		t.Error("expected error for malformed input")
+	}
+}
+
+func TestNewForQuery(t *testing.T) {
+	p, err := NewForQuery("<q>{//australia//description}</q>", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := p.ProjectBytes([]byte(paperFig2Document))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<site><australia><description>Palm Zire 71</description></australia></site>`
+	if string(out) != want {
+		t.Errorf("projection = %q, want %q", out, want)
+	}
+	if _, err := NewForQuery("<q>{$x/b}</q>", Options{}); err == nil {
+		t.Error("expected error for unbound variable in query")
+	}
+}
+
+// TestProjectionIsIdempotent: projecting an already-projected document again
+// with the same paths is a no-op. This is a consequence of projection
+// safety and a useful sanity property.
+func TestProjectionIsIdempotent(t *testing.T) {
+	specs := []string{
+		"/*, //australia//description#",
+		"/*, /site/regions/australia/item/name#",
+		"/*, /a/b#, //b#",
+	}
+	docs := []string{
+		paperFig2Document,
+		`<a><c><b>T</b></c></a>`,
+	}
+	for _, spec := range specs {
+		for _, doc := range docs {
+			once := projectString(t, spec, doc)
+			twice := projectString(t, spec, once)
+			if once != twice {
+				t.Errorf("projection with %q is not idempotent:\n once=%q\n twice=%q", spec, once, twice)
+			}
+		}
+	}
+}
+
+// TestProjectedIsSubsequenceOfCanonical: every projected document's canonical
+// token sequence is a subsequence of the original's (projection only drops
+// tokens, never invents them).
+func TestProjectedIsSubsequenceOfCanonical(t *testing.T) {
+	spec := "/*, /site/regions/australia/item/name#"
+	orig, err := Canonicalize([]byte(paperFig2Document))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := projectString(t, spec, paperFig2Document)
+	projCanon, err := Canonicalize([]byte(proj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check subsequence on the level of tags.
+	origTags := strings.FieldsFunc(orig, func(r rune) bool { return r == '<' })
+	projTags := strings.FieldsFunc(projCanon, func(r rune) bool { return r == '<' })
+	i := 0
+	for _, tag := range projTags {
+		found := false
+		for i < len(origTags) {
+			if origTags[i] == tag {
+				found = true
+				i++
+				break
+			}
+			i++
+		}
+		if !found {
+			t.Fatalf("projected tag %q does not occur (in order) in the original", tag)
+		}
+	}
+}
+
+func TestCanonicalizeAndEqual(t *testing.T) {
+	a := []byte(`<a  x = "1"><b/>t &amp; u</a>`)
+	b := []byte(`<a x="1"><b></b>t &#38; u</a>`)
+	eq, err := Equal(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		d, _ := Diff(a, b)
+		t.Errorf("documents should be canonically equal:\n%s", d)
+	}
+	c := []byte(`<a x="2"><b/>t &amp; u</a>`)
+	eq, err = Equal(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("documents with different attribute values must not be equal")
+	}
+	if d, _ := Diff(a, c); d == "" {
+		t.Error("Diff must describe the divergence")
+	}
+	if _, err := Equal([]byte("<a>"), b); err == nil {
+		t.Error("Equal must report parse errors")
+	}
+}

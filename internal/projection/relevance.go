@@ -1,0 +1,178 @@
+// Package projection implements the paper's projection semantics
+// (Section III): token relevance according to conditions C1-C3 of
+// Definition 3, a tokenizing reference projector that preserves exactly the
+// relevant nodes (the paper's Lemma 1 construction), and helpers for
+// comparing documents up to serialization details.
+//
+// The reference projector serves two roles in this repository. It is the
+// correctness oracle against which the skip-based SMP runtime is
+// cross-checked, and it stands in for the "type-based projection" baseline
+// of the paper's Table III: a projector of the same algorithmic class that
+// tokenizes its complete input.
+package projection
+
+import (
+	"smp/internal/paths"
+)
+
+// Relevance evaluates the relevance conditions of Definition 3 for document
+// branches. It is shared by the reference projector and by the static
+// analysis (which evaluates the same conditions on DTD-automaton states).
+type Relevance struct {
+	// P is the original projection path set.
+	P *paths.Set
+	// Plus is the prefix closure P+ of P.
+	Plus *paths.Set
+
+	// lastChildSteps and lastDescendantSteps index P+ by the name of the
+	// final step, split by whether that step uses the child or the
+	// descendant axis; condition C3 quantifies over such pairs.
+	lastChild      map[string][]*paths.Path
+	lastDescendant map[string][]*paths.Path
+}
+
+// NewRelevance prepares the relevance evaluator for a projection path set.
+func NewRelevance(p *paths.Set) *Relevance {
+	r := &Relevance{
+		P:              p,
+		Plus:           p.WithPrefixes(),
+		lastChild:      make(map[string][]*paths.Path),
+		lastDescendant: make(map[string][]*paths.Path),
+	}
+	for _, path := range r.Plus.Paths {
+		if len(path.Steps) == 0 {
+			continue
+		}
+		last := path.Steps[len(path.Steps)-1]
+		if last.Descendant {
+			r.lastDescendant[last.Name] = append(r.lastDescendant[last.Name], path)
+		} else {
+			r.lastChild[last.Name] = append(r.lastChild[last.Name], path)
+		}
+	}
+	return r
+}
+
+// TagRelevant reports whether a tag token whose document branch is the given
+// label chain (root first, the token's own label last) is relevant according
+// to Definition 3 (C1 or C2 or C3).
+func (r *Relevance) TagRelevant(branch []string) bool {
+	return r.c1(branch) || r.c2(branch) || r.c3(branch)
+}
+
+// TextRelevant reports whether a character-data token below the element with
+// the given branch is relevant. Projection paths address element nodes, so a
+// text node can only be preserved through condition C2: some '#'-flagged
+// path matches one of its ancestors.
+func (r *Relevance) TextRelevant(parentBranch []string) bool {
+	return r.Plus.MatchesAncestorWithDescendants(parentBranch)
+}
+
+// SubtreeRelevant reports whether the whole subtree below a node with the
+// given branch must be preserved (condition C2 evaluated at the node
+// itself). The static analysis maps such nodes to the "copy on"/"copy off"
+// actions.
+func (r *Relevance) SubtreeRelevant(branch []string) bool {
+	return r.Plus.MatchesAncestorWithDescendants(branch)
+}
+
+// LeafMatched reports whether the node itself is selected by one of the
+// original projection paths (not merely by a prefix). Such nodes carry the
+// query's point of interest, so their attributes are preserved by the
+// "copy tag + atts" action.
+func (r *Relevance) LeafMatched(branch []string) bool {
+	for _, p := range r.P.Paths {
+		if p.MatchesBranch(branch) {
+			return true
+		}
+	}
+	return false
+}
+
+// c1: the leaf node of the branch is matched by a path in P+.
+func (r *Relevance) c1(branch []string) bool {
+	return r.Plus.MatchesLeaf(branch)
+}
+
+// c2: some node of the branch is matched by a '#'-flagged path in P+.
+func (r *Relevance) c2(branch []string) bool {
+	return r.Plus.MatchesAncestorWithDescendants(branch)
+}
+
+// c3: there is a tag t such that P+ contains a path ending in a child step
+// "/t" and a path ending in a descendant step "//t" which both match the
+// branch with its leaf replaced by t. Such nodes maintain vital
+// ancestor-descendant relationships (paper Example 6: the c-tags).
+func (r *Relevance) c3(branch []string) bool {
+	if len(branch) == 0 {
+		return false
+	}
+	parent := branch[:len(branch)-1]
+	for t, childPaths := range r.lastChild {
+		descPaths := r.lastDescendant[t]
+		if len(descPaths) == 0 {
+			continue
+		}
+		replaced := append(append([]string(nil), parent...), t)
+		if matchesAny(childPaths, replaced) && matchesAny(descPaths, replaced) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchesAny(ps []*paths.Path, branch []string) bool {
+	for _, p := range ps {
+		if p.MatchesBranch(branch) {
+			return true
+		}
+	}
+	return false
+}
+
+// Action describes how the projector treats one element node.
+type Action int
+
+// Actions, mirroring the runtime table T of the paper (Fig. 3).
+const (
+	// Skip drops the node (and, unless a descendant is relevant, its tags).
+	Skip Action = iota
+	// CopyTag preserves the node's opening and closing tags without
+	// attributes (structure only).
+	CopyTag
+	// CopyTagAttrs preserves the tags together with the attributes.
+	CopyTagAttrs
+	// CopySubtree preserves the node with its complete subtree
+	// ("copy on" ... "copy off" in the paper).
+	CopySubtree
+)
+
+// String returns the paper's name for the action.
+func (a Action) String() string {
+	switch a {
+	case Skip:
+		return "nop"
+	case CopyTag:
+		return "copy tag"
+	case CopyTagAttrs:
+		return "copy tag + atts"
+	case CopySubtree:
+		return "copy on/off"
+	default:
+		return "unknown"
+	}
+}
+
+// ActionFor returns the action for an element node with the given branch.
+func (r *Relevance) ActionFor(branch []string) Action {
+	if r.SubtreeRelevant(branch) {
+		return CopySubtree
+	}
+	if !r.TagRelevant(branch) {
+		return Skip
+	}
+	if r.LeafMatched(branch) {
+		return CopyTagAttrs
+	}
+	return CopyTag
+}

@@ -1,0 +1,139 @@
+package projection
+
+import (
+	"testing"
+
+	"smp/internal/paths"
+)
+
+// TestRelevancePaperExample6 reproduces paper Example 6: for the query
+// <x>{/a/b,//b}</x> with P = {/*, /a/b#, //b#}, every token of the document
+// <a><c><b>T</b></c></a> is relevant. The a- and b-tags satisfy C1, the text
+// node satisfies C2, and the c-tags satisfy C3.
+func TestRelevancePaperExample6(t *testing.T) {
+	rel := NewRelevance(paths.MustParseSet("/*, /a/b#, //b#"))
+
+	if !rel.c1([]string{"a"}) {
+		t.Error("C1 must hold for branch [a] (matched by /a and /*)")
+	}
+	if !rel.c1([]string{"a", "c", "b"}) {
+		t.Error("C1 must hold for branch [a c b] (matched by //b#)")
+	}
+	if !rel.TextRelevant([]string{"a", "c", "b"}) {
+		t.Error("C2 must hold for the text node below [a c b]")
+	}
+	if rel.c1([]string{"a", "c"}) {
+		t.Error("C1 must not hold for branch [a c]")
+	}
+	if rel.c2([]string{"a", "c"}) {
+		t.Error("C2 must not hold for branch [a c]")
+	}
+	if !rel.c3([]string{"a", "c"}) {
+		t.Error("C3 must hold for branch [a c] (t = b, /a/b and //b# both match [a b])")
+	}
+	if !rel.TagRelevant([]string{"a", "c"}) {
+		t.Error("the c-tags must be relevant")
+	}
+}
+
+// TestRelevanceWithoutC3Pair checks the contrast to Example 6: with only
+// //b# (no /a/b), the c-tags are not relevant and may be dropped.
+func TestRelevanceWithoutC3Pair(t *testing.T) {
+	rel := NewRelevance(paths.MustParseSet("/*, //b#"))
+	if rel.TagRelevant([]string{"a", "c"}) {
+		t.Error("the c-tags must not be relevant for P = {/*, //b#}")
+	}
+	if !rel.TagRelevant([]string{"a", "c", "b"}) {
+		t.Error("the b-tags must remain relevant")
+	}
+}
+
+func TestRelevancePaperExample10(t *testing.T) {
+	// Paper Example 10, second part: P2 = {/*, /a/b#} over the DTD of
+	// Example 2. Branches [a] and [a b] are relevant; [a c] and [a c b] are
+	// not ([a c b] is a b-child of c, not of a).
+	rel := NewRelevance(paths.MustParseSet("/*, /a/b#"))
+	cases := []struct {
+		branch []string
+		want   bool
+	}{
+		{[]string{"a"}, true},
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "c"}, false},
+		{[]string{"a", "c", "b"}, false},
+	}
+	for _, c := range cases {
+		if got := rel.TagRelevant(c.branch); got != c.want {
+			t.Errorf("TagRelevant(%v) = %v, want %v", c.branch, got, c.want)
+		}
+	}
+}
+
+func TestRelevanceExample12DescendantCopy(t *testing.T) {
+	// Paper Example 12: P = {/*, //c#}. The c-node and everything below it
+	// is relevant; the b-children of a are not.
+	rel := NewRelevance(paths.MustParseSet("/*, //c#"))
+	if !rel.SubtreeRelevant([]string{"a", "c"}) {
+		t.Error("the c-subtree must be copied")
+	}
+	if !rel.TagRelevant([]string{"a", "c", "b"}) {
+		t.Error("b below c is relevant (C2)")
+	}
+	if rel.TagRelevant([]string{"a", "b"}) {
+		t.Error("b as a direct child of a is not relevant")
+	}
+}
+
+func TestActionFor(t *testing.T) {
+	rel := NewRelevance(paths.MustParseSet("/*, /site/regions/australia//description#"))
+	cases := []struct {
+		branch []string
+		want   Action
+	}{
+		{[]string{"site"}, CopyTagAttrs},                     // matched by /*
+		{[]string{"site", "regions"}, CopyTag},               // prefix only
+		{[]string{"site", "regions", "australia"}, CopyTag},  // prefix only
+		{[]string{"site", "regions", "australia", "item", "description"}, CopySubtree},
+		{[]string{"site", "regions", "africa"}, Skip},
+		{[]string{"site", "regions", "australia", "item", "description", "text"}, CopySubtree},
+	}
+	for _, c := range cases {
+		if got := rel.ActionFor(c.branch); got != c.want {
+			t.Errorf("ActionFor(%v) = %v, want %v", c.branch, got, c.want)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	names := map[Action]string{
+		Skip:         "nop",
+		CopyTag:      "copy tag",
+		CopyTagAttrs: "copy tag + atts",
+		CopySubtree:  "copy on/off",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}
+
+func TestEmptyBranchNeverC3(t *testing.T) {
+	rel := NewRelevance(paths.MustParseSet("/*, /a/b#, //b#"))
+	if rel.c3(nil) {
+		t.Error("C3 must not hold for the empty branch")
+	}
+}
+
+func TestWildcardPathRelevance(t *testing.T) {
+	rel := NewRelevance(paths.MustParseSet("/*, /a/*/c#"))
+	if !rel.TagRelevant([]string{"a", "x", "c"}) {
+		t.Error("wildcard step must match any label")
+	}
+	if !rel.TagRelevant([]string{"a", "y"}) {
+		t.Error("prefix /a/* must make intermediate nodes relevant")
+	}
+	if rel.TagRelevant([]string{"b"}) && rel.c1([]string{"b", "x"}) {
+		t.Error("unrelated branches must not be relevant beyond /*")
+	}
+}

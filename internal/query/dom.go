@@ -1,0 +1,222 @@
+// Package query provides the two downstream query engines used by the
+// experiment harness to reproduce the paper's Section V-B:
+//
+//   - DOMEngine, an in-memory engine with a configurable memory budget. It
+//     stands in for the QizX/Saxon XQuery processors of Fig. 7(a): without
+//     prefiltering it fails on inputs whose DOM exceeds the budget, with
+//     prefiltering it scales to much larger documents.
+//   - StreamEngine, an event-driven streaming XPath evaluator. It stands in
+//     for the SPEX processor of Fig. 7(b) and is used to demonstrate
+//     pipelined prefiltering.
+//
+// Both engines evaluate the downward-axis XPath skeleton of the benchmark
+// queries, expressed as projection paths; this is the fragment the paper's
+// prefiltering semantics is defined over.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"smp/internal/paths"
+	"smp/internal/sax"
+)
+
+// ErrMemoryBudget is returned by DOMEngine.Load when building the in-memory
+// tree would exceed the engine's memory budget (the analogue of the paper's
+// query engines running out of main memory on large inputs).
+var ErrMemoryBudget = errors.New("query: memory budget exceeded while building the document tree")
+
+// Node is one element node of the in-memory document tree.
+type Node struct {
+	Name     string
+	Attrs    []sax.Attr
+	Text     string // concatenated character data directly below the node
+	Children []*Node
+	Parent   *Node
+}
+
+// Document is a loaded in-memory document.
+type Document struct {
+	Root *Node
+	// Nodes is the number of element nodes.
+	Nodes int
+	// EstimatedBytes is the approximate main-memory footprint of the tree;
+	// it is what the memory budget is checked against.
+	EstimatedBytes int64
+}
+
+// Result summarizes one query evaluation.
+type Result struct {
+	// Matches is the number of nodes selected by the path.
+	Matches int
+	// OutputBytes is the serialized size of the selected subtrees (the size
+	// of the query result).
+	OutputBytes int64
+}
+
+// Add accumulates another result (used when a workload evaluates several
+// paths).
+func (r *Result) Add(other Result) {
+	r.Matches += other.Matches
+	r.OutputBytes += other.OutputBytes
+}
+
+// nodeOverhead approximates the per-node bookkeeping cost of the in-memory
+// tree (pointers, slice headers, string headers).
+const nodeOverhead = 112
+
+// DOMEngine is the in-memory engine. The zero value has no memory budget.
+type DOMEngine struct {
+	// MemoryBudget bounds Document.EstimatedBytes; 0 means unlimited.
+	MemoryBudget int64
+}
+
+// Load parses the document into an in-memory tree, enforcing the memory
+// budget while building.
+func (e *DOMEngine) Load(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	var cur *Node
+	_, err := sax.Parse(r, sax.HandlerFunc(func(ev sax.Event) error {
+		switch ev.Kind {
+		case sax.StartElement:
+			n := &Node{Name: ev.Name, Attrs: ev.Attrs, Parent: cur}
+			doc.Nodes++
+			doc.EstimatedBytes += nodeOverhead + int64(len(ev.Name))
+			for _, a := range ev.Attrs {
+				doc.EstimatedBytes += int64(len(a.Name) + len(a.Value) + 32)
+			}
+			if cur == nil {
+				doc.Root = n
+			} else {
+				cur.Children = append(cur.Children, n)
+			}
+			cur = n
+		case sax.EndElement:
+			if cur != nil {
+				cur = cur.Parent
+			}
+		case sax.CharData:
+			if cur != nil {
+				cur.Text += ev.Text
+				doc.EstimatedBytes += int64(len(ev.Text))
+			}
+		}
+		if e.MemoryBudget > 0 && doc.EstimatedBytes > e.MemoryBudget {
+			return fmt.Errorf("%w: %d bytes needed, budget %d", ErrMemoryBudget, doc.EstimatedBytes, e.MemoryBudget)
+		}
+		return nil
+	}), sax.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// LoadBytes loads an in-memory document.
+func (e *DOMEngine) LoadBytes(doc []byte) (*Document, error) {
+	return e.Load(strings.NewReader(string(doc)))
+}
+
+// Select returns the nodes matched by the projection path (its '#' flag is
+// ignored; the path addresses element nodes).
+func (d *Document) Select(p *paths.Path) []*Node {
+	var out []*Node
+	if d.Root == nil {
+		return nil
+	}
+	var walk func(n *Node, branch []string)
+	walk = func(n *Node, branch []string) {
+		branch = append(branch, n.Name)
+		if p.MatchesBranch(branch) {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			walk(c, branch)
+		}
+	}
+	walk(d.Root, nil)
+	return out
+}
+
+// Evaluate selects the nodes matched by the path and measures the size of
+// the serialized result.
+func (d *Document) Evaluate(p *paths.Path) Result {
+	nodes := d.Select(p)
+	res := Result{Matches: len(nodes)}
+	for _, n := range nodes {
+		res.OutputBytes += n.serializedSize()
+	}
+	return res
+}
+
+// EvaluateWorkload evaluates every path of the set except the default
+// top-level path "/*" and accumulates the results. This is how the harness
+// approximates evaluating a benchmark query: the query's point of interest
+// is exactly its extracted path set.
+func (d *Document) EvaluateWorkload(set *paths.Set) Result {
+	var total Result
+	for _, p := range set.Paths {
+		if isTopLevelOnly(p) {
+			continue
+		}
+		total.Add(d.Evaluate(p))
+	}
+	return total
+}
+
+func isTopLevelOnly(p *paths.Path) bool {
+	return len(p.Steps) == 1 && p.Steps[0].Name == "*" && !p.Steps[0].Descendant
+}
+
+// serializedSize returns the size of the node serialized with attributes and
+// descendants.
+func (n *Node) serializedSize() int64 {
+	size := int64(2*len(n.Name) + 5) // <n></n>
+	for _, a := range n.Attrs {
+		size += int64(len(a.Name) + len(a.Value) + 4)
+	}
+	size += int64(len(n.Text))
+	for _, c := range n.Children {
+		size += c.serializedSize()
+	}
+	return size
+}
+
+// Serialize renders the node and its subtree as XML.
+func (n *Node) Serialize(b *strings.Builder) {
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		b.WriteString(sax.EscapeAttr(a.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('>')
+	b.WriteString(sax.EscapeText(n.Text))
+	for _, c := range n.Children {
+		c.Serialize(b)
+	}
+	b.WriteString("</" + n.Name + ">")
+}
+
+// Find returns the first descendant-or-self node with the given name, or
+// nil. It is a small convenience for tests and examples.
+func (n *Node) Find(name string) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}

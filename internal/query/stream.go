@@ -1,0 +1,135 @@
+package query
+
+import (
+	"io"
+	"strings"
+
+	"smp/internal/paths"
+	"smp/internal/sax"
+)
+
+// StreamEngine evaluates downward XPath expressions (projection paths) over
+// a SAX event stream without building an in-memory tree. It plays the role
+// of the SPEX processor in the paper's Fig. 7(b): a streaming engine whose
+// input can be piped directly out of the prefilter.
+type StreamEngine struct {
+	// SAX configures the underlying tokenizer.
+	SAX sax.Options
+}
+
+// Evaluate runs a single path over the stream. Matched nodes are counted and
+// their subtrees are serialized to out (pass io.Discard to measure only).
+func (e *StreamEngine) Evaluate(r io.Reader, p *paths.Path, out io.Writer) (Result, error) {
+	return e.evaluate(r, []*paths.Path{p}, out)
+}
+
+// EvaluateWorkload runs every path of the set except the default top-level
+// path "/*" in a single pass over the stream.
+func (e *StreamEngine) EvaluateWorkload(r io.Reader, set *paths.Set, out io.Writer) (Result, error) {
+	var ps []*paths.Path
+	for _, p := range set.Paths {
+		if !isTopLevelOnly(p) {
+			ps = append(ps, p)
+		}
+	}
+	return e.evaluate(r, ps, out)
+}
+
+// EvaluateBytes is Evaluate over an in-memory document, returning the
+// serialized result.
+func (e *StreamEngine) EvaluateBytes(doc []byte, p *paths.Path) (Result, string, error) {
+	var b strings.Builder
+	res, err := e.Evaluate(strings.NewReader(string(doc)), p, &writerAdapter{&b})
+	return res, b.String(), err
+}
+
+type writerAdapter struct{ b *strings.Builder }
+
+func (w *writerAdapter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+func (e *StreamEngine) evaluate(r io.Reader, ps []*paths.Path, out io.Writer) (Result, error) {
+	h := &streamHandler{paths: ps, out: out}
+	_, err := sax.Parse(r, h, e.SAX)
+	res := Result{Matches: h.matches, OutputBytes: h.written}
+	if err != nil {
+		return res, err
+	}
+	return res, h.err
+}
+
+// streamHandler tracks the current branch and copies matched subtrees.
+type streamHandler struct {
+	paths []*paths.Path
+	out   io.Writer
+
+	branch []string
+	// copyDepth counts open elements inside the currently copied subtree
+	// (0 = not copying).
+	copyDepth int
+
+	matches int
+	written int64
+	err     error
+}
+
+func (h *streamHandler) emit(s string) {
+	if h.err != nil || h.out == nil {
+		return
+	}
+	n, err := io.WriteString(h.out, s)
+	h.written += int64(n)
+	if err != nil {
+		h.err = err
+	}
+}
+
+func (h *streamHandler) Event(ev sax.Event) error {
+	if h.err != nil {
+		return h.err
+	}
+	switch ev.Kind {
+	case sax.StartElement:
+		h.branch = append(h.branch, ev.Name)
+		if h.copyDepth > 0 {
+			h.copyDepth++
+			h.emitStart(ev)
+			return h.err
+		}
+		for _, p := range h.paths {
+			if p.MatchesBranch(h.branch) {
+				h.matches++
+				h.copyDepth = 1
+				h.emitStart(ev)
+				break
+			}
+		}
+	case sax.EndElement:
+		if h.copyDepth > 0 {
+			h.emit("</" + ev.Name + ">")
+			h.copyDepth--
+		}
+		if len(h.branch) > 0 {
+			h.branch = h.branch[:len(h.branch)-1]
+		}
+	case sax.CharData:
+		if h.copyDepth > 0 {
+			h.emit(sax.EscapeText(ev.Text))
+		}
+	}
+	return h.err
+}
+
+func (h *streamHandler) emitStart(ev sax.Event) {
+	var b strings.Builder
+	b.WriteByte('<')
+	b.WriteString(ev.Name)
+	for _, a := range ev.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		b.WriteString(sax.EscapeAttr(a.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('>')
+	h.emit(b.String())
+}

@@ -1,0 +1,674 @@
+// Package sax implements a streaming, SAX-style XML tokenizer. It plays the
+// role Xerces-C++ plays in the paper's experiments (Section V-C): a parser
+// that must inspect every character of the input, used both as the
+// throughput baseline of Fig. 7(c) and as the substrate of the tokenizing
+// reference projector and the query engines.
+//
+// The tokenizer covers the XML subset exercised by the paper's datasets:
+// elements with attributes, character data, CDATA sections, comments,
+// processing instructions, an optional XML declaration and an optional
+// DOCTYPE declaration with an internal subset. It checks well-formedness
+// (tag balance, attribute syntax, single top-level element) and resolves the
+// five predefined entities.
+package sax
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EventKind identifies the type of a SAX event.
+type EventKind int
+
+// Event kinds emitted by the Tokenizer.
+const (
+	// StartElement is an opening tag <a ...> or the opening half of a
+	// bachelor tag <a .../>.
+	StartElement EventKind = iota
+	// EndElement is a closing tag </a> or the closing half of a bachelor tag.
+	EndElement
+	// CharData is character data between tags (entities resolved). CDATA
+	// section contents are reported as CharData as well.
+	CharData
+	// Comment is the body of <!-- ... -->.
+	Comment
+	// ProcInst is a processing instruction <? ... ?>.
+	ProcInst
+	// Directive is a <! ... > declaration outside the prolog (rare).
+	Directive
+	// EndOfDocument is emitted exactly once, after the document element has
+	// been closed and trailing whitespace consumed.
+	EndOfDocument
+)
+
+// String returns a short name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case StartElement:
+		return "StartElement"
+	case EndElement:
+		return "EndElement"
+	case CharData:
+		return "CharData"
+	case Comment:
+		return "Comment"
+	case ProcInst:
+		return "ProcInst"
+	case Directive:
+		return "Directive"
+	case EndOfDocument:
+		return "EndOfDocument"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Attr is one attribute of a start element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Event is a single SAX event. The byte offsets refer to the original input
+// and allow consumers (such as the reference projector) to copy raw input
+// spans instead of re-serializing.
+type Event struct {
+	Kind EventKind
+	// Name is the element name for StartElement/EndElement and the target
+	// for ProcInst.
+	Name string
+	// Attrs are the attributes of a StartElement, in document order.
+	Attrs []Attr
+	// Text is the character data, comment body or PI content.
+	Text string
+	// SelfClosing marks the StartElement of a bachelor tag <a/>. The
+	// tokenizer still emits the matching EndElement immediately afterwards.
+	SelfClosing bool
+	// Start and End delimit the raw bytes of the event in the input
+	// (half-open interval).
+	Start, End int64
+}
+
+// Handler consumes SAX events. Returning a non-nil error aborts parsing.
+type Handler interface {
+	Event(ev Event) error
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ev Event) error
+
+// Event calls f(ev).
+func (f HandlerFunc) Event(ev Event) error { return f(ev) }
+
+// Options configures a Tokenizer.
+type Options struct {
+	// SkipComments suppresses Comment events (the events are still parsed
+	// and counted, matching a SAX parser that has no comment handler).
+	SkipComments bool
+	// SkipProcInst suppresses ProcInst events.
+	SkipProcInst bool
+	// BufferSize is the read buffer size in bytes; 0 selects the default
+	// (64 KiB, about eight times a common 8 KiB page, mirroring the chunk
+	// size the paper's prototype uses).
+	BufferSize int
+}
+
+// DefaultBufferSize is the read buffer size used when Options.BufferSize is 0.
+const DefaultBufferSize = 64 * 1024
+
+// SyntaxError reports a well-formedness violation with its byte offset.
+type SyntaxError struct {
+	Offset int64
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sax: offset %d: %s", e.Offset, e.Msg)
+}
+
+// Stats reports how much work the tokenizer performed; the experiment
+// harness uses BytesRead to compute throughput.
+type Stats struct {
+	BytesRead int64
+	Events    int64
+	Elements  int64
+	MaxDepth  int
+}
+
+// Tokenizer is a single-pass streaming XML tokenizer.
+type Tokenizer struct {
+	r    io.Reader
+	opts Options
+
+	buf      []byte
+	pos      int   // read position inside buf
+	filled   int   // number of valid bytes in buf
+	base     int64 // input offset of buf[0]
+	eof      bool
+	finished bool
+
+	stack []string
+	stats Stats
+
+	// pending is an event to deliver before reading further input (the
+	// synthetic EndElement of a bachelor tag <a/>).
+	pending *Event
+
+	// sawRoot reports whether the document element has been seen; the
+	// tokenizer rejects a second top-level element.
+	sawRoot bool
+}
+
+// NewTokenizer returns a tokenizer reading from r.
+func NewTokenizer(r io.Reader, opts Options) *Tokenizer {
+	size := opts.BufferSize
+	if size <= 0 {
+		size = DefaultBufferSize
+	}
+	if size < 16 {
+		size = 16
+	}
+	return &Tokenizer{r: r, opts: opts, buf: make([]byte, 0, size)}
+}
+
+// Parse reads the whole document, delivering every event to h.
+func Parse(r io.Reader, h Handler, opts Options) (Stats, error) {
+	t := NewTokenizer(r, opts)
+	for {
+		ev, err := t.Next()
+		if err != nil {
+			return t.stats, err
+		}
+		if ev.Kind == EndOfDocument {
+			if err := h.Event(ev); err != nil {
+				return t.stats, err
+			}
+			return t.stats, nil
+		}
+		if err := h.Event(ev); err != nil {
+			return t.stats, err
+		}
+	}
+}
+
+// ParseBytes parses an in-memory document.
+func ParseBytes(doc []byte, h Handler, opts Options) (Stats, error) {
+	return Parse(strings.NewReader(string(doc)), h, opts)
+}
+
+// Stats returns the accumulated statistics.
+func (t *Tokenizer) Stats() Stats { return t.stats }
+
+// Depth returns the current element nesting depth.
+func (t *Tokenizer) Depth() int { return len(t.stack) }
+
+// offset returns the absolute input offset of the current read position.
+func (t *Tokenizer) offset() int64 { return t.base + int64(t.pos) }
+
+// fill ensures at least n unread bytes are buffered (unless EOF intervenes).
+// It reports whether n bytes are available.
+func (t *Tokenizer) fill(n int) bool {
+	for t.filled-t.pos < n && !t.eof {
+		// Slide consumed bytes out of the buffer.
+		if t.pos > 0 {
+			copy(t.buf[:t.filled-t.pos], t.buf[t.pos:t.filled])
+			t.base += int64(t.pos)
+			t.filled -= t.pos
+			t.pos = 0
+		}
+		if t.filled+1 > cap(t.buf) {
+			// Grow: a single token larger than the buffer (huge text or tag).
+			newBuf := make([]byte, t.filled, cap(t.buf)*2)
+			copy(newBuf, t.buf[:t.filled])
+			t.buf = newBuf
+		}
+		t.buf = t.buf[:cap(t.buf)]
+		m, err := t.r.Read(t.buf[t.filled:])
+		if m > 0 {
+			t.filled += m
+			t.stats.BytesRead += int64(m)
+		}
+		if err != nil {
+			t.eof = true
+		}
+	}
+	t.buf = t.buf[:t.filled]
+	return t.filled-t.pos >= n
+}
+
+// peekByte returns the byte at the current position without consuming it.
+func (t *Tokenizer) peekByte() (byte, bool) {
+	if !t.fill(1) {
+		return 0, false
+	}
+	return t.buf[t.pos], true
+}
+
+// indexFrom searches for the byte c starting at relative offset from the
+// current position, refilling the buffer as needed. It returns the relative
+// offset of the first occurrence, or -1 at EOF.
+func (t *Tokenizer) indexByte(c byte, from int) int {
+	i := from
+	for {
+		if !t.fill(i + 1) {
+			return -1
+		}
+		for ; t.pos+i < t.filled; i++ {
+			if t.buf[t.pos+i] == c {
+				return i
+			}
+		}
+	}
+}
+
+// indexString searches for the literal s, returning the relative offset of
+// its first occurrence or -1.
+func (t *Tokenizer) indexString(s string) int {
+	i := 0
+	for {
+		j := t.indexByte(s[0], i)
+		if j < 0 {
+			return -1
+		}
+		if !t.fill(j + len(s)) {
+			return -1
+		}
+		if string(t.buf[t.pos+j:t.pos+j+len(s)]) == s {
+			return j
+		}
+		i = j + 1
+	}
+}
+
+// Next returns the next event. After EndOfDocument, it keeps returning
+// EndOfDocument.
+func (t *Tokenizer) Next() (Event, error) {
+	if t.finished {
+		return Event{Kind: EndOfDocument, Start: t.offset(), End: t.offset()}, nil
+	}
+	if t.pending != nil {
+		ev := *t.pending
+		t.pending = nil
+		t.stack = t.stack[:len(t.stack)-1]
+		t.stats.Events++
+		return ev, nil
+	}
+	for {
+		start := t.offset()
+		c, ok := t.peekByte()
+		if !ok {
+			// End of input.
+			if len(t.stack) > 0 {
+				return Event{}, &SyntaxError{Offset: t.offset(), Msg: fmt.Sprintf("unexpected end of input: %d element(s) still open, innermost <%s>", len(t.stack), t.stack[len(t.stack)-1])}
+			}
+			if !t.sawRoot {
+				return Event{}, &SyntaxError{Offset: t.offset(), Msg: "document contains no element"}
+			}
+			t.finished = true
+			t.stats.Events++
+			return Event{Kind: EndOfDocument, Start: start, End: start}, nil
+		}
+		if c != '<' {
+			ev, err := t.charData(start)
+			if err != nil {
+				return Event{}, err
+			}
+			if len(t.stack) == 0 {
+				// Character data outside the document element must be
+				// whitespace only.
+				if strings.TrimSpace(ev.Text) != "" {
+					return Event{}, &SyntaxError{Offset: start, Msg: "character data outside the document element"}
+				}
+				continue
+			}
+			t.stats.Events++
+			return ev, nil
+		}
+		// A markup construct.
+		if !t.fill(2) {
+			return Event{}, &SyntaxError{Offset: start, Msg: "truncated markup"}
+		}
+		switch t.buf[t.pos+1] {
+		case '?':
+			ev, err := t.procInst(start)
+			if err != nil {
+				return Event{}, err
+			}
+			if t.opts.SkipProcInst {
+				continue
+			}
+			t.stats.Events++
+			return ev, nil
+		case '!':
+			ev, deliver, err := t.bangConstruct(start)
+			if err != nil {
+				return Event{}, err
+			}
+			if !deliver {
+				continue
+			}
+			t.stats.Events++
+			return ev, nil
+		case '/':
+			ev, err := t.endTag(start)
+			if err != nil {
+				return Event{}, err
+			}
+			t.stats.Events++
+			return ev, nil
+		default:
+			ev, err := t.startTag(start)
+			if err != nil {
+				return Event{}, err
+			}
+			t.stats.Events++
+			return ev, nil
+		}
+	}
+}
+
+// charData consumes character data up to the next '<' (or EOF) and resolves
+// entities.
+func (t *Tokenizer) charData(start int64) (Event, error) {
+	end := t.indexByte('<', 0)
+	if end < 0 {
+		end = t.filled - t.pos
+	}
+	raw := string(t.buf[t.pos : t.pos+end])
+	t.pos += end
+	text, err := resolveEntities(raw, start)
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{Kind: CharData, Text: text, Start: start, End: t.offset()}, nil
+}
+
+// procInst consumes "<? ... ?>".
+func (t *Tokenizer) procInst(start int64) (Event, error) {
+	end := t.indexString("?>")
+	if end < 0 {
+		return Event{}, &SyntaxError{Offset: start, Msg: "unterminated processing instruction"}
+	}
+	body := string(t.buf[t.pos+2 : t.pos+end])
+	t.pos += end + 2
+	target := body
+	rest := ""
+	if i := strings.IndexAny(body, " \t\r\n"); i >= 0 {
+		target, rest = body[:i], strings.TrimSpace(body[i:])
+	}
+	return Event{Kind: ProcInst, Name: target, Text: rest, Start: start, End: t.offset()}, nil
+}
+
+// bangConstruct consumes "<!-- -->", "<![CDATA[ ]]>" and "<! ... >"
+// declarations (including DOCTYPE with an internal subset). The second
+// return value reports whether an event should be delivered to the caller.
+func (t *Tokenizer) bangConstruct(start int64) (Event, bool, error) {
+	if t.fill(4) && string(t.buf[t.pos:t.pos+4]) == "<!--" {
+		end := t.indexString("-->")
+		if end < 0 {
+			return Event{}, false, &SyntaxError{Offset: start, Msg: "unterminated comment"}
+		}
+		body := string(t.buf[t.pos+4 : t.pos+end])
+		t.pos += end + 3
+		if t.opts.SkipComments {
+			return Event{}, false, nil
+		}
+		return Event{Kind: Comment, Text: body, Start: start, End: t.offset()}, true, nil
+	}
+	if t.fill(9) && string(t.buf[t.pos:t.pos+9]) == "<![CDATA[" {
+		if len(t.stack) == 0 {
+			return Event{}, false, &SyntaxError{Offset: start, Msg: "CDATA section outside the document element"}
+		}
+		end := t.indexString("]]>")
+		if end < 0 {
+			return Event{}, false, &SyntaxError{Offset: start, Msg: "unterminated CDATA section"}
+		}
+		body := string(t.buf[t.pos+9 : t.pos+end])
+		t.pos += end + 3
+		return Event{Kind: CharData, Text: body, Start: start, End: t.offset()}, true, nil
+	}
+	// A declaration: scan for the matching '>' at bracket depth zero,
+	// honouring an internal subset in square brackets (DOCTYPE) and quoted
+	// literals.
+	depth := 0
+	quote := byte(0)
+	i := 2
+	for {
+		if !t.fill(i + 1) {
+			return Event{}, false, &SyntaxError{Offset: start, Msg: "unterminated declaration"}
+		}
+		c := t.buf[t.pos+i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			i++
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				body := string(t.buf[t.pos+2 : t.pos+i])
+				t.pos += i + 1
+				return Event{Kind: Directive, Text: body, Start: start, End: t.offset()}, false, nil
+			}
+		}
+		i++
+	}
+}
+
+// startTag consumes "<name attr="v" ...>" or "<name .../>".
+func (t *Tokenizer) startTag(start int64) (Event, error) {
+	// Locate the end of the tag, honouring quoted attribute values.
+	i := 1
+	quote := byte(0)
+	for {
+		if !t.fill(i + 1) {
+			return Event{}, &SyntaxError{Offset: start, Msg: "unterminated start tag"}
+		}
+		c := t.buf[t.pos+i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			i++
+			continue
+		}
+		if c == '"' || c == '\'' {
+			quote = c
+			i++
+			continue
+		}
+		if c == '>' {
+			break
+		}
+		if c == '<' {
+			return Event{}, &SyntaxError{Offset: start + int64(i), Msg: "'<' inside a tag"}
+		}
+		i++
+	}
+	raw := string(t.buf[t.pos+1 : t.pos+i]) // without "<" and ">"
+	t.pos += i + 1
+
+	selfClosing := false
+	if strings.HasSuffix(raw, "/") {
+		selfClosing = true
+		raw = raw[:len(raw)-1]
+	}
+	name, rest := splitName(raw)
+	if name == "" {
+		return Event{}, &SyntaxError{Offset: start, Msg: "missing element name"}
+	}
+	attrs, err := parseAttrs(rest, start)
+	if err != nil {
+		return Event{}, err
+	}
+	if len(t.stack) == 0 {
+		if t.sawRoot {
+			return Event{}, &SyntaxError{Offset: start, Msg: "more than one top-level element"}
+		}
+		t.sawRoot = true
+	}
+	t.stack = append(t.stack, name)
+	if len(t.stack) > t.stats.MaxDepth {
+		t.stats.MaxDepth = len(t.stack)
+	}
+	t.stats.Elements++
+	ev := Event{Kind: StartElement, Name: name, Attrs: attrs, SelfClosing: selfClosing, Start: start, End: t.offset()}
+	if selfClosing {
+		// Deliver the matching EndElement on the next call; it shares the
+		// tag's end offset and carries no raw bytes of its own.
+		t.pending = &Event{Kind: EndElement, Name: name, Start: t.offset(), End: t.offset()}
+	}
+	return ev, nil
+}
+
+// endTag consumes "</name>".
+func (t *Tokenizer) endTag(start int64) (Event, error) {
+	end := t.indexByte('>', 2)
+	if end < 0 {
+		return Event{}, &SyntaxError{Offset: start, Msg: "unterminated end tag"}
+	}
+	name := strings.TrimSpace(string(t.buf[t.pos+2 : t.pos+end]))
+	t.pos += end + 1
+	if len(t.stack) == 0 {
+		return Event{}, &SyntaxError{Offset: start, Msg: fmt.Sprintf("closing tag </%s> without matching opening tag", name)}
+	}
+	top := t.stack[len(t.stack)-1]
+	if top != name {
+		return Event{}, &SyntaxError{Offset: start, Msg: fmt.Sprintf("closing tag </%s> does not match open element <%s>", name, top)}
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	return Event{Kind: EndElement, Name: name, Start: start, End: t.offset()}, nil
+}
+
+// splitName splits the element name from the attribute text of a tag body.
+func splitName(raw string) (name, rest string) {
+	i := 0
+	for i < len(raw) && !isSpace(raw[i]) {
+		i++
+	}
+	return raw[:i], raw[i:]
+}
+
+// parseAttrs parses the attribute text of a start tag.
+func parseAttrs(s string, off int64) ([]Attr, error) {
+	var attrs []Attr
+	i := 0
+	for {
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) {
+			return attrs, nil
+		}
+		// Attribute name.
+		j := i
+		for j < len(s) && s[j] != '=' && !isSpace(s[j]) {
+			j++
+		}
+		name := s[i:j]
+		if name == "" {
+			return nil, &SyntaxError{Offset: off, Msg: "malformed attribute"}
+		}
+		i = j
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			return nil, &SyntaxError{Offset: off, Msg: fmt.Sprintf("attribute %q has no value", name)}
+		}
+		i++
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) || (s[i] != '"' && s[i] != '\'') {
+			return nil, &SyntaxError{Offset: off, Msg: fmt.Sprintf("attribute %q value is not quoted", name)}
+		}
+		quote := s[i]
+		i++
+		k := strings.IndexByte(s[i:], quote)
+		if k < 0 {
+			return nil, &SyntaxError{Offset: off, Msg: fmt.Sprintf("attribute %q value is not terminated", name)}
+		}
+		value, err := resolveEntities(s[i:i+k], off)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, Attr{Name: name, Value: value})
+		i += k + 1
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+// resolveEntities replaces the five predefined XML entities and decimal /
+// hexadecimal character references.
+func resolveEntities(s string, off int64) (string, error) {
+	if !strings.Contains(s, "&") {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 {
+			return "", &SyntaxError{Offset: off + int64(i), Msg: "unterminated entity reference"}
+		}
+		ref := s[i+1 : i+end]
+		switch {
+		case ref == "amp":
+			b.WriteByte('&')
+		case ref == "lt":
+			b.WriteByte('<')
+		case ref == "gt":
+			b.WriteByte('>')
+		case ref == "apos":
+			b.WriteByte('\'')
+		case ref == "quot":
+			b.WriteByte('"')
+		case strings.HasPrefix(ref, "#x"), strings.HasPrefix(ref, "#X"):
+			var n int
+			if _, err := fmt.Sscanf(ref[2:], "%x", &n); err != nil {
+				return "", &SyntaxError{Offset: off + int64(i), Msg: fmt.Sprintf("bad character reference &%s;", ref)}
+			}
+			b.WriteRune(rune(n))
+		case strings.HasPrefix(ref, "#"):
+			var n int
+			if _, err := fmt.Sscanf(ref[1:], "%d", &n); err != nil {
+				return "", &SyntaxError{Offset: off + int64(i), Msg: fmt.Sprintf("bad character reference &%s;", ref)}
+			}
+			b.WriteRune(rune(n))
+		default:
+			return "", &SyntaxError{Offset: off + int64(i), Msg: fmt.Sprintf("unknown entity &%s;", ref)}
+		}
+		i += end + 1
+	}
+	return b.String(), nil
+}
+
+// EscapeText escapes character data for re-serialization.
+func EscapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes an attribute value for re-serialization with double
+// quotes.
+func EscapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", "\"", "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,326 @@
+package sax
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// collect parses doc and returns all events (excluding EndOfDocument).
+func collect(t *testing.T, doc string, opts Options) []Event {
+	t.Helper()
+	var evs []Event
+	_, err := ParseBytes([]byte(doc), HandlerFunc(func(ev Event) error {
+		if ev.Kind != EndOfDocument {
+			evs = append(evs, ev)
+		}
+		return nil
+	}), opts)
+	if err != nil {
+		t.Fatalf("ParseBytes(%q): %v", doc, err)
+	}
+	return evs
+}
+
+// trace renders events in a compact textual form for comparisons.
+func trace(evs []Event) string {
+	var b strings.Builder
+	for _, ev := range evs {
+		switch ev.Kind {
+		case StartElement:
+			b.WriteString("<" + ev.Name)
+			for _, a := range ev.Attrs {
+				fmt.Fprintf(&b, " %s=%q", a.Name, a.Value)
+			}
+			b.WriteString(">")
+		case EndElement:
+			b.WriteString("</" + ev.Name + ">")
+		case CharData:
+			b.WriteString("[" + ev.Text + "]")
+		case Comment:
+			b.WriteString("<!--" + ev.Text + "-->")
+		case ProcInst:
+			b.WriteString("<?" + ev.Name + "?>")
+		}
+	}
+	return b.String()
+}
+
+func TestBasicDocument(t *testing.T) {
+	doc := `<a><b x="1">hi</b><c/></a>`
+	got := trace(collect(t, doc, Options{}))
+	want := `<a><b x="1">[hi]</b></b><c></c></a>`
+	// The synthetic EndElement of <c/> carries the same name.
+	want = `<a><b x="1">[hi]</b><c></c></a>`
+	if got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestXMLDeclarationAndDoctype(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<!DOCTYPE a [ <!ELEMENT a (b*)> <!ELEMENT b EMPTY> ]>
+<a><b/></a>`
+	evs := collect(t, doc, Options{SkipProcInst: true})
+	got := trace(evs)
+	// Whitespace outside the document element is not reported.
+	want := `<a><b></b></a>`
+	if got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestAttributesWhitespaceAndQuotes(t *testing.T) {
+	doc := `<a  b = "x y"  c='z'  ><e   /></a  >`
+	evs := collect(t, doc, Options{})
+	if evs[0].Kind != StartElement || evs[0].Name != "a" {
+		t.Fatalf("unexpected first event %+v", evs[0])
+	}
+	if len(evs[0].Attrs) != 2 || evs[0].Attrs[0] != (Attr{"b", "x y"}) || evs[0].Attrs[1] != (Attr{"c", "z"}) {
+		t.Errorf("attrs = %+v", evs[0].Attrs)
+	}
+	if evs[1].Name != "e" || !evs[1].SelfClosing {
+		t.Errorf("expected self-closing <e>, got %+v", evs[1])
+	}
+}
+
+func TestEntityResolution(t *testing.T) {
+	doc := `<a t="&lt;x&gt;">&amp;&#65;&#x42;&apos;&quot;</a>`
+	evs := collect(t, doc, Options{})
+	if evs[0].Attrs[0].Value != "<x>" {
+		t.Errorf("attribute value = %q", evs[0].Attrs[0].Value)
+	}
+	if evs[1].Text != "&AB'\"" {
+		t.Errorf("text = %q", evs[1].Text)
+	}
+}
+
+func TestCDATAAndComments(t *testing.T) {
+	doc := `<a><!-- note --><![CDATA[1 < 2 & 3 > 2]]></a>`
+	evs := collect(t, doc, Options{})
+	got := trace(evs)
+	want := `<a><!-- note -->[1 < 2 & 3 > 2]</a>`
+	if got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+	evs = collect(t, doc, Options{SkipComments: true})
+	if strings.Contains(trace(evs), "note") {
+		t.Error("comment not skipped")
+	}
+}
+
+func TestProcInst(t *testing.T) {
+	doc := `<?xml version="1.0" encoding="UTF-8"?><a><?target data?></a>`
+	evs := collect(t, doc, Options{})
+	if evs[0].Kind != ProcInst || evs[0].Name != "xml" {
+		t.Errorf("first event %+v", evs[0])
+	}
+	if evs[2].Kind != ProcInst || evs[2].Name != "target" || evs[2].Text != "data" {
+		t.Errorf("inner PI %+v", evs[2])
+	}
+}
+
+func TestEventOffsets(t *testing.T) {
+	doc := `<a>xy<b/></a>`
+	evs := collect(t, doc, Options{})
+	// <a> occupies [0,3), "xy" [3,5), <b/> [5,9), </a> [9,13).
+	wantSpans := [][2]int64{{0, 3}, {3, 5}, {5, 9}, {9, 9}, {9, 13}}
+	if len(evs) != len(wantSpans) {
+		t.Fatalf("got %d events, want %d: %s", len(evs), len(wantSpans), trace(evs))
+	}
+	for i, span := range wantSpans {
+		if evs[i].Start != span[0] || evs[i].End != span[1] {
+			t.Errorf("event %d (%s) span = [%d,%d), want [%d,%d)",
+				i, evs[i].Kind, evs[i].Start, evs[i].End, span[0], span[1])
+		}
+	}
+}
+
+func TestRawSpansReconstructDocument(t *testing.T) {
+	doc := `<a attr="v"><b>text &amp; more</b><!--c--><c/></a>`
+	var parts []string
+	_, err := ParseBytes([]byte(doc), HandlerFunc(func(ev Event) error {
+		if ev.Kind != EndOfDocument {
+			parts = append(parts, doc[ev.Start:ev.End])
+		}
+		return nil
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(parts, ""); got != doc {
+		t.Errorf("concatenated spans = %q, want %q", got, doc)
+	}
+}
+
+func TestWellFormednessErrors(t *testing.T) {
+	cases := []string{
+		`<a>`,                      // unclosed element
+		`<a></b>`,                  // mismatched closing tag
+		`</a>`,                     // closing tag without opening
+		`<a></a><b></b>`,           // two top-level elements
+		`<a>text`,                  // unclosed with text
+		`text<a></a>`,              // text before the root
+		`<a x=1></a>`,              // unquoted attribute
+		`<a x></a>`,                // attribute without value
+		`<a><![CDATA[x]]></a`,      // truncated
+		`<a>&unknown;</a>`,         // unknown entity
+		`<a>&amp</a>`,              // unterminated entity
+		``,                         // empty document
+		`   `,                      // whitespace only
+		`<a><b <c/></b></a>`,       // '<' inside a tag
+	}
+	for _, doc := range cases {
+		_, err := ParseBytes([]byte(doc), HandlerFunc(func(Event) error { return nil }), Options{})
+		if err == nil {
+			t.Errorf("ParseBytes(%q) succeeded, want error", doc)
+		}
+	}
+}
+
+func TestWhitespaceAroundRootAllowed(t *testing.T) {
+	doc := "\n  <a></a>\n  "
+	if _, err := ParseBytes([]byte(doc), HandlerFunc(func(Event) error { return nil }), Options{}); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	doc := `<a><b><c/></b><b/></a>`
+	stats, err := ParseBytes([]byte(doc), HandlerFunc(func(Event) error { return nil }), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Elements != 4 {
+		t.Errorf("Elements = %d, want 4", stats.Elements)
+	}
+	if stats.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d, want 3", stats.MaxDepth)
+	}
+	if stats.BytesRead != int64(len(doc)) {
+		t.Errorf("BytesRead = %d, want %d", stats.BytesRead, len(doc))
+	}
+}
+
+func TestSmallBufferRefill(t *testing.T) {
+	// A tiny buffer forces many refills and buffer growth for tokens larger
+	// than the buffer.
+	doc := `<root><item name="` + strings.Repeat("x", 200) + `">` +
+		strings.Repeat("hello world ", 50) + `</item></root>`
+	var got []Event
+	tok := NewTokenizer(strings.NewReader(doc), Options{BufferSize: 16})
+	for {
+		ev, err := tok.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == EndOfDocument {
+			break
+		}
+		got = append(got, ev)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d events: %s", len(got), trace(got))
+	}
+	if len(got[1].Attrs[0].Value) != 200 {
+		t.Errorf("attribute length = %d", len(got[1].Attrs[0].Value))
+	}
+}
+
+func TestHandlerErrorAborts(t *testing.T) {
+	doc := `<a><b/><c/></a>`
+	wantErr := fmt.Errorf("stop")
+	n := 0
+	_, err := ParseBytes([]byte(doc), HandlerFunc(func(ev Event) error {
+		n++
+		if n == 2 {
+			return wantErr
+		}
+		return nil
+	}), Options{})
+	if err != wantErr {
+		t.Errorf("err = %v, want %v", err, wantErr)
+	}
+	if n != 2 {
+		t.Errorf("handler called %d times, want 2", n)
+	}
+}
+
+func TestEscapeHelpers(t *testing.T) {
+	if got := EscapeText(`a<b>&c`); got != "a&lt;b&gt;&amp;c" {
+		t.Errorf("EscapeText = %q", got)
+	}
+	if got := EscapeAttr(`a"b<&`); got != `a&quot;b&lt;&amp;` {
+		t.Errorf("EscapeAttr = %q", got)
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		// Strip control characters the generator may produce but XML forbids.
+		clean := strings.Map(func(r rune) rune {
+			if r < 0x20 && r != '\t' && r != '\n' && r != '\r' {
+				return -1
+			}
+			return r
+		}, s)
+		doc := "<a>" + EscapeText(clean) + "</a>"
+		var text strings.Builder
+		_, err := ParseBytes([]byte(doc), HandlerFunc(func(ev Event) error {
+			if ev.Kind == CharData {
+				text.WriteString(ev.Text)
+			}
+			return nil
+		}), Options{})
+		if err != nil {
+			return false
+		}
+		return text.String() == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBalancedSyntheticDocs generates random balanced documents and
+// checks that (1) parsing succeeds and (2) start/end events balance.
+func TestQuickBalancedSyntheticDocs(t *testing.T) {
+	names := []string{"a", "bb", "ccc", "item", "name"}
+	var build func(depth, seed int) string
+	build = func(depth, seed int) string {
+		name := names[seed%len(names)]
+		if depth <= 0 {
+			if seed%3 == 0 {
+				return "<" + name + "/>"
+			}
+			return "<" + name + ">t" + fmt.Sprint(seed) + "</" + name + ">"
+		}
+		inner := ""
+		for i := 0; i < (seed%3)+1; i++ {
+			inner += build(depth-1, seed*7+i+1)
+		}
+		return "<" + name + ">" + inner + "</" + name + ">"
+	}
+	f := func(seed uint8, depth uint8) bool {
+		doc := build(int(depth%4), int(seed))
+		depthCount := 0
+		ok := true
+		_, err := ParseBytes([]byte(doc), HandlerFunc(func(ev Event) error {
+			switch ev.Kind {
+			case StartElement:
+				depthCount++
+			case EndElement:
+				depthCount--
+				if depthCount < 0 {
+					ok = false
+				}
+			}
+			return nil
+		}), Options{})
+		return err == nil && ok && depthCount == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Table I", "Query", "Proj. Size", "Char Comp.")
+	tb.AddRow("XM1", "67.64MB", "18.86%")
+	tb.AddRow("XM5", "22.10MB") // short row is padded
+	tb.AddNote("paper reference: 9.87%%")
+	out := tb.String()
+	for _, want := range []string{"Table I", "Query", "XM1", "18.86%", "XM5", "paper reference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 2 rows, 1 note.
+	if len(lines) != 7 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1", `x,"y"`)
+	csv := tb.CSV()
+	want := "a,b\n1,\"x,\"\"y\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Results", "q", "v")
+	tb.AddRow("XM1", "1")
+	md := tb.Markdown()
+	for _, want := range []string{"### Results", "| q | v |", "| --- | --- |", "| XM1 | 1 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:            "512 B",
+		2048:           "2.00 KiB",
+		5 << 20:        "5.00 MiB",
+		3 << 30:        "3.00 GiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	got := ThroughputMBps(10<<20, 2*time.Second)
+	if got < 4.99 || got > 5.01 {
+		t.Errorf("ThroughputMBps = %f, want 5", got)
+	}
+	if ThroughputMBps(1, 0) != 0 {
+		t.Error("zero duration must yield 0")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := FormatPercent(12.345); got != "12.35%" {
+		t.Errorf("FormatPercent = %q", got)
+	}
+	if got := FormatFloat(1.005); got != "1.00" && got != "1.01" {
+		t.Errorf("FormatFloat = %q", got)
+	}
+	if got := FormatRatio(10, 2); got != "5.0x" {
+		t.Errorf("FormatRatio = %q", got)
+	}
+	if got := FormatRatio(10, 0); got != "n/a" {
+		t.Errorf("FormatRatio(_, 0) = %q", got)
+	}
+	if got := FormatDuration(1500 * time.Microsecond); got != "2ms" && got != "1ms" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	timer := StartTimer()
+	time.Sleep(2 * time.Millisecond)
+	if timer.Elapsed() <= 0 {
+		t.Error("Elapsed must be positive")
+	}
+}

@@ -1,0 +1,60 @@
+package stringmatch
+
+// KMP implements the Knuth-Morris-Pratt algorithm. It examines every
+// character of the text exactly once and therefore serves as the
+// character-at-a-time baseline in the ablation experiments.
+type KMP struct {
+	pattern []byte
+	failure []int
+	stats   Stats
+}
+
+// NewKMP returns a KMP matcher for pattern. The pattern must not be empty.
+func NewKMP(pattern []byte) *KMP {
+	if len(pattern) == 0 {
+		panic("stringmatch: empty pattern")
+	}
+	p := append([]byte(nil), pattern...)
+	f := make([]int, len(p))
+	f[0] = 0
+	k := 0
+	for i := 1; i < len(p); i++ {
+		for k > 0 && p[k] != p[i] {
+			k = f[k-1]
+		}
+		if p[k] == p[i] {
+			k++
+		}
+		f[i] = k
+	}
+	return &KMP{pattern: p, failure: f}
+}
+
+// Pattern returns the keyword this matcher searches for.
+func (k *KMP) Pattern() []byte { return k.pattern }
+
+// Stats returns the accumulated instrumentation counters.
+func (k *KMP) Stats() *Stats { return &k.stats }
+
+// Next returns the start of the leftmost occurrence at or after start, or -1.
+func (k *KMP) Next(text []byte, start int) int {
+	if start < 0 {
+		start = 0
+	}
+	m := len(k.pattern)
+	q := 0
+	for i := start; i < len(text); i++ {
+		k.stats.compare(1)
+		for q > 0 && k.pattern[q] != text[i] {
+			q = k.failure[q-1]
+			k.stats.compare(1)
+		}
+		if k.pattern[q] == text[i] {
+			q++
+		}
+		if q == m {
+			return i - m + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,41 @@
+package stringmatch
+
+// Stats accumulates instrumentation counters for a matcher. The SMP
+// experiment harness reads these to reproduce the "Char Comp. [%]" and
+// "Ø Shift Size [char]" columns of Tables I and II.
+type Stats struct {
+	// Comparisons is the number of character comparisons performed,
+	// including comparisons that are implicit in automaton or trie
+	// transitions (one comparison is charged per text character examined).
+	Comparisons int64
+	// Shifts is the number of window shifts performed.
+	Shifts int64
+	// ShiftTotal is the sum of all shift distances, so that
+	// ShiftTotal/Shifts is the average shift size.
+	ShiftTotal int64
+	// Windows is the number of search windows (alignments) examined.
+	Windows int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Comparisons += other.Comparisons
+	s.Shifts += other.Shifts
+	s.ShiftTotal += other.ShiftTotal
+	s.Windows += other.Windows
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// AvgShift returns the average shift size, or 0 if no shifts were performed.
+func (s *Stats) AvgShift() float64 {
+	if s.Shifts == 0 {
+		return 0
+	}
+	return float64(s.ShiftTotal) / float64(s.Shifts)
+}
+
+func (s *Stats) compare(n int64)  { s.Comparisons += n }
+func (s *Stats) shift(dist int64) { s.Shifts++; s.ShiftTotal += dist }
+func (s *Stats) window()          { s.Windows++ }

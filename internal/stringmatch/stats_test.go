@@ -1,0 +1,101 @@
+package stringmatch
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStatsAvgShift(t *testing.T) {
+	var s Stats
+	if s.AvgShift() != 0 {
+		t.Errorf("AvgShift on zero stats = %f, want 0", s.AvgShift())
+	}
+	s.shift(4)
+	s.shift(8)
+	if got := s.AvgShift(); got != 6 {
+		t.Errorf("AvgShift = %f, want 6", got)
+	}
+	s.Reset()
+	if s.Shifts != 0 || s.ShiftTotal != 0 {
+		t.Errorf("Reset did not zero stats: %+v", s)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Comparisons: 1, Shifts: 2, ShiftTotal: 3, Windows: 4}
+	b := Stats{Comparisons: 10, Shifts: 20, ShiftTotal: 30, Windows: 40}
+	a.Add(b)
+	want := Stats{Comparisons: 11, Shifts: 22, ShiftTotal: 33, Windows: 44}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
+
+// TestBoyerMooreSkipsCharacters verifies the core claim motivating the paper:
+// Boyer-Moore inspects a small fraction of the text when the pattern does not
+// occur and the alphabet is favourable.
+func TestBoyerMooreSkipsCharacters(t *testing.T) {
+	text := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 200)
+	pattern := []byte("<description")
+
+	bm := NewBoyerMoore(pattern)
+	if pos := bm.Next(text, 0); pos != -1 {
+		t.Fatalf("unexpected match at %d", pos)
+	}
+	if frac := float64(bm.Stats().Comparisons) / float64(len(text)); frac > 0.5 {
+		t.Errorf("Boyer-Moore inspected %.0f%% of the text, expected well below 50%%", frac*100)
+	}
+
+	naive := NewNaive(pattern)
+	naive.Next(text, 0)
+	if bm.Stats().Comparisons >= naive.Stats().Comparisons {
+		t.Errorf("Boyer-Moore comparisons (%d) not below naive (%d)",
+			bm.Stats().Comparisons, naive.Stats().Comparisons)
+	}
+}
+
+// TestCommentzWalterSkipsCharacters verifies the skip behaviour of the
+// multi-keyword matcher against the every-character Aho-Corasick baseline.
+func TestCommentzWalterSkipsCharacters(t *testing.T) {
+	text := bytes.Repeat([]byte("<item><location>United States</location><quantity>1</quantity></item>"), 100)
+	patterns := [][]byte{[]byte("<description"), []byte("</australia"), []byte("<emailaddress")}
+
+	cw := NewCommentzWalter(patterns)
+	if pos, _ := cw.Next(text, 0); pos != -1 {
+		t.Fatalf("unexpected match at %d", pos)
+	}
+	ac := NewAhoCorasick(patterns)
+	ac.Next(text, 0)
+
+	if cw.Stats().Comparisons >= ac.Stats().Comparisons {
+		t.Errorf("Commentz-Walter comparisons (%d) not below Aho-Corasick (%d)",
+			cw.Stats().Comparisons, ac.Stats().Comparisons)
+	}
+	if avg := cw.Stats().AvgShift(); avg < 2 {
+		t.Errorf("average Commentz-Walter shift = %.2f, expected skip-sized shifts", avg)
+	}
+}
+
+// TestAverageShiftTracksKeywordLength checks the relationship the paper
+// reports between keyword length and average forward shift (Medline queries
+// with long tagnames shift further than XMark queries with short ones).
+func TestAverageShiftTracksKeywordLength(t *testing.T) {
+	text := bytes.Repeat([]byte("abcdefghij klmnopqrst uvwxyz 0123456789 "), 500)
+
+	short := NewBoyerMoore([]byte("<name"))
+	short.Next(text, 0)
+	long := NewBoyerMoore([]byte("<MedlineCitationSet"))
+	long.Next(text, 0)
+
+	if long.Stats().AvgShift() <= short.Stats().AvgShift() {
+		t.Errorf("longer keyword average shift (%.2f) not above shorter keyword (%.2f)",
+			long.Stats().AvgShift(), short.Stats().AvgShift())
+	}
+}
+
+func TestCommentzWalterMinLength(t *testing.T) {
+	cw := NewCommentzWalter([][]byte{[]byte("<b"), []byte("</longname")})
+	if cw.MinLength() != 2 {
+		t.Errorf("MinLength = %d, want 2", cw.MinLength())
+	}
+}

@@ -1,0 +1,183 @@
+package xmlgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"smp/internal/dtd"
+)
+
+// FromDTDConfig controls the generic DTD-driven document generator.
+type FromDTDConfig struct {
+	// Seed selects the deterministic pseudo-random stream.
+	Seed uint64
+	// MaxRepeat bounds the number of instances emitted for '*' and '+'
+	// particles (default 3).
+	MaxRepeat int
+	// TargetSize is a soft size bound: once the output exceeds it, optional
+	// content is skipped and repetitions are kept minimal, so generation
+	// terminates quickly. 0 selects a small default (16 KiB).
+	TargetSize int64
+}
+
+func (c FromDTDConfig) withDefaults() FromDTDConfig {
+	if c.MaxRepeat <= 0 {
+		c.MaxRepeat = 3
+	}
+	if c.TargetSize <= 0 {
+		c.TargetSize = 16 << 10
+	}
+	return c
+}
+
+// FromDTD writes a pseudo-random document valid with respect to the given
+// non-recursive DTD. It is used by the randomized cross-checking tests
+// (arbitrary schemas, not just the bundled benchmark DTDs) and is handy for
+// producing fixtures for new schemas.
+func FromDTD(w io.Writer, d *dtd.DTD, cfg FromDTDConfig) (int64, error) {
+	if rec := d.RecursiveElements(); len(rec) > 0 {
+		return 0, fmt.Errorf("xmlgen: recursive DTD (cycle through %v)", rec)
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	cfg = cfg.withDefaults()
+	g := &dtdGen{
+		cw:  &countingWriter{w: w},
+		r:   newRNG(cfg.Seed ^ 0x5eed),
+		d:   d,
+		cfg: cfg,
+	}
+	g.element(d.Root)
+	return g.cw.n, g.cw.err
+}
+
+// FromDTDBytes is FromDTD into memory.
+func FromDTDBytes(d *dtd.DTD, cfg FromDTDConfig) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := FromDTD(&buf, d, cfg); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// dtdGen walks content models emitting random but schema-conforming markup.
+type dtdGen struct {
+	cw  *countingWriter
+	r   *rng
+	d   *dtd.DTD
+	cfg FromDTDConfig
+}
+
+// overBudget reports whether the soft size bound has been reached; past it
+// the generator takes the smallest choices available.
+func (g *dtdGen) overBudget() bool { return g.cw.n >= g.cfg.TargetSize }
+
+func (g *dtdGen) element(name string) {
+	el := g.d.Element(name)
+	attrs := g.attributes(el)
+
+	empty := el == nil || el.Content == nil || el.Content.Kind == dtd.KindEmpty
+	if empty {
+		// Alternate between the bachelor form and the explicit empty form so
+		// both code paths of consumers are exercised.
+		if g.r.chance(1, 2) {
+			g.cw.Writef("<%s%s/>", name, attrs)
+		} else {
+			g.cw.Writef("<%s%s></%s>", name, attrs, name)
+		}
+		return
+	}
+	g.cw.Writef("<%s%s>", name, attrs)
+	g.content(el.Content)
+	g.cw.Writef("</%s>", name)
+}
+
+func (g *dtdGen) attributes(el *dtd.Element) string {
+	if el == nil {
+		return ""
+	}
+	var b bytes.Buffer
+	for _, a := range el.Attributes {
+		include := a.Required() || (!g.overBudget() && g.r.chance(1, 3))
+		if !include {
+			continue
+		}
+		value := a.Value
+		if value == "" {
+			value = fmt.Sprintf("v%d", g.r.intn(1000))
+		}
+		fmt.Fprintf(&b, " %s=%q", a.Name, value)
+	}
+	return b.String()
+}
+
+func (g *dtdGen) content(c *dtd.Content) {
+	if c == nil {
+		return
+	}
+	// Repetition count for this particle.
+	count := 1
+	switch c.Occur {
+	case dtd.Optional:
+		if g.overBudget() || g.r.chance(1, 2) {
+			return
+		}
+	case dtd.ZeroOrMore:
+		if g.overBudget() {
+			return
+		}
+		count = g.r.intn(g.cfg.MaxRepeat + 1)
+	case dtd.OneOrMore:
+		count = 1
+		if !g.overBudget() {
+			count += g.r.intn(g.cfg.MaxRepeat)
+		}
+	}
+	for i := 0; i < count; i++ {
+		g.once(c)
+	}
+}
+
+// once emits a single instance of the particle, ignoring its own occurrence
+// operator (handled by content).
+func (g *dtdGen) once(c *dtd.Content) {
+	switch c.Kind {
+	case dtd.KindEmpty:
+		// nothing
+	case dtd.KindAny, dtd.KindPCDATA:
+		g.cw.WriteString(g.r.sentence(1 + g.r.intn(6)))
+	case dtd.KindName:
+		g.element(c.Name)
+	case dtd.KindSequence:
+		for _, ch := range c.Children {
+			g.content(ch)
+		}
+	case dtd.KindChoice:
+		if len(c.Children) == 0 {
+			return
+		}
+		// Prefer the cheapest alternative once over budget; otherwise pick
+		// one uniformly at random.
+		if g.overBudget() {
+			g.content(g.cheapestChild(c))
+			return
+		}
+		g.content(c.Children[g.r.intn(len(c.Children))])
+	}
+}
+
+// cheapestChild returns the alternative with the smallest minimum serialized
+// length (used to wind down generation once the size budget is reached).
+func (g *dtdGen) cheapestChild(c *dtd.Content) *dtd.Content {
+	minLens := dtd.NewMinLens(g.d)
+	best := c.Children[0]
+	bestLen := minLens.MinContentLen(best)
+	for _, ch := range c.Children[1:] {
+		if l := minLens.MinContentLen(ch); l < bestLen {
+			best, bestLen = ch, l
+		}
+	}
+	return best
+}

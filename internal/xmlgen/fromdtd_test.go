@@ -1,0 +1,139 @@
+package xmlgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smp/internal/dtd"
+)
+
+var fromDTDSchemas = map[string]string{
+	"example2": `<!DOCTYPE a [
+		<!ELEMENT a (b|c)*>
+		<!ELEMENT b (#PCDATA)>
+		<!ELEMENT c (b,b?)>
+	]>`,
+	"mixed": `<!DOCTYPE doc [
+		<!ELEMENT doc (head, body+)>
+		<!ELEMENT head (title, meta*)>
+		<!ELEMENT title (#PCDATA)>
+		<!ELEMENT meta EMPTY>
+		<!ATTLIST meta name CDATA #REQUIRED>
+		<!ATTLIST meta content CDATA #IMPLIED>
+		<!ELEMENT body (#PCDATA | em | strong)*>
+		<!ELEMENT em (#PCDATA)>
+		<!ELEMENT strong (#PCDATA)>
+	]>`,
+	"prefixes": `<!DOCTYPE r [
+		<!ELEMENT r (rec*)>
+		<!ELEMENT rec (Abstract?, AbstractText, Title?, TitleAssociatedWithName?)>
+		<!ELEMENT Abstract (#PCDATA)>
+		<!ELEMENT AbstractText (#PCDATA)>
+		<!ELEMENT Title (#PCDATA)>
+		<!ELEMENT TitleAssociatedWithName (#PCDATA)>
+	]>`,
+	"xmark":   xmarkDTD,
+	"medline": medlineDTD,
+}
+
+func TestFromDTDProducesValidDocuments(t *testing.T) {
+	for name, src := range fromDTDSchemas {
+		schema := dtd.MustParse(src)
+		for seed := uint64(0); seed < 5; seed++ {
+			doc, err := FromDTDBytes(schema, FromDTDConfig{Seed: seed, TargetSize: 8 << 10})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if len(doc) == 0 {
+				t.Fatalf("%s seed %d: empty document", name, seed)
+			}
+			conforms(t, doc, src)
+		}
+	}
+}
+
+func TestFromDTDDeterministic(t *testing.T) {
+	schema := dtd.MustParse(fromDTDSchemas["mixed"])
+	a, err := FromDTDBytes(schema, FromDTDConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromDTDBytes(schema, FromDTDConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("FromDTD is not deterministic")
+	}
+	c, err := FromDTDBytes(schema, FromDTDConfig{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds should produce different documents")
+	}
+}
+
+func TestFromDTDSoftSizeBound(t *testing.T) {
+	schema := dtd.MustParse(xmarkDTD)
+	small, err := FromDTDBytes(schema, FromDTDConfig{Seed: 1, TargetSize: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := FromDTDBytes(schema, FromDTDConfig{Seed: 1, TargetSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(large) <= len(small) {
+		t.Errorf("larger target produced a smaller document: %d vs %d", len(large), len(small))
+	}
+	// The soft bound is not exceeded by more than one element subtree; for
+	// these schemas staying within 4x is a generous check.
+	if int64(len(small)) > 4*(2<<10) {
+		t.Errorf("small document is %d bytes for a 2 KiB target", len(small))
+	}
+}
+
+func TestFromDTDRejectsBadSchemas(t *testing.T) {
+	recursive := dtd.MustParse(`<!DOCTYPE a [ <!ELEMENT a (b?)> <!ELEMENT b (a?)> ]>`)
+	if _, err := FromDTDBytes(recursive, FromDTDConfig{}); err == nil {
+		t.Error("expected error for recursive DTD")
+	}
+	// A hand-built DTD referencing an undeclared element (the text parser
+	// would reject this on its own).
+	undeclared := &dtd.DTD{
+		Root: "a",
+		Elements: map[string]*dtd.Element{
+			"a": {Name: "a", Content: &dtd.Content{Kind: dtd.KindName, Name: "missing"}},
+		},
+	}
+	if _, err := FromDTDBytes(undeclared, FromDTDConfig{}); err == nil {
+		t.Error("expected error for undeclared child element")
+	}
+}
+
+func TestFromDTDRequiredAttributesAlwaysPresent(t *testing.T) {
+	schema := dtd.MustParse(fromDTDSchemas["mixed"])
+	doc, err := FromDTDBytes(schema, FromDTDConfig{Seed: 3, TargetSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(doc)
+	// Every meta element must carry its required name attribute.
+	for i := 0; ; {
+		j := strings.Index(s[i:], "<meta")
+		if j < 0 {
+			break
+		}
+		tag := s[i+j:]
+		end := strings.IndexByte(tag, '>')
+		if end < 0 {
+			t.Fatal("unterminated meta tag")
+		}
+		if !strings.Contains(tag[:end], `name="`) {
+			t.Errorf("meta tag without required attribute: %q", tag[:end+1])
+		}
+		i += j + end
+	}
+}

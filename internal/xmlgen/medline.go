@@ -1,0 +1,258 @@
+package xmlgen
+
+import (
+	"bytes"
+	"io"
+)
+
+// medlineDTD is the bundled citation schema: a representative subset of the
+// MEDLINE citation DTD with the long tagnames and mostly-optional content
+// that shape the paper's Table II results (large Boyer-Moore shifts, almost
+// no initial jumps). The element CollectionTitle is declared but never
+// generated, mirroring the paper's query M1 which "searches for nodes which
+// are defined by the DTD, but do not occur in the input".
+const medlineDTD = `<!DOCTYPE MedlineCitationSet [
+<!ELEMENT MedlineCitationSet (MedlineCitation*)>
+<!ELEMENT MedlineCitation (PMID, DateCreated, DateCompleted?, Article, MedlineJournalInfo, ChemicalList?, MeshHeadingList?, PersonalNameSubjectList?, OtherInformation?)>
+<!ATTLIST MedlineCitation Owner CDATA #REQUIRED>
+<!ATTLIST MedlineCitation Status CDATA #REQUIRED>
+<!ELEMENT PMID (#PCDATA)>
+<!ELEMENT DateCreated (Year, Month, Day)>
+<!ELEMENT DateCompleted (Year, Month, Day)>
+<!ELEMENT Year (#PCDATA)>
+<!ELEMENT Month (#PCDATA)>
+<!ELEMENT Day (#PCDATA)>
+<!ELEMENT Article (Journal, ArticleTitle, Pagination?, Abstract?, Affiliation?, AuthorList?, Language, DataBankList?, GrantList?, PublicationTypeList)>
+<!ELEMENT Journal (ISSN?, JournalIssue, Title?, ISOAbbreviation?)>
+<!ELEMENT ISSN (#PCDATA)>
+<!ELEMENT JournalIssue (Volume?, Issue?, PubDate)>
+<!ELEMENT Volume (#PCDATA)>
+<!ELEMENT Issue (#PCDATA)>
+<!ELEMENT PubDate (Year, Month?, Day?)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT ISOAbbreviation (#PCDATA)>
+<!ELEMENT ArticleTitle (#PCDATA)>
+<!ELEMENT Pagination (MedlinePgn)>
+<!ELEMENT MedlinePgn (#PCDATA)>
+<!ELEMENT Abstract (AbstractText, CopyrightInformation?)>
+<!ELEMENT AbstractText (#PCDATA)>
+<!ELEMENT CopyrightInformation (#PCDATA)>
+<!ELEMENT Affiliation (#PCDATA)>
+<!ELEMENT AuthorList (Author+)>
+<!ATTLIST AuthorList CompleteYN CDATA #REQUIRED>
+<!ELEMENT Author (LastName, ForeName?, Initials?)>
+<!ELEMENT LastName (#PCDATA)>
+<!ELEMENT ForeName (#PCDATA)>
+<!ELEMENT Initials (#PCDATA)>
+<!ELEMENT Language (#PCDATA)>
+<!ELEMENT DataBankList (DataBank+)>
+<!ELEMENT DataBank (DataBankName, AccessionNumberList?)>
+<!ELEMENT DataBankName (#PCDATA)>
+<!ELEMENT AccessionNumberList (AccessionNumber+)>
+<!ELEMENT AccessionNumber (#PCDATA)>
+<!ELEMENT GrantList (Grant+)>
+<!ELEMENT Grant (GrantID?, Agency?)>
+<!ELEMENT GrantID (#PCDATA)>
+<!ELEMENT Agency (#PCDATA)>
+<!ELEMENT PublicationTypeList (PublicationType+)>
+<!ELEMENT PublicationType (#PCDATA)>
+<!ELEMENT MedlineJournalInfo (Country?, MedlineTA, NlmUniqueID?)>
+<!ELEMENT Country (#PCDATA)>
+<!ELEMENT MedlineTA (#PCDATA)>
+<!ELEMENT NlmUniqueID (#PCDATA)>
+<!ELEMENT ChemicalList (Chemical+)>
+<!ELEMENT Chemical (RegistryNumber, NameOfSubstance)>
+<!ELEMENT RegistryNumber (#PCDATA)>
+<!ELEMENT NameOfSubstance (#PCDATA)>
+<!ELEMENT MeshHeadingList (MeshHeading+)>
+<!ELEMENT MeshHeading (DescriptorName, QualifierName*)>
+<!ELEMENT DescriptorName (#PCDATA)>
+<!ELEMENT QualifierName (#PCDATA)>
+<!ELEMENT PersonalNameSubjectList (PersonalNameSubject+)>
+<!ELEMENT PersonalNameSubject (LastName, ForeName?, TitleAssociatedWithName?, DatesAssociatedWithName?)>
+<!ELEMENT TitleAssociatedWithName (#PCDATA)>
+<!ELEMENT DatesAssociatedWithName (#PCDATA)>
+<!ELEMENT OtherInformation (CollectionTitle?, SpaceFlightMission?)>
+<!ELEMENT CollectionTitle (#PCDATA)>
+<!ELEMENT SpaceFlightMission (#PCDATA)>
+]>`
+
+// MedlineDTD returns the bundled MEDLINE-like DTD.
+func MedlineDTD() string { return medlineDTD }
+
+// Medline writes a MEDLINE-like document of approximately cfg.TargetSize
+// bytes to w and returns the number of bytes written.
+func Medline(w io.Writer, cfg Config) (int64, error) {
+	cw := &countingWriter{w: w}
+	r := newRNG(cfg.Seed ^ 0xbadc0ffee)
+	target := cfg.targetSize()
+
+	cw.WriteString("<MedlineCitationSet>")
+	pmid := 10000000
+	for cw.n < target-len64("</MedlineCitationSet>") && cw.err == nil {
+		writeCitation(cw, r, pmid)
+		pmid++
+	}
+	cw.WriteString("</MedlineCitationSet>")
+	return cw.n, cw.err
+}
+
+func len64(s string) int64 { return int64(len(s)) }
+
+// MedlineBytes generates an in-memory MEDLINE-like document.
+func MedlineBytes(cfg Config) []byte {
+	var buf bytes.Buffer
+	buf.Grow(int(cfg.targetSize()) + 4096)
+	_, _ = Medline(&buf, cfg)
+	return buf.Bytes()
+}
+
+var (
+	journalTitles = []string{
+		"Journal of Clinical Investigation", "Nature Reviews", "Cell Biology Reports",
+		"Annals of Internal Medicine", "The Lancet", "Bioinformatics Quarterly",
+	}
+	lastNames = []string{"Smith", "Nakamura", "Mueller", "Garcia", "Okafor", "Ivanov", "Dubois", "Hippocrates"}
+	foreNames = []string{"Anna", "James", "Yuki", "Miguel", "Chidi", "Olga", "Claire", "Robert"}
+	agencies  = []string{"NIH", "NSF", "Wellcome Trust", "DFG", "NASA"}
+	descriptors = []string{
+		"Humans", "Animals", "Proteins", "Cell Division", "Gene Expression",
+		"Drug Therapy", "Sterilization", "Surgical Procedures", "Risk Factors",
+	}
+)
+
+// writeCitation emits one MedlineCitation. Roughly 7% of the citations carry
+// the "Sterilization" marker in their journal info (query M5), a small
+// fraction mention NASA in copyright information (M4), carry a PDB data bank
+// (M2) or a personal-name subject list (M3); CollectionTitle never occurs
+// (M1).
+func writeCitation(cw *countingWriter, r *rng, pmid int) {
+	cw.Writef(`<MedlineCitation Owner="NLM" Status="MEDLINE">`)
+	cw.Writef("<PMID>%d</PMID>", pmid)
+	cw.Writef("<DateCreated><Year>%d</Year><Month>%02d</Month><Day>%02d</Day></DateCreated>",
+		1990+r.intn(17), 1+r.intn(12), 1+r.intn(28))
+	hasDateCompleted := r.chance(2, 3)
+	if hasDateCompleted {
+		cw.Writef("<DateCompleted><Year>%d</Year><Month>%02d</Month><Day>%02d</Day></DateCompleted>",
+			1990+r.intn(17), 1+r.intn(12), 1+r.intn(28))
+	}
+
+	// Article
+	cw.WriteString("<Article>")
+	cw.WriteString("<Journal>")
+	if r.chance(2, 3) {
+		cw.Writef("<ISSN>%04d-%04d</ISSN>", r.intn(10000), r.intn(10000))
+	}
+	cw.Writef("<JournalIssue><Volume>%d</Volume><Issue>%d</Issue><PubDate><Year>%d</Year><Month>%02d</Month></PubDate></JournalIssue>",
+		1+r.intn(90), 1+r.intn(12), 1990+r.intn(17), 1+r.intn(12))
+	if r.chance(1, 2) {
+		cw.Writef("<Title>%s</Title>", journalTitles[r.intn(len(journalTitles))])
+	}
+	cw.WriteString("</Journal>")
+	cw.Writef("<ArticleTitle>%s</ArticleTitle>", r.sentence(6+r.intn(10)))
+	if r.chance(1, 2) {
+		cw.Writef("<Pagination><MedlinePgn>%d-%d</MedlinePgn></Pagination>", 1+r.intn(400), 401+r.intn(400))
+	}
+	if r.chance(3, 4) {
+		cw.Writef("<Abstract><AbstractText>%s</AbstractText>", r.sentence(40+r.intn(80)))
+		if r.chance(1, 4) {
+			owner := "the publisher"
+			if r.chance(1, 10) {
+				owner = "NASA and the publisher"
+			}
+			cw.Writef("<CopyrightInformation>Copyright %d by %s.</CopyrightInformation>", 1990+r.intn(17), owner)
+		}
+		cw.WriteString("</Abstract>")
+	}
+	if r.chance(1, 3) {
+		cw.Writef("<Affiliation>%s</Affiliation>", r.sentence(5+r.intn(8)))
+	}
+	if r.chance(4, 5) {
+		cw.WriteString(`<AuthorList CompleteYN="Y">`)
+		n := 1 + r.intn(5)
+		for i := 0; i < n; i++ {
+			cw.Writef("<Author><LastName>%s</LastName><ForeName>%s</ForeName><Initials>%c</Initials></Author>",
+				lastNames[r.intn(len(lastNames)-1)], foreNames[r.intn(len(foreNames))], 'A'+byte(r.intn(26)))
+		}
+		cw.WriteString("</AuthorList>")
+	}
+	cw.WriteString("<Language>eng</Language>")
+	if r.chance(1, 8) {
+		cw.WriteString("<DataBankList><DataBank>")
+		name := "GENBANK"
+		if r.chance(1, 3) {
+			name = "PDB"
+		}
+		cw.Writef("<DataBankName>%s</DataBankName>", name)
+		cw.WriteString("<AccessionNumberList>")
+		n := 1 + r.intn(3)
+		for i := 0; i < n; i++ {
+			cw.Writef("<AccessionNumber>%c%05d</AccessionNumber>", 'A'+byte(r.intn(26)), r.intn(100000))
+		}
+		cw.WriteString("</AccessionNumberList>")
+		cw.WriteString("</DataBank></DataBankList>")
+	}
+	if r.chance(1, 6) {
+		cw.Writef(`<GrantList><Grant><GrantID>%c%02d-%05d</GrantID><Agency>%s</Agency></Grant></GrantList>`,
+			'A'+byte(r.intn(26)), r.intn(100), r.intn(100000), agencies[r.intn(len(agencies))])
+	}
+	cw.WriteString("<PublicationTypeList><PublicationType>Journal Article</PublicationType></PublicationTypeList>")
+	cw.WriteString("</Article>")
+
+	// MedlineJournalInfo — ~7% of citations carry the "Sterilization" TA
+	// marker addressed by query M5.
+	cw.WriteString("<MedlineJournalInfo>")
+	if r.chance(2, 3) {
+		cw.Writef("<Country>%s</Country>", countries[r.intn(len(countries))])
+	}
+	ta := journalTitles[r.intn(len(journalTitles))]
+	if r.chance(7, 100) {
+		ta = "Journal of Sterilization Research"
+	}
+	cw.Writef("<MedlineTA>%s</MedlineTA>", ta)
+	if r.chance(1, 2) {
+		cw.Writef("<NlmUniqueID>%07d</NlmUniqueID>", r.intn(10000000))
+	}
+	cw.WriteString("</MedlineJournalInfo>")
+
+	if r.chance(1, 3) {
+		cw.WriteString("<ChemicalList>")
+		n := 1 + r.intn(3)
+		for i := 0; i < n; i++ {
+			cw.Writef("<Chemical><RegistryNumber>%d-%02d-%d</RegistryNumber><NameOfSubstance>%s</NameOfSubstance></Chemical>",
+				r.intn(10000), r.intn(100), r.intn(10), r.sentence(1+r.intn(2)))
+		}
+		cw.WriteString("</ChemicalList>")
+	}
+	if r.chance(2, 3) {
+		cw.WriteString("<MeshHeadingList>")
+		n := 2 + r.intn(6)
+		for i := 0; i < n; i++ {
+			cw.Writef("<MeshHeading><DescriptorName>%s</DescriptorName>", descriptors[r.intn(len(descriptors))])
+			if r.chance(1, 2) {
+				cw.Writef("<QualifierName>%s</QualifierName>", r.sentence(1))
+			}
+			cw.WriteString("</MeshHeading>")
+		}
+		cw.WriteString("</MeshHeadingList>")
+	}
+	if r.chance(1, 20) {
+		cw.WriteString("<PersonalNameSubjectList>")
+		last := lastNames[r.intn(len(lastNames))] // includes Hippocrates occasionally
+		cw.Writef("<PersonalNameSubject><LastName>%s</LastName><ForeName>%s</ForeName>", last, foreNames[r.intn(len(foreNames))])
+		if r.chance(1, 2) {
+			cw.Writef("<TitleAssociatedWithName>%s</TitleAssociatedWithName>", r.sentence(3+r.intn(5)))
+		}
+		if r.chance(1, 2) {
+			cw.Writef("<DatesAssociatedWithName>%s%d</DatesAssociatedWithName>",
+				[]string{"Jan", "Apr", "Jul", "Oct"}[r.intn(4)], 1990+r.intn(17))
+		}
+		cw.WriteString("</PersonalNameSubject></PersonalNameSubjectList>")
+	}
+	if r.chance(1, 30) {
+		// OtherInformation occurs rarely and never contains CollectionTitle,
+		// so query M1 selects nothing (paper Table II: Proj. Size 0 MB).
+		cw.Writef("<OtherInformation><SpaceFlightMission>STS-%d</SpaceFlightMission></OtherInformation>", 1+r.intn(130))
+	}
+	cw.WriteString("</MedlineCitation>")
+}

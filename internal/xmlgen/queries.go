@@ -1,0 +1,187 @@
+package xmlgen
+
+// Query is one benchmark query of the paper's evaluation: its identifier
+// (XM1–XM20 for the XMark workload of Table I, M1–M5 for the MEDLINE
+// workload of Table II), the query text, and the projection-path set that
+// the static path extraction produces for it (paper Section III, Example 4).
+// The benchmark harness compiles the path set; the query text documents the
+// workload and feeds the end-to-end query-engine experiments.
+type Query struct {
+	ID          string
+	Description string
+	// Query is the XQuery/XPath text. XMark queries XM15 and XM16 address
+	// the recursive description lists and are omitted, exactly as in the
+	// paper.
+	Query string
+	// Paths is the comma-separated projection-path set (including the
+	// default top-level path /*).
+	Paths string
+}
+
+// XMarkQueries returns the XMark query workload of the paper's Table I:
+// XM1–XM14 and XM17–XM20.
+func XMarkQueries() []Query {
+	return []Query{
+		{
+			ID:          "XM1",
+			Description: "Return the name of the person with a given id",
+			Query:       `for $b in /site/people/person[@id="person0"] return $b/name/text()`,
+			Paths:       "/*, /site/people/person, /site/people/person/name#",
+		},
+		{
+			ID:          "XM2",
+			Description: "Return the initial increases of all open auctions",
+			Query:       `for $b in /site/open_auctions/open_auction return <increase>{$b/bidder[1]/increase/text()}</increase>`,
+			Paths:       "/*, /site/open_auctions/open_auction/bidder/increase#",
+		},
+		{
+			ID:          "XM3",
+			Description: "Auctions whose current increase is at least twice the initial increase",
+			Query:       `for $b in /site/open_auctions/open_auction where $b/bidder[1]/increase/text() * 2 <= $b/bidder[last()]/increase/text() return <increase>{$b/bidder/increase}</increase>`,
+			Paths:       "/*, /site/open_auctions/open_auction/bidder/increase#",
+		},
+		{
+			ID:          "XM4",
+			Description: "Auctions with a bid by a given person before another",
+			Query:       `for $b in /site/open_auctions/open_auction where some $pr in $b/bidder/personref satisfies $pr/@person = "person100" return <history>{$b/initial, $b/reserve}</history>`,
+			Paths:       "/*, /site/open_auctions/open_auction/bidder/personref, /site/open_auctions/open_auction/initial#, /site/open_auctions/open_auction/reserve#",
+		},
+		{
+			ID:          "XM5",
+			Description: "How many sold items cost more than 40",
+			Query:       `count(for $i in /site/closed_auctions/closed_auction where $i/price/text() >= 40 return $i/price)`,
+			Paths:       "/*, /site/closed_auctions/closed_auction/price#",
+		},
+		{
+			ID:          "XM6",
+			Description: "How many items are listed on all continents",
+			Query:       `for $b in /site/regions return count($b//item)`,
+			Paths:       "/*, /site/regions//item",
+		},
+		{
+			ID:          "XM7",
+			Description: "How many pieces of prose are in the database",
+			Query:       `for $p in /site return count($p//description) + count($p//annotation) + count($p//emailaddress)`,
+			Paths:       "/*, //description, //annotation, //emailaddress",
+		},
+		{
+			ID:          "XM8",
+			Description: "List the names of persons and the number of items they bought",
+			Query:       `for $p in /site/people/person let $a := for $t in /site/closed_auctions/closed_auction where $t/buyer/@person = $p/@id return $t return <item person="{$p/name/text()}">{count($a)}</item>`,
+			Paths:       "/*, /site/people/person, /site/people/person/name#, /site/closed_auctions/closed_auction/buyer",
+		},
+		{
+			ID:          "XM9",
+			Description: "List the names of persons and the names of the European items they bought",
+			Query:       `for $p in /site/people/person let $a := for $t in /site/closed_auctions/closed_auction, $i in /site/regions/europe/item where $t/buyer/@person = $p/@id and $i/@id = $t/itemref/@item return $i/name return <person name="{$p/name/text()}">{$a}</person>`,
+			Paths:       "/*, /site/people/person, /site/people/person/name#, /site/closed_auctions/closed_auction/buyer, /site/closed_auctions/closed_auction/itemref, /site/regions/europe/item, /site/regions/europe/item/name#",
+		},
+		{
+			ID:          "XM10",
+			Description: "List all persons grouped by the interests they are registered for",
+			Query:       `for $i in distinct-values(/site/people/person/profile/interest/@category) return <categorie>{for $p in /site/people/person where $p/profile/interest/@category = $i return <personne>{$p/profile/gender, $p/profile/age, $p/profile/education, $p/profile/@income, $p/name, $p/address, $p/emailaddress, $p/homepage, $p/creditcard}</personne>}</categorie>`,
+			Paths:       "/*, /site/people/person/profile/interest, /site/people/person/profile, /site/people/person/profile/gender#, /site/people/person/profile/age#, /site/people/person/profile/education#, /site/people/person/name#, /site/people/person/address#, /site/people/person/emailaddress#, /site/people/person/homepage#, /site/people/person/creditcard#",
+		},
+		{
+			ID:          "XM11",
+			Description: "For each person, list the number of items currently on sale whose price does not exceed 0.02% of the person's income",
+			Query:       `for $p in /site/people/person let $l := for $i in /site/open_auctions/open_auction/initial where $p/profile/@income > 5000 * $i/text() return $i return <items name="{$p/name/text()}">{count($l)}</items>`,
+			Paths:       "/*, /site/people/person/name#, /site/people/person/profile, /site/open_auctions/open_auction/initial#",
+		},
+		{
+			ID:          "XM12",
+			Description: "As XM11, restricted to persons with an income of more than 50000",
+			Query:       `for $p in /site/people/person let $l := for $i in /site/open_auctions/open_auction/initial where $p/profile/@income > 5000 * $i/text() return $i where $p/profile/@income > 50000 return <items person="{$p/name/text()}">{count($l)}</items>`,
+			Paths:       "/*, /site/people/person/name#, /site/people/person/profile, /site/open_auctions/open_auction/initial#",
+		},
+		{
+			ID:          "XM13",
+			Description: "List the names of items registered in Australia along with their descriptions",
+			Query:       `for $i in /site/regions/australia/item return <item name="{$i/name/text()}">{$i/description}</item>`,
+			Paths:       "/*, /site/regions/australia/item/name#, /site/regions/australia/item/description#",
+		},
+		{
+			ID:          "XM14",
+			Description: "Return the names of all items whose description contains the word gold",
+			Query:       `for $i in /site//item where contains($i/description, "gold") return $i/name/text()`,
+			Paths:       "/*, /site//item/name#, /site//item/description#",
+		},
+		{
+			ID:          "XM17",
+			Description: "Which persons don't have a homepage",
+			Query:       `for $p in /site/people/person where empty($p/homepage/text()) return <person name="{$p/name/text()}"/>`,
+			Paths:       "/*, /site/people/person/name#, /site/people/person/homepage#",
+		},
+		{
+			ID:          "XM18",
+			Description: "Convert the reserve of all open auctions to another currency",
+			Query:       `for $i in /site/open_auctions/open_auction return local:convert($i/reserve)`,
+			Paths:       "/*, /site/open_auctions/open_auction/reserve#",
+		},
+		{
+			ID:          "XM19",
+			Description: "Give an alphabetically ordered list of all items along with their location",
+			Query:       `for $b in /site/regions//item let $k := $b/name/text() order by $k return <item name="{$k}">{$b/location/text()}</item>`,
+			Paths:       "/*, /site/regions//item/name#, /site/regions//item/location#",
+		},
+		{
+			ID:          "XM20",
+			Description: "Group customers by their income and output the cardinality of each group",
+			Query:       `<result>{count(/site/people/person/profile[@income >= 100000])}, {count(/site/people/person/profile[@income < 100000 and @income >= 30000])}, {count(/site/people/person/profile[@income < 30000])}, {count(/site/people/person[empty(profile/@income)])}</result>`,
+			Paths:       "/*, /site/people/person, /site/people/person/profile",
+		},
+	}
+}
+
+// MedlineQueries returns the MEDLINE XPath workload of the paper's Table II
+// (queries M1–M5, quoted verbatim from the paper).
+func MedlineQueries() []Query {
+	return []Query{
+		{
+			ID:          "M1",
+			Description: "Collection titles (declared by the DTD but absent from the data)",
+			Query:       `/MedlineCitationSet//CollectionTitle`,
+			Paths:       "/*, /MedlineCitationSet//CollectionTitle#",
+		},
+		{
+			ID:          "M2",
+			Description: "Accession number lists of PDB data banks",
+			Query:       `/MedlineCitationSet//DataBank[DataBankName/text()="PDB"]/AccessionNumberList`,
+			Paths:       "/*, /MedlineCitationSet//DataBank/AccessionNumberList#, /MedlineCitationSet//DataBank/DataBankName#",
+		},
+		{
+			ID:          "M3",
+			Description: "Titles associated with selected personal name subjects",
+			Query:       `/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject[LastName/text()="Hippocrates" or DatesAssociatedWithName="Oct2006"]/TitleAssociatedWithName`,
+			Paths:       "/*, /MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject/LastName#, /MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject/DatesAssociatedWithName#, /MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject/TitleAssociatedWithName#",
+		},
+		{
+			ID:          "M4",
+			Description: "Copyright notices mentioning NASA",
+			Query:       `/MedlineCitationSet//CopyrightInformation[contains(text(),"NASA")]`,
+			Paths:       "/*, /MedlineCitationSet//CopyrightInformation#",
+		},
+		{
+			ID:          "M5",
+			Description: "Completion dates of citations from sterilization journals",
+			Query:       `/MedlineCitationSet/MedlineCitation[contains(MedlineJournalInfo//text(),"Sterilization")]/DateCompleted`,
+			Paths:       "/*, /MedlineCitationSet/MedlineCitation/MedlineJournalInfo#, /MedlineCitationSet/MedlineCitation/DateCompleted#",
+		},
+	}
+}
+
+// QueryByID returns the query with the given identifier from either
+// workload, or false if it does not exist.
+func QueryByID(id string) (Query, bool) {
+	for _, q := range XMarkQueries() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	for _, q := range MedlineQueries() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return Query{}, false
+}

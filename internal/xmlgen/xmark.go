@@ -1,0 +1,338 @@
+package xmlgen
+
+import (
+	"bytes"
+	"io"
+)
+
+// xmarkDTD is the bundled auction schema: the simplified XMark DTD of paper
+// Fig. 1 extended with the further sections (people, auctions, categories)
+// that the benchmark queries XM1–XM20 address. Like the paper, the recursive
+// description lists (parlist/listitem) of the original XMark DTD are
+// flattened: a description holds a single text child.
+const xmarkDTD = `<!DOCTYPE site [
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ATTLIST item id ID #REQUIRED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (text)>
+<!ELEMENT text (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ATTLIST edge from IDREF #REQUIRED>
+<!ATTLIST edge to IDREF #REQUIRED>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile income CDATA #REQUIRED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ATTLIST watch open_auction IDREF #REQUIRED>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT annotation (author, description, happiness)>
+<!ELEMENT author EMPTY>
+<!ATTLIST author person IDREF #REQUIRED>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+]>`
+
+// XMarkDTD returns the bundled XMark-like DTD.
+func XMarkDTD() string { return xmarkDTD }
+
+// regions lists the six region elements in document order.
+var regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// XMark writes an XMark-like document of approximately cfg.TargetSize bytes
+// to w and returns the number of bytes written.
+func XMark(w io.Writer, cfg Config) (int64, error) {
+	cw := &countingWriter{w: w}
+	r := newRNG(cfg.Seed)
+	target := cfg.targetSize()
+
+	// Section budgets, roughly following the proportions of XMark data:
+	// the regions dominate, people and auctions share the rest.
+	budgets := map[string]int64{
+		"regions":         target * 45 / 100,
+		"categories":      target * 4 / 100,
+		"catgraph":        target * 2 / 100,
+		"people":          target * 19 / 100,
+		"open_auctions":   target * 18 / 100,
+		"closed_auctions": target * 10 / 100,
+	}
+
+	g := &xmarkGen{cw: cw, r: r}
+	cw.WriteString("<site>")
+
+	cw.WriteString("<regions>")
+	perRegion := budgets["regions"] / int64(len(regions))
+	for _, region := range regions {
+		cw.WriteString("<" + region + ">")
+		stop := cw.n + perRegion
+		for cw.n < stop && cw.err == nil {
+			g.item()
+		}
+		cw.WriteString("</" + region + ">")
+	}
+	cw.WriteString("</regions>")
+
+	cw.WriteString("<categories>")
+	stop := cw.n + budgets["categories"]
+	g.category() // at least one (category+)
+	for cw.n < stop && cw.err == nil {
+		g.category()
+	}
+	cw.WriteString("</categories>")
+
+	cw.WriteString("<catgraph>")
+	stop = cw.n + budgets["catgraph"]
+	for cw.n < stop && cw.err == nil {
+		cw.Writef(`<edge from="category%d" to="category%d"/>`, r.intn(g.categories+1), r.intn(g.categories+1))
+	}
+	cw.WriteString("</catgraph>")
+
+	cw.WriteString("<people>")
+	stop = cw.n + budgets["people"]
+	for cw.n < stop && cw.err == nil {
+		g.person()
+	}
+	cw.WriteString("</people>")
+
+	cw.WriteString("<open_auctions>")
+	stop = cw.n + budgets["open_auctions"]
+	for cw.n < stop && cw.err == nil {
+		g.openAuction()
+	}
+	cw.WriteString("</open_auctions>")
+
+	cw.WriteString("<closed_auctions>")
+	stop = cw.n + budgets["closed_auctions"]
+	for cw.n < stop && cw.err == nil {
+		g.closedAuction()
+	}
+	cw.WriteString("</closed_auctions>")
+
+	cw.WriteString("</site>")
+	return cw.n, cw.err
+}
+
+// XMarkBytes generates an in-memory XMark-like document.
+func XMarkBytes(cfg Config) []byte {
+	var buf bytes.Buffer
+	buf.Grow(int(cfg.targetSize()) + 4096)
+	_, _ = XMark(&buf, cfg) // writing to a bytes.Buffer cannot fail
+	return buf.Bytes()
+}
+
+// xmarkGen carries the running counters for cross-references (item ids,
+// person ids, auction ids, categories).
+type xmarkGen struct {
+	cw *countingWriter
+	r  *rng
+
+	items      int
+	persons    int
+	categories int
+	auctions   int
+}
+
+var (
+	locations = []string{"United States", "Germany", "Japan", "Australia", "Egypt", "Brazil", "Canada", "France"}
+	payments  = []string{"Creditcard", "Cash", "Money order", "Personal Check"}
+	shippings = []string{"Will ship internationally", "Within country", "Buyer pays fixed shipping charges"}
+	cities    = []string{"Sydney", "Berlin", "Tokyo", "Cairo", "Toronto", "Lyon", "Recife", "Seattle"}
+	countries = []string{"Australia", "Germany", "Japan", "Egypt", "Canada", "France", "Brazil", "United States"}
+	education = []string{"High School", "College", "Graduate School", "Other"}
+)
+
+func (g *xmarkGen) item() {
+	cw, r := g.cw, g.r
+	id := g.items
+	g.items++
+	cw.Writef(`<item id="item%d">`, id)
+	cw.Writef("<location>%s</location>", locations[r.intn(len(locations))])
+	cw.Writef("<quantity>%d</quantity>", 1+r.intn(5))
+	cw.Writef("<name>%s</name>", r.sentence(2+r.intn(3)))
+	cw.Writef("<payment>%s</payment>", payments[r.intn(len(payments))])
+	cw.Writef("<description><text>%s</text></description>", r.sentence(8+r.intn(25)))
+	cw.Writef("<shipping>%s</shipping>", shippings[r.intn(len(shippings))])
+	n := 1 + r.intn(3)
+	for i := 0; i < n; i++ {
+		cw.Writef(`<incategory category="category%d"/>`, r.intn(g.categories+10))
+	}
+	cw.WriteString("<mailbox>")
+	mails := r.intn(3)
+	for i := 0; i < mails; i++ {
+		cw.Writef("<mail><from>%s</from><to>%s</to><date>%02d/%02d/2006</date><text>%s</text></mail>",
+			r.sentence(2), r.sentence(2), 1+r.intn(12), 1+r.intn(28), r.sentence(6+r.intn(20)))
+	}
+	cw.WriteString("</mailbox>")
+	cw.WriteString("</item>")
+}
+
+func (g *xmarkGen) category() {
+	cw, r := g.cw, g.r
+	id := g.categories
+	g.categories++
+	cw.Writef(`<category id="category%d"><name>%s</name><description><text>%s</text></description></category>`,
+		id, r.sentence(1+r.intn(2)), r.sentence(5+r.intn(10)))
+}
+
+func (g *xmarkGen) person() {
+	cw, r := g.cw, g.r
+	id := g.persons
+	g.persons++
+	cw.Writef(`<person id="person%d">`, id)
+	cw.Writef("<name>%s</name>", r.sentence(2))
+	cw.Writef("<emailaddress>mailto:user%d@example.org</emailaddress>", id)
+	if r.chance(1, 2) {
+		cw.Writef("<phone>+%d (%d) %d</phone>", 1+r.intn(99), 100+r.intn(900), 1000000+r.intn(8999999))
+	}
+	if r.chance(2, 3) {
+		cw.Writef("<address><street>%d %s St</street><city>%s</city><country>%s</country>",
+			1+r.intn(99), r.sentence(1), cities[r.intn(len(cities))], countries[r.intn(len(countries))])
+		if r.chance(1, 3) {
+			cw.Writef("<province>%s</province>", r.sentence(1))
+		}
+		cw.Writef("<zipcode>%d</zipcode></address>", 10000+r.intn(89999))
+	}
+	if r.chance(1, 2) {
+		cw.Writef("<homepage>http://www.example.org/~user%d</homepage>", id)
+	}
+	if r.chance(1, 2) {
+		cw.Writef("<creditcard>%d %d %d %d</creditcard>", 1000+r.intn(9000), 1000+r.intn(9000), 1000+r.intn(9000), 1000+r.intn(9000))
+	}
+	if r.chance(3, 4) {
+		cw.Writef(`<profile income="%d.%02d">`, 9000+r.intn(90000), r.intn(100))
+		interests := r.intn(4)
+		for i := 0; i < interests; i++ {
+			cw.Writef(`<interest category="category%d"/>`, r.intn(g.categories+10))
+		}
+		if r.chance(1, 2) {
+			cw.Writef("<education>%s</education>", education[r.intn(len(education))])
+		}
+		if r.chance(1, 2) {
+			cw.Writef("<gender>%s</gender>", []string{"male", "female"}[r.intn(2)])
+		}
+		cw.Writef("<business>%s</business>", []string{"Yes", "No"}[r.intn(2)])
+		if r.chance(1, 2) {
+			cw.Writef("<age>%d</age>", 18+r.intn(60))
+		}
+		cw.WriteString("</profile>")
+	}
+	if r.chance(1, 2) {
+		cw.WriteString("<watches>")
+		n := r.intn(3)
+		for i := 0; i < n; i++ {
+			cw.Writef(`<watch open_auction="open_auction%d"/>`, r.intn(g.auctions+10))
+		}
+		cw.WriteString("</watches>")
+	}
+	cw.WriteString("</person>")
+}
+
+func (g *xmarkGen) openAuction() {
+	cw, r := g.cw, g.r
+	id := g.auctions
+	g.auctions++
+	cw.Writef(`<open_auction id="open_auction%d">`, id)
+	cw.Writef("<initial>%d.%02d</initial>", 1+r.intn(300), r.intn(100))
+	if r.chance(1, 2) {
+		cw.Writef("<reserve>%d.%02d</reserve>", 1+r.intn(500), r.intn(100))
+	}
+	bidders := r.intn(5)
+	for i := 0; i < bidders; i++ {
+		cw.Writef(`<bidder><date>%02d/%02d/2006</date><time>%02d:%02d:%02d</time><personref person="person%d"/><increase>%d.%02d</increase></bidder>`,
+			1+r.intn(12), 1+r.intn(28), r.intn(24), r.intn(60), r.intn(60), r.intn(g.persons+10), 1+r.intn(30), r.intn(100))
+	}
+	cw.Writef("<current>%d.%02d</current>", 1+r.intn(800), r.intn(100))
+	if r.chance(1, 3) {
+		cw.WriteString("<privacy>Yes</privacy>")
+	}
+	cw.Writef(`<itemref item="item%d"/>`, r.intn(g.items+10))
+	cw.Writef(`<seller person="person%d"/>`, r.intn(g.persons+10))
+	cw.Writef(`<annotation><author person="person%d"/><description><text>%s</text></description><happiness>%d</happiness></annotation>`,
+		r.intn(g.persons+10), r.sentence(6+r.intn(15)), 1+r.intn(10))
+	cw.Writef("<quantity>%d</quantity>", 1+r.intn(5))
+	cw.Writef("<type>%s</type>", []string{"Regular", "Featured", "Dutch"}[r.intn(3)])
+	cw.Writef("<interval><start>%02d/%02d/2006</start><end>%02d/%02d/2006</end></interval>",
+		1+r.intn(6), 1+r.intn(28), 7+r.intn(6), 1+r.intn(28))
+	cw.WriteString("</open_auction>")
+}
+
+func (g *xmarkGen) closedAuction() {
+	cw, r := g.cw, g.r
+	cw.WriteString("<closed_auction>")
+	cw.Writef(`<seller person="person%d"/>`, r.intn(g.persons+10))
+	cw.Writef(`<buyer person="person%d"/>`, r.intn(g.persons+10))
+	cw.Writef(`<itemref item="item%d"/>`, r.intn(g.items+10))
+	cw.Writef("<price>%d.%02d</price>", 1+r.intn(900), r.intn(100))
+	cw.Writef("<date>%02d/%02d/2006</date>", 1+r.intn(12), 1+r.intn(28))
+	cw.Writef("<quantity>%d</quantity>", 1+r.intn(5))
+	cw.Writef("<type>%s</type>", []string{"Regular", "Featured", "Dutch"}[r.intn(3)])
+	if r.chance(2, 3) {
+		cw.Writef(`<annotation><author person="person%d"/><description><text>%s</text></description><happiness>%d</happiness></annotation>`,
+			r.intn(g.persons+10), r.sentence(6+r.intn(15)), 1+r.intn(10))
+	}
+	cw.WriteString("</closed_auction>")
+}

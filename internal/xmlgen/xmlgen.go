@@ -1,0 +1,108 @@
+// Package xmlgen generates the synthetic datasets of the experiment harness:
+// size-scalable XMark-like auction documents and MEDLINE-like citation
+// documents, each valid with respect to a bundled non-recursive DTD. The
+// generators replace the original datasets of the paper's evaluation (the
+// 10 MB–5 GB XMark documents produced by the xmlgen tool and the 656 MB
+// MEDLINE extract), reproducing the structural properties that drive the
+// reported metrics: tag vocabulary, nesting, attribute usage, the
+// markup-to-text ratio, and — for MEDLINE — long tagnames and mostly
+// optional content.
+//
+// Generation is deterministic: the same Config always yields the same bytes.
+package xmlgen
+
+import (
+	"fmt"
+	"io"
+)
+
+// Config controls a generation run.
+type Config struct {
+	// TargetSize is the approximate output size in bytes. The generator
+	// stops adding repeatable content once the target is reached, so actual
+	// sizes track the target within a few percent for non-trivial sizes.
+	TargetSize int64
+	// Seed selects the deterministic pseudo-random stream (0 is a valid
+	// seed).
+	Seed uint64
+}
+
+// DefaultSize is used when Config.TargetSize is 0.
+const DefaultSize = 1 << 20 // 1 MiB
+
+func (c Config) targetSize() int64 {
+	if c.TargetSize <= 0 {
+		return DefaultSize
+	}
+	return c.TargetSize
+}
+
+// countingWriter tracks bytes written and latches the first error so that
+// the generators can emit unconditionally.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) WriteString(s string) {
+	if cw.err != nil {
+		return
+	}
+	n, err := io.WriteString(cw.w, s)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (cw *countingWriter) Writef(format string, args ...interface{}) {
+	cw.WriteString(fmt.Sprintf(format, args...))
+}
+
+// rng is a small deterministic pseudo-random generator (splitmix64). The
+// standard library's math/rand is avoided so that generated documents stay
+// byte-identical across Go releases.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a pseudo-random int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// chance reports true with probability num/den.
+func (r *rng) chance(num, den int) bool { return r.intn(den) < num }
+
+// words is the text vocabulary shared by both generators.
+var words = []string{
+	"auction", "seller", "market", "vintage", "gold", "silver", "portable",
+	"camera", "laptop", "monitor", "keyboard", "excellent", "condition",
+	"shipping", "included", "warranty", "original", "packaging", "rare",
+	"collector", "edition", "signed", "limited", "offer", "price", "reserve",
+	"study", "patients", "treatment", "clinical", "analysis", "results",
+	"method", "protein", "sequence", "cell", "growth", "factor", "therapy",
+	"response", "sterilization", "sample", "control", "group", "trial",
+}
+
+// sentence appends n pseudo-random words separated by spaces.
+func (r *rng) sentence(n int) string {
+	out := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, words[r.intn(len(words))]...)
+	}
+	return string(out)
+}

@@ -1,0 +1,234 @@
+package xmlgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smp/internal/compile"
+	"smp/internal/dtd"
+	"smp/internal/glushkov"
+	"smp/internal/paths"
+	"smp/internal/sax"
+)
+
+// conforms checks that the document is well-formed and that its tag-token
+// sequence is accepted by the DTD-automaton of the given schema.
+func conforms(t *testing.T, doc []byte, dtdSrc string) {
+	t.Helper()
+	schema := dtd.MustParse(dtdSrc)
+	walker := glushkov.MustBuild(schema).NewWalker()
+	_, err := sax.ParseBytes(doc, sax.HandlerFunc(func(ev sax.Event) error {
+		switch ev.Kind {
+		case sax.StartElement:
+			return walker.Step(glushkov.Open(ev.Name))
+		case sax.EndElement:
+			return walker.Step(glushkov.Closing(ev.Name))
+		}
+		return nil
+	}), sax.Options{})
+	if err != nil {
+		t.Fatalf("generated document is invalid: %v", err)
+	}
+	if err := walker.Finish(); err != nil {
+		t.Fatalf("generated document is incomplete: %v", err)
+	}
+}
+
+func TestDTDsParseAndAreNonRecursive(t *testing.T) {
+	for name, src := range map[string]string{"xmark": XMarkDTD(), "medline": MedlineDTD()} {
+		d, err := dtd.Parse(src)
+		if err != nil {
+			t.Fatalf("%s DTD: %v", name, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s DTD: %v", name, err)
+		}
+		if d.IsRecursive() {
+			t.Errorf("%s DTD is recursive: %v", name, d.RecursiveElements())
+		}
+		if _, err := glushkov.Build(d); err != nil {
+			t.Errorf("%s DTD-automaton: %v", name, err)
+		}
+	}
+}
+
+func TestXMarkGeneratorProducesValidDocuments(t *testing.T) {
+	for _, size := range []int64{0, 20_000, 200_000} {
+		doc := XMarkBytes(Config{TargetSize: size, Seed: 1})
+		conforms(t, doc, XMarkDTD())
+	}
+}
+
+func TestMedlineGeneratorProducesValidDocuments(t *testing.T) {
+	for _, size := range []int64{0, 20_000, 200_000} {
+		doc := MedlineBytes(Config{TargetSize: size, Seed: 1})
+		conforms(t, doc, MedlineDTD())
+	}
+}
+
+func TestGeneratorSizesTrackTarget(t *testing.T) {
+	for _, target := range []int64{50_000, 500_000} {
+		x := int64(len(XMarkBytes(Config{TargetSize: target})))
+		if x < target*7/10 || x > target*13/10 {
+			t.Errorf("XMark size %d for target %d (off by more than 30%%)", x, target)
+		}
+		m := int64(len(MedlineBytes(Config{TargetSize: target})))
+		if m < target*7/10 || m > target*13/10 {
+			t.Errorf("Medline size %d for target %d (off by more than 30%%)", m, target)
+		}
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	cfg := Config{TargetSize: 100_000, Seed: 42}
+	if !bytes.Equal(XMarkBytes(cfg), XMarkBytes(cfg)) {
+		t.Error("XMark generation is not deterministic")
+	}
+	if !bytes.Equal(MedlineBytes(cfg), MedlineBytes(cfg)) {
+		t.Error("Medline generation is not deterministic")
+	}
+	other := Config{TargetSize: 100_000, Seed: 43}
+	if bytes.Equal(XMarkBytes(cfg), XMarkBytes(other)) {
+		t.Error("different seeds must produce different documents")
+	}
+}
+
+func TestXMarkWriterReceivesSameBytes(t *testing.T) {
+	cfg := Config{TargetSize: 30_000, Seed: 7}
+	var buf bytes.Buffer
+	n, err := XMark(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	if !bytes.Equal(buf.Bytes(), XMarkBytes(cfg)) {
+		t.Error("XMark and XMarkBytes disagree")
+	}
+}
+
+func TestXMarkContainsAllSections(t *testing.T) {
+	doc := string(XMarkBytes(Config{TargetSize: 200_000, Seed: 3}))
+	for _, tag := range []string{"<regions>", "<australia>", "<people>", "<open_auctions>", "<closed_auctions>", "<categories>", "<catgraph>", "<person id=", "<item id=", "<bidder>", "<profile income="} {
+		if !strings.Contains(doc, tag) {
+			t.Errorf("generated XMark document misses %q", tag)
+		}
+	}
+}
+
+func TestMedlineWorkloadMarkers(t *testing.T) {
+	doc := string(MedlineBytes(Config{TargetSize: 2_000_000, Seed: 3}))
+	// The markers addressed by queries M2-M5 must occur...
+	for _, marker := range []string{"<DataBankName>PDB</DataBankName>", "NASA", "Sterilization", "<PersonalNameSubjectList>", "<DateCompleted>"} {
+		if !strings.Contains(doc, marker) {
+			t.Errorf("generated MEDLINE document misses marker %q", marker)
+		}
+	}
+	// ...while CollectionTitle never occurs (query M1 selects nothing).
+	if strings.Contains(doc, "<CollectionTitle>") {
+		t.Error("CollectionTitle must not occur in generated MEDLINE data")
+	}
+}
+
+func TestXMarkQueriesCompile(t *testing.T) {
+	schema := dtd.MustParse(XMarkDTD())
+	qs := XMarkQueries()
+	if len(qs) != 18 {
+		t.Fatalf("XMark workload has %d queries, want 18 (XM1-XM14, XM17-XM20)", len(qs))
+	}
+	for _, q := range qs {
+		set, err := paths.ParseSet(q.Paths)
+		if err != nil {
+			t.Errorf("%s: bad path set: %v", q.ID, err)
+			continue
+		}
+		table, err := compile.Compile(schema, set, compile.Options{})
+		if err != nil {
+			t.Errorf("%s: compile: %v", q.ID, err)
+			continue
+		}
+		if table.Stats.States < 3 {
+			t.Errorf("%s: suspiciously small automaton (%d states)", q.ID, table.Stats.States)
+		}
+	}
+}
+
+func TestMedlineQueriesCompile(t *testing.T) {
+	schema := dtd.MustParse(MedlineDTD())
+	qs := MedlineQueries()
+	if len(qs) != 5 {
+		t.Fatalf("MEDLINE workload has %d queries, want 5", len(qs))
+	}
+	for _, q := range qs {
+		set, err := paths.ParseSet(q.Paths)
+		if err != nil {
+			t.Errorf("%s: bad path set: %v", q.ID, err)
+			continue
+		}
+		if _, err := compile.Compile(schema, set, compile.Options{}); err != nil {
+			t.Errorf("%s: compile: %v", q.ID, err)
+		}
+	}
+}
+
+// TestMedlineQueryExtractionMatchesDocumentedPaths: the path sets stored for
+// M1-M5 agree with what the automatic extraction derives from the XPath
+// text.
+func TestMedlineQueryExtractionMatchesDocumentedPaths(t *testing.T) {
+	for _, q := range MedlineQueries() {
+		extracted, err := paths.ExtractQuery(q.Query)
+		if err != nil {
+			t.Errorf("%s: extraction failed: %v", q.ID, err)
+			continue
+		}
+		documented := paths.MustParseSet(q.Paths)
+		if extracted.String() != documented.String() {
+			t.Errorf("%s: extracted %v, documented %v", q.ID, extracted.String(), documented.String())
+		}
+	}
+}
+
+// TestXM2AndXM3SharePaths reproduces the paper's remark that queries XM2 and
+// XM3 have identical projection paths.
+func TestXM2AndXM3SharePaths(t *testing.T) {
+	q2, _ := QueryByID("XM2")
+	q3, _ := QueryByID("XM3")
+	if paths.MustParseSet(q2.Paths).String() != paths.MustParseSet(q3.Paths).String() {
+		t.Errorf("XM2 and XM3 path sets differ: %q vs %q", q2.Paths, q3.Paths)
+	}
+}
+
+func TestQueryByID(t *testing.T) {
+	if q, ok := QueryByID("XM13"); !ok || q.ID != "XM13" {
+		t.Error("QueryByID(XM13) failed")
+	}
+	if q, ok := QueryByID("M5"); !ok || q.ID != "M5" {
+		t.Error("QueryByID(M5) failed")
+	}
+	if _, ok := QueryByID("XM16"); ok {
+		t.Error("XM16 must not exist (omitted as in the paper)")
+	}
+}
+
+func TestRNGDeterminismAndRanges(t *testing.T) {
+	a, b := newRNG(5), newRNG(5)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng is not deterministic")
+		}
+	}
+	r := newRNG(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.intn(7); v < 0 || v >= 7 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+	if r.intn(0) != 0 {
+		t.Error("intn(0) must return 0")
+	}
+	if s := r.sentence(5); len(strings.Fields(s)) != 5 {
+		t.Errorf("sentence(5) = %q", s)
+	}
+}

@@ -1,0 +1,248 @@
+// Package smp is a Go implementation of SMP — "XML Prefiltering as a String
+// Matching Problem" (Koch, Scherzinger, Schmidt; ICDE 2008).
+//
+// SMP performs XML prefiltering (also called XML projection): given a
+// non-recursive DTD and a set of projection paths extracted from an
+// XQuery/XPath query, it copies only the query-relevant part of a document
+// to the output, so that a downstream in-memory query engine has to hold far
+// less data. Unlike prefilters built on a SAX parser, SMP never tokenizes
+// the complete input: a static analysis compiles the DTD and the paths into
+// a small runtime automaton whose states drive Boyer-Moore and
+// Commentz-Walter keyword searches, skipping most of the input's characters.
+//
+// Basic usage:
+//
+//	pf, err := smp.Compile(dtdSource, "/*, //australia//description#", smp.Options{})
+//	if err != nil { ... }
+//	projected, stats, err := pf.ProjectBytes(document)
+//
+// or, extracting the projection paths from a query:
+//
+//	pf, err := smp.CompileQuery(dtdSource, "<q>{//australia//description}</q>", smp.Options{})
+//
+// The package also bundles deterministic XMark-like and MEDLINE-like dataset
+// generators and the benchmark query workloads used by the experiment
+// harness (cmd/smpbench), so that the paper's evaluation can be reproduced
+// end to end.
+package smp
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"smp/internal/compile"
+	"smp/internal/core"
+	"smp/internal/dtd"
+	"smp/internal/paths"
+	"smp/internal/xmlgen"
+)
+
+// Stats are the runtime counters of one prefiltering run: bytes read and
+// written, characters inspected, average shift sizes, initial-jump savings
+// and automaton sizes. See the fields of the aliased type for details.
+type Stats = core.Stats
+
+// CompileStats summarize the static analysis ("States (CW + BM)" in the
+// paper's tables).
+type CompileStats = compile.Stats
+
+// Query describes one benchmark query (identifier, query text, projection
+// paths) from the bundled XMark and MEDLINE workloads.
+type Query = xmlgen.Query
+
+// SingleAlgorithm selects the algorithm used for single-keyword frontiers.
+type SingleAlgorithm = core.SingleAlgorithm
+
+// MultiAlgorithm selects the algorithm used for multi-keyword frontiers.
+type MultiAlgorithm = core.MultiAlgorithm
+
+// Algorithm choices (the defaults are the paper's Boyer-Moore and
+// Commentz-Walter).
+const (
+	SingleBoyerMoore = core.SingleBoyerMoore
+	SingleHorspool   = core.SingleHorspool
+	SingleNaive      = core.SingleNaive
+
+	MultiCommentzWalter = core.MultiCommentzWalter
+	MultiAhoCorasick    = core.MultiAhoCorasick
+	MultiSetHorspool    = core.MultiSetHorspool
+	MultiNaive          = core.MultiNaive
+)
+
+// Options configures compilation and execution of a Prefilter.
+type Options struct {
+	// ChunkSize is the streaming window read granularity in bytes; 0 selects
+	// the default (32 KiB, eight times a common page size, as in the paper).
+	ChunkSize int
+	// DisableInitialJumps zeroes the initial-jump table J (used by the
+	// ablation benchmarks).
+	DisableInitialJumps bool
+	// Single and Multi select the string matching algorithms (ablations).
+	Single SingleAlgorithm
+	Multi  MultiAlgorithm
+}
+
+// Prefilter is a compiled XML prefilter: the runtime automaton with its
+// lookup tables plus the execution engine. A Prefilter is safe to reuse for
+// any number of documents valid with respect to its DTD.
+type Prefilter struct {
+	schema *dtd.DTD
+	set    *paths.Set
+	table  *compile.Table
+	engine *core.Prefilter
+}
+
+// Compile builds a prefilter from DTD source text and a comma- or
+// whitespace-separated list of projection paths (e.g. "/*, //item/name#").
+func Compile(dtdSource, pathSpec string, opts Options) (*Prefilter, error) {
+	set, err := paths.ParseSet(pathSpec)
+	if err != nil {
+		return nil, err
+	}
+	return compileSet(dtdSource, set, opts)
+}
+
+// CompileQuery builds a prefilter from DTD source text and an XQuery/XPath
+// expression; the projection paths are extracted automatically (including
+// the default top-level path "/*").
+func CompileQuery(dtdSource, query string, opts Options) (*Prefilter, error) {
+	set, err := paths.ExtractQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return compileSet(dtdSource, set, opts)
+}
+
+func compileSet(dtdSource string, set *paths.Set, opts Options) (*Prefilter, error) {
+	schema, err := dtd.Parse(dtdSource)
+	if err != nil {
+		return nil, err
+	}
+	table, err := compile.Compile(schema, set, compile.Options{DisableInitialJumps: opts.DisableInitialJumps})
+	if err != nil {
+		return nil, err
+	}
+	engine := core.New(table, core.Options{
+		ChunkSize: opts.ChunkSize,
+		Single:    opts.Single,
+		Multi:     opts.Multi,
+	})
+	return &Prefilter{schema: schema, set: set, table: table, engine: engine}, nil
+}
+
+// Run prefilters the document read from r and writes the projection to w.
+// The input must be valid with respect to the prefilter's DTD.
+func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
+	return p.engine.Run(r, w)
+}
+
+// ProjectBytes prefilters an in-memory document and returns the projection.
+func (p *Prefilter) ProjectBytes(doc []byte) ([]byte, Stats, error) {
+	return p.engine.ProjectBytes(doc)
+}
+
+// ProjectFile prefilters the file at inPath into outPath.
+func (p *Prefilter) ProjectFile(inPath, outPath string) (Stats, error) {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return Stats{}, err
+	}
+	stats, runErr := p.Run(in, out)
+	if closeErr := out.Close(); runErr == nil {
+		runErr = closeErr
+	}
+	return stats, runErr
+}
+
+// Paths returns the projection paths the prefilter preserves, sorted.
+func (p *Prefilter) Paths() []string { return p.set.Strings() }
+
+// CompileStats returns the size of the compiled runtime automaton.
+func (p *Prefilter) CompileStats() CompileStats { return p.table.Stats }
+
+// DescribeTables renders the compiled lookup tables A, V, J and T in a
+// human-readable form (paper Fig. 3), for inspection and debugging.
+func (p *Prefilter) DescribeTables() string { return p.table.String() }
+
+// ExtractPaths runs the static path extraction of the projection semantics
+// on an XQuery/XPath expression and returns the resulting projection paths
+// (including the default top-level path "/*").
+func ExtractPaths(query string) ([]string, error) {
+	set, err := paths.ExtractQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return set.Strings(), nil
+}
+
+// Dataset identifies one of the bundled synthetic datasets.
+type Dataset string
+
+// The bundled datasets.
+const (
+	XMark   Dataset = "xmark"
+	Medline Dataset = "medline"
+)
+
+// DatasetDTD returns the DTD of a bundled dataset.
+func DatasetDTD(d Dataset) (string, error) {
+	switch d {
+	case XMark:
+		return xmlgen.XMarkDTD(), nil
+	case Medline:
+		return xmlgen.MedlineDTD(), nil
+	default:
+		return "", fmt.Errorf("smp: unknown dataset %q (want %q or %q)", d, XMark, Medline)
+	}
+}
+
+// Generate writes a synthetic document of approximately targetSize bytes for
+// the dataset to w. Generation is deterministic in (dataset, targetSize,
+// seed).
+func Generate(d Dataset, w io.Writer, targetSize int64, seed uint64) (int64, error) {
+	cfg := xmlgen.Config{TargetSize: targetSize, Seed: seed}
+	switch d {
+	case XMark:
+		return xmlgen.XMark(w, cfg)
+	case Medline:
+		return xmlgen.Medline(w, cfg)
+	default:
+		return 0, fmt.Errorf("smp: unknown dataset %q (want %q or %q)", d, XMark, Medline)
+	}
+}
+
+// GenerateBytes is Generate into memory.
+func GenerateBytes(d Dataset, targetSize int64, seed uint64) ([]byte, error) {
+	switch d {
+	case XMark:
+		return xmlgen.XMarkBytes(xmlgen.Config{TargetSize: targetSize, Seed: seed}), nil
+	case Medline:
+		return xmlgen.MedlineBytes(xmlgen.Config{TargetSize: targetSize, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("smp: unknown dataset %q (want %q or %q)", d, XMark, Medline)
+	}
+}
+
+// BenchmarkQueries returns the paper's benchmark query workload for a
+// dataset: XM1–XM14 and XM17–XM20 for XMark (Table I), M1–M5 for MEDLINE
+// (Table II).
+func BenchmarkQueries(d Dataset) ([]Query, error) {
+	switch d {
+	case XMark:
+		return xmlgen.XMarkQueries(), nil
+	case Medline:
+		return xmlgen.MedlineQueries(), nil
+	default:
+		return nil, fmt.Errorf("smp: unknown dataset %q (want %q or %q)", d, XMark, Medline)
+	}
+}
+
+// QueryByID looks up a benchmark query by its identifier (e.g. "XM13" or
+// "M5") across both workloads.
+func QueryByID(id string) (Query, bool) { return xmlgen.QueryByID(id) }
