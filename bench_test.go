@@ -8,11 +8,14 @@ package smp
 // prints the same experiments as formatted tables.
 
 import (
+	"context"
 	"io"
+	"strconv"
 	"testing"
 
 	"smp/internal/compile"
 	"smp/internal/core"
+	"smp/internal/corpus"
 	"smp/internal/dtd"
 	"smp/internal/paths"
 	"smp/internal/projection"
@@ -327,6 +330,104 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkCorpusParallel measures aggregate corpus throughput: a batch of
+// distinct XMark-like documents sharded across the worker-pool runner at
+// 1, 2, 4 and 8 workers, all sharing one compiled, goroutine-safe engine.
+// On a multicore machine the aggregate bytes/s scale close to linearly with
+// the worker count until the memory bus saturates; the serial (workers_1)
+// sub-benchmark is the baseline the speedup is measured against.
+func BenchmarkCorpusParallel(b *testing.B) {
+	benchSetup(b)
+	q, _ := xmlgen.QueryByID("XM13")
+	table := compileFor(b, benchXMarkDTD, q.Paths, compile.Options{})
+	engine := core.New(table, core.Options{})
+
+	const corpusDocs = 16
+	const docSize = 512 << 10
+	jobs := make([]corpus.Job, corpusDocs)
+	var total int64
+	for i := range jobs {
+		doc := xmlgen.XMarkBytes(xmlgen.Config{TargetSize: docSize, Seed: uint64(i + 1)})
+		total += int64(len(doc))
+		jobs[i] = corpus.FromBytes("doc"+strconv.Itoa(i), doc)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run("workers_"+strconv.Itoa(workers), func(b *testing.B) {
+			runner := corpus.Runner{Engine: engine, Workers: workers}
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, agg := runner.Run(context.Background(), jobs)
+				if agg.Failed != 0 {
+					for _, res := range results {
+						if res.Err != nil {
+							b.Fatal(res.Err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCorpusPerWorkerEngines is the NewEngine variant: every worker
+// owns a private engine, so not even the engine pool is shared.
+func BenchmarkCorpusPerWorkerEngines(b *testing.B) {
+	benchSetup(b)
+	q, _ := xmlgen.QueryByID("XM13")
+	table := compileFor(b, benchXMarkDTD, q.Paths, compile.Options{})
+
+	const corpusDocs = 16
+	const docSize = 512 << 10
+	jobs := make([]corpus.Job, corpusDocs)
+	var total int64
+	for i := range jobs {
+		doc := xmlgen.XMarkBytes(xmlgen.Config{TargetSize: docSize, Seed: uint64(i + 1)})
+		total += int64(len(doc))
+		jobs[i] = corpus.FromBytes("doc"+strconv.Itoa(i), doc)
+	}
+
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run("workers_"+strconv.Itoa(workers), func(b *testing.B) {
+			runner := corpus.Runner{
+				NewEngine: func() corpus.Engine { return core.New(table, core.Options{}) },
+				Workers:   workers,
+			}
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, agg := runner.Run(context.Background(), jobs)
+				if agg.Failed != 0 {
+					b.Fatal("batch failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamingProject measures the pooled streaming entry point on a
+// single document: steady-state calls should be allocation-light because
+// window buffers and matcher tables come from the prefilter's pool.
+func BenchmarkStreamingProject(b *testing.B) {
+	benchSetup(b)
+	q, _ := xmlgen.QueryByID("XM13")
+	table := compileFor(b, benchXMarkDTD, q.Paths, compile.Options{})
+	pf := core.New(table, core.Options{})
+	b.SetBytes(int64(len(benchXMarkDoc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pf.Run(newSliceReader(benchXMarkDoc), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkCompile measures the static analysis itself (the paper reports

@@ -100,8 +100,8 @@ func TestRunDescribe(t *testing.T) {
 func TestRunArgumentErrors(t *testing.T) {
 	dtdPath, docPath, _ := writeFiles(t)
 	cases := [][]string{
-		{},                                   // missing -dtd
-		{"-dtd", dtdPath},                    // neither -paths nor -query
+		{},                // missing -dtd
+		{"-dtd", dtdPath}, // neither -paths nor -query
 		{"-dtd", dtdPath, "-paths", "/*", "-query", "<q>{/a}</q>"}, // both
 		{"-dtd", "/does/not/exist.dtd", "-paths", "/*"},
 		{"-dtd", dtdPath, "-paths", "bad path"},

@@ -8,9 +8,17 @@
 //	smpbench -experiment table1 -xmark 64MiB
 //	smpbench -experiment fig7b -medline 32MiB -format markdown
 //	smpbench -experiment table2 -queries M1,M5
+//
+// With -parallel N the harness instead exercises the corpus runner
+// (internal/corpus): it generates -docs documents (-xmark bytes each, or
+// -medline bytes for a MEDLINE query) and compares serial prefiltering
+// against an N-worker pool sharing one goroutine-safe engine:
+//
+//	smpbench -parallel 4 -docs 16 -xmark 4MiB -queries XM13
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,7 +26,14 @@ import (
 	"strconv"
 	"strings"
 
+	"smp/internal/compile"
+	"smp/internal/core"
+	"smp/internal/corpus"
+	"smp/internal/dtd"
 	"smp/internal/experiments"
+	"smp/internal/paths"
+	"smp/internal/stats"
+	"smp/internal/xmlgen"
 )
 
 func main() {
@@ -41,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed        = fs.Uint64("seed", 0, "dataset generator seed")
 		queries     = fs.String("queries", "", "comma-separated query IDs to restrict the workload (e.g. XM1,XM13,M5)")
 		format      = fs.String("format", "text", "output format: text, markdown or csv")
+		parallel    = fs.Int("parallel", 0, "corpus mode: shard a batch of documents across N workers (0 = run the paper experiments)")
+		docs        = fs.Int("docs", 16, "corpus mode: number of generated documents in the batch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,9 +89,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Queries = strings.Split(*queries, ",")
 	}
 
-	tables, err := experiments.Run(*experiment, cfg)
-	if err != nil {
-		return err
+	var tables []*stats.Table
+	if *parallel > 0 {
+		t, err := runCorpus(*parallel, *docs, cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*stats.Table{t}
+	} else {
+		var err error
+		tables, err = experiments.Run(*experiment, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	for i, t := range tables {
 		if i > 0 {
@@ -92,6 +119,73 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runCorpus is the -parallel mode: it generates a batch of XMark-like
+// documents, prefilters the batch serially and with a worker pool, and
+// reports the aggregate throughput of both plus the speedup.
+func runCorpus(workers, docCount int, cfg experiments.Config) (*stats.Table, error) {
+	queryID := "XM13"
+	if len(cfg.Queries) > 0 {
+		queryID = cfg.Queries[0]
+	}
+	q, ok := xmlgen.QueryByID(queryID)
+	if !ok {
+		return nil, fmt.Errorf("unknown query %q", queryID)
+	}
+	dtdSource := xmlgen.XMarkDTD()
+	gen := xmlgen.XMarkBytes
+	docSize := cfg.XMarkSize
+	if strings.HasPrefix(q.ID, "M") {
+		dtdSource = xmlgen.MedlineDTD()
+		gen = xmlgen.MedlineBytes
+		docSize = cfg.MedlineSize
+	}
+	schema, err := dtd.Parse(dtdSource)
+	if err != nil {
+		return nil, err
+	}
+	table, err := compile.Compile(schema, paths.MustParseSet(q.Paths), compile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	engine := core.New(table, core.Options{})
+
+	if docSize <= 0 {
+		docSize = 4 << 20
+	}
+	jobs := make([]corpus.Job, docCount)
+	for i := range jobs {
+		jobs[i] = corpus.FromBytes(fmt.Sprintf("doc%02d", i), gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + uint64(i) + 1}))
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Corpus prefiltering, %d x %s, query %s", docCount, stats.FormatBytes(docSize), q.ID),
+		"Workers", "Wall Time", "Aggregate MiB/s", "Output %", "Failed", "Speedup")
+	var serial corpus.Aggregate
+	for _, w := range []int{1, workers} {
+		runner := corpus.Runner{Engine: engine, Workers: w}
+		results, agg := runner.Run(context.Background(), jobs)
+		for _, res := range results {
+			if res.Err != nil {
+				return nil, fmt.Errorf("document %s: %v", res.Name, res.Err)
+			}
+		}
+		if w == 1 {
+			serial = agg
+		}
+		t.AddRow(
+			strconv.Itoa(w),
+			stats.FormatDuration(agg.Elapsed),
+			stats.FormatFloat(agg.ThroughputMBps()),
+			stats.FormatPercent(100*agg.OutputRatio()),
+			strconv.Itoa(agg.Failed),
+			stats.FormatRatio(float64(serial.Elapsed), float64(agg.Elapsed)),
+		)
+		if w == workers && w == 1 {
+			break // -parallel 1: the serial row is the whole story
+		}
+	}
+	return t, nil
 }
 
 // parseSize parses sizes like "64MiB", "500KB", "2GiB" or plain byte counts.

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"container/list"
+	"sync"
+
+	"smp"
+)
+
+// prefilterCache is a mutex-protected LRU of compiled prefilters, keyed by
+// the (DTD source, projection-path spec) pair. Compilation is the expensive
+// static analysis of the paper (DTD parse, Glushkov automata, table
+// construction); caching turns the service into compile-once, serve-many.
+type prefilterCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	pf  *smp.Prefilter
+}
+
+// newPrefilterCache returns an LRU holding up to capacity compiled
+// prefilters (capacity < 1 selects 1).
+func newPrefilterCache(capacity int) *prefilterCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &prefilterCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached prefilter for key and marks it most recently used.
+func (c *prefilterCache) get(key string) (*smp.Prefilter, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).pf, true
+}
+
+// put inserts a compiled prefilter, evicting the least recently used entry
+// when over capacity. If another goroutine compiled and inserted the same
+// key concurrently, the existing entry wins (both are equivalent).
+func (c *prefilterCache) put(key string, pf *smp.Prefilter) *smp.Prefilter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).pf
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, pf: pf})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	return pf
+}
+
+// counters returns a consistent snapshot of size and hit/miss/eviction
+// counts.
+func (c *prefilterCache) counters() (size int, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,248 @@
+// Command smpserve exposes SMP prefiltering as an HTTP service: compile
+// once, serve many. Each request names a DTD and a projection-path set (or a
+// query to extract the paths from); the compiled prefilter is kept in an LRU
+// cache keyed by the (DTD, paths) pair, and the document is streamed from
+// the request body through the prefilter into the response.
+//
+// Endpoints:
+//
+//	POST /project?dataset=xmark&paths=/*,//item/name%23
+//	POST /project?dataset=medline&query=<q>{//MedlineCitation/Article}</q>
+//	POST /project?paths=...        (DTD source in the X-SMP-DTD header)
+//	GET  /healthz
+//	GET  /stats
+//
+// The document is the POST body; the projection is the response body. The
+// per-run counters are reported in X-SMP-* response trailers, service-level
+// counters (requests, cache hits, bytes in/out) at /stats.
+//
+// Example:
+//
+//	smpserve -addr :8080 -cache 64 &
+//	smpgen -dataset xmark -size 8MiB | curl -sg --data-binary @- \
+//	    'localhost:8080/project?dataset=xmark&query=<q>{//australia//description}</q>'
+//
+// (curl's -g disables URL globbing, which would otherwise strip the braces
+// from the query expression.)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"smp"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		cache = flag.Int("cache", 64, "maximum number of compiled prefilters kept in the LRU cache")
+		chunk = flag.Int("chunk", 0, "streaming window chunk size in bytes (0 = default 32 KiB)")
+	)
+	flag.Parse()
+
+	srv := newServer(*cache, smp.Options{ChunkSize: *chunk})
+	log.Printf("smpserve: listening on %s (prefilter cache capacity %d)", *addr, *cache)
+	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+		fmt.Fprintln(os.Stderr, "smpserve:", err)
+		os.Exit(1)
+	}
+}
+
+// server holds the shared state of the service: the prefilter cache, the
+// compile options and the service-level counters.
+type server struct {
+	cache *prefilterCache
+	opts  smp.Options
+	start time.Time
+
+	requests     atomic.Int64
+	failures     atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+}
+
+func newServer(cacheSize int, opts smp.Options) *server {
+	return &server{cache: newPrefilterCache(cacheSize), opts: opts, start: time.Now()}
+}
+
+// routes wires up the endpoints.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/project", s.handleProject)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// handleProject streams the request body through the prefilter selected by
+// the query parameters and writes the projection as the response body.
+func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST the document to /project")
+		return
+	}
+	pf, err := s.prefilterFor(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/xml")
+	// The counters are only known after the body has streamed, so they are
+	// sent as HTTP trailers (declared before the first body write).
+	w.Header().Set("Trailer", "X-SMP-Bytes-Read, X-SMP-Bytes-Written, X-SMP-Char-Comparisons, X-SMP-Tags-Matched")
+	out := &countingWriter{w: w}
+	stats, err := pf.Project(out, r.Body)
+	s.bytesRead.Add(stats.BytesRead)
+	s.bytesWritten.Add(stats.BytesWritten)
+	if err != nil {
+		s.failures.Add(1)
+		if out.n == 0 {
+			// Nothing streamed yet (e.g. a document that does not conform to
+			// the DTD failed up front): a clean error response is possible.
+			w.Header().Del("Trailer")
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			fmt.Fprintln(w, "smpserve:", err)
+			return
+		}
+		// Headers are already sent once the projection started streaming, so
+		// a mid-stream failure can only be logged and the connection cut.
+		log.Printf("smpserve: projection failed after %d bytes: %v", out.n, err)
+		panic(http.ErrAbortHandler)
+	}
+	setStatsHeaders(w.Header(), stats)
+}
+
+// countingWriter tracks whether (and how much of) the response body has
+// been written, which decides how a projection error can be reported.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// prefilterFor resolves the request's (DTD, paths) pair to a compiled
+// prefilter, consulting the LRU cache first.
+func (s *server) prefilterFor(r *http.Request) (*smp.Prefilter, error) {
+	dtdSource, err := requestDTD(r)
+	if err != nil {
+		return nil, err
+	}
+	pathSpec := r.URL.Query().Get("paths")
+	querySpec := r.URL.Query().Get("query")
+	switch {
+	case pathSpec == "" && querySpec == "":
+		return nil, fmt.Errorf("missing ?paths=... or ?query=... parameter")
+	case pathSpec != "" && querySpec != "":
+		return nil, fmt.Errorf("give either ?paths= or ?query=, not both")
+	}
+
+	key := dtdSource + "\x00p\x00" + pathSpec + "\x00q\x00" + querySpec
+	if pf, ok := s.cache.get(key); ok {
+		return pf, nil
+	}
+	// Compile outside the cache lock; a concurrent request for the same key
+	// may compile twice, but both results are equivalent and put() keeps one.
+	var pf *smp.Prefilter
+	if pathSpec != "" {
+		pf, err = smp.Compile(dtdSource, pathSpec, s.opts)
+	} else {
+		pf, err = smp.CompileQuery(dtdSource, querySpec, s.opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.cache.put(key, pf), nil
+}
+
+// requestDTD resolves the DTD source of a request: either a bundled dataset
+// named by ?dataset= or literal (percent-encoded) DTD text in the X-SMP-DTD
+// header.
+func requestDTD(r *http.Request) (string, error) {
+	dataset := r.URL.Query().Get("dataset")
+	header := r.Header.Get("X-SMP-DTD")
+	switch {
+	case dataset != "" && header != "":
+		return "", fmt.Errorf("give either ?dataset= or the X-SMP-DTD header, not both")
+	case dataset != "":
+		return smp.DatasetDTD(smp.Dataset(dataset))
+	case header != "":
+		// Percent-decoding only: form decoding (QueryUnescape) would turn a
+		// literal '+' — the DTD's one-or-more operator — into a space.
+		src, err := url.PathUnescape(header)
+		if err != nil {
+			return "", fmt.Errorf("X-SMP-DTD header is not valid percent-encoded text: %v", err)
+		}
+		return src, nil
+	default:
+		return "", fmt.Errorf("missing DTD: give ?dataset=xmark|medline or the X-SMP-DTD header (percent-encoded DTD source)")
+	}
+}
+
+// setStatsHeaders exposes the per-run counters as response trailers/headers.
+func setStatsHeaders(h http.Header, stats smp.Stats) {
+	h.Set("X-SMP-Bytes-Read", strconv.FormatInt(stats.BytesRead, 10))
+	h.Set("X-SMP-Bytes-Written", strconv.FormatInt(stats.BytesWritten, 10))
+	h.Set("X-SMP-Char-Comparisons", strconv.FormatInt(stats.CharComparisons, 10))
+	h.Set("X-SMP-Tags-Matched", strconv.FormatInt(stats.TagsMatched, 10))
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// statsResponse is the JSON shape of /stats.
+type statsResponse struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Requests       int64   `json:"requests"`
+	Failures       int64   `json:"failures"`
+	BytesRead      int64   `json:"bytes_read"`
+	BytesWritten   int64   `json:"bytes_written"`
+	CacheSize      int     `json:"cache_size"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	size, hits, misses, evictions := s.cache.counters()
+	resp := statsResponse{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Requests:       s.requests.Load(),
+		Failures:       s.failures.Load(),
+		BytesRead:      s.bytesRead.Load(),
+		BytesWritten:   s.bytesWritten.Load(),
+		CacheSize:      size,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("smpserve: encoding /stats: %v", err)
+	}
+}
+
+// fail writes a plain-text error response and counts the failure.
+func (s *server) fail(w http.ResponseWriter, code int, msg string) {
+	s.failures.Add(1)
+	http.Error(w, "smpserve: "+msg, code)
+}

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"smp"
+)
+
+const auctionDTD = `<!DOCTYPE site [
+<!ELEMENT site (regions)>
+<!ELEMENT regions (africa, asia, australia)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category ID #REQUIRED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+]>`
+
+const auctionDoc = `<site><regions><africa/><asia/><australia><item><location>Egypt</location><name>PDA</name><payment>Check</payment><description>Palm Zire 71</description><shipping/><incategory category="3"/></item></australia></regions></site>`
+
+func testServer(t *testing.T, cacheSize int) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(cacheSize, smp.Options{})
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postProject(t *testing.T, ts *httptest.Server, params, dtdHeader, doc string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/project?"+params, strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtdHeader != "" {
+		req.Header.Set("X-SMP-DTD", dtdHeader)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestProjectInlineDTD posts a document with the DTD in the X-SMP-DTD
+// header and checks the projection and the stats trailers.
+func TestProjectInlineDTD(t *testing.T) {
+	_, ts := testServer(t, 4)
+	params := "paths=" + url.QueryEscape("/*, //australia//description#")
+	resp := postProject(t, ts, params, url.PathEscape(auctionDTD), auctionDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pf, err := smp.Compile(auctionDTD, "/*, //australia//description#", smp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := pf.ProjectBytes([]byte(auctionDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("projection = %q, want %q", body, want)
+	}
+	if got := resp.Trailer.Get("X-SMP-Bytes-Written"); got == "" {
+		t.Error("missing X-SMP-Bytes-Written trailer")
+	}
+}
+
+// TestProjectDatasetAndQuery uses a bundled dataset DTD plus automatic path
+// extraction from an XQuery expression.
+func TestProjectDatasetAndQuery(t *testing.T) {
+	_, ts := testServer(t, 4)
+	doc, err := smp.GenerateBytes(smp.XMark, 32<<10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := "dataset=xmark&query=" + url.QueryEscape("<q>{//australia//description}</q>")
+	resp := postProject(t, ts, params, "", string(doc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 || len(body) >= len(doc) {
+		t.Fatalf("projection size %d of input %d: expected a strict, non-empty reduction", len(body), len(doc))
+	}
+}
+
+// TestProjectBadRequests covers the request-validation error paths.
+func TestProjectBadRequests(t *testing.T) {
+	_, ts := testServer(t, 4)
+	cases := []struct {
+		name   string
+		params string
+		header string
+	}{
+		{"NoDTD", "paths=" + url.QueryEscape("/*"), ""},
+		{"NoPaths", "dataset=xmark", ""},
+		{"BothPathsAndQuery", "dataset=xmark&paths=%2F*&query=q", ""},
+		{"UnknownDataset", "dataset=nope&paths=%2F*", ""},
+		{"DatasetAndHeader", "dataset=xmark&paths=%2F*", url.PathEscape(auctionDTD)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postProject(t, ts, tc.params, tc.header, auctionDoc)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+
+	t.Run("NonConformingDocument", func(t *testing.T) {
+		// A document that does not match the DTD fails before any output
+		// byte is produced, so the service can answer with a clean 422.
+		resp := postProject(t, ts, "dataset=xmark&paths="+url.QueryEscape("/*, //australia//description#"), "", "<wrong></wrong>")
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("status = %d, want 422", resp.StatusCode)
+		}
+	})
+
+	t.Run("GetNotAllowed", func(t *testing.T) {
+		resp, err := ts.Client().Get(ts.URL + "/project?dataset=xmark&paths=%2F*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// TestHealthzAndStats checks the service endpoints and that repeated
+// requests for the same (DTD, paths) pair hit the prefilter cache.
+func TestHealthzAndStats(t *testing.T) {
+	srv, ts := testServer(t, 4)
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+
+	params := "dataset=xmark&paths=" + url.QueryEscape("/*, //australia//description#")
+	doc, err := smp.GenerateBytes(smp.XMark, 16<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r := postProject(t, ts, params, "", string(doc))
+		io.Copy(io.Discard, r.Body)
+	}
+
+	statsResp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var got statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests != 3 {
+		t.Errorf("stats.Requests = %d, want 3", got.Requests)
+	}
+	if got.CacheMisses != 1 || got.CacheHits != 2 {
+		t.Errorf("cache hits/misses = %d/%d, want 2/1", got.CacheHits, got.CacheMisses)
+	}
+	if got.CacheSize != 1 {
+		t.Errorf("stats.CacheSize = %d, want 1", got.CacheSize)
+	}
+	if got.BytesRead == 0 || got.BytesWritten == 0 {
+		t.Errorf("stats bytes read/written = %d/%d, want non-zero", got.BytesRead, got.BytesWritten)
+	}
+	_ = srv
+}
+
+// TestCacheEviction fills the LRU beyond capacity and checks evictions.
+func TestCacheEviction(t *testing.T) {
+	cache := newPrefilterCache(2)
+	pf, err := smp.Compile(auctionDTD, "/*", smp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.put("a", pf)
+	cache.put("b", pf)
+	cache.put("c", pf) // evicts "a"
+	if _, ok := cache.get("a"); ok {
+		t.Error("entry a should have been evicted")
+	}
+	if _, ok := cache.get("b"); !ok {
+		t.Error("entry b should still be cached")
+	}
+	size, _, _, evictions := cache.counters()
+	if size != 2 || evictions != 1 {
+		t.Errorf("size/evictions = %d/%d, want 2/1", size, evictions)
+	}
+}
+
+// TestConcurrentRequests hammers one cached prefilter from many goroutines
+// (meaningful under -race) and checks all projections are identical.
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := testServer(t, 4)
+	doc, err := smp.GenerateBytes(smp.XMark, 64<<10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := "dataset=xmark&paths=" + url.QueryEscape("/*, //australia//description#")
+
+	const goroutines = 8
+	outs := make([][]byte, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/project?"+params, "application/xml", bytes.NewReader(doc))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer resp.Body.Close()
+			outs[g], errs[g] = io.ReadAll(resp.Body)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !bytes.Equal(outs[g], outs[0]) {
+			t.Fatalf("goroutine %d produced a different projection (%d vs %d bytes)", g, len(outs[g]), len(outs[0]))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package smp_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"smp"
+)
+
+// The simplified XMark DTD of paper Fig. 1.
+const auctionDTD = `<!DOCTYPE site [
+<!ELEMENT site (regions)>
+<!ELEMENT regions (africa, asia, australia)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category ID #REQUIRED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+]>`
+
+// A fragment of the auction document of paper Fig. 2.
+const auctionDoc = `<site><regions><africa><item><location>United States</location><name>T V</name><payment>Creditcard</payment><description>15''LCD-FlatPanel</description><shipping>Within country</shipping><incategory category="3"/></item></africa><asia/><australia><item><location>Egypt</location><name>PDA</name><payment>Check</payment><description>Palm Zire 71</description><shipping/><incategory category="3"/></item></australia></regions></site>`
+
+// ExampleCompile builds a prefilter from explicit projection paths and
+// projects an in-memory document (the paper's Example 1).
+func ExampleCompile() {
+	pf, err := smp.Compile(auctionDTD, "/*, //australia//description#", smp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, stats, err := pf.ProjectBytes([]byte(auctionDoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+	fmt.Printf("%d -> %d bytes\n", stats.BytesRead, stats.BytesWritten)
+	// Output:
+	// <site><australia><description>Palm Zire 71</description></australia></site>
+	// 431 -> 75 bytes
+}
+
+// ExampleCompileQuery extracts the projection paths from an XQuery
+// expression instead of spelling them out.
+func ExampleCompileQuery() {
+	pf, err := smp.CompileQuery(auctionDTD, "<q>{//australia//description}</q>", smp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pf.Paths() {
+		fmt.Println(p)
+	}
+	// Output:
+	// /*
+	// //australia//description#
+}
+
+// ExamplePrefilter_Project streams a document through a compiled prefilter.
+// The source may be a file, a network connection or any io.Reader; memory
+// use stays proportional to the chunk size, not to the document.
+func ExamplePrefilter_Project() {
+	pf, err := smp.Compile(auctionDTD, "/*, //australia//description#", smp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var projection bytes.Buffer
+	stats, err := pf.Project(&projection, strings.NewReader(auctionDoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(projection.String())
+	fmt.Printf("kept %.1f%% of the input\n", 100*stats.OutputRatio())
+	// Output:
+	// <site><australia><description>Palm Zire 71</description></australia></site>
+	// kept 17.4% of the input
+}

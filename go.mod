@@ -1,0 +1,3 @@
+module smp
+
+go 1.22

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"smp/internal/compile"
 	"smp/internal/glushkov"
@@ -69,11 +70,14 @@ type Options struct {
 }
 
 // Prefilter executes XML prefiltering for one compiled runtime automaton.
-// It is safe to reuse for many documents; each run builds its own lazy
-// matcher set.
+// It is safe for concurrent use by multiple goroutines: each run borrows a
+// complete engine (window buffer plus lazily built matcher tables) from an
+// internal sync.Pool, so steady-state runs reuse chunk buffers and matcher
+// tables instead of allocating fresh per-call state.
 type Prefilter struct {
 	table *compile.Table
 	opts  Options
+	pool  sync.Pool // of *engine
 }
 
 // New builds a prefilter from a compiled table.
@@ -81,25 +85,33 @@ func New(table *compile.Table, opts Options) *Prefilter {
 	if opts.ChunkSize <= 0 {
 		opts.ChunkSize = DefaultChunkSize
 	}
-	return &Prefilter{table: table, opts: opts}
+	p := &Prefilter{table: table, opts: opts}
+	p.pool.New = func() interface{} {
+		return &engine{
+			table:  p.table,
+			opts:   p.opts,
+			win:    newWindow(nil, p.opts.ChunkSize),
+			single: make(map[int]stringmatch.Matcher),
+			multi:  make(map[int]stringmatch.MultiMatcher),
+		}
+	}
+	return p
 }
 
 // Table returns the compiled runtime automaton the prefilter executes.
 func (p *Prefilter) Table() *compile.Table { return p.table }
 
 // Run prefilters the document read from r, writing the projection to w.
+// Run may be called concurrently from multiple goroutines.
 func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
-	e := &engine{
-		table:  p.table,
-		opts:   p.opts,
-		win:    newWindow(r, p.opts.ChunkSize),
-		out:    w,
-		single: make(map[int]stringmatch.Matcher),
-		multi:  make(map[int]stringmatch.MultiMatcher),
-	}
+	e := p.pool.Get().(*engine)
+	e.reset(r, w)
 	err := e.run()
 	e.finishStats()
-	return e.stats, err
+	stats := e.stats
+	e.release()
+	p.pool.Put(e)
+	return stats, err
 }
 
 // ProjectBytes prefilters an in-memory document and returns the projection.
@@ -120,11 +132,45 @@ type engine struct {
 	single map[int]stringmatch.Matcher
 	multi  map[int]stringmatch.MultiMatcher
 
+	// tagText caches the synthesized tag strings ("<label>", "</label>",
+	// "<label/>") per label, so steady-state runs do not re-concatenate them
+	// for every matched tag.
+	tagText map[string]*tagStrings
+	// vocabOrder caches each state's vocabulary indices sorted by descending
+	// keyword length (verifyAt consults this order on every candidate match).
+	vocabOrder map[*compile.State][]int
+
 	copyActive bool
 	copyStart  int64
 
 	stats    Stats
 	writeErr error
+}
+
+// reset prepares a pooled engine for a fresh run: it rebinds the input and
+// output, zeroes the run counters, and resets the instrumentation of any
+// matcher tables kept from earlier runs (the tables themselves are reused —
+// building them again would repeat the static preprocessing cost).
+func (e *engine) reset(r io.Reader, w io.Writer) {
+	e.win.reset(r)
+	e.out = w
+	e.copyActive = false
+	e.copyStart = 0
+	e.stats = Stats{}
+	e.writeErr = nil
+	for _, m := range e.single {
+		m.Stats().Reset()
+	}
+	for _, m := range e.multi {
+		m.Stats().Reset()
+	}
+}
+
+// release drops the references a pooled engine holds into caller-owned
+// values, so the pool does not pin a caller's reader or writer alive.
+func (e *engine) release() {
+	e.win.r = nil
+	e.out = nil
 }
 
 // maxTagLength bounds the scan for a tag's closing bracket; a longer "tag"
@@ -296,7 +342,7 @@ func (e *engine) findNext(q int, st *compile.State, from int64) (pos int64, kwId
 // opening tags) '/'. Among several matching keywords the longest wins, which
 // resolves tagname-prefix collisions such as Abstract/AbstractText.
 func (e *engine) verifyAt(st *compile.State, pos int64, reported int) (int, bool, error) {
-	order := vocabularyByLength(st)
+	order := e.vocabularyByLength(st)
 	for _, idx := range order {
 		kw := st.Vocabulary[idx]
 		end := pos + int64(len(kw.Keyword))
@@ -365,6 +411,29 @@ func (e *engine) scanTagEnd(tagStart int64, keywordLen int) (tagEnd int64, bache
 	}
 }
 
+// tagStrings are the synthesized serializations of one tagname.
+type tagStrings struct {
+	open, close, bachelor string
+}
+
+// tags returns (building and caching on first use) the synthesized tag
+// strings for a label.
+func (e *engine) tags(label string) *tagStrings {
+	if t, ok := e.tagText[label]; ok {
+		return t
+	}
+	if e.tagText == nil {
+		e.tagText = make(map[string]*tagStrings)
+	}
+	t := &tagStrings{
+		open:     "<" + label + ">",
+		close:    "</" + label + ">",
+		bachelor: "<" + label + "/>",
+	}
+	e.tagText[label] = t
+	return t
+}
+
 // performOpen executes the action of the state entered by an opening tag.
 func (e *engine) performOpen(st *compile.State, tagStart, tagEnd int64, bachelor bool) {
 	switch st.Action {
@@ -377,9 +446,9 @@ func (e *engine) performOpen(st *compile.State, tagStart, tagEnd int64, bachelor
 		e.writeRaw(tagStart, tagEnd+1)
 	case projection.CopyTag:
 		if bachelor {
-			e.writeString("<" + st.Label + "/>")
+			e.writeString(e.tags(st.Label).bachelor)
 		} else {
-			e.writeString("<" + st.Label + ">")
+			e.writeString(e.tags(st.Label).open)
 		}
 	}
 }
@@ -396,11 +465,11 @@ func (e *engine) performClose(st *compile.State, tagEnd int64, bachelor bool) {
 			e.writeRaw(e.copyStart, tagEnd+1)
 			e.copyActive = false
 		} else if !bachelor {
-			e.writeString("</" + st.Label + ">")
+			e.writeString(e.tags(st.Label).close)
 		}
 	case projection.CopyTagAttrs, projection.CopyTag:
 		if !bachelor {
-			e.writeString("</" + st.Label + ">")
+			e.writeString(e.tags(st.Label).close)
 		}
 	}
 }
@@ -509,9 +578,16 @@ func keywordLengths(st *compile.State) (min, max int) {
 	return min, max
 }
 
-// vocabularyByLength returns the vocabulary indices sorted by descending
-// keyword length (longest first, for prefix disambiguation).
-func vocabularyByLength(st *compile.State) []int {
+// vocabularyByLength returns (building and caching on first use) the
+// vocabulary indices of a state sorted by descending keyword length
+// (longest first, for prefix disambiguation).
+func (e *engine) vocabularyByLength(st *compile.State) []int {
+	if order, ok := e.vocabOrder[st]; ok {
+		return order
+	}
+	if e.vocabOrder == nil {
+		e.vocabOrder = make(map[*compile.State][]int)
+	}
 	order := make([]int, len(st.Vocabulary))
 	for i := range order {
 		order[i] = i
@@ -519,5 +595,6 @@ func vocabularyByLength(st *compile.State) []int {
 	sort.Slice(order, func(a, b int) bool {
 		return len(st.Vocabulary[order[a]].Keyword) > len(st.Vocabulary[order[b]].Keyword)
 	})
+	e.vocabOrder[st] = order
 	return order
 }

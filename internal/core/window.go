@@ -32,6 +32,20 @@ func newWindow(r io.Reader, chunk int) *window {
 	return &window{r: r, chunk: chunk, buf: make([]byte, 0, 2*chunk)}
 }
 
+// reset rebinds the window to a new reader for another document, keeping the
+// already-grown chunk buffer so pooled engines run allocation-free in the
+// steady state. maxBuffer restarts at zero: it reports what this run needs,
+// not the capacity a previous run on the same pooled engine grew to.
+func (w *window) reset(r io.Reader) {
+	w.r = r
+	w.base = 0
+	w.n = 0
+	w.eof = false
+	w.buf = w.buf[:0]
+	w.bytesRead = 0
+	w.maxBuffer = 0
+}
+
 // end returns the absolute offset one past the last buffered byte.
 func (w *window) end() int64 { return w.base + int64(w.n) }
 
@@ -81,8 +95,11 @@ func (w *window) more() bool {
 	w.n += m
 	w.buf = w.buf[:w.n]
 	w.bytesRead += int64(m)
-	if cap(w.buf) > w.maxBuffer {
-		w.maxBuffer = cap(w.buf)
+	// The high-water mark tracks the bytes this run actually held buffered,
+	// so the counter stays per-run even when a pooled engine retains a large
+	// buffer from an earlier document.
+	if w.n > w.maxBuffer {
+		w.maxBuffer = w.n
 	}
 	if err != nil {
 		w.eof = true

@@ -1,0 +1,251 @@
+// Package corpus shards a batch of XML documents across a pool of worker
+// goroutines, each driving its own prefiltering engine, and aggregates the
+// per-document runtime statistics. It is the batch/concurrent layer on top
+// of the single-document engine in internal/core: the engine answers "how do
+// I project one document fast", corpus answers "how do I push a whole corpus
+// through N cores".
+//
+// The zero-configuration path is
+//
+//	runner := corpus.Runner{Engine: core.New(table, core.Options{})}
+//	results, agg := runner.Run(context.Background(), jobs)
+//
+// which uses one shared engine (the core engine is goroutine-safe and pools
+// its per-run state internally) and GOMAXPROCS workers. Setting NewEngine
+// gives every worker a private engine instance instead, which removes even
+// the pool synchronization from the hot path.
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"smp/internal/core"
+	"smp/internal/stats"
+)
+
+// Engine is the per-document prefiltering interface the runner drives. Both
+// *core.Prefilter and the public smp.Prefilter (via an adapter) satisfy it.
+type Engine interface {
+	Run(r io.Reader, w io.Writer) (core.Stats, error)
+}
+
+// Job is one document of a batch: a name for reporting, a source, and an
+// optional destination for the projected output.
+type Job struct {
+	// Name identifies the document in results and reports (a path, an ID).
+	Name string
+	// Src opens the document. It is called exactly once, by the worker that
+	// picks the job up, so Jobs are cheap to build for large corpora.
+	Src func() (io.ReadCloser, error)
+	// Dst opens the destination for the projection. A nil Dst discards the
+	// output (useful for measurement runs where only the stats matter).
+	Dst func() (io.WriteCloser, error)
+}
+
+// FromBytes builds a Job over an in-memory document that discards its
+// output. Attach a Dst afterwards to keep the projection.
+func FromBytes(name string, doc []byte) Job {
+	return Job{
+		Name: name,
+		Src: func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(doc)), nil
+		},
+	}
+}
+
+// FromFile builds a Job that reads the document from inPath and, if outPath
+// is non-empty, writes the projection to outPath.
+func FromFile(inPath, outPath string) Job {
+	j := Job{
+		Name: inPath,
+		Src:  func() (io.ReadCloser, error) { return os.Open(inPath) },
+	}
+	if outPath != "" {
+		j.Dst = func() (io.WriteCloser, error) { return os.Create(outPath) }
+	}
+	return j
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Name is the job's name.
+	Name string
+	// Worker is the index of the worker that ran the job.
+	Worker int
+	// Stats are the runtime counters of the job's prefiltering run.
+	Stats core.Stats
+	// Elapsed is the wall-clock time of the run, including source open and
+	// destination close.
+	Elapsed time.Duration
+	// Err is the first error of the run (open, prefilter, write or close).
+	Err error
+}
+
+// Aggregate sums a batch's results.
+type Aggregate struct {
+	// Documents is the number of jobs attempted, Failed the number whose
+	// Result carries an error.
+	Documents int
+	Failed    int
+	// BytesRead and BytesWritten are summed over all successful runs.
+	BytesRead    int64
+	BytesWritten int64
+	// CharComparisons and TagsMatched are summed over all successful runs.
+	CharComparisons int64
+	TagsMatched     int64
+	// Elapsed is the wall-clock time of the whole batch (not the sum of the
+	// per-job times: with N workers it is roughly their sum divided by N).
+	Elapsed time.Duration
+}
+
+// ThroughputMBps returns the aggregate input throughput of the batch.
+func (a Aggregate) ThroughputMBps() float64 {
+	return stats.ThroughputMBps(a.BytesRead, a.Elapsed)
+}
+
+// OutputRatio returns the summed projection size relative to the summed
+// input size.
+func (a Aggregate) OutputRatio() float64 {
+	if a.BytesRead == 0 {
+		return 0
+	}
+	return float64(a.BytesWritten) / float64(a.BytesRead)
+}
+
+// Runner shards jobs across a fixed pool of workers.
+type Runner struct {
+	// Engine is the shared prefiltering engine. core.Prefilter is
+	// goroutine-safe, so sharing one engine across workers is correct; it is
+	// required unless NewEngine is set.
+	Engine Engine
+	// NewEngine, if non-nil, is called once per worker so that every worker
+	// owns a private engine instance (no shared state at all on the hot
+	// path). It takes precedence over Engine.
+	NewEngine func() Engine
+	// Workers is the pool size; values < 1 select runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Run pushes every job through the worker pool and returns the per-job
+// results (in job order) plus the batch aggregate. Jobs that fail do not
+// stop the batch; their error is recorded in their Result. If ctx is
+// cancelled, not-yet-started jobs are marked with ctx.Err() and workers
+// drain without running them.
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, Aggregate) {
+	workers := r.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+
+	results := make([]Result, len(jobs))
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	for w := 0; w < workers; w++ {
+		engine := r.Engine
+		if r.NewEngine != nil {
+			engine = r.NewEngine()
+		}
+		wg.Add(1)
+		go func(worker int, engine Engine) {
+			defer wg.Done()
+			for i := range indexes {
+				results[i] = runJob(ctx, worker, engine, jobs[i])
+			}
+		}(w, engine)
+	}
+
+	for i := range jobs {
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+
+	agg := Aggregate{Documents: len(jobs), Elapsed: time.Since(start)}
+	for _, res := range results {
+		if res.Err != nil {
+			agg.Failed++
+			continue
+		}
+		agg.BytesRead += res.Stats.BytesRead
+		agg.BytesWritten += res.Stats.BytesWritten
+		agg.CharComparisons += res.Stats.CharComparisons
+		agg.TagsMatched += res.Stats.TagsMatched
+	}
+	return results, agg
+}
+
+// runJob executes one job on one worker.
+func runJob(ctx context.Context, worker int, engine Engine, job Job) Result {
+	res := Result{Name: job.Name, Worker: worker}
+	timer := stats.StartTimer()
+	defer func() { res.Elapsed = timer.Elapsed() }()
+
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	src, err := job.Src()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer src.Close()
+
+	var dst io.Writer = io.Discard
+	var dstCloser io.Closer
+	if job.Dst != nil {
+		wc, err := job.Dst()
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		dst = wc
+		dstCloser = wc
+	}
+
+	res.Stats, res.Err = engine.Run(src, dst)
+	if dstCloser != nil {
+		if cerr := dstCloser.Close(); res.Err == nil {
+			res.Err = cerr
+		}
+	}
+	return res
+}
+
+// Report renders a batch's results and aggregate as a stats.Table, one row
+// per document plus a summary note.
+func Report(title string, results []Result, agg Aggregate) *stats.Table {
+	t := stats.NewTable(title, "Document", "Worker", "Input", "Output", "Output %", "Time", "Status")
+	for _, res := range results {
+		status := "ok"
+		if res.Err != nil {
+			status = res.Err.Error()
+		}
+		t.AddRow(
+			res.Name,
+			strconv.Itoa(res.Worker),
+			stats.FormatBytes(res.Stats.BytesRead),
+			stats.FormatBytes(res.Stats.BytesWritten),
+			stats.FormatPercent(100*res.Stats.OutputRatio()),
+			stats.FormatDuration(res.Elapsed),
+			status,
+		)
+	}
+	t.AddNote("%d document(s), %d failed, %s in, %s out, %s wall, %.1f MiB/s aggregate",
+		agg.Documents, agg.Failed,
+		stats.FormatBytes(agg.BytesRead), stats.FormatBytes(agg.BytesWritten),
+		stats.FormatDuration(agg.Elapsed), agg.ThroughputMBps())
+	return t
+}

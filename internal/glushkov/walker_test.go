@@ -38,8 +38,8 @@ func TestWalkerAcceptsValidDocuments(t *testing.T) {
 func TestWalkerRejectsInvalidDocuments(t *testing.T) {
 	aut := MustBuild(dtd.MustParse(walkerDTD))
 	rejectMidway := [][]Token{
-		tokens(Open("b")),                                        // wrong root
-		tokens(Open("a"), Open("c"), Closing("c")),               // c needs a b child
+		tokens(Open("b")),                          // wrong root
+		tokens(Open("a"), Open("c"), Closing("c")), // c needs a b child
 		tokens(Open("a"), Open("c"), Open("b"), Closing("b"), Open("b"), Closing("b"), Open("b")), // third b in c
 	}
 	for i, seq := range rejectMidway {

@@ -70,12 +70,12 @@ func TestMatchesLeaf(t *testing.T) {
 		branch []string
 		want   bool
 	}{
-		{nil, true},                  // "/" prefix
-		{[]string{"a"}, true},        // "/a" prefix
-		{[]string{"a", "b"}, true},   // "/a/b"
-		{[]string{"x", "c"}, true},   // "//c#"
-		{[]string{"a", "d"}, false},  // nothing matches
-		{[]string{"b"}, false},       // "/a/b" needs parent a
+		{nil, true},                 // "/" prefix
+		{[]string{"a"}, true},       // "/a" prefix
+		{[]string{"a", "b"}, true},  // "/a/b"
+		{[]string{"x", "c"}, true},  // "//c#"
+		{[]string{"a", "d"}, false}, // nothing matches
+		{[]string{"b"}, false},      // "/a/b" needs parent a
 		{[]string{"a", "b", "c"}, true},
 	}
 	for _, c := range cases {
@@ -94,8 +94,8 @@ func TestMatchesAncestorWithDescendants(t *testing.T) {
 		{[]string{"a", "b"}, true},
 		{[]string{"a", "b", "c", "d"}, true},
 		{[]string{"a"}, false},
-		{[]string{"x", "y"}, false},        // not '#'-flagged
-		{[]string{"x", "y", "z"}, false},   // not '#'-flagged
+		{[]string{"x", "y"}, false},      // not '#'-flagged
+		{[]string{"x", "y", "z"}, false}, // not '#'-flagged
 	}
 	for _, c := range cases {
 		if got := s.MatchesAncestorWithDescendants(c.branch); got != c.want {

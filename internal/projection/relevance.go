@@ -1,14 +1,3 @@
-// Package projection implements the paper's projection semantics
-// (Section III): token relevance according to conditions C1-C3 of
-// Definition 3, a tokenizing reference projector that preserves exactly the
-// relevant nodes (the paper's Lemma 1 construction), and helpers for
-// comparing documents up to serialization details.
-//
-// The reference projector serves two roles in this repository. It is the
-// correctness oracle against which the skip-based SMP runtime is
-// cross-checked, and it stands in for the "type-based projection" baseline
-// of the paper's Table III: a projector of the same algorithmic class that
-// tokenizes its complete input.
 package projection
 
 import (

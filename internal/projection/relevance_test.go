@@ -90,9 +90,9 @@ func TestActionFor(t *testing.T) {
 		branch []string
 		want   Action
 	}{
-		{[]string{"site"}, CopyTagAttrs},                     // matched by /*
-		{[]string{"site", "regions"}, CopyTag},               // prefix only
-		{[]string{"site", "regions", "australia"}, CopyTag},  // prefix only
+		{[]string{"site"}, CopyTagAttrs},                    // matched by /*
+		{[]string{"site", "regions"}, CopyTag},              // prefix only
+		{[]string{"site", "regions", "australia"}, CopyTag}, // prefix only
 		{[]string{"site", "regions", "australia", "item", "description"}, CopySubtree},
 		{[]string{"site", "regions", "africa"}, Skip},
 		{[]string{"site", "regions", "australia", "item", "description", "text"}, CopySubtree},

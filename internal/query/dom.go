@@ -1,17 +1,3 @@
-// Package query provides the two downstream query engines used by the
-// experiment harness to reproduce the paper's Section V-B:
-//
-//   - DOMEngine, an in-memory engine with a configurable memory budget. It
-//     stands in for the QizX/Saxon XQuery processors of Fig. 7(a): without
-//     prefiltering it fails on inputs whose DOM exceeds the budget, with
-//     prefiltering it scales to much larger documents.
-//   - StreamEngine, an event-driven streaming XPath evaluator. It stands in
-//     for the SPEX processor of Fig. 7(b) and is used to demonstrate
-//     pipelined prefiltering.
-//
-// Both engines evaluate the downward-axis XPath skeleton of the benchmark
-// queries, expressed as projection paths; this is the fragment the paper's
-// prefiltering semantics is defined over.
 package query
 
 import (

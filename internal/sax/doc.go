@@ -1,0 +1,13 @@
+// Package sax implements a streaming, SAX-style XML tokenizer. It plays the
+// role Xerces-C++ plays in the paper's experiments (Section V-C): a parser
+// that must inspect every character of the input, used both as the
+// throughput baseline of Fig. 7(c) and as the substrate of the tokenizing
+// reference projector and the query engines.
+//
+// The tokenizer covers the XML subset exercised by the paper's datasets:
+// elements with attributes, character data, CDATA sections, comments,
+// processing instructions, an optional XML declaration and an optional
+// DOCTYPE declaration with an internal subset. It checks well-formedness
+// (tag balance, attribute syntax, single top-level element) and resolves the
+// five predefined entities.
+package sax

@@ -156,20 +156,20 @@ func TestRawSpansReconstructDocument(t *testing.T) {
 
 func TestWellFormednessErrors(t *testing.T) {
 	cases := []string{
-		`<a>`,                      // unclosed element
-		`<a></b>`,                  // mismatched closing tag
-		`</a>`,                     // closing tag without opening
-		`<a></a><b></b>`,           // two top-level elements
-		`<a>text`,                  // unclosed with text
-		`text<a></a>`,              // text before the root
-		`<a x=1></a>`,              // unquoted attribute
-		`<a x></a>`,                // attribute without value
-		`<a><![CDATA[x]]></a`,      // truncated
-		`<a>&unknown;</a>`,         // unknown entity
-		`<a>&amp</a>`,              // unterminated entity
-		``,                         // empty document
-		`   `,                      // whitespace only
-		`<a><b <c/></b></a>`,       // '<' inside a tag
+		`<a>`,                 // unclosed element
+		`<a></b>`,             // mismatched closing tag
+		`</a>`,                // closing tag without opening
+		`<a></a><b></b>`,      // two top-level elements
+		`<a>text`,             // unclosed with text
+		`text<a></a>`,         // text before the root
+		`<a x=1></a>`,         // unquoted attribute
+		`<a x></a>`,           // attribute without value
+		`<a><![CDATA[x]]></a`, // truncated
+		`<a>&unknown;</a>`,    // unknown entity
+		`<a>&amp</a>`,         // unterminated entity
+		``,                    // empty document
+		`   `,                 // whitespace only
+		`<a><b <c/></b></a>`,  // '<' inside a tag
 	}
 	for _, doc := range cases {
 		_, err := ParseBytes([]byte(doc), HandlerFunc(func(Event) error { return nil }), Options{})

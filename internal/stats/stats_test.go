@@ -47,10 +47,10 @@ func TestTableMarkdown(t *testing.T) {
 
 func TestFormatBytes(t *testing.T) {
 	cases := map[int64]string{
-		512:            "512 B",
-		2048:           "2.00 KiB",
-		5 << 20:        "5.00 MiB",
-		3 << 30:        "3.00 GiB",
+		512:     "512 B",
+		2048:    "2.00 KiB",
+		5 << 20: "5.00 MiB",
+		3 << 30: "3.00 GiB",
 	}
 	for n, want := range cases {
 		if got := FormatBytes(n); got != want {

@@ -112,9 +112,9 @@ var (
 		"Journal of Clinical Investigation", "Nature Reviews", "Cell Biology Reports",
 		"Annals of Internal Medicine", "The Lancet", "Bioinformatics Quarterly",
 	}
-	lastNames = []string{"Smith", "Nakamura", "Mueller", "Garcia", "Okafor", "Ivanov", "Dubois", "Hippocrates"}
-	foreNames = []string{"Anna", "James", "Yuki", "Miguel", "Chidi", "Olga", "Claire", "Robert"}
-	agencies  = []string{"NIH", "NSF", "Wellcome Trust", "DFG", "NASA"}
+	lastNames   = []string{"Smith", "Nakamura", "Mueller", "Garcia", "Okafor", "Ivanov", "Dubois", "Hippocrates"}
+	foreNames   = []string{"Anna", "James", "Yuki", "Miguel", "Chidi", "Olga", "Claire", "Robert"}
+	agencies    = []string{"NIH", "NSF", "Wellcome Trust", "DFG", "NASA"}
 	descriptors = []string{
 		"Humans", "Animals", "Proteins", "Cell Division", "Gene Expression",
 		"Drug Therapy", "Sterilization", "Surgical Procedures", "Risk Factors",

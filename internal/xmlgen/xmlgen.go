@@ -1,14 +1,3 @@
-// Package xmlgen generates the synthetic datasets of the experiment harness:
-// size-scalable XMark-like auction documents and MEDLINE-like citation
-// documents, each valid with respect to a bundled non-recursive DTD. The
-// generators replace the original datasets of the paper's evaluation (the
-// 10 MB–5 GB XMark documents produced by the xmlgen tool and the 656 MB
-// MEDLINE extract), reproducing the structural properties that drive the
-// reported metrics: tag vocabulary, nesting, attribute usage, the
-// markup-to-text ratio, and — for MEDLINE — long tagnames and mostly
-// optional content.
-//
-// Generation is deterministic: the same Config always yields the same bytes.
 package xmlgen
 
 import (

@@ -1,0 +1,135 @@
+package smp
+
+// Race-focused tests for the concurrent prefiltering surface: one compiled
+// Prefilter driven from many goroutines must produce byte-identical output
+// to the serial path, with the pooled per-run engine state never leaking
+// between runs. Run with `go test -race` to make the checks meaningful.
+
+import (
+	"bytes"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// concurrencyFixture compiles one prefilter and a set of distinct documents
+// with their serial projections.
+func concurrencyFixture(t *testing.T) (*Prefilter, [][]byte, [][]byte) {
+	t.Helper()
+	dtdSource, err := DatasetDTD(XMark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Compile(dtdSource, "/*, //australia//description#", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const docCount = 4
+	docs := make([][]byte, docCount)
+	want := make([][]byte, docCount)
+	for i := range docs {
+		docs[i], err = GenerateBytes(XMark, 96<<10, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], _, err = pf.ProjectBytes(docs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pf, docs, want
+}
+
+// TestPrefilterConcurrentIdenticalOutput runs one compiled Prefilter from
+// many goroutines over a rotating set of documents and asserts every
+// projection matches the serial result byte for byte.
+func TestPrefilterConcurrentIdenticalOutput(t *testing.T) {
+	pf, docs, want := concurrencyFixture(t)
+
+	const goroutines = 16
+	const iterations = 6
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				i := (g + it) % len(docs)
+				var out bytes.Buffer
+				stats, err := pf.Project(&out, bytes.NewReader(docs[i]))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(out.Bytes(), want[i]) {
+					errc <- &mismatchError{goroutine: g, doc: i, got: out.Len(), want: len(want[i])}
+					return
+				}
+				if stats.BytesRead != int64(len(docs[i])) || stats.BytesWritten != int64(len(want[i])) {
+					errc <- &mismatchError{goroutine: g, doc: i, got: int(stats.BytesWritten), want: len(want[i])}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+type mismatchError struct {
+	goroutine, doc, got, want int
+}
+
+func (e *mismatchError) Error() string {
+	return "goroutine " + strconv.Itoa(e.goroutine) + ", doc " + strconv.Itoa(e.doc) +
+		": projection size " + strconv.Itoa(e.got) + ", want " + strconv.Itoa(e.want)
+}
+
+// TestPrefilterSequentialReuseStatsReset checks that the pooled engine
+// state (window buffer, matcher instrumentation) is fully reset between
+// runs: repeating the same document must repeat the same counters.
+func TestPrefilterSequentialReuseStatsReset(t *testing.T) {
+	pf, docs, _ := concurrencyFixture(t)
+	_, first, err := pf.ProjectBytes(docs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		_, again, err := pf.ProjectBytes(docs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// MatchersBuilt may legitimately drop to 0 once pooled engines reuse
+		// their lazily built tables; every other counter must match exactly,
+		// including the per-run window high-water mark MaxBufferBytes.
+		first.MatchersBuilt, again.MatchersBuilt = 0, 0
+		if again != first {
+			t.Fatalf("run %d: stats drifted across pooled reuse:\nfirst: %+v\nagain: %+v", run, first, again)
+		}
+	}
+}
+
+// TestProjectMatchesRun checks the streaming Project entry point against
+// the pre-existing Run and ProjectBytes paths.
+func TestProjectMatchesRun(t *testing.T) {
+	pf, docs, want := concurrencyFixture(t)
+	for i, doc := range docs {
+		var viaProject, viaRun bytes.Buffer
+		if _, err := pf.Project(&viaProject, bytes.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pf.Run(bytes.NewReader(doc), &viaRun); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(viaProject.Bytes(), want[i]) {
+			t.Errorf("doc %d: Project output differs from ProjectBytes", i)
+		}
+		if !bytes.Equal(viaRun.Bytes(), want[i]) {
+			t.Errorf("doc %d: Run output differs from ProjectBytes", i)
+		}
+	}
+}

@@ -85,7 +85,8 @@ type Options struct {
 
 // Prefilter is a compiled XML prefilter: the runtime automaton with its
 // lookup tables plus the execution engine. A Prefilter is safe to reuse for
-// any number of documents valid with respect to its DTD.
+// any number of documents valid with respect to its DTD, and is safe for
+// concurrent use by multiple goroutines (compile once, project many).
 type Prefilter struct {
 	schema *dtd.DTD
 	set    *paths.Set
@@ -135,6 +136,19 @@ func compileSet(dtdSource string, set *paths.Set, opts Options) (*Prefilter, err
 // The input must be valid with respect to the prefilter's DTD.
 func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
 	return p.engine.Run(r, w)
+}
+
+// Project streams the document read from src through the prefilter and
+// writes the projection to dst. It is the streaming dual of ProjectBytes:
+// memory use stays proportional to the configured chunk size, never to the
+// document or projection size.
+//
+// A Prefilter is safe for concurrent use: Project may be called from many
+// goroutines at once. Window chunk buffers and lazily built matcher tables
+// are recycled through an internal sync.Pool, so steady-state calls do not
+// allocate fresh per-run engine state.
+func (p *Prefilter) Project(dst io.Writer, src io.Reader) (Stats, error) {
+	return p.engine.Run(src, dst)
 }
 
 // ProjectBytes prefilters an in-memory document and returns the projection.
