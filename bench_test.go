@@ -376,11 +376,13 @@ func BenchmarkCorpusParallel(b *testing.B) {
 }
 
 // BenchmarkCorpusPerWorkerEngines is the NewEngine variant: every worker
-// owns a private engine, so not even the engine pool is shared.
+// owns a private engine (its own buffer pool), while all engines share one
+// compiled plan — private hot-path state, one copy of the tables.
 func BenchmarkCorpusPerWorkerEngines(b *testing.B) {
 	benchSetup(b)
 	q, _ := xmlgen.QueryByID("XM13")
 	table := compileFor(b, benchXMarkDTD, q.Paths, compile.Options{})
+	plan := core.NewPlan(table, core.Options{})
 
 	const corpusDocs = 16
 	const docSize = 512 << 10
@@ -396,7 +398,7 @@ func BenchmarkCorpusPerWorkerEngines(b *testing.B) {
 		workers := workers
 		b.Run("workers_"+strconv.Itoa(workers), func(b *testing.B) {
 			runner := corpus.Runner{
-				NewEngine: func() corpus.Engine { return core.New(table, core.Options{}) },
+				NewEngine: func() corpus.Engine { return core.NewFromPlan(plan) },
 				Workers:   workers,
 			}
 			b.SetBytes(total)
@@ -427,6 +429,90 @@ func BenchmarkStreamingProject(b *testing.B) {
 		if _, err := pf.Run(newSliceReader(benchXMarkDoc), io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkColdStart measures the static/runtime phase split around the
+// Plan layer. CompilePlusFirstProject builds a fresh prefilter per iteration
+// and immediately projects once: since every matcher table, tag string and
+// vocabulary order is precompiled into the plan, the first projection after
+// Compile pays no lazy-build cost — its allocations and time match the
+// SteadyProject baseline plus the one-time plan construction reported by
+// PlanOnly.
+func BenchmarkColdStart(b *testing.B) {
+	benchSetup(b)
+	q, _ := xmlgen.QueryByID("XM13")
+	table := compileFor(b, benchXMarkDTD, q.Paths, compile.Options{})
+	doc := xmlgen.XMarkBytes(xmlgen.Config{TargetSize: 256 << 10, Seed: 2})
+
+	b.Run("PlanOnly", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.NewPlan(table, core.Options{})
+		}
+	})
+	b.Run("CompilePlusFirstProject", func(b *testing.B) {
+		set := paths.MustParseSet(q.Paths)
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			freshTable, err := compile.Compile(benchXMarkDTD, set, compile.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pf := core.New(freshTable, core.Options{})
+			if _, _, err := pf.ProjectBytes(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SteadyProject", func(b *testing.B) {
+		pf := core.New(table, core.Options{})
+		if _, _, err := pf.ProjectBytes(doc); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pf.ProjectBytes(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSharedPlanEngines demonstrates the shared-plan memory contract: K
+// concurrent engines built with NewFromPlan execute one copy of the matcher
+// tables, so per-run allocations stay buffer-only and do not grow with K or
+// with the table size (compare allocs/op across the engine counts).
+func BenchmarkSharedPlanEngines(b *testing.B) {
+	benchSetup(b)
+	q, _ := xmlgen.QueryByID("XM13")
+	table := compileFor(b, benchXMarkDTD, q.Paths, compile.Options{})
+	plan := core.NewPlan(table, core.Options{})
+	doc := xmlgen.XMarkBytes(xmlgen.Config{TargetSize: 256 << 10, Seed: 2})
+
+	for _, engines := range []int{1, 4, 8} {
+		engines := engines
+		b.Run("engines_"+strconv.Itoa(engines), func(b *testing.B) {
+			pfs := make([]*core.Prefilter, engines)
+			for i := range pfs {
+				pfs[i] = core.NewFromPlan(plan)
+				// Warm each engine's buffer pool once.
+				if _, _, err := pfs[i].ProjectBytes(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(doc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pfs[i%engines].Run(newSliceReader(doc), io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

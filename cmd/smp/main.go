@@ -88,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out = f
 	}
 
-	stats, err := pf.Run(in, out)
+	stats, err := pf.Project(out, in)
 	if err != nil {
 		return err
 	}

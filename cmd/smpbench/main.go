@@ -15,6 +15,15 @@
 // against an N-worker pool sharing one goroutine-safe engine:
 //
 //	smpbench -parallel 4 -docs 16 -xmark 4MiB -queries XM13
+//
+// With -coldstart the harness measures the paper's static/runtime phase
+// split directly: for each query it reports the compile time (static
+// analysis including plan construction — matcher tables, tag interning,
+// vocabulary orders), the first projection after compiling, and the
+// steady-state projection time. Because every table is built at compile
+// time, the first run should cost the same as the steady state:
+//
+//	smpbench -coldstart -xmark 4MiB -queries XM1,XM13,M4
 package main
 
 import (
@@ -58,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format      = fs.String("format", "text", "output format: text, markdown or csv")
 		parallel    = fs.Int("parallel", 0, "corpus mode: shard a batch of documents across N workers (0 = run the paper experiments)")
 		docs        = fs.Int("docs", 16, "corpus mode: number of generated documents in the batch")
+		coldstart   = fs.Bool("coldstart", false, "cold-start mode: report compile, first-run and steady-state time per query")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,13 +100,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var tables []*stats.Table
-	if *parallel > 0 {
+	switch {
+	case *coldstart:
+		t, err := runColdStart(cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*stats.Table{t}
+	case *parallel > 0:
 		t, err := runCorpus(*parallel, *docs, cfg)
 		if err != nil {
 			return err
 		}
 		tables = []*stats.Table{t}
-	} else {
+	default:
 		var err error
 		tables, err = experiments.Run(*experiment, cfg)
 		if err != nil {
@@ -133,14 +150,7 @@ func runCorpus(workers, docCount int, cfg experiments.Config) (*stats.Table, err
 	if !ok {
 		return nil, fmt.Errorf("unknown query %q", queryID)
 	}
-	dtdSource := xmlgen.XMarkDTD()
-	gen := xmlgen.XMarkBytes
-	docSize := cfg.XMarkSize
-	if strings.HasPrefix(q.ID, "M") {
-		dtdSource = xmlgen.MedlineDTD()
-		gen = xmlgen.MedlineBytes
-		docSize = cfg.MedlineSize
-	}
+	dtdSource, gen, docSize := datasetFor(q, cfg)
 	schema, err := dtd.Parse(dtdSource)
 	if err != nil {
 		return nil, err
@@ -151,9 +161,6 @@ func runCorpus(workers, docCount int, cfg experiments.Config) (*stats.Table, err
 	}
 	engine := core.New(table, core.Options{})
 
-	if docSize <= 0 {
-		docSize = 4 << 20
-	}
 	jobs := make([]corpus.Job, docCount)
 	for i := range jobs {
 		jobs[i] = corpus.FromBytes(fmt.Sprintf("doc%02d", i), gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + uint64(i) + 1}))
@@ -186,6 +193,87 @@ func runCorpus(workers, docCount int, cfg experiments.Config) (*stats.Table, err
 		}
 	}
 	return t, nil
+}
+
+// runColdStart is the -coldstart mode: for each query it times the static
+// analysis (DTD parse, table compilation, plan construction with all matcher
+// tables), the first projection after compiling and the steady-state
+// projection, separating the paper's static phase from its runtime phase.
+// With the Plan layer the first run pays no lazy table construction, so the
+// First/Steady ratio should sit near 1.
+func runColdStart(cfg experiments.Config) (*stats.Table, error) {
+	queryIDs := cfg.Queries
+	if len(queryIDs) == 0 {
+		queryIDs = []string{"XM1", "XM13", "M4"}
+	}
+
+	t := stats.NewTable("Cold start — static analysis vs. first vs. steady-state run",
+		"Query", "Compile", "Plan Bytes", "Matchers", "First Run", "Steady Run", "First/Steady")
+	for _, id := range queryIDs {
+		q, ok := xmlgen.QueryByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown query %q", id)
+		}
+		dtdSource, gen, docSize := datasetFor(q, cfg)
+		doc := gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + 1})
+
+		compileTimer := stats.StartTimer()
+		schema, err := dtd.Parse(dtdSource)
+		if err != nil {
+			return nil, err
+		}
+		table, err := compile.Compile(schema, paths.MustParseSet(q.Paths), compile.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		engine := core.New(table, core.Options{})
+		compileElapsed := compileTimer.Elapsed()
+
+		firstTimer := stats.StartTimer()
+		if _, _, err := engine.ProjectBytes(doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		first := firstTimer.Elapsed()
+
+		// Steady state: the fastest of a few warmed runs.
+		steady := first
+		for i := 0; i < 5; i++ {
+			runTimer := stats.StartTimer()
+			if _, _, err := engine.ProjectBytes(doc); err != nil {
+				return nil, fmt.Errorf("%s: %w", q.ID, err)
+			}
+			if elapsed := runTimer.Elapsed(); elapsed < steady {
+				steady = elapsed
+			}
+		}
+
+		ps := engine.PlanStats()
+		t.AddRow(
+			q.ID,
+			stats.FormatDuration(compileElapsed),
+			stats.FormatBytes(ps.MemBytes),
+			strconv.Itoa(ps.SingleMatchers+ps.MultiMatchers),
+			stats.FormatDuration(first),
+			stats.FormatDuration(steady),
+			stats.FormatRatio(float64(first), float64(steady)),
+		)
+	}
+	t.AddNote("%s", "compile covers the full static analysis including plan construction (matcher tables, tag interning, vocabulary orders); the first run builds nothing lazily, so First/Steady ≈ 1 up to cache warmth")
+	return t, nil
+}
+
+// datasetFor resolves a benchmark query to its dataset: DTD source,
+// document generator and configured document size (with the 4 MiB default).
+// MEDLINE query IDs carry the "M" prefix; everything else is XMark.
+func datasetFor(q xmlgen.Query, cfg experiments.Config) (dtdSource string, gen func(xmlgen.Config) []byte, docSize int64) {
+	dtdSource, gen, docSize = xmlgen.XMarkDTD(), xmlgen.XMarkBytes, cfg.XMarkSize
+	if strings.HasPrefix(q.ID, "M") {
+		dtdSource, gen, docSize = xmlgen.MedlineDTD(), xmlgen.MedlineBytes, cfg.MedlineSize
+	}
+	if docSize <= 0 {
+		docSize = 4 << 20
+	}
+	return dtdSource, gen, docSize
 }
 
 // parseSize parses sizes like "64MiB", "500KB", "2GiB" or plain byte counts.

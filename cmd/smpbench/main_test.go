@@ -64,6 +64,31 @@ func TestRunSweepAndBudgetFlags(t *testing.T) {
 	}
 }
 
+func TestRunColdStart(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-coldstart",
+		"-xmark", "150KiB",
+		"-queries", "XM13",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Cold start", "XM13", "Compile", "Plan Bytes", "First/Steady"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunColdStartUnknownQuery(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-coldstart", "-queries", "NOPE"}, &stdout, &stderr); err == nil {
+		t.Error("expected error for unknown query")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-experiment", "nonsense"},

@@ -9,35 +9,70 @@ import (
 
 // prefilterCache is a mutex-protected LRU of compiled prefilters, keyed by
 // the (DTD source, projection-path spec) pair. Compilation is the expensive
-// static analysis of the paper (DTD parse, Glushkov automata, table
-// construction); caching turns the service into compile-once, serve-many.
+// static analysis of the paper (DTD parse, Glushkov automata, table and
+// matcher construction); caching turns the service into compile-once,
+// serve-many.
+//
+// Entries are weighed by the memory footprint of their compiled plan
+// (smp.Prefilter.PlanStats), so the cache can be bounded in bytes as well as
+// in entry count: a handful of huge-DTD prefilters counts like many small
+// ones.
 type prefilterCache struct {
 	mu       sync.Mutex
 	capacity int
+	maxBytes int64      // total plan-byte budget; 0 = unlimited
 	order    *list.List // front = most recently used; values are *cacheEntry
 	entries  map[string]*list.Element
 
-	hits      int64
-	misses    int64
-	evictions int64
+	totalBytes int64
+	hits       int64
+	misses     int64
+	evictions  int64
 }
 
 type cacheEntry struct {
 	key string
-	pf  *smp.Prefilter
+	// label is the human-readable identity of the entry (dataset/paths or
+	// query), safe to expose in /stats — the key itself embeds the full DTD
+	// source.
+	label string
+	pf    *smp.Prefilter
+	// planBytes is the compiled plan's footprint; weight adds the key bytes
+	// (DTD source + spec) the entry pins and is what the budget counts.
+	planBytes int64
+	weight    int64
+	hits      int64
+}
+
+// cacheEntryInfo is the /stats view of one cached prefilter: the plan
+// footprint proper and the full eviction weight (plan + cache key).
+type cacheEntryInfo struct {
+	Label       string `json:"label"`
+	PlanBytes   int64  `json:"plan_bytes"`
+	WeightBytes int64  `json:"weight_bytes"`
+	Hits        int64  `json:"hits"`
 }
 
 // newPrefilterCache returns an LRU holding up to capacity compiled
-// prefilters (capacity < 1 selects 1).
-func newPrefilterCache(capacity int) *prefilterCache {
+// prefilters (capacity < 1 selects 1) whose plans together stay within
+// maxBytes (0 disables the byte budget). The most recently used entry is
+// never evicted, so a single over-budget plan still serves.
+func newPrefilterCache(capacity int, maxBytes int64) *prefilterCache {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &prefilterCache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element),
 	}
+}
+
+// entryWeight is the byte weight of one cache entry: the compiled plan plus
+// the key (which embeds the DTD source and path spec).
+func entryWeight(key string, pf *smp.Prefilter) int64 {
+	return pf.PlanStats().MemBytes + int64(len(key))
 }
 
 // get returns the cached prefilter for key and marks it most recently used.
@@ -50,34 +85,53 @@ func (c *prefilterCache) get(key string) (*smp.Prefilter, bool) {
 		return nil, false
 	}
 	c.hits++
+	el.Value.(*cacheEntry).hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).pf, true
 }
 
-// put inserts a compiled prefilter, evicting the least recently used entry
-// when over capacity. If another goroutine compiled and inserted the same
-// key concurrently, the existing entry wins (both are equivalent).
-func (c *prefilterCache) put(key string, pf *smp.Prefilter) *smp.Prefilter {
+// put inserts a compiled prefilter, evicting least recently used entries
+// while the cache exceeds its entry capacity or its byte budget. If another
+// goroutine compiled and inserted the same key concurrently, the existing
+// entry wins (both are equivalent).
+func (c *prefilterCache) put(key, label string, pf *smp.Prefilter) *smp.Prefilter {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		return el.Value.(*cacheEntry).pf
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, pf: pf})
-	for c.order.Len() > c.capacity {
+	entry := &cacheEntry{
+		key:       key,
+		label:     label,
+		pf:        pf,
+		planBytes: pf.PlanStats().MemBytes,
+		weight:    entryWeight(key, pf),
+	}
+	c.entries[key] = c.order.PushFront(entry)
+	c.totalBytes += entry.weight
+	for c.order.Len() > 1 &&
+		(c.order.Len() > c.capacity || (c.maxBytes > 0 && c.totalBytes > c.maxBytes)) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		old := oldest.Value.(*cacheEntry)
+		delete(c.entries, old.key)
+		c.totalBytes -= old.weight
 		c.evictions++
 	}
 	return pf
 }
 
-// counters returns a consistent snapshot of size and hit/miss/eviction
-// counts.
-func (c *prefilterCache) counters() (size int, hits, misses, evictions int64) {
+// view returns the per-entry footprints (most-recently-used first) together
+// with the aggregate counters, all under one lock, so the totals always
+// match the entry list.
+func (c *prefilterCache) view() (entries []cacheEntryInfo, size int, bytes int64, hits, misses, evictions int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.order.Len(), c.hits, c.misses, c.evictions
+	entries = make([]cacheEntryInfo, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		entries = append(entries, cacheEntryInfo{Label: e.label, PlanBytes: e.planBytes, WeightBytes: e.weight, Hits: e.hits})
+	}
+	return entries, c.order.Len(), c.totalBytes, c.hits, c.misses, c.evictions
 }

@@ -14,7 +14,11 @@
 //
 // The document is the POST body; the projection is the response body. The
 // per-run counters are reported in X-SMP-* response trailers, service-level
-// counters (requests, cache hits, bytes in/out) at /stats.
+// counters (requests, cache hits, bytes in/out, per-entry plan footprints)
+// at /stats. The prefilter cache can be bounded both by entry count (-cache)
+// and by the total memory of the compiled plans (-cachebytes); SIGINT or
+// SIGTERM triggers a graceful shutdown that drains in-flight projections
+// (-drain).
 //
 // Example:
 //
@@ -27,16 +31,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"strconv"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"smp"
@@ -44,18 +53,53 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		cache = flag.Int("cache", 64, "maximum number of compiled prefilters kept in the LRU cache")
-		chunk = flag.Int("chunk", 0, "streaming window chunk size in bytes (0 = default 32 KiB)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cache      = flag.Int("cache", 64, "maximum number of compiled prefilters kept in the LRU cache")
+		cacheBytes = flag.Int64("cachebytes", 0, "byte budget for the cached compiled plans (0 = unlimited; entries are weighed by plan footprint)")
+		chunk      = flag.Int("chunk", 0, "streaming window chunk size in bytes (0 = default 32 KiB)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	)
 	flag.Parse()
 
-	srv := newServer(*cache, smp.Options{ChunkSize: *chunk})
-	log.Printf("smpserve: listening on %s (prefilter cache capacity %d)", *addr, *cache)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+	srv := newServer(*cache, *cacheBytes, smp.Options{ChunkSize: *chunk})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "smpserve:", err)
 		os.Exit(1)
 	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	log.Printf("smpserve: listening on %s (prefilter cache capacity %d, byte budget %d)", ln.Addr(), *cache, *cacheBytes)
+	if err := serveUntilSignal(&http.Server{Handler: srv.routes()}, ln, stop, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "smpserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("smpserve: shut down cleanly")
+}
+
+// serveUntilSignal serves HTTP on ln until a signal arrives on stop, then
+// shuts down gracefully: the listener closes immediately, in-flight requests
+// get up to timeout to finish, and only then are connections cut. It returns
+// nil on a clean shutdown.
+func serveUntilSignal(hs *http.Server, ln net.Listener, stop <-chan os.Signal, timeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // the listener failed before any signal arrived
+	case sig := <-stop:
+		log.Printf("smpserve: received %v, draining in-flight requests (up to %s)", sig, timeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // server holds the shared state of the service: the prefilter cache, the
@@ -71,8 +115,8 @@ type server struct {
 	bytesWritten atomic.Int64
 }
 
-func newServer(cacheSize int, opts smp.Options) *server {
-	return &server{cache: newPrefilterCache(cacheSize), opts: opts, start: time.Now()}
+func newServer(cacheSize int, cacheBytes int64, opts smp.Options) *server {
+	return &server{cache: newPrefilterCache(cacheSize, cacheBytes), opts: opts, start: time.Now()}
 }
 
 // routes wires up the endpoints.
@@ -169,7 +213,20 @@ func (s *server) prefilterFor(r *http.Request) (*smp.Prefilter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.cache.put(key, pf), nil
+	return s.cache.put(key, entryLabel(r, pathSpec, querySpec), pf), nil
+}
+
+// entryLabel builds the human-readable /stats identity of a cache entry.
+// The cache key embeds the full DTD source; the label deliberately does not.
+func entryLabel(r *http.Request, pathSpec, querySpec string) string {
+	dtdID := "dtd=inline"
+	if dataset := r.URL.Query().Get("dataset"); dataset != "" {
+		dtdID = "dataset=" + dataset
+	}
+	if pathSpec != "" {
+		return dtdID + " paths=" + pathSpec
+	}
+	return dtdID + " query=" + querySpec
 }
 
 // requestDTD resolves the DTD source of a request: either a bundled dataset
@@ -209,21 +266,27 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// statsResponse is the JSON shape of /stats.
+// statsResponse is the JSON shape of /stats. CacheBytes is the summed
+// eviction weight the -cachebytes budget counts (compiled plan plus cache
+// key per entry); CacheEntries breaks each entry into its plan footprint —
+// the shared, immutable tables its concurrent runs execute against — and
+// its full weight.
 type statsResponse struct {
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	Requests       int64   `json:"requests"`
-	Failures       int64   `json:"failures"`
-	BytesRead      int64   `json:"bytes_read"`
-	BytesWritten   int64   `json:"bytes_written"`
-	CacheSize      int     `json:"cache_size"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheEvictions int64   `json:"cache_evictions"`
+	UptimeSeconds  float64          `json:"uptime_seconds"`
+	Requests       int64            `json:"requests"`
+	Failures       int64            `json:"failures"`
+	BytesRead      int64            `json:"bytes_read"`
+	BytesWritten   int64            `json:"bytes_written"`
+	CacheSize      int              `json:"cache_size"`
+	CacheBytes     int64            `json:"cache_bytes"`
+	CacheHits      int64            `json:"cache_hits"`
+	CacheMisses    int64            `json:"cache_misses"`
+	CacheEvictions int64            `json:"cache_evictions"`
+	CacheEntries   []cacheEntryInfo `json:"cache_entries"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	size, hits, misses, evictions := s.cache.counters()
+	entries, size, cacheBytes, hits, misses, evictions := s.cache.view()
 	resp := statsResponse{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Requests:       s.requests.Load(),
@@ -231,9 +294,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BytesRead:      s.bytesRead.Load(),
 		BytesWritten:   s.bytesWritten.Load(),
 		CacheSize:      size,
+		CacheBytes:     cacheBytes,
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		CacheEvictions: evictions,
+		CacheEntries:   entries,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {

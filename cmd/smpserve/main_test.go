@@ -34,7 +34,7 @@ const auctionDoc = `<site><regions><africa/><asia/><australia><item><location>Eg
 
 func testServer(t *testing.T, cacheSize int) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(cacheSize, smp.Options{})
+	srv := newServer(cacheSize, 0, smp.Options{})
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -203,23 +203,99 @@ func TestHealthzAndStats(t *testing.T) {
 
 // TestCacheEviction fills the LRU beyond capacity and checks evictions.
 func TestCacheEviction(t *testing.T) {
-	cache := newPrefilterCache(2)
+	cache := newPrefilterCache(2, 0)
 	pf, err := smp.Compile(auctionDTD, "/*", smp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache.put("a", pf)
-	cache.put("b", pf)
-	cache.put("c", pf) // evicts "a"
+	cache.put("a", "a", pf)
+	cache.put("b", "b", pf)
+	cache.put("c", "c", pf) // evicts "a"
 	if _, ok := cache.get("a"); ok {
 		t.Error("entry a should have been evicted")
 	}
 	if _, ok := cache.get("b"); !ok {
 		t.Error("entry b should still be cached")
 	}
-	size, _, _, evictions := cache.counters()
+	entries, size, bytes, _, _, evictions := cache.view()
 	if size != 2 || evictions != 1 {
 		t.Errorf("size/evictions = %d/%d, want 2/1", size, evictions)
+	}
+	if want := 2 * entryWeight("b", pf); bytes != want {
+		t.Errorf("cache bytes = %d, want %d (two weighted entries)", bytes, want)
+	}
+	for _, e := range entries {
+		if e.PlanBytes != pf.PlanStats().MemBytes || e.WeightBytes <= e.PlanBytes {
+			t.Errorf("entry %+v: want plan bytes %d and a strictly larger weight", e, pf.PlanStats().MemBytes)
+		}
+	}
+}
+
+// TestCacheByteBudget bounds the cache by plan bytes instead of entry count:
+// entries are evicted as soon as the summed plan footprints exceed the
+// budget, but the most recent entry always stays.
+func TestCacheByteBudget(t *testing.T) {
+	pf, err := smp.Compile(auctionDTD, "/*, //australia//description#", smp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := entryWeight("a", pf)
+	if weight <= int64(len("a")) {
+		t.Fatalf("entry weight %d does not include the plan footprint", weight)
+	}
+
+	// Budget for one and a half entries: the second put must evict the first.
+	cache := newPrefilterCache(16, weight*3/2)
+	cache.put("a", "a", pf)
+	cache.put("b", "b", pf)
+	if _, ok := cache.get("a"); ok {
+		t.Error("entry a should have been evicted by the byte budget")
+	}
+	if _, ok := cache.get("b"); !ok {
+		t.Error("entry b should have survived")
+	}
+
+	// A budget smaller than a single plan still keeps the newest entry.
+	tiny := newPrefilterCache(16, 1)
+	tiny.put("only", "only", pf)
+	if _, ok := tiny.get("only"); !ok {
+		t.Error("most recent entry must never be evicted, even over budget")
+	}
+}
+
+// TestStatsReportsPlanFootprint checks that /stats exposes the per-entry
+// plan footprints without leaking the DTD source.
+func TestStatsReportsPlanFootprint(t *testing.T) {
+	_, ts := testServer(t, 4)
+	params := "dataset=xmark&paths=" + url.QueryEscape("/*, //australia//description#")
+	doc, err := smp.GenerateBytes(smp.XMark, 16<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := postProject(t, ts, params, "", string(doc))
+	io.Copy(io.Discard, r.Body)
+
+	statsResp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var got statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheBytes <= 0 {
+		t.Errorf("stats.CacheBytes = %d, want > 0", got.CacheBytes)
+	}
+	if len(got.CacheEntries) != 1 {
+		t.Fatalf("stats.CacheEntries = %v, want one entry", got.CacheEntries)
+	}
+	e := got.CacheEntries[0]
+	if e.PlanBytes <= 0 || e.WeightBytes <= e.PlanBytes || e.Hits != 0 {
+		t.Errorf("entry = %+v, want positive plan bytes, a larger weight and zero hits", e)
+	}
+	if !strings.Contains(e.Label, "dataset=xmark") || strings.Contains(e.Label, "<!ELEMENT") {
+		t.Errorf("entry label %q should name the dataset and paths, never DTD source", e.Label)
 	}
 }
 

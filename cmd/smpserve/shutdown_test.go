@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestServeUntilSignalGracefulShutdown starts the server loop on a local
+// listener, parks a request inside a handler, sends the shutdown signal and
+// checks that the in-flight request still completes before serveUntilSignal
+// returns cleanly and the listener closes.
+func TestServeUntilSignalGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained")
+	})
+
+	stop := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- serveUntilSignal(&http.Server{Handler: mux}, ln, stop, 5*time.Second)
+	}()
+
+	url := "http://" + ln.Addr().String() + "/slow"
+	type result struct {
+		body string
+		err  error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			reqDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		reqDone <- result{body: string(body), err: err}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+
+	// Signal shutdown while the request is in flight: the server must drain,
+	// not return yet.
+	stop <- os.Interrupt
+	select {
+	case err := <-served:
+		t.Fatalf("serveUntilSignal returned %v before the in-flight request finished", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	res := <-reqDone
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	if res.body != "drained" {
+		t.Fatalf("in-flight response = %q, want %q", res.body, "drained")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveUntilSignal = %v, want clean nil shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntilSignal did not return after the drain completed")
+	}
+
+	// The listener is closed: new connections must be refused.
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("connection accepted after shutdown")
+	}
+}
+
+// TestServeUntilSignalListenerError checks that a failing listener surfaces
+// as an error without needing a signal.
+func TestServeUntilSignalListenerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // Serve on a closed listener fails immediately
+
+	stop := make(chan os.Signal, 1)
+	if err := serveUntilSignal(&http.Server{Handler: http.NewServeMux()}, ln, stop, time.Second); err == nil {
+		t.Fatal("serveUntilSignal = nil, want listener error")
+	}
+}

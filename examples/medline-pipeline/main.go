@@ -49,7 +49,7 @@ func main() {
 	projReader, projWriter := io.Pipe()
 	statsCh := make(chan smp.Stats, 1)
 	go func() {
-		stats, err := pf.Run(docReader, projWriter)
+		stats, err := pf.Project(projWriter, docReader)
 		projWriter.CloseWithError(err)
 		statsCh <- stats
 	}()

@@ -3,6 +3,13 @@
 // string matching problems as directed by the precompiled runtime automaton,
 // and copies exactly the query-relevant parts of the document to the output.
 //
+// The package is split along the paper's static/runtime phase boundary. The
+// Plan (plan.go) holds everything that is a pure function of (DTD, paths,
+// algorithm options): the lookup tables, the precompiled string matchers,
+// interned tag strings and vocabulary orders. The engine below holds only
+// per-run state — the streaming window, the copy region and the counters —
+// and references the shared, immutable Plan.
+//
 // The engine reads the input through a forward-moving window of fixed chunk
 // size (the paper uses eight times the system page size). Within the window
 // the string matchers jump back and forth; across iterations only data
@@ -14,7 +21,6 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 
 	"smp/internal/compile"
@@ -69,43 +75,53 @@ type Options struct {
 	Multi MultiAlgorithm
 }
 
-// Prefilter executes XML prefiltering for one compiled runtime automaton.
-// It is safe for concurrent use by multiple goroutines: each run borrows a
-// complete engine (window buffer plus lazily built matcher tables) from an
-// internal sync.Pool, so steady-state runs reuse chunk buffers and matcher
-// tables instead of allocating fresh per-call state.
+// Prefilter executes XML prefiltering for one compiled Plan. It is safe for
+// concurrent use by multiple goroutines: all table state lives in the
+// immutable shared Plan, and each run borrows a buffer-only engine (window
+// chunk buffer plus counters) from an internal sync.Pool, so steady-state
+// runs allocate nothing but what the run itself writes.
 type Prefilter struct {
-	table *compile.Table
-	opts  Options
-	pool  sync.Pool // of *engine
+	plan *Plan
+	pool sync.Pool // of *engine
 }
 
-// New builds a prefilter from a compiled table.
+// New compiles a Plan from the table and wraps it in a prefilter. The plan —
+// matcher tables, interned tag strings, vocabulary orders — is built here,
+// once; no matcher construction happens on the project path.
 func New(table *compile.Table, opts Options) *Prefilter {
-	if opts.ChunkSize <= 0 {
-		opts.ChunkSize = DefaultChunkSize
-	}
-	p := &Prefilter{table: table, opts: opts}
+	return NewFromPlan(NewPlan(table, opts))
+}
+
+// NewFromPlan wraps an existing Plan in a prefilter, sharing the plan's
+// tables rather than rebuilding them. Any number of prefilters (e.g. one per
+// corpus worker) may share one Plan; per-engine memory is then bounded by
+// the window buffers alone, independent of the table size.
+func NewFromPlan(plan *Plan) *Prefilter {
+	p := &Prefilter{plan: plan}
 	p.pool.New = func() interface{} {
 		return &engine{
-			table:  p.table,
-			opts:   p.opts,
-			win:    newWindow(nil, p.opts.ChunkSize),
-			single: make(map[int]stringmatch.Matcher),
-			multi:  make(map[int]stringmatch.MultiMatcher),
+			plan: plan,
+			win:  newWindow(nil, plan.opts.ChunkSize),
 		}
 	}
 	return p
 }
 
 // Table returns the compiled runtime automaton the prefilter executes.
-func (p *Prefilter) Table() *compile.Table { return p.table }
+func (p *Prefilter) Table() *compile.Table { return p.plan.table }
 
-// Run prefilters the document read from r, writing the projection to w.
-// Run may be called concurrently from multiple goroutines.
-func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
+// Plan returns the immutable execution plan the prefilter shares across its
+// pooled engines.
+func (p *Prefilter) Plan() *Plan { return p.plan }
+
+// PlanStats returns the size and footprint of the shared plan.
+func (p *Prefilter) PlanStats() PlanStats { return p.plan.stats }
+
+// Project prefilters the document read from src, writing the projection to
+// dst. It may be called concurrently from multiple goroutines.
+func (p *Prefilter) Project(dst io.Writer, src io.Reader) (Stats, error) {
 	e := p.pool.Get().(*engine)
-	e.reset(r, w)
+	e.reset(src, dst)
 	err := e.run()
 	e.finishStats()
 	stats := e.stats
@@ -114,56 +130,51 @@ func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
 	return stats, err
 }
 
+// Run prefilters the document read from r, writing the projection to w.
+// It is Project with the reader-first argument order kept for existing
+// callers (notably the corpus runner's Engine interface).
+func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
+	return p.Project(w, r)
+}
+
 // ProjectBytes prefilters an in-memory document and returns the projection.
 func (p *Prefilter) ProjectBytes(doc []byte) ([]byte, Stats, error) {
 	var out bytes.Buffer
 	out.Grow(len(doc) / 8)
-	stats, err := p.Run(bytes.NewReader(doc), &out)
+	stats, err := p.Project(&out, bytes.NewReader(doc))
 	return out.Bytes(), stats, err
 }
 
-// engine is the per-run state of the runtime algorithm.
+// engine is the per-run state of the runtime algorithm: the streaming
+// window, the open copy region and the counters. Everything it looks up —
+// matchers, tag strings, vocabulary orders — comes from the shared Plan.
 type engine struct {
-	table *compile.Table
-	opts  Options
-	win   *window
-	out   io.Writer
-
-	single map[int]stringmatch.Matcher
-	multi  map[int]stringmatch.MultiMatcher
-
-	// tagText caches the synthesized tag strings ("<label>", "</label>",
-	// "<label/>") per label, so steady-state runs do not re-concatenate them
-	// for every matched tag.
-	tagText map[string]*tagStrings
-	// vocabOrder caches each state's vocabulary indices sorted by descending
-	// keyword length (verifyAt consults this order on every candidate match).
-	vocabOrder map[*compile.State][]int
+	plan *Plan
+	win  *window
+	out  io.Writer
 
 	copyActive bool
 	copyStart  int64
+
+	// match accumulates the string matchers' counters for this run; the
+	// matchers themselves are immutable and shared.
+	match stringmatch.Counters
 
 	stats    Stats
 	writeErr error
 }
 
 // reset prepares a pooled engine for a fresh run: it rebinds the input and
-// output, zeroes the run counters, and resets the instrumentation of any
-// matcher tables kept from earlier runs (the tables themselves are reused —
-// building them again would repeat the static preprocessing cost).
+// output and zeroes the run counters. The window chunk buffer is the only
+// state carried over — reusing it is what makes steady-state runs cheap.
 func (e *engine) reset(r io.Reader, w io.Writer) {
 	e.win.reset(r)
 	e.out = w
 	e.copyActive = false
 	e.copyStart = 0
+	e.match = stringmatch.Counters{}
 	e.stats = Stats{}
 	e.writeErr = nil
-	for _, m := range e.single {
-		m.Stats().Reset()
-	}
-	for _, m := range e.multi {
-		m.Stats().Reset()
-	}
 }
 
 // release drops the references a pooled engine holds into caller-owned
@@ -179,11 +190,11 @@ const maxTagLength = 1 << 20
 
 // run executes the algorithm of paper Fig. 4.
 func (e *engine) run() error {
-	q := e.table.Initial
+	q := e.plan.table.Initial
 	cursor := int64(0)
 
 	for {
-		st := e.table.State(q)
+		st := e.plan.table.State(q)
 		if len(st.Vocabulary) == 0 {
 			// Nothing left to search for; the state is final by construction.
 			break
@@ -223,26 +234,26 @@ func (e *engine) run() error {
 		// Transition (table A) and action (table T), treating a bachelor tag
 		// as its opening tag immediately followed by its closing tag.
 		if kw.Token.Close {
-			next := e.table.Successor(q, kw.Token)
+			next := e.plan.table.Successor(q, kw.Token)
 			if next < 0 {
 				return e.transitionError(q, kw.Token)
 			}
-			e.performClose(e.table.State(next), tagEnd, false)
+			e.performClose(e.plan.table.State(next), tagEnd, false)
 			q = next
 		} else {
-			next := e.table.Successor(q, kw.Token)
+			next := e.plan.table.Successor(q, kw.Token)
 			if next < 0 {
 				return e.transitionError(q, kw.Token)
 			}
-			e.performOpen(e.table.State(next), pos, tagEnd, bachelor)
+			e.performOpen(e.plan.table.State(next), pos, tagEnd, bachelor)
 			q = next
 			if bachelor {
 				closeTok := glushkov.Closing(kw.Token.Name)
-				nextClose := e.table.Successor(q, closeTok)
+				nextClose := e.plan.table.Successor(q, closeTok)
 				if nextClose < 0 {
 					return e.transitionError(q, closeTok)
 				}
-				e.performClose(e.table.State(nextClose), tagEnd, true)
+				e.performClose(e.plan.table.State(nextClose), tagEnd, true)
 				q = nextClose
 			}
 		}
@@ -282,11 +293,13 @@ func (e *engine) transitionError(q int, tok glushkov.Token) error {
 // findNext locates the next verified occurrence of any frontier keyword of
 // state q at or after the absolute offset from.
 func (e *engine) findNext(q int, st *compile.State, from int64) (pos int64, kwIdx int, found bool, err error) {
-	minKw, maxKw := keywordLengths(st)
+	minKw, maxKw := e.plan.minKw[q], e.plan.maxKw[q]
 	searchFrom := from
 	for {
 		if !e.win.ensure(searchFrom + int64(minKw) - 1) {
-			return 0, 0, false, nil
+			// A truncated input is a legitimate end of search (the caller
+			// decides whether the state allows it); a failed read is not.
+			return 0, 0, false, e.win.readErr
 		}
 		text := e.win.bytes()
 		rel := int(searchFrom - e.win.base)
@@ -295,15 +308,15 @@ func (e *engine) findNext(q int, st *compile.State, from int64) (pos int64, kwId
 		}
 
 		var p, k int
-		if len(st.Vocabulary) == 1 {
-			p = e.singleMatcher(q, st).Next(text, rel)
+		if m := e.plan.single[q]; m != nil {
+			p = m.Next(text, rel, &e.match)
 			k = 0
 		} else {
-			p, k = e.multiMatcher(q, st).Next(text, rel)
+			p, k = e.plan.multi[q].Next(text, rel, &e.match)
 		}
 		if p >= 0 {
 			abs := e.win.base + int64(p)
-			idx, valid, verr := e.verifyAt(st, abs, k)
+			idx, valid, verr := e.verifyAt(q, st, abs, k)
 			if verr != nil {
 				return 0, 0, false, verr
 			}
@@ -319,7 +332,7 @@ func (e *engine) findNext(q int, st *compile.State, from int64) (pos int64, kwId
 		// still start within the last maxKw-1 bytes (spanning the boundary),
 		// so resume from there after extending the window.
 		if e.win.eof {
-			return 0, 0, false, nil
+			return 0, 0, false, e.win.readErr
 		}
 		resume := e.win.end() - int64(maxKw) + 1
 		if resume < searchFrom {
@@ -341,9 +354,8 @@ func (e *engine) findNext(q int, st *compile.State, from int64) (pos int64, kwId
 // position: the keyword bytes must be followed by whitespace, '>' or (for
 // opening tags) '/'. Among several matching keywords the longest wins, which
 // resolves tagname-prefix collisions such as Abstract/AbstractText.
-func (e *engine) verifyAt(st *compile.State, pos int64, reported int) (int, bool, error) {
-	order := e.vocabularyByLength(st)
-	for _, idx := range order {
+func (e *engine) verifyAt(q int, st *compile.State, pos int64, reported int) (int, bool, error) {
+	for _, idx := range e.plan.vocabOrder[q] {
 		kw := st.Vocabulary[idx]
 		end := pos + int64(len(kw.Keyword))
 		if !e.win.ensure(end) {
@@ -386,6 +398,9 @@ func (e *engine) scanTagEnd(tagStart int64, keywordLen int) (tagEnd int64, bache
 	lastNonQuote := byte(0)
 	for {
 		if !e.win.ensure(i) {
+			if e.win.readErr != nil {
+				return 0, false, e.win.readErr
+			}
 			return 0, false, fmt.Errorf("core: unexpected end of input inside tag at offset %d", tagStart)
 		}
 		c := e.win.byteAt(i)
@@ -411,29 +426,6 @@ func (e *engine) scanTagEnd(tagStart int64, keywordLen int) (tagEnd int64, bache
 	}
 }
 
-// tagStrings are the synthesized serializations of one tagname.
-type tagStrings struct {
-	open, close, bachelor string
-}
-
-// tags returns (building and caching on first use) the synthesized tag
-// strings for a label.
-func (e *engine) tags(label string) *tagStrings {
-	if t, ok := e.tagText[label]; ok {
-		return t
-	}
-	if e.tagText == nil {
-		e.tagText = make(map[string]*tagStrings)
-	}
-	t := &tagStrings{
-		open:     "<" + label + ">",
-		close:    "</" + label + ">",
-		bachelor: "<" + label + "/>",
-	}
-	e.tagText[label] = t
-	return t
-}
-
 // performOpen executes the action of the state entered by an opening tag.
 func (e *engine) performOpen(st *compile.State, tagStart, tagEnd int64, bachelor bool) {
 	switch st.Action {
@@ -446,9 +438,9 @@ func (e *engine) performOpen(st *compile.State, tagStart, tagEnd int64, bachelor
 		e.writeRaw(tagStart, tagEnd+1)
 	case projection.CopyTag:
 		if bachelor {
-			e.writeString(e.tags(st.Label).bachelor)
+			e.writeString(e.plan.tag(st).bachelor)
 		} else {
-			e.writeString(e.tags(st.Label).open)
+			e.writeString(e.plan.tag(st).open)
 		}
 	}
 }
@@ -465,11 +457,11 @@ func (e *engine) performClose(st *compile.State, tagEnd int64, bachelor bool) {
 			e.writeRaw(e.copyStart, tagEnd+1)
 			e.copyActive = false
 		} else if !bachelor {
-			e.writeString(e.tags(st.Label).close)
+			e.writeString(e.plan.tag(st).close)
 		}
 	case projection.CopyTagAttrs, projection.CopyTag:
 		if !bachelor {
-			e.writeString(e.tags(st.Label).close)
+			e.writeString(e.plan.tag(st).close)
 		}
 	}
 }
@@ -498,103 +490,14 @@ func (e *engine) writeString(s string) {
 	}
 }
 
-// singleMatcher returns (building lazily) the single-keyword matcher of a
-// state.
-func (e *engine) singleMatcher(q int, st *compile.State) stringmatch.Matcher {
-	if m, ok := e.single[q]; ok {
-		return m
-	}
-	pattern := []byte(st.Vocabulary[0].Keyword)
-	var m stringmatch.Matcher
-	switch e.opts.Single {
-	case SingleHorspool:
-		m = stringmatch.NewHorspool(pattern)
-	case SingleNaive:
-		m = stringmatch.NewNaive(pattern)
-	default:
-		m = stringmatch.NewBoyerMoore(pattern)
-	}
-	e.single[q] = m
-	e.stats.MatchersBuilt++
-	return m
-}
-
-// multiMatcher returns (building lazily) the multi-keyword matcher of a
-// state.
-func (e *engine) multiMatcher(q int, st *compile.State) stringmatch.MultiMatcher {
-	if m, ok := e.multi[q]; ok {
-		return m
-	}
-	patterns := make([][]byte, len(st.Vocabulary))
-	for i, k := range st.Vocabulary {
-		patterns[i] = []byte(k.Keyword)
-	}
-	var m stringmatch.MultiMatcher
-	switch e.opts.Multi {
-	case MultiAhoCorasick:
-		m = stringmatch.NewAhoCorasick(patterns)
-	case MultiSetHorspool:
-		m = stringmatch.NewSetHorspool(patterns)
-	case MultiNaive:
-		m = stringmatch.NewNaiveMulti(patterns)
-	default:
-		m = stringmatch.NewCommentzWalter(patterns)
-	}
-	e.multi[q] = m
-	e.stats.MatchersBuilt++
-	return m
-}
-
-// finishStats folds the matcher counters and table sizes into the run stats.
+// finishStats folds the run's matcher counters and the plan sizes into the
+// run stats.
 func (e *engine) finishStats() {
-	for _, m := range e.single {
-		e.stats.addMatcher(*m.Stats())
-	}
-	for _, m := range e.multi {
-		e.stats.addMatcher(*m.Stats())
-	}
+	e.stats.addMatcher(e.match)
 	e.stats.BytesRead = e.win.bytesRead
-	e.stats.States = e.table.Stats.States
-	e.stats.CWStates = e.table.Stats.CWStates
-	e.stats.BMStates = e.table.Stats.BMStates
+	e.stats.States = e.plan.table.Stats.States
+	e.stats.CWStates = e.plan.table.Stats.CWStates
+	e.stats.BMStates = e.plan.table.Stats.BMStates
+	e.stats.MatchersBuilt = e.plan.MatcherCount()
 	e.stats.MaxBufferBytes = int64(e.win.maxBuffer)
-}
-
-// keywordLengths returns the minimum and maximum keyword length of a state's
-// vocabulary.
-func keywordLengths(st *compile.State) (min, max int) {
-	min, max = 1<<30, 0
-	for _, k := range st.Vocabulary {
-		if len(k.Keyword) < min {
-			min = len(k.Keyword)
-		}
-		if len(k.Keyword) > max {
-			max = len(k.Keyword)
-		}
-	}
-	if max == 0 {
-		min = 0
-	}
-	return min, max
-}
-
-// vocabularyByLength returns (building and caching on first use) the
-// vocabulary indices of a state sorted by descending keyword length
-// (longest first, for prefix disambiguation).
-func (e *engine) vocabularyByLength(st *compile.State) []int {
-	if order, ok := e.vocabOrder[st]; ok {
-		return order
-	}
-	if e.vocabOrder == nil {
-		e.vocabOrder = make(map[*compile.State][]int)
-	}
-	order := make([]int, len(st.Vocabulary))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		return len(st.Vocabulary[order[a]].Keyword) > len(st.Vocabulary[order[b]].Keyword)
-	})
-	e.vocabOrder[st] = order
-	return order
 }

@@ -169,6 +169,18 @@ func TestReaderFailurePropagates(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected an error from the failing reader")
 	}
+	// The reader's own error must surface, not a misleading DTD-conformance
+	// or end-of-input message derived from the truncation.
+	if !errors.Is(err, readErr) {
+		t.Errorf("error = %v, want the reader's %v", err, readErr)
+	}
+
+	// A failure after the last query-relevant tag must still be reported,
+	// never silently pass as a successful (truncated) projection.
+	_, err = pf.Run(&failingReader{data: doc, failAt: len(doc) - 2, err: readErr}, &stringWriter{&out})
+	if !errors.Is(err, readErr) {
+		t.Errorf("late read failure: error = %v, want the reader's %v", err, readErr)
+	}
 }
 
 // TestTruncatedInputReportsState checks the error message for documents that

@@ -37,11 +37,12 @@ type Stats struct {
 	States   int
 	CWStates int
 	BMStates int
-	// MatchersBuilt counts the matcher tables constructed lazily at runtime
-	// (states actually entered).
+	// MatchersBuilt counts the matcher tables of the shared compiled Plan.
+	// They are built once, at compile time; no run ever constructs one.
 	MatchersBuilt int
-	// MaxBufferBytes is the high-water mark of the streaming window plus the
-	// size of the precompiled lookup tables ("Mem", approximately).
+	// MaxBufferBytes is the high-water mark of the streaming window — the
+	// per-run memory. The shared table memory is reported separately by
+	// PlanStats (together they approximate the paper's "Mem" column).
 	MaxBufferBytes int64
 }
 
@@ -78,8 +79,8 @@ func (s Stats) OutputRatio() float64 {
 	return float64(s.BytesWritten) / float64(s.BytesRead)
 }
 
-// addMatcher accumulates a string matcher's counters.
-func (s *Stats) addMatcher(m stringmatch.Stats) {
+// addMatcher accumulates the run's string-matcher counters.
+func (s *Stats) addMatcher(m stringmatch.Counters) {
 	s.CharComparisons += m.Comparisons
 	s.Shifts += m.Shifts
 	s.ShiftTotal += m.ShiftTotal

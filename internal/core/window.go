@@ -19,6 +19,9 @@ type window struct {
 	n     int   // valid bytes in buf
 	eof   bool
 	chunk int
+	// readErr is the first non-EOF read error; the engine surfaces it
+	// instead of treating the truncation as an ordinary end of input.
+	readErr error
 
 	bytesRead int64
 	maxBuffer int
@@ -41,6 +44,7 @@ func (w *window) reset(r io.Reader) {
 	w.base = 0
 	w.n = 0
 	w.eof = false
+	w.readErr = nil
 	w.buf = w.buf[:0]
 	w.bytesRead = 0
 	w.maxBuffer = 0
@@ -103,6 +107,9 @@ func (w *window) more() bool {
 	}
 	if err != nil {
 		w.eof = true
+		if err != io.EOF && w.readErr == nil {
+			w.readErr = err
+		}
 	}
 	return m > 0
 }

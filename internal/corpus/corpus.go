@@ -11,14 +11,22 @@
 //	results, agg := runner.Run(context.Background(), jobs)
 //
 // which uses one shared engine (the core engine is goroutine-safe and pools
-// its per-run state internally) and GOMAXPROCS workers. Setting NewEngine
-// gives every worker a private engine instance instead, which removes even
-// the pool synchronization from the hot path.
+// its per-run buffers internally) and GOMAXPROCS workers. Either way all
+// workers execute one immutable compiled Plan — matcher tables, interned tag
+// strings and vocabulary orders exist once per compilation, not once per
+// worker. Setting NewEngine gives every worker a private engine instance
+// instead, which removes even the buffer-pool synchronization from the hot
+// path; build the per-worker engines with core.NewFromPlan to keep sharing
+// the plan:
+//
+//	plan := core.NewPlan(table, core.Options{})
+//	runner := corpus.Runner{NewEngine: func() corpus.Engine { return core.NewFromPlan(plan) }}
 package corpus
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"io"
 	"os"
 	"runtime"
@@ -126,8 +134,10 @@ type Runner struct {
 	// required unless NewEngine is set.
 	Engine Engine
 	// NewEngine, if non-nil, is called once per worker so that every worker
-	// owns a private engine instance (no shared state at all on the hot
-	// path). It takes precedence over Engine.
+	// owns a private engine instance (no shared mutable state at all on the
+	// hot path). It takes precedence over Engine. Return engines built with
+	// core.NewFromPlan over one shared plan so the workers still hold a
+	// single copy of the compiled tables.
 	NewEngine func() Engine
 	// Workers is the pool size; values < 1 select runtime.GOMAXPROCS(0).
 	Workers int
@@ -139,6 +149,16 @@ type Runner struct {
 // cancelled, not-yet-started jobs are marked with ctx.Err() and workers
 // drain without running them.
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, Aggregate) {
+	if r.Engine == nil && r.NewEngine == nil {
+		// Fail per the API contract (errors live in Results) instead of
+		// panicking on a nil interface inside a worker goroutine.
+		results := make([]Result, len(jobs))
+		err := errors.New("corpus: Runner needs Engine or NewEngine")
+		for i, job := range jobs {
+			results[i] = Result{Name: job.Name, Err: err}
+		}
+		return results, Aggregate{Documents: len(jobs), Failed: len(jobs)}
+	}
 	workers := r.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)

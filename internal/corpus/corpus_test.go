@@ -79,12 +79,17 @@ func TestRunnerMatchesSerial(t *testing.T) {
 		want[i] = out
 	}
 
+	// Per-worker engines built from one plan: private buffer pools, one
+	// shared copy of the compiled tables.
+	sharedPlan := engine.Plan()
+
 	configs := []struct {
 		name   string
 		runner Runner
 	}{
 		{"SharedEngine", Runner{Engine: engine, Workers: 4}},
 		{"PerWorkerEngine", Runner{NewEngine: func() Engine { return testEngine(t) }, Workers: 4}},
+		{"PerWorkerSharedPlan", Runner{NewEngine: func() Engine { return core.NewFromPlan(sharedPlan) }, Workers: 4}},
 	}
 	for _, cfg := range configs {
 		t.Run(cfg.name, func(t *testing.T) {

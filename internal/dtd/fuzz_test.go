@@ -1,0 +1,54 @@
+package dtd_test
+
+import (
+	"testing"
+
+	"smp/internal/compile"
+	"smp/internal/dtd"
+	"smp/internal/paths"
+)
+
+// FuzzParse drives the DTD parser — and, for inputs it accepts, the whole
+// static analysis — with arbitrary input. The invariant is that compilation
+// never panics: Parse returns an error or a DTD for which the minimum-length
+// analysis and the full table/plan compilation complete without crashing
+// (compile errors are fine; panics are not).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`<!DOCTYPE a [<!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)>]>`,
+		`<!DOCTYPE site [
+			<!ELEMENT site (regions)>
+			<!ELEMENT regions (africa)>
+			<!ELEMENT africa (item*)>
+			<!ELEMENT item (#PCDATA)>
+		]>`,
+		`<!DOCTYPE a [<!ELEMENT a EMPTY>]>`,
+		`<!DOCTYPE a [<!ELEMENT a (a)>]>`, // recursive
+		`<!DOCTYPE a [<!ELEMENT a (b+)> <!ATTLIST a x ID #REQUIRED>]>`,
+		`<!DOCTYPE a []>`,
+		`<!DOCTYPE [ ]>`,
+		`<!ELEMENT a (b)>`,
+		`<!DOCTYPE a [<!ELEMENT a ((b,c)|(d,e))?>]>`,
+		``,
+		`garbage`,
+		`<!DOCTYPE a [<!ELEMENT a (`,
+		`<!DOCTYPE a [<!ELEMENT a (b))>]>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := dtd.Parse(src)
+		if err != nil {
+			return
+		}
+		if d == nil {
+			t.Fatalf("Parse(%q) returned nil DTD without error", src)
+		}
+		// The downstream static analysis must not panic on any accepted DTD.
+		dtd.NewMinLens(d)
+		set := paths.MustParseSet("/*")
+		if table, err := compile.Compile(d, set, compile.Options{}); err == nil && table == nil {
+			t.Fatalf("Compile returned nil table without error for %q", src)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package paths
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSet drives the projection-path parser with arbitrary input. The
+// invariant is the compile-never-panics contract of the static analysis:
+// ParseSet either returns an error or a set whose rendering re-parses to the
+// same paths — it must never panic, whatever the input.
+func FuzzParseSet(f *testing.F) {
+	for _, seed := range []string{
+		"/*",
+		"/*, //australia//description#",
+		"//item/name#",
+		"/a/b, /a//c#, //d",
+		"/site/regions/africa/item",
+		"",
+		"   ",
+		"#",
+		"##",
+		"//",
+		"/",
+		"/a//",
+		"a/b",
+		"/a b/c",
+		"/*, /*",
+		"/a\x00b",
+		"//item/name#, //item/name#",
+		strings.Repeat("/a", 100) + "#",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		set, err := ParseSet(spec)
+		if err != nil {
+			return
+		}
+		if set == nil {
+			t.Fatalf("ParseSet(%q) returned nil set without error", spec)
+		}
+		// Round trip: the parsed set's rendering must parse again and
+		// describe the same paths.
+		rendered := strings.Join(set.Strings(), ", ")
+		again, err := ParseSet(rendered)
+		if err != nil {
+			t.Fatalf("ParseSet(%q) accepted, but its rendering %q does not re-parse: %v", spec, rendered, err)
+		}
+		if got, want := strings.Join(again.Strings(), ", "), rendered; got != want {
+			t.Fatalf("round trip drifted: %q -> %q", want, got)
+		}
+	})
+}

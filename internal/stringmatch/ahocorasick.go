@@ -11,8 +11,7 @@ type AhoCorasick struct {
 	goto_    []map[byte]int
 	fail     []int
 	// out[s] is the list of pattern indices that end at state s.
-	out   [][]int
-	stats Stats
+	out [][]int
 }
 
 // NewAhoCorasick builds the Aho-Corasick automaton for the given keyword
@@ -79,8 +78,17 @@ func NewAhoCorasick(patterns [][]byte) *AhoCorasick {
 // Patterns returns the keyword set.
 func (ac *AhoCorasick) Patterns() [][]byte { return ac.patterns }
 
-// Stats returns the accumulated instrumentation counters.
-func (ac *AhoCorasick) Stats() *Stats { return &ac.stats }
+// MemSize returns the approximate footprint of the automaton.
+func (ac *AhoCorasick) MemSize() int64 {
+	size := patternsSize(ac.patterns) + int64(len(ac.fail))*intSize
+	for _, g := range ac.goto_ {
+		size += sliceHeaderSize + int64(len(g))*mapEntrySize
+	}
+	for _, outs := range ac.out {
+		size += sliceHeaderSize + int64(len(outs))*intSize
+	}
+	return size
+}
 
 // step advances the automaton from state on character c.
 func (ac *AhoCorasick) step(state int, c byte) int {
@@ -99,13 +107,13 @@ func (ac *AhoCorasick) step(state int, c byte) int {
 // smallest end position at or after start; ties on the end position are
 // broken in favour of the longest pattern. It returns (-1, -1) if no keyword
 // occurs.
-func (ac *AhoCorasick) Next(text []byte, start int) (int, int) {
+func (ac *AhoCorasick) Next(text []byte, start int, c *Counters) (int, int) {
 	if start < 0 {
 		start = 0
 	}
 	state := 0
 	for i := start; i < len(text); i++ {
-		ac.stats.compare(1)
+		c.compare(1)
 		state = ac.step(state, text[i])
 		if outs := ac.out[state]; len(outs) > 0 {
 			best := -1

@@ -3,12 +3,12 @@ package stringmatch
 // BoyerMoore implements the full Boyer-Moore algorithm with both the
 // bad-character and the good-suffix rule. The SMP runtime engine uses it for
 // every automaton state whose frontier vocabulary contains exactly one
-// keyword (paper Section II, "(BM)" in Fig. 4).
+// keyword (paper Section II, "(BM)" in Fig. 4). The tables are immutable
+// after construction, so one matcher can serve any number of concurrent runs.
 type BoyerMoore struct {
 	pattern    []byte
 	badChar    [256]int // rightmost position of each byte in the pattern
 	goodSuffix []int
-	stats      Stats
 }
 
 // NewBoyerMoore returns a Boyer-Moore matcher for pattern. The pattern must
@@ -71,11 +71,13 @@ func (b *BoyerMoore) buildGoodSuffix() {
 // Pattern returns the keyword this matcher searches for.
 func (b *BoyerMoore) Pattern() []byte { return b.pattern }
 
-// Stats returns the accumulated instrumentation counters.
-func (b *BoyerMoore) Stats() *Stats { return &b.stats }
+// MemSize returns the approximate footprint of the precomputed tables.
+func (b *BoyerMoore) MemSize() int64 {
+	return int64(len(b.pattern)) + 256*intSize + int64(len(b.goodSuffix))*intSize
+}
 
 // Next returns the start of the leftmost occurrence at or after start, or -1.
-func (b *BoyerMoore) Next(text []byte, start int) int {
+func (b *BoyerMoore) Next(text []byte, start int, c *Counters) int {
 	if start < 0 {
 		start = 0
 	}
@@ -83,10 +85,10 @@ func (b *BoyerMoore) Next(text []byte, start int) int {
 	n := len(text)
 	i := start
 	for i+m <= n {
-		b.stats.window()
+		c.window()
 		j := m - 1
 		for j >= 0 {
-			b.stats.compare(1)
+			c.compare(1)
 			if b.pattern[j] != text[i+j] {
 				break
 			}
@@ -98,7 +100,7 @@ func (b *BoyerMoore) Next(text []byte, start int) int {
 		bcShift := j - b.badChar[text[i+j]]
 		gsShift := b.goodSuffix[j+1]
 		shift := maxInt(maxInt(bcShift, gsShift), 1)
-		b.stats.shift(int64(shift))
+		c.shift(int64(shift))
 		i += shift
 	}
 	return -1

@@ -31,7 +31,6 @@ type CommentzWalter struct {
 	// at which byte c occurs (the last character of a pattern has distance
 	// 0); wmin+1 if c does not occur at all.
 	minDist [256]int
-	stats   Stats
 }
 
 // NewCommentzWalter returns a Commentz-Walter matcher for the given keyword
@@ -79,8 +78,10 @@ func NewCommentzWalter(patterns [][]byte) *CommentzWalter {
 // Patterns returns the keyword set.
 func (cw *CommentzWalter) Patterns() [][]byte { return cw.patterns }
 
-// Stats returns the accumulated instrumentation counters.
-func (cw *CommentzWalter) Stats() *Stats { return &cw.stats }
+// MemSize returns the approximate footprint of the trie and shift tables.
+func (cw *CommentzWalter) MemSize() int64 {
+	return patternsSize(cw.patterns) + 256*intSize + trieSize(cw.root)
+}
 
 // MinLength returns the length of the shortest keyword (the window size).
 func (cw *CommentzWalter) MinLength() int { return cw.wmin }
@@ -89,7 +90,7 @@ func (cw *CommentzWalter) MinLength() int { return cw.wmin }
 // smallest end position at or after start; ties on the end position are
 // broken in favour of the longest pattern. It returns (-1, -1) if no keyword
 // occurs.
-func (cw *CommentzWalter) Next(text []byte, start int) (int, int) {
+func (cw *CommentzWalter) Next(text []byte, start int, c *Counters) (int, int) {
 	if start < 0 {
 		start = 0
 	}
@@ -97,15 +98,15 @@ func (cw *CommentzWalter) Next(text []byte, start int) (int, int) {
 	// e is the window end position (inclusive).
 	e := start + cw.wmin - 1
 	for e < n {
-		cw.stats.window()
+		c.window()
 		// Scan backwards from e through the trie of reversed patterns.
 		node := cw.root
 		j := 0 // number of characters matched so far
 		bestPat := -1
 		for e-j >= start {
-			c := text[e-j]
-			cw.stats.compare(1)
-			child, ok := node.children[c]
+			ch := text[e-j]
+			c.compare(1)
+			child, ok := node.children[ch]
 			if !ok {
 				break
 			}
@@ -121,7 +122,7 @@ func (cw *CommentzWalter) Next(text []byte, start int) (int, int) {
 			return e - len(cw.patterns[bestPat]) + 1, bestPat
 		}
 		shift := cw.shiftFor(text, e, j)
-		cw.stats.shift(int64(shift))
+		c.shift(int64(shift))
 		e += shift
 	}
 	return -1, -1
@@ -166,7 +167,6 @@ type SetHorspool struct {
 	root     *cwNode
 	wmin     int
 	shiftTab [256]int
-	stats    Stats
 }
 
 // NewSetHorspool returns a Set-Horspool matcher for the given keyword set.
@@ -212,27 +212,29 @@ func NewSetHorspool(patterns [][]byte) *SetHorspool {
 // Patterns returns the keyword set.
 func (sh *SetHorspool) Patterns() [][]byte { return sh.patterns }
 
-// Stats returns the accumulated instrumentation counters.
-func (sh *SetHorspool) Stats() *Stats { return &sh.stats }
+// MemSize returns the approximate footprint of the trie and shift tables.
+func (sh *SetHorspool) MemSize() int64 {
+	return patternsSize(sh.patterns) + 256*intSize + trieSize(sh.root)
+}
 
 // Next returns the start index and pattern index of the occurrence with the
 // smallest end position at or after start; ties on the end position are
 // broken in favour of the longest pattern.
-func (sh *SetHorspool) Next(text []byte, start int) (int, int) {
+func (sh *SetHorspool) Next(text []byte, start int, c *Counters) (int, int) {
 	if start < 0 {
 		start = 0
 	}
 	n := len(text)
 	e := start + sh.wmin - 1
 	for e < n {
-		sh.stats.window()
+		c.window()
 		node := sh.root
 		j := 0
 		bestPat := -1
 		for e-j >= start {
-			c := text[e-j]
-			sh.stats.compare(1)
-			child, ok := node.children[c]
+			ch := text[e-j]
+			c.compare(1)
+			child, ok := node.children[ch]
 			if !ok {
 				break
 			}
@@ -246,8 +248,20 @@ func (sh *SetHorspool) Next(text []byte, start int) (int, int) {
 			return e - len(sh.patterns[bestPat]) + 1, bestPat
 		}
 		shift := sh.shiftTab[text[e]]
-		sh.stats.shift(int64(shift))
+		c.shift(int64(shift))
 		e += shift
 	}
 	return -1, -1
+}
+
+// trieSize estimates the memory held by a reversed-pattern trie.
+func trieSize(n *cwNode) int64 {
+	if n == nil {
+		return 0
+	}
+	size := int64(3*intSize) + int64(len(n.children))*mapEntrySize
+	for _, child := range n.children {
+		size += trieSize(child)
+	}
+	return size
 }

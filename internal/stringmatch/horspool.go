@@ -7,7 +7,6 @@ package stringmatch
 type Horspool struct {
 	pattern []byte
 	shift   [256]int
-	stats   Stats
 }
 
 // NewHorspool returns a Horspool matcher for pattern. The pattern must not
@@ -30,11 +29,13 @@ func NewHorspool(pattern []byte) *Horspool {
 // Pattern returns the keyword this matcher searches for.
 func (h *Horspool) Pattern() []byte { return h.pattern }
 
-// Stats returns the accumulated instrumentation counters.
-func (h *Horspool) Stats() *Stats { return &h.stats }
+// MemSize returns the approximate footprint of the precomputed tables.
+func (h *Horspool) MemSize() int64 {
+	return int64(len(h.pattern)) + 256*intSize
+}
 
 // Next returns the start of the leftmost occurrence at or after start, or -1.
-func (h *Horspool) Next(text []byte, start int) int {
+func (h *Horspool) Next(text []byte, start int, c *Counters) int {
 	if start < 0 {
 		start = 0
 	}
@@ -42,10 +43,10 @@ func (h *Horspool) Next(text []byte, start int) int {
 	n := len(text)
 	i := start
 	for i+m <= n {
-		h.stats.window()
+		c.window()
 		j := m - 1
 		for j >= 0 {
-			h.stats.compare(1)
+			c.compare(1)
 			if h.pattern[j] != text[i+j] {
 				break
 			}
@@ -55,7 +56,7 @@ func (h *Horspool) Next(text []byte, start int) int {
 			return i
 		}
 		shift := h.shift[text[i+m-1]]
-		h.stats.shift(int64(shift))
+		c.shift(int64(shift))
 		i += shift
 	}
 	return -1

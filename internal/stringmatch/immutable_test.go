@@ -1,0 +1,102 @@
+package stringmatch
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// These tests pin the Plan-layer contract of this package: a matcher built by
+// any New* constructor is immutable, so one instance may be shared by any
+// number of concurrent runs as long as every run brings its own Counters.
+// Run with `go test -race` to make the checks meaningful.
+
+func TestSingleMatchersConcurrentImmutable(t *testing.T) {
+	text := bytes.Repeat([]byte("<item><location>United States</location><description>x</description></item>"), 200)
+	pattern := []byte("<description")
+	want := FindAll(NewNaive(pattern), text)
+
+	for name, m := range singleMatchers(pattern) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			const goroutines = 8
+			var wg sync.WaitGroup
+			errs := make([]string, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for iter := 0; iter < 5; iter++ {
+						var c Counters
+						var got []int
+						for i := 0; i <= len(text); {
+							p := m.Next(text, i, &c)
+							if p < 0 {
+								break
+							}
+							got = append(got, p)
+							i = p + 1
+						}
+						if len(got) != len(want) {
+							errs[g] = "occurrence count drifted under concurrency"
+							return
+						}
+						if c.Comparisons == 0 {
+							errs[g] = "per-goroutine counters not recorded"
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for g, e := range errs {
+				if e != "" {
+					t.Errorf("goroutine %d: %s", g, e)
+				}
+			}
+		})
+	}
+}
+
+func TestMultiMatchersConcurrentImmutable(t *testing.T) {
+	text := bytes.Repeat([]byte("<item><location>Egypt</location><name>PDA</name><description>Palm</description></item>"), 200)
+	patterns := [][]byte{[]byte("<description"), []byte("</item"), []byte("<name")}
+	want := FindAllMulti(NewNaiveMulti(patterns), text)
+
+	for name, m := range multiMatchers(patterns) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			const goroutines = 8
+			var wg sync.WaitGroup
+			errs := make([]string, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for iter := 0; iter < 5; iter++ {
+						var c Counters
+						count := 0
+						for i := 0; i <= len(text); {
+							p, _ := m.Next(text, i, &c)
+							if p < 0 {
+								break
+							}
+							count++
+							i = p + 1
+						}
+						if count != len(want) {
+							errs[g] = "occurrence count drifted under concurrency"
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for g, e := range errs {
+				if e != "" {
+					t.Errorf("goroutine %d: %s", g, e)
+				}
+			}
+		})
+	}
+}

@@ -6,7 +6,6 @@ package stringmatch
 type KMP struct {
 	pattern []byte
 	failure []int
-	stats   Stats
 }
 
 // NewKMP returns a KMP matcher for pattern. The pattern must not be empty.
@@ -33,21 +32,23 @@ func NewKMP(pattern []byte) *KMP {
 // Pattern returns the keyword this matcher searches for.
 func (k *KMP) Pattern() []byte { return k.pattern }
 
-// Stats returns the accumulated instrumentation counters.
-func (k *KMP) Stats() *Stats { return &k.stats }
+// MemSize returns the approximate footprint of the precomputed tables.
+func (k *KMP) MemSize() int64 {
+	return int64(len(k.pattern)) + int64(len(k.failure))*intSize
+}
 
 // Next returns the start of the leftmost occurrence at or after start, or -1.
-func (k *KMP) Next(text []byte, start int) int {
+func (k *KMP) Next(text []byte, start int, c *Counters) int {
 	if start < 0 {
 		start = 0
 	}
 	m := len(k.pattern)
 	q := 0
 	for i := start; i < len(text); i++ {
-		k.stats.compare(1)
+		c.compare(1)
 		for q > 0 && k.pattern[q] != text[i] {
 			q = k.failure[q-1]
-			k.stats.compare(1)
+			c.compare(1)
 		}
 		if k.pattern[q] == text[i] {
 			q++

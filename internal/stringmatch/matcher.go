@@ -1,27 +1,38 @@
 package stringmatch
 
 // Matcher locates occurrences of a single keyword in a text.
+//
+// Matchers are immutable after construction: Next never mutates the matcher,
+// so a single matcher may be shared by any number of goroutines. Per-run
+// instrumentation is recorded into the caller-owned *Counters (which may be
+// nil to disable instrumentation).
 type Matcher interface {
 	// Next returns the start index of the leftmost occurrence of the
 	// pattern in text at or after position start, or -1 if there is none.
-	Next(text []byte, start int) int
+	// Character comparisons and shifts are recorded into c when non-nil.
+	Next(text []byte, start int, c *Counters) int
 	// Pattern returns the keyword this matcher searches for.
 	Pattern() []byte
-	// Stats returns the accumulated instrumentation counters.
-	Stats() *Stats
+	// MemSize returns the approximate memory footprint of the matcher's
+	// precomputed tables in bytes.
+	MemSize() int64
 }
 
-// MultiMatcher locates occurrences of any keyword from a fixed set.
+// MultiMatcher locates occurrences of any keyword from a fixed set. Like
+// Matcher, implementations are immutable after construction and safe for
+// concurrent use; per-run counters are caller-owned.
 type MultiMatcher interface {
 	// Next returns the start index and the pattern index of the occurrence
 	// with the smallest end position at or after start. Ties on the end
 	// position are broken in favour of the longest pattern. It returns
-	// (-1, -1) if no keyword occurs.
-	Next(text []byte, start int) (pos, pattern int)
+	// (-1, -1) if no keyword occurs. Character comparisons and shifts are
+	// recorded into c when non-nil.
+	Next(text []byte, start int, c *Counters) (pos, pattern int)
 	// Patterns returns the keyword set.
 	Patterns() [][]byte
-	// Stats returns the accumulated instrumentation counters.
-	Stats() *Stats
+	// MemSize returns the approximate memory footprint of the matcher's
+	// precomputed tables in bytes.
+	MemSize() int64
 }
 
 // Match is one occurrence reported by FindAll or FindAllMulti.
@@ -35,7 +46,7 @@ type Match struct {
 func FindAll(m Matcher, text []byte) []int {
 	var out []int
 	for i := 0; i <= len(text); {
-		p := m.Next(text, i)
+		p := m.Next(text, i, nil)
 		if p < 0 {
 			break
 		}
@@ -50,16 +61,14 @@ func FindAll(m Matcher, text []byte) []int {
 // end position but shorter than the reported one are not repeated.
 func FindAllMulti(m MultiMatcher, text []byte) []Match {
 	var out []Match
-	pats := m.Patterns()
 	for i := 0; i <= len(text); {
-		p, k := m.Next(text, i)
+		p, k := m.Next(text, i, nil)
 		if p < 0 {
 			break
 		}
 		out = append(out, Match{Pos: p, Pattern: k})
 		// Resume just after the start of the reported occurrence so that
 		// later, overlapping occurrences are still found.
-		_ = pats
 		i = p + 1
 	}
 	return out
@@ -67,6 +76,24 @@ func FindAllMulti(m MultiMatcher, text []byte) []Match {
 
 // Count returns the number of occurrences of m's pattern in text.
 func Count(m Matcher, text []byte) int { return len(FindAll(m, text)) }
+
+// patternsSize sums the lengths of a pattern set (shared by the MemSize
+// implementations).
+func patternsSize(patterns [][]byte) int64 {
+	var n int64
+	for _, p := range patterns {
+		n += int64(len(p)) + sliceHeaderSize
+	}
+	return n
+}
+
+// Rough per-element footprint constants for MemSize estimates. They do not
+// aim for byte accuracy — only for footprints that rank and add up sensibly.
+const (
+	intSize         = 8
+	sliceHeaderSize = 24
+	mapEntrySize    = 16 // small byte-keyed map entry overhead, approximate
+)
 
 // minInt returns the smaller of a and b.
 func minInt(a, b int) int {

@@ -61,7 +61,7 @@ func TestSingleMatchersBasic(t *testing.T) {
 	}
 	for _, c := range cases {
 		for name, m := range singleMatchers([]byte(c.pattern)) {
-			got := m.Next([]byte(c.text), 0)
+			got := m.Next([]byte(c.text), 0, nil)
 			if got != c.want {
 				t.Errorf("%s: Next(%q, %q, 0) = %d, want %d", name, c.text, c.pattern, got, c.want)
 			}
@@ -75,7 +75,7 @@ func TestSingleMatchersWithStart(t *testing.T) {
 	for name, m := range singleMatchers(pattern) {
 		var got []int
 		for i := 0; i <= len(text); {
-			p := m.Next(text, i)
+			p := m.Next(text, i, nil)
 			if p < 0 {
 				break
 			}
@@ -98,13 +98,13 @@ func TestSingleMatchersWithStart(t *testing.T) {
 func TestSingleMatchersStartBeyondText(t *testing.T) {
 	text := []byte("abcabc")
 	for name, m := range singleMatchers([]byte("abc")) {
-		if got := m.Next(text, 100); got != -1 {
+		if got := m.Next(text, 100, nil); got != -1 {
 			t.Errorf("%s: Next past end = %d, want -1", name, got)
 		}
-		if got := m.Next(text, len(text)); got != -1 {
+		if got := m.Next(text, len(text), nil); got != -1 {
 			t.Errorf("%s: Next at end = %d, want -1", name, got)
 		}
-		if got := m.Next(text, -5); got != 0 {
+		if got := m.Next(text, -5, nil); got != 0 {
 			t.Errorf("%s: Next with negative start = %d, want 0", name, got)
 		}
 	}
@@ -127,7 +127,7 @@ func TestSingleMatchersAgainstReferenceRandom(t *testing.T) {
 		start := rng.Intn(n + 1)
 		want := referenceIndex(text, pattern, start)
 		for name, matcher := range singleMatchers(pattern) {
-			if got := matcher.Next(text, start); got != want {
+			if got := matcher.Next(text, start, nil); got != want {
 				t.Fatalf("%s: Next(%q, %q, %d) = %d, want %d", name, text, pattern, start, got, want)
 			}
 		}
@@ -155,7 +155,7 @@ func TestSingleMatchersQuickProperty(t *testing.T) {
 		}
 		want := referenceIndex(text, pattern, 0)
 		for _, m := range singleMatchers(pattern) {
-			if m.Next(text, 0) != want {
+			if m.Next(text, 0, nil) != want {
 				return false
 			}
 		}
@@ -196,23 +196,23 @@ func TestMultiMatchersBasic(t *testing.T) {
 	patterns := [][]byte{[]byte("<b"), []byte("<c"), []byte("</a")}
 	text := []byte("<a><c><b>text</b></c><b/></a>")
 	for name, m := range multiMatchers(patterns) {
-		pos, pat := m.Next(text, 0)
+		pos, pat := m.Next(text, 0, nil)
 		if pos != 3 || !bytes.Equal(patterns[pat], []byte("<c")) {
 			t.Errorf("%s: first match = (%d, %d), want (3, <c)", name, pos, pat)
 		}
-		pos, pat = m.Next(text, 4)
+		pos, pat = m.Next(text, 4, nil)
 		if pos != 6 || !bytes.Equal(patterns[pat], []byte("<b")) {
 			t.Errorf("%s: second match = (%d, %d), want (6, <b)", name, pos, pat)
 		}
-		pos, pat = m.Next(text, 17)
+		pos, pat = m.Next(text, 17, nil)
 		if pos != 21 || !bytes.Equal(patterns[pat], []byte("<b")) {
 			t.Errorf("%s: third match = (%d, %d), want (21, <b)", name, pos, pat)
 		}
-		pos, pat = m.Next(text, 24)
+		pos, pat = m.Next(text, 24, nil)
 		if pos != 25 || !bytes.Equal(patterns[pat], []byte("</a")) {
 			t.Errorf("%s: closing match = (%d, %d), want (25, </a)", name, pos, pat)
 		}
-		pos, _ = m.Next(text, 28)
+		pos, _ = m.Next(text, 28, nil)
 		if pos != -1 {
 			t.Errorf("%s: match past content = %d, want -1", name, pos)
 		}
@@ -226,11 +226,11 @@ func TestMultiMatchersPrefixPatterns(t *testing.T) {
 	patterns := [][]byte{[]byte("<Abstract"), []byte("<AbstractText")}
 	text := []byte("<Abstract><AbstractText>words</AbstractText></Abstract>")
 	for name, m := range multiMatchers(patterns) {
-		pos, pat := m.Next(text, 0)
+		pos, pat := m.Next(text, 0, nil)
 		if pos != 0 || pat != 0 {
 			t.Errorf("%s: first = (%d,%d), want (0,0)", name, pos, pat)
 		}
-		pos, pat = m.Next(text, 1)
+		pos, pat = m.Next(text, 1, nil)
 		if pos != 10 {
 			t.Errorf("%s: second pos = %d, want 10", name, pos)
 		}
@@ -247,7 +247,7 @@ func TestMultiMatchersSingletonSet(t *testing.T) {
 	patterns := [][]byte{[]byte("needle")}
 	text := []byte("haystack needle haystack")
 	for name, m := range multiMatchers(patterns) {
-		pos, pat := m.Next(text, 0)
+		pos, pat := m.Next(text, 0, nil)
 		if pos != 9 || pat != 0 {
 			t.Errorf("%s: (%d, %d), want (9, 0)", name, pos, pat)
 		}
@@ -276,7 +276,7 @@ func TestMultiMatchersAgainstReferenceRandom(t *testing.T) {
 		start := rng.Intn(n + 1)
 		wantPos, wantPat := referenceMultiNext(text, patterns, start)
 		for name, m := range multiMatchers(patterns) {
-			gotPos, gotPat := m.Next(text, start)
+			gotPos, gotPat := m.Next(text, start, nil)
 			if gotPos != wantPos {
 				t.Fatalf("%s: Next(%q, %q, %d) pos = %d, want %d",
 					name, text, patterns, start, gotPos, wantPos)
@@ -297,7 +297,7 @@ func TestMultiMatchersDuplicateAndNestedPatterns(t *testing.T) {
 	text := []byte("the description field")
 	wantPos, wantPat := referenceMultiNext(text, patterns, 0)
 	for name, m := range multiMatchers(patterns) {
-		gotPos, gotPat := m.Next(text, 0)
+		gotPos, gotPat := m.Next(text, 0, nil)
 		if gotPos != wantPos || len(patterns[gotPat]) != len(patterns[wantPat]) {
 			t.Errorf("%s: (%d, %q), want (%d, %q)", name, gotPos, patterns[gotPat], wantPos, patterns[wantPat])
 		}

@@ -5,7 +5,6 @@ package stringmatch
 // ablation experiments.
 type Naive struct {
 	pattern []byte
-	stats   Stats
 }
 
 // NewNaive returns a naive matcher for pattern. The pattern must not be
@@ -20,20 +19,20 @@ func NewNaive(pattern []byte) *Naive {
 // Pattern returns the keyword this matcher searches for.
 func (n *Naive) Pattern() []byte { return n.pattern }
 
-// Stats returns the accumulated instrumentation counters.
-func (n *Naive) Stats() *Stats { return &n.stats }
+// MemSize returns the approximate footprint of the matcher.
+func (n *Naive) MemSize() int64 { return int64(len(n.pattern)) }
 
 // Next returns the start of the leftmost occurrence at or after start, or -1.
-func (n *Naive) Next(text []byte, start int) int {
+func (n *Naive) Next(text []byte, start int, c *Counters) int {
 	m := len(n.pattern)
 	if start < 0 {
 		start = 0
 	}
 	for i := start; i+m <= len(text); i++ {
-		n.stats.window()
+		c.window()
 		j := 0
 		for j < m {
-			n.stats.compare(1)
+			c.compare(1)
 			if text[i+j] != n.pattern[j] {
 				break
 			}
@@ -42,7 +41,7 @@ func (n *Naive) Next(text []byte, start int) int {
 		if j == m {
 			return i
 		}
-		n.stats.shift(1)
+		c.shift(1)
 	}
 	return -1
 }
@@ -53,7 +52,6 @@ func (n *Naive) Next(text []byte, start int) int {
 // longest pattern.
 type NaiveMulti struct {
 	patterns [][]byte
-	stats    Stats
 }
 
 // NewNaiveMulti returns a naive multi-keyword matcher. The pattern set must
@@ -75,12 +73,12 @@ func NewNaiveMulti(patterns [][]byte) *NaiveMulti {
 // Patterns returns the keyword set.
 func (n *NaiveMulti) Patterns() [][]byte { return n.patterns }
 
-// Stats returns the accumulated instrumentation counters.
-func (n *NaiveMulti) Stats() *Stats { return &n.stats }
+// MemSize returns the approximate footprint of the matcher.
+func (n *NaiveMulti) MemSize() int64 { return patternsSize(n.patterns) }
 
 // Next returns the occurrence with the smallest end position at or after
 // start; ties are broken in favour of the longest pattern.
-func (n *NaiveMulti) Next(text []byte, start int) (int, int) {
+func (n *NaiveMulti) Next(text []byte, start int, c *Counters) (int, int) {
 	if start < 0 {
 		start = 0
 	}
@@ -92,10 +90,10 @@ func (n *NaiveMulti) Next(text []byte, start int) (int, int) {
 			if i < start || i < 0 {
 				continue
 			}
-			n.stats.window()
+			c.window()
 			j := 0
 			for j < m {
-				n.stats.compare(1)
+				c.compare(1)
 				if text[i+j] != p[j] {
 					break
 				}

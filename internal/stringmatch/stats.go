@@ -1,9 +1,15 @@
 package stringmatch
 
-// Stats accumulates instrumentation counters for a matcher. The SMP
+// Counters accumulates instrumentation counters for one matcher run. The SMP
 // experiment harness reads these to reproduce the "Char Comp. [%]" and
 // "Ø Shift Size [char]" columns of Tables I and II.
-type Stats struct {
+//
+// Matchers themselves are immutable after construction; all per-run state
+// lives in a Counters value owned by the caller and passed to Next. A nil
+// *Counters disables instrumentation, so one matcher can be driven from many
+// goroutines concurrently as long as each goroutine brings its own counters
+// (or none).
+type Counters struct {
 	// Comparisons is the number of character comparisons performed,
 	// including comparisons that are implicit in automaton or trie
 	// transitions (one comparison is charged per text character examined).
@@ -17,25 +23,43 @@ type Stats struct {
 	Windows int64
 }
 
-// Add accumulates other into s.
-func (s *Stats) Add(other Stats) {
-	s.Comparisons += other.Comparisons
-	s.Shifts += other.Shifts
-	s.ShiftTotal += other.ShiftTotal
-	s.Windows += other.Windows
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Comparisons += other.Comparisons
+	c.Shifts += other.Shifts
+	c.ShiftTotal += other.ShiftTotal
+	c.Windows += other.Windows
 }
 
 // Reset zeroes all counters.
-func (s *Stats) Reset() { *s = Stats{} }
+func (c *Counters) Reset() { *c = Counters{} }
 
 // AvgShift returns the average shift size, or 0 if no shifts were performed.
-func (s *Stats) AvgShift() float64 {
-	if s.Shifts == 0 {
+func (c *Counters) AvgShift() float64 {
+	if c.Shifts == 0 {
 		return 0
 	}
-	return float64(s.ShiftTotal) / float64(s.Shifts)
+	return float64(c.ShiftTotal) / float64(c.Shifts)
 }
 
-func (s *Stats) compare(n int64)  { s.Comparisons += n }
-func (s *Stats) shift(dist int64) { s.Shifts++; s.ShiftTotal += dist }
-func (s *Stats) window()          { s.Windows++ }
+// The recording helpers tolerate a nil receiver so that callers who do not
+// care about instrumentation can pass a nil *Counters to Next.
+
+func (c *Counters) compare(n int64) {
+	if c != nil {
+		c.Comparisons += n
+	}
+}
+
+func (c *Counters) shift(dist int64) {
+	if c != nil {
+		c.Shifts++
+		c.ShiftTotal += dist
+	}
+}
+
+func (c *Counters) window() {
+	if c != nil {
+		c.Windows++
+	}
+}

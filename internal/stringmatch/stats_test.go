@@ -5,29 +5,41 @@ import (
 	"testing"
 )
 
-func TestStatsAvgShift(t *testing.T) {
-	var s Stats
-	if s.AvgShift() != 0 {
-		t.Errorf("AvgShift on zero stats = %f, want 0", s.AvgShift())
+func TestCountersAvgShift(t *testing.T) {
+	var c Counters
+	if c.AvgShift() != 0 {
+		t.Errorf("AvgShift on zero counters = %f, want 0", c.AvgShift())
 	}
-	s.shift(4)
-	s.shift(8)
-	if got := s.AvgShift(); got != 6 {
+	c.shift(4)
+	c.shift(8)
+	if got := c.AvgShift(); got != 6 {
 		t.Errorf("AvgShift = %f, want 6", got)
 	}
-	s.Reset()
-	if s.Shifts != 0 || s.ShiftTotal != 0 {
-		t.Errorf("Reset did not zero stats: %+v", s)
+	c.Reset()
+	if c.Shifts != 0 || c.ShiftTotal != 0 {
+		t.Errorf("Reset did not zero counters: %+v", c)
 	}
 }
 
-func TestStatsAdd(t *testing.T) {
-	a := Stats{Comparisons: 1, Shifts: 2, ShiftTotal: 3, Windows: 4}
-	b := Stats{Comparisons: 10, Shifts: 20, ShiftTotal: 30, Windows: 40}
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Comparisons: 1, Shifts: 2, ShiftTotal: 3, Windows: 4}
+	b := Counters{Comparisons: 10, Shifts: 20, ShiftTotal: 30, Windows: 40}
 	a.Add(b)
-	want := Stats{Comparisons: 11, Shifts: 22, ShiftTotal: 33, Windows: 44}
+	want := Counters{Comparisons: 11, Shifts: 22, ShiftTotal: 33, Windows: 44}
 	if a != want {
 		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestCountersNilReceiverRecording(t *testing.T) {
+	// A nil *Counters must be accepted by Next (instrumentation off).
+	var c *Counters
+	c.compare(3)
+	c.shift(2)
+	c.window()
+	bm := NewBoyerMoore([]byte("xyz"))
+	if pos := bm.Next([]byte("abxyzc"), 0, nil); pos != 2 {
+		t.Errorf("Next with nil counters = %d, want 2", pos)
 	}
 }
 
@@ -38,19 +50,21 @@ func TestBoyerMooreSkipsCharacters(t *testing.T) {
 	text := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 200)
 	pattern := []byte("<description")
 
+	var bmCounters Counters
 	bm := NewBoyerMoore(pattern)
-	if pos := bm.Next(text, 0); pos != -1 {
+	if pos := bm.Next(text, 0, &bmCounters); pos != -1 {
 		t.Fatalf("unexpected match at %d", pos)
 	}
-	if frac := float64(bm.Stats().Comparisons) / float64(len(text)); frac > 0.5 {
+	if frac := float64(bmCounters.Comparisons) / float64(len(text)); frac > 0.5 {
 		t.Errorf("Boyer-Moore inspected %.0f%% of the text, expected well below 50%%", frac*100)
 	}
 
+	var naiveCounters Counters
 	naive := NewNaive(pattern)
-	naive.Next(text, 0)
-	if bm.Stats().Comparisons >= naive.Stats().Comparisons {
+	naive.Next(text, 0, &naiveCounters)
+	if bmCounters.Comparisons >= naiveCounters.Comparisons {
 		t.Errorf("Boyer-Moore comparisons (%d) not below naive (%d)",
-			bm.Stats().Comparisons, naive.Stats().Comparisons)
+			bmCounters.Comparisons, naiveCounters.Comparisons)
 	}
 }
 
@@ -60,18 +74,20 @@ func TestCommentzWalterSkipsCharacters(t *testing.T) {
 	text := bytes.Repeat([]byte("<item><location>United States</location><quantity>1</quantity></item>"), 100)
 	patterns := [][]byte{[]byte("<description"), []byte("</australia"), []byte("<emailaddress")}
 
+	var cwCounters Counters
 	cw := NewCommentzWalter(patterns)
-	if pos, _ := cw.Next(text, 0); pos != -1 {
+	if pos, _ := cw.Next(text, 0, &cwCounters); pos != -1 {
 		t.Fatalf("unexpected match at %d", pos)
 	}
+	var acCounters Counters
 	ac := NewAhoCorasick(patterns)
-	ac.Next(text, 0)
+	ac.Next(text, 0, &acCounters)
 
-	if cw.Stats().Comparisons >= ac.Stats().Comparisons {
+	if cwCounters.Comparisons >= acCounters.Comparisons {
 		t.Errorf("Commentz-Walter comparisons (%d) not below Aho-Corasick (%d)",
-			cw.Stats().Comparisons, ac.Stats().Comparisons)
+			cwCounters.Comparisons, acCounters.Comparisons)
 	}
-	if avg := cw.Stats().AvgShift(); avg < 2 {
+	if avg := cwCounters.AvgShift(); avg < 2 {
 		t.Errorf("average Commentz-Walter shift = %.2f, expected skip-sized shifts", avg)
 	}
 }
@@ -82,14 +98,13 @@ func TestCommentzWalterSkipsCharacters(t *testing.T) {
 func TestAverageShiftTracksKeywordLength(t *testing.T) {
 	text := bytes.Repeat([]byte("abcdefghij klmnopqrst uvwxyz 0123456789 "), 500)
 
-	short := NewBoyerMoore([]byte("<name"))
-	short.Next(text, 0)
-	long := NewBoyerMoore([]byte("<MedlineCitationSet"))
-	long.Next(text, 0)
+	var shortCounters, longCounters Counters
+	NewBoyerMoore([]byte("<name")).Next(text, 0, &shortCounters)
+	NewBoyerMoore([]byte("<MedlineCitationSet")).Next(text, 0, &longCounters)
 
-	if long.Stats().AvgShift() <= short.Stats().AvgShift() {
+	if longCounters.AvgShift() <= shortCounters.AvgShift() {
 		t.Errorf("longer keyword average shift (%.2f) not above shorter keyword (%.2f)",
-			long.Stats().AvgShift(), short.Stats().AvgShift())
+			longCounters.AvgShift(), shortCounters.AvgShift())
 	}
 }
 
@@ -97,5 +112,25 @@ func TestCommentzWalterMinLength(t *testing.T) {
 	cw := NewCommentzWalter([][]byte{[]byte("<b"), []byte("</longname")})
 	if cw.MinLength() != 2 {
 		t.Errorf("MinLength = %d, want 2", cw.MinLength())
+	}
+}
+
+func TestMemSizePositiveAndOrdered(t *testing.T) {
+	pattern := []byte("<description")
+	patterns := [][]byte{[]byte("<description"), []byte("</australia"), []byte("<emailaddress")}
+	for name, m := range singleMatchers(pattern) {
+		if m.MemSize() <= 0 {
+			t.Errorf("%s: MemSize = %d, want > 0", name, m.MemSize())
+		}
+	}
+	for name, m := range multiMatchers(patterns) {
+		if m.MemSize() <= 0 {
+			t.Errorf("%s: MemSize = %d, want > 0", name, m.MemSize())
+		}
+	}
+	// Table-backed matchers must report a bigger footprint than the bare
+	// pattern bytes.
+	if bm := NewBoyerMoore(pattern); bm.MemSize() <= int64(len(pattern)) {
+		t.Errorf("BoyerMoore.MemSize = %d, want above pattern length", bm.MemSize())
 	}
 }

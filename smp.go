@@ -47,6 +47,11 @@ type Stats = core.Stats
 // paper's tables).
 type CompileStats = compile.Stats
 
+// PlanStats report the size and memory footprint of a prefilter's immutable
+// execution plan — the matcher tables, interned tag strings and vocabulary
+// orders shared by every concurrent run. See the aliased type for fields.
+type PlanStats = core.PlanStats
+
 // Query describes one benchmark query (identifier, query text, projection
 // paths) from the bundled XMark and MEDLINE workloads.
 type Query = xmlgen.Query
@@ -83,10 +88,12 @@ type Options struct {
 	Multi  MultiAlgorithm
 }
 
-// Prefilter is a compiled XML prefilter: the runtime automaton with its
-// lookup tables plus the execution engine. A Prefilter is safe to reuse for
-// any number of documents valid with respect to its DTD, and is safe for
-// concurrent use by multiple goroutines (compile once, project many).
+// Prefilter is a compiled XML prefilter: an immutable execution plan (the
+// runtime automaton with its lookup tables, precompiled string matchers and
+// interned tag strings — see PlanStats) plus the execution engine. A
+// Prefilter is safe to reuse for any number of documents valid with respect
+// to its DTD, and is safe for concurrent use by multiple goroutines (compile
+// once, project many): all shared state is read-only after Compile.
 type Prefilter struct {
 	schema *dtd.DTD
 	set    *paths.Set
@@ -132,23 +139,27 @@ func compileSet(dtdSource string, set *paths.Set, opts Options) (*Prefilter, err
 	return &Prefilter{schema: schema, set: set, table: table, engine: engine}, nil
 }
 
-// Run prefilters the document read from r and writes the projection to w.
-// The input must be valid with respect to the prefilter's DTD.
-func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
-	return p.engine.Run(r, w)
-}
-
 // Project streams the document read from src through the prefilter and
-// writes the projection to dst. It is the streaming dual of ProjectBytes:
-// memory use stays proportional to the configured chunk size, never to the
-// document or projection size.
+// writes the projection to dst. It is the canonical entry point and the
+// streaming dual of ProjectBytes: memory use stays proportional to the
+// configured chunk size, never to the document or projection size. The input
+// must be valid with respect to the prefilter's DTD.
 //
 // A Prefilter is safe for concurrent use: Project may be called from many
-// goroutines at once. Window chunk buffers and lazily built matcher tables
-// are recycled through an internal sync.Pool, so steady-state calls do not
-// allocate fresh per-run engine state.
+// goroutines at once. The matcher tables, tag strings and vocabulary orders
+// were all precompiled into the immutable plan by Compile; only window chunk
+// buffers are per-run, and those are recycled through an internal sync.Pool,
+// so steady-state calls do not allocate fresh engine state.
 func (p *Prefilter) Project(dst io.Writer, src io.Reader) (Stats, error) {
-	return p.engine.Run(src, dst)
+	return p.engine.Project(dst, src)
+}
+
+// Run prefilters the document read from r and writes the projection to w.
+//
+// Deprecated: Run is Project with the argument order flipped, kept for
+// existing callers. Use Project.
+func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
+	return p.Project(w, r)
 }
 
 // ProjectBytes prefilters an in-memory document and returns the projection.
@@ -167,7 +178,7 @@ func (p *Prefilter) ProjectFile(inPath, outPath string) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	stats, runErr := p.Run(in, out)
+	stats, runErr := p.Project(out, in)
 	if closeErr := out.Close(); runErr == nil {
 		runErr = closeErr
 	}
@@ -179,6 +190,10 @@ func (p *Prefilter) Paths() []string { return p.set.Strings() }
 
 // CompileStats returns the size of the compiled runtime automaton.
 func (p *Prefilter) CompileStats() CompileStats { return p.table.Stats }
+
+// PlanStats returns the size and memory footprint of the prefilter's shared
+// execution plan. K concurrent runs hold one copy of this memory, not K.
+func (p *Prefilter) PlanStats() PlanStats { return p.engine.PlanStats() }
 
 // DescribeTables renders the compiled lookup tables A, V, J and T in a
 // human-readable form (paper Fig. 3), for inspection and debugging.
