@@ -21,6 +21,7 @@ import (
 	"smp/internal/projection"
 	"smp/internal/query"
 	"smp/internal/sax"
+	"smp/internal/split"
 	"smp/internal/xmlgen"
 )
 
@@ -369,6 +370,77 @@ func BenchmarkCorpusParallel(b *testing.B) {
 							b.Fatal(res.Err)
 						}
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIntraDocParallel measures intra-document parallelism: ONE
+// document split into segments, scanned by N workers sharing the compiled
+// plan, and stitched back in order (internal/split). workers_1 is the
+// serial engine baseline. On multicore hardware the scan fans out and the
+// pipeline should exceed 1.5x at 4 workers (MEDLINE-style vocabularies win
+// even earlier because the anchored scan out-shifts Commentz-Walter); on a
+// single-CPU CI container the curve is expected to stay flat at best —
+// the benchmark then only guards the harness and the byte-identity.
+func BenchmarkIntraDocParallel(b *testing.B) {
+	benchSetup(b)
+	workloads := []struct {
+		name    string
+		queryID string
+		schema  *dtd.DTD
+		doc     []byte
+	}{
+		{"xmark_xm13", "XM13", benchXMarkDTD, benchXMarkDoc},
+		{"medline_m2", "M2", benchMedlineDTD, benchMedlineDoc},
+	}
+	for _, wl := range workloads {
+		q, _ := xmlgen.QueryByID(wl.queryID)
+		plan := core.NewPlan(compileFor(b, wl.schema, q.Paths, compile.Options{}), core.Options{})
+		projector := split.New(plan)
+		serial := core.NewFromPlan(plan)
+		want, _, err := serial.ProjectBytes(wl.doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(wl.name+"/workers_"+strconv.Itoa(workers), func(b *testing.B) {
+				b.SetBytes(int64(len(wl.doc)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, _, err := projector.ProjectBytes(wl.doc, split.Options{Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(out) != len(want) {
+						b.Fatalf("output size %d, want %d", len(out), len(want))
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIntraDocStreaming is the io.Reader variant of the intra-document
+// pipeline: segments are read and copied from a stream instead of aliasing
+// an in-memory document, which adds the reader's copy to the pipeline.
+func BenchmarkIntraDocStreaming(b *testing.B) {
+	benchSetup(b)
+	q, _ := xmlgen.QueryByID("XM13")
+	plan := core.NewPlan(compileFor(b, benchXMarkDTD, q.Paths, compile.Options{}), core.Options{})
+	projector := split.New(plan)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run("workers_"+strconv.Itoa(workers), func(b *testing.B) {
+			b.SetBytes(int64(len(benchXMarkDoc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := projector.Project(io.Discard, newSliceReader(benchXMarkDoc), split.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -6,7 +6,12 @@
 //
 //	smp -dtd auction.dtd -paths '/*, //australia//description#' -in site.xml -out projected.xml
 //	smp -dtd auction.dtd -query '<q>{//australia//description}</q>' -in site.xml -stats
+//	smp -dtd auction.dtd -paths '/*, //item/name#' -in big.xml -out projected.xml -j 4
 //	smp -dtd auction.dtd -paths '/*' -describe
+//
+// With -j N the document is projected with intra-document parallelism (N
+// segment-scan workers, byte-identical output). A projection that fails
+// mid-stream removes its partial -out file and exits non-zero.
 package main
 
 import (
@@ -38,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		describe  = fs.Bool("describe", false, "print the compiled lookup tables instead of projecting")
 		chunk     = fs.Int("chunk", 0, "streaming window chunk size in bytes (0 = default)")
 		noJumps   = fs.Bool("nojumps", false, "disable the initial-jump table J")
+		jobs      = fs.Int("j", 1, "intra-document parallel scan workers (<=1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,16 +85,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		in = f
 	}
 	out := stdout
+	var outFile *os.File
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		outFile = f
 		out = f
 	}
 
-	stats, err := pf.Project(out, in)
+	stats, err := pf.ProjectParallel(out, in, *jobs)
+	if outFile != nil {
+		if closeErr := outFile.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			// Never leave a truncated projection behind: remove the partial
+			// output so a failed run is distinguishable from an empty one.
+			os.Remove(*outPath)
+		}
+	}
 	if err != nil {
 		return err
 	}

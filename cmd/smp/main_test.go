@@ -115,3 +115,58 @@ func TestRunArgumentErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunParallelMatchesSerial checks that -j produces the same projection
+// as the serial default.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	dtdPath, docPath, dir := writeFiles(t)
+	serialOut := filepath.Join(dir, "serial.xml")
+	parallelOut := filepath.Join(dir, "parallel.xml")
+	args := []string{"-dtd", dtdPath, "-paths", "/*, //australia//description#", "-in", docPath}
+	var stdout, stderr bytes.Buffer
+	if err := run(append(args, "-out", serialOut), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-out", parallelOut, "-j", "4"), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := os.ReadFile(serialOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := os.ReadFile(parallelOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("-j 4 output differs: %d vs %d bytes", len(parallel), len(serial))
+	}
+}
+
+// TestRunRemovesPartialOutputOnFailure checks that a projection failing
+// mid-stream removes the partial -out file and reports the error (main
+// turns it into a non-zero exit).
+func TestRunRemovesPartialOutputOnFailure(t *testing.T) {
+	dtdPath, _, dir := writeFiles(t)
+	badPath := filepath.Join(dir, "bad.xml")
+	// Starts conforming (the root is copied to the output immediately),
+	// then breaks off inside a tag.
+	bad := testDoc[:len(testDoc)-40] + "<name oops"
+	if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.xml")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-dtd", dtdPath,
+		"-paths", "/*, //australia//description#",
+		"-in", badPath,
+		"-out", outPath,
+	}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("run succeeded on a malformed document")
+	}
+	if _, statErr := os.Stat(outPath); !os.IsNotExist(statErr) {
+		t.Errorf("partial output file left behind (stat err = %v)", statErr)
+	}
+}

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"smp/internal/compile"
 	"smp/internal/core"
@@ -41,6 +43,7 @@ import (
 	"smp/internal/dtd"
 	"smp/internal/experiments"
 	"smp/internal/paths"
+	"smp/internal/split"
 	"smp/internal/stats"
 	"smp/internal/xmlgen"
 )
@@ -68,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel    = fs.Int("parallel", 0, "corpus mode: shard a batch of documents across N workers (0 = run the paper experiments)")
 		docs        = fs.Int("docs", 16, "corpus mode: number of generated documents in the batch")
 		coldstart   = fs.Bool("coldstart", false, "cold-start mode: report compile, first-run and steady-state time per query")
+		intra       = fs.Int("intra", 0, "intra-document mode: split one document across N scan workers and compare against the serial engine (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +113,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tables = []*stats.Table{t}
 	case *parallel > 0:
 		t, err := runCorpus(*parallel, *docs, cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*stats.Table{t}
+	case *intra > 0:
+		t, err := runIntraDoc(*intra, cfg)
 		if err != nil {
 			return err
 		}
@@ -193,6 +203,95 @@ func runCorpus(workers, docCount int, cfg experiments.Config) (*stats.Table, err
 		}
 	}
 	return t, nil
+}
+
+// runIntraDoc is the -intra mode: it generates one document, prefilters it
+// with the serial engine and with the split/stitch pipeline at increasing
+// worker counts, verifies the parallel output is byte-identical, and
+// reports the single-stream throughput and speedup of each configuration.
+func runIntraDoc(workers int, cfg experiments.Config) (*stats.Table, error) {
+	queryID := "XM13"
+	if len(cfg.Queries) > 0 {
+		queryID = cfg.Queries[0]
+	}
+	q, ok := xmlgen.QueryByID(queryID)
+	if !ok {
+		return nil, fmt.Errorf("unknown query %q", queryID)
+	}
+	dtdSource, gen, docSize := datasetFor(q, cfg)
+	schema, err := dtd.Parse(dtdSource)
+	if err != nil {
+		return nil, err
+	}
+	table, err := compile.Compile(schema, paths.MustParseSet(q.Paths), compile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	plan := core.NewPlan(table, core.Options{})
+	doc := gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + 1})
+
+	serial := core.NewFromPlan(plan)
+	want, _, err := serial.ProjectBytes(doc)
+	if err != nil {
+		return nil, fmt.Errorf("%s: serial projection: %w", q.ID, err)
+	}
+	projector := split.New(plan)
+
+	const rounds = 3
+	t := stats.NewTable(
+		fmt.Sprintf("Intra-document parallel projection, one %s document, query %s", stats.FormatBytes(docSize), q.ID),
+		"Workers", "Wall Time", "MiB/s", "Output %", "Speedup")
+	var serialElapsed int64
+	for _, w := range workerLadder(workers) {
+		var best int64
+		var outBytes int64
+		for i := 0; i < rounds; i++ {
+			timer := stats.StartTimer()
+			var out []byte
+			var runStats core.Stats
+			if w <= 1 {
+				out, runStats, err = serial.ProjectBytes(doc)
+			} else {
+				out, runStats, err = projector.ProjectBytes(doc, split.Options{Workers: w})
+			}
+			elapsed := int64(timer.Elapsed())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %d workers: %w", q.ID, w, err)
+			}
+			if !bytes.Equal(out, want) {
+				return nil, fmt.Errorf("%s: %d workers: output differs from serial projection (%d vs %d bytes)",
+					q.ID, w, len(out), len(want))
+			}
+			if i == 0 || elapsed < best {
+				best = elapsed
+			}
+			outBytes = runStats.BytesWritten
+		}
+		if w == 1 {
+			serialElapsed = best
+		}
+		t.AddRow(
+			strconv.Itoa(w),
+			stats.FormatDuration(time.Duration(best)),
+			stats.FormatFloat(float64(len(doc))/(1<<20)/time.Duration(best).Seconds()),
+			stats.FormatPercent(100*float64(outBytes)/float64(len(doc))),
+			stats.FormatRatio(float64(serialElapsed), float64(best)),
+		)
+	}
+	t.AddNote("%s", "parallel output verified byte-identical to the serial engine; speedup needs real cores — on a single-CPU container the pipeline is expected to run flat at best")
+	return t, nil
+}
+
+// workerLadder returns 1, 2, 4, ... up to and including max.
+func workerLadder(max int) []int {
+	ladder := []int{1}
+	for w := 2; w < max; w *= 2 {
+		ladder = append(ladder, w)
+	}
+	if max > 1 {
+		ladder = append(ladder, max)
+	}
+	return ladder
 }
 
 // runColdStart is the -coldstart mode: for each query it times the static

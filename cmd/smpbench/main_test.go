@@ -105,3 +105,21 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunIntraDoc(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-intra", "4",
+		"-xmark", "400KiB",
+		"-queries", "XM13",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Intra-document parallel projection", "XM13", "Workers", "Speedup", "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

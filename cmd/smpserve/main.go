@@ -14,8 +14,12 @@
 //
 // The document is the POST body; the projection is the response body. The
 // per-run counters are reported in X-SMP-* response trailers, service-level
-// counters (requests, cache hits, bytes in/out, per-entry plan footprints)
-// at /stats. The prefilter cache can be bounded both by entry count (-cache)
+// counters (requests, cache hits, bytes in/out, per-entry plan footprints,
+// intra-document parallel runs) at /stats. Request bodies that declare a
+// Content-Length of at least -intramin bytes are projected with
+// intra-document parallelism (-intra scan workers splitting the single
+// stream, see internal/split); smaller or chunked bodies use the serial
+// engine. The prefilter cache can be bounded both by entry count (-cache)
 // and by the total memory of the compiled plans (-cachebytes); SIGINT or
 // SIGTERM triggers a graceful shutdown that drains in-flight projections
 // (-drain).
@@ -43,6 +47,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"syscall"
@@ -58,10 +63,14 @@ func main() {
 		cacheBytes = flag.Int64("cachebytes", 0, "byte budget for the cached compiled plans (0 = unlimited; entries are weighed by plan footprint)")
 		chunk      = flag.Int("chunk", 0, "streaming window chunk size in bytes (0 = default 32 KiB)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
+		intra      = flag.Int("intra", runtime.GOMAXPROCS(0), "intra-document scan workers for large request bodies (<=1 = always serial)")
+		intraMin   = flag.Int64("intramin", 4<<20, "request body size in bytes from which intra-document parallelism kicks in (requires a Content-Length)")
 	)
 	flag.Parse()
 
 	srv := newServer(*cache, *cacheBytes, smp.Options{ChunkSize: *chunk})
+	srv.intraWorkers = *intra
+	srv.intraMin = *intraMin
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smpserve:", err)
@@ -103,16 +112,24 @@ func serveUntilSignal(hs *http.Server, ln net.Listener, stop <-chan os.Signal, t
 }
 
 // server holds the shared state of the service: the prefilter cache, the
-// compile options and the service-level counters.
+// compile options, the intra-document parallelism policy and the
+// service-level counters.
 type server struct {
 	cache *prefilterCache
 	opts  smp.Options
 	start time.Time
 
-	requests     atomic.Int64
-	failures     atomic.Int64
-	bytesRead    atomic.Int64
-	bytesWritten atomic.Int64
+	// intraWorkers and intraMin select intra-document parallel projection
+	// (ProjectParallel) for request bodies whose Content-Length is at
+	// least intraMin bytes; smaller or chunked bodies stay serial.
+	intraWorkers int
+	intraMin     int64
+
+	requests      atomic.Int64
+	failures      atomic.Int64
+	intraRequests atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
 }
 
 func newServer(cacheSize int, cacheBytes int64, opts smp.Options) *server {
@@ -146,8 +163,18 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	// The counters are only known after the body has streamed, so they are
 	// sent as HTTP trailers (declared before the first body write).
 	w.Header().Set("Trailer", "X-SMP-Bytes-Read, X-SMP-Bytes-Written, X-SMP-Char-Comparisons, X-SMP-Tags-Matched")
+	// Count an intra-document run only if the body is also large enough for
+	// the split pipeline itself — below pf.MinParallelInput, ProjectParallel
+	// silently falls back to the serial engine and /stats must not claim a
+	// parallel run.
+	workers := 1
+	if s.intraWorkers > 1 && r.ContentLength >= s.intraMin &&
+		r.ContentLength >= int64(pf.MinParallelInput(s.intraWorkers)) {
+		workers = s.intraWorkers
+		s.intraRequests.Add(1)
+	}
 	out := &countingWriter{w: w}
-	stats, err := pf.Project(out, r.Body)
+	stats, err := pf.ProjectParallel(out, r.Body, workers)
 	s.bytesRead.Add(stats.BytesRead)
 	s.bytesWritten.Add(stats.BytesWritten)
 	if err != nil {
@@ -275,6 +302,9 @@ type statsResponse struct {
 	UptimeSeconds  float64          `json:"uptime_seconds"`
 	Requests       int64            `json:"requests"`
 	Failures       int64            `json:"failures"`
+	IntraWorkers   int              `json:"intra_workers"`
+	IntraMinBytes  int64            `json:"intra_min_bytes"`
+	IntraRequests  int64            `json:"intra_requests"`
 	BytesRead      int64            `json:"bytes_read"`
 	BytesWritten   int64            `json:"bytes_written"`
 	CacheSize      int              `json:"cache_size"`
@@ -291,6 +321,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Requests:       s.requests.Load(),
 		Failures:       s.failures.Load(),
+		IntraWorkers:   s.intraWorkers,
+		IntraMinBytes:  s.intraMin,
+		IntraRequests:  s.intraRequests.Load(),
 		BytesRead:      s.bytesRead.Load(),
 		BytesWritten:   s.bytesWritten.Load(),
 		CacheSize:      size,

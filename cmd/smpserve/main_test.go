@@ -336,3 +336,70 @@ func TestConcurrentRequests(t *testing.T) {
 		}
 	}
 }
+
+// TestIntraDocParallelThreshold checks that bodies at or above -intramin
+// are projected with intra-document parallelism (identical output, counted
+// in /stats) while small bodies stay serial.
+func TestIntraDocParallelThreshold(t *testing.T) {
+	srv, ts := testServer(t, 4)
+	srv.intraWorkers = 4
+	srv.intraMin = 64 << 10
+
+	// The body must exceed one segment plus its lookahead (workers × 32 KiB
+	// chunk + 32 KiB lookahead = 160 KiB at 4 workers), or ProjectParallel
+	// silently falls back to the serial engine and the parallel HTTP path
+	// goes unexercised.
+	var big bytes.Buffer
+	big.WriteString(`<site><regions><africa/><asia/><australia>`)
+	for big.Len() < 256<<10 {
+		big.WriteString(`<item><location>x</location><name>n</name><payment>p</payment><description>lots of text</description><shipping/><incategory category="1"/></item>`)
+	}
+	big.WriteString(`</australia></regions></site>`)
+
+	pf, err := smp.Compile(auctionDTD, "/*, //australia//description#", smp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := pf.ProjectBytes(big.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := "paths=" + url.QueryEscape("/*, //australia//description#")
+	// Small body: stays serial.
+	resp := postProject(t, ts, params, url.PathEscape(auctionDTD), auctionDoc)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body: status %d", resp.StatusCode)
+	}
+	// Large body: takes the intra-document parallel path.
+	resp = postProject(t, ts, params, url.PathEscape(auctionDTD), big.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("large body: status %d", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("parallel projection differs: %d vs %d bytes", len(got), len(want))
+	}
+
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.IntraRequests != 1 {
+		t.Errorf("intra_requests = %d, want 1 (workers %d, min %d)", stats.IntraRequests, stats.IntraWorkers, stats.IntraMinBytes)
+	}
+	if stats.IntraWorkers != 4 || stats.IntraMinBytes != 64<<10 {
+		t.Errorf("intra config in /stats = (%d, %d), want (4, %d)", stats.IntraWorkers, stats.IntraMinBytes, 64<<10)
+	}
+}

@@ -81,3 +81,35 @@ func ExamplePrefilter_Project() {
 	// <site><australia><description>Palm Zire 71</description></australia></site>
 	// kept 17.4% of the input
 }
+
+// ExamplePrefilter_ProjectParallel projects one large document using
+// intra-document parallelism: the input is cut into segments at tag
+// boundaries, scanned by four workers sharing the compiled plan, and
+// stitched back in order — byte-identical to the serial Project.
+func ExamplePrefilter_ProjectParallel() {
+	pf, err := smp.Compile(auctionDTD, "/*, //australia//description#", smp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var doc bytes.Buffer
+	doc.WriteString("<site><regions><africa/><asia/><australia>")
+	for i := 0; i < 5000; i++ {
+		doc.WriteString(`<item><location>x</location><name>n</name><payment>p</payment><description>lot 17</description><shipping/><incategory category="a"/></item>`)
+	}
+	doc.WriteString("</australia></regions></site>")
+
+	var parallel bytes.Buffer
+	stats, err := pf.ProjectParallel(&parallel, bytes.NewReader(doc.Bytes()), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serial, _, err := pf.ProjectBytes(doc.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected %d bytes down to %d\n", stats.BytesRead, stats.BytesWritten)
+	fmt.Println("identical to serial:", bytes.Equal(parallel.Bytes(), serial))
+	// Output:
+	// projected 695071 bytes down to 165036
+	// identical to serial: true
+}

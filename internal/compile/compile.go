@@ -1,15 +1,3 @@
-// Package compile implements the SMP static analysis (paper Section IV): it
-// turns a non-recursive DTD and a set of projection paths into the runtime
-// automaton and its four lookup tables
-//
-//	A — transition function (state × tag token → state)
-//	V — frontier vocabulary per state (the keywords to search for next)
-//	J — initial jump offsets per state
-//	T — action per state (nop, copy tag [+ atts], copy on/off)
-//
-// following the compilation procedure of paper Fig. 6: relevant-state
-// selection (steps 1a–1c), subgraph automaton (Definition 4), subset
-// determinization, and table derivation.
 package compile
 
 import (

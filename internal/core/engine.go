@@ -184,9 +184,9 @@ func (e *engine) release() {
 	e.out = nil
 }
 
-// maxTagLength bounds the scan for a tag's closing bracket; a longer "tag"
+// MaxTagLength bounds the scan for a tag's closing bracket; a longer "tag"
 // indicates input that is not well-formed XML (for example a stray '<').
-const maxTagLength = 1 << 20
+const MaxTagLength = 1 << 20
 
 // run executes the algorithm of paper Fig. 4.
 func (e *engine) run() error {
@@ -217,8 +217,7 @@ func (e *engine) run() error {
 			if st.Final {
 				break
 			}
-			return fmt.Errorf("core: unexpected end of input in state q%d (%s): document does not conform to the DTD",
-				q, describeState(st))
+			return EndOfInputError(q, st)
 		}
 		kw := st.Vocabulary[kwIdx]
 
@@ -236,14 +235,14 @@ func (e *engine) run() error {
 		if kw.Token.Close {
 			next := e.plan.table.Successor(q, kw.Token)
 			if next < 0 {
-				return e.transitionError(q, kw.Token)
+				return TransitionError(q, kw.Token)
 			}
 			e.performClose(e.plan.table.State(next), tagEnd, false)
 			q = next
 		} else {
 			next := e.plan.table.Successor(q, kw.Token)
 			if next < 0 {
-				return e.transitionError(q, kw.Token)
+				return TransitionError(q, kw.Token)
 			}
 			e.performOpen(e.plan.table.State(next), pos, tagEnd, bachelor)
 			q = next
@@ -251,7 +250,7 @@ func (e *engine) run() error {
 				closeTok := glushkov.Closing(kw.Token.Name)
 				nextClose := e.plan.table.Successor(q, closeTok)
 				if nextClose < 0 {
-					return e.transitionError(q, closeTok)
+					return TransitionError(q, closeTok)
 				}
 				e.performClose(e.plan.table.State(nextClose), tagEnd, true)
 				q = nextClose
@@ -286,8 +285,30 @@ func describeState(st *compile.State) string {
 	return "after <" + st.Label + ">"
 }
 
-func (e *engine) transitionError(q int, tok glushkov.Token) error {
+// The error constructors below are shared verbatim by the serial engine and
+// the split stitcher (internal/split), so the two paths cannot drift apart
+// in what they report for the same document.
+
+// EndOfInputError is the error for an input that ends while the automaton
+// still expects vocabulary in a non-final state.
+func EndOfInputError(q int, st *compile.State) error {
+	return fmt.Errorf("core: unexpected end of input in state q%d (%s): document does not conform to the DTD", q, describeState(st))
+}
+
+// TransitionError is the error for a matched token with no transition.
+func TransitionError(q int, tok glushkov.Token) error {
 	return fmt.Errorf("core: no transition for %s in state q%d: document does not conform to the DTD", tok, q)
+}
+
+// EOFInsideTagError is the error for an input that ends between a matched
+// keyword and its tag's closing '>'.
+func EOFInsideTagError(tagStart int64) error {
+	return fmt.Errorf("core: unexpected end of input inside tag at offset %d", tagStart)
+}
+
+// TagTooLongError is the error for a tag with no '>' within MaxTagLength.
+func TagTooLongError(tagStart int64) error {
+	return fmt.Errorf("core: no '>' within %d bytes of offset %d: input is not well-formed XML", MaxTagLength, tagStart)
 }
 
 // findNext locates the next verified occurrence of any frontier keyword of
@@ -390,38 +411,27 @@ func isTagTerminator(c byte, closing bool) bool {
 }
 
 // scanTagEnd scans right from the end of the keyword for the closing '>' of
-// the tag, honouring quoted attribute values. It returns the absolute offset
-// of the '>' and whether the tag is a bachelor tag ("/>").
+// the tag, honouring quoted attribute values (via the shared TagScan). It
+// returns the absolute offset of the '>' and whether the tag is a bachelor
+// tag ("/>").
 func (e *engine) scanTagEnd(tagStart int64, keywordLen int) (tagEnd int64, bachelor bool, err error) {
 	i := tagStart + int64(keywordLen)
-	var quote byte
-	lastNonQuote := byte(0)
+	var ts TagScan
 	for {
 		if !e.win.ensure(i) {
 			if e.win.readErr != nil {
 				return 0, false, e.win.readErr
 			}
-			return 0, false, fmt.Errorf("core: unexpected end of input inside tag at offset %d", tagStart)
+			return 0, false, EOFInsideTagError(tagStart)
 		}
-		c := e.win.byteAt(i)
 		e.stats.CharComparisons++
-		if quote != 0 {
-			if c == quote {
-				quote = 0
-			}
-			i++
-			continue
+		done, b := ts.Feed(e.win.byteAt(i))
+		if done {
+			return i, b, nil
 		}
-		switch c {
-		case '"', '\'':
-			quote = c
-		case '>':
-			return i, lastNonQuote == '/', nil
-		}
-		lastNonQuote = c
 		i++
-		if i-tagStart > maxTagLength {
-			return 0, false, fmt.Errorf("core: no '>' within %d bytes of offset %d: input is not well-formed XML", maxTagLength, tagStart)
+		if i-tagStart > MaxTagLength {
+			return 0, false, TagTooLongError(tagStart)
 		}
 	}
 }

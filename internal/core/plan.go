@@ -166,6 +166,18 @@ func (p *Plan) tag(st *compile.State) *tagStrings {
 	return p.stateTags[st.ID]
 }
 
+// TagStrings returns the interned serializations of the tag entering a
+// state, for callers outside the engine (the split stitcher synthesizes the
+// same output tags the serial engine would). The strings are empty for the
+// unlabelled initial state, which no tag action ever targets.
+func (p *Plan) TagStrings(st *compile.State) (open, close, bachelor string) {
+	t := p.stateTags[st.ID]
+	if t == nil {
+		return "", "", ""
+	}
+	return t.open, t.close, t.bachelor
+}
+
 // Table returns the compiled runtime automaton the plan executes.
 func (p *Plan) Table() *compile.Table { return p.table }
 

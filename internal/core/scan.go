@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+
+	"smp/internal/glushkov"
+	"smp/internal/stringmatch"
+)
+
+// This file is the core half of the intra-document parallel projection mode
+// (internal/split): a position-exhaustive keyword scan over one segment of
+// the input, against the union of all states' frontier vocabularies.
+//
+// The serial engine searches only for the current state's vocabulary and
+// therefore cannot start mid-document — the automaton state at an interior
+// offset depends on the whole prefix. The segment scanner side-steps that by
+// being speculative: it finds *every* verified keyword occurrence of *any*
+// state's vocabulary within its segment. A sequential stitcher then replays
+// the runtime automaton over the per-segment candidate lists, which selects
+// exactly the occurrences the serial engine would have matched.
+//
+// Two structural properties of the keyword set make the candidate lists a
+// sound and complete oracle for the serial search:
+//
+//  1. Every keyword starts with '<' and contains no interior '<', so two
+//     occurrences at different positions can never overlap, and scanning
+//     '<' anchors in order enumerates candidates in strictly increasing
+//     position order.
+//
+//  2. At any one position at most one keyword is *valid*: a shorter keyword
+//     needs a tag terminator (whitespace, '>', '/') right after it, exactly
+//     where a longer keyword sharing the prefix needs a tagname character.
+//     The serial engine's longest-first verification (Abstract vs
+//     AbstractText) therefore resolves to the same unique keyword the
+//     scanner records.
+
+// Candidate is one verified keyword occurrence found by a segment scan: the
+// unique keyword that is valid at Pos, together with the resolved end of its
+// tag. Candidates are reported in strictly increasing Pos order and never
+// overlap.
+type Candidate struct {
+	// Pos is the absolute input offset of the '<' starting the keyword.
+	Pos int64
+	// KwLen is the keyword length in bytes.
+	KwLen int
+	// Token is the tag token the keyword stands for.
+	Token glushkov.Token
+	// TagEnd is the absolute offset of the tag's closing '>' (valid only
+	// when Complete is true and Err is nil).
+	TagEnd int64
+	// Bachelor reports a "/>" tag end (always false for closing tokens,
+	// mirroring the serial engine).
+	Bachelor bool
+	// Complete reports that the tag-end scan finished within the scanned
+	// data — either successfully (TagEnd/Bachelor are valid) or definitely
+	// (Err is set). When false, the tag straddles the segment's data end
+	// and the stitcher must resume the scan in the following segment.
+	Complete bool
+	// Err is the error the serial engine would report if it selected this
+	// candidate (tag longer than MaxTagLength, or end of input inside the
+	// tag). It must only be surfaced if the candidate is actually selected.
+	Err error
+}
+
+// ScanPlan is the immutable scan-side companion of a Plan: the union of
+// every state's frontier vocabulary, bucketed for anchored verification.
+// Every keyword starts with '<', so the scan does not need a general
+// multi-keyword matcher at all: it hops from '<' to '<' with the vectorized
+// bytes.IndexByte and verifies the handful of keywords whose first tagname
+// byte matches — which is also what keeps the speculation overhead low
+// enough for the parallel mode to win. Like the Plan, a ScanPlan is built
+// once and shared read-only by any number of segment scanners.
+type ScanPlan struct {
+	plan *Plan
+	// open[c] holds the keywords "<c…" and closing[c] the keywords "</c…",
+	// longest first, indexed by the first tagname byte.
+	open, closing [256][]scanKeyword
+	count         int
+	maxKw         int
+}
+
+type scanKeyword struct {
+	pattern []byte
+	token   glushkov.Token
+}
+
+// NewScanPlan derives the global-vocabulary scan tables from a compiled
+// plan.
+func NewScanPlan(p *Plan) *ScanPlan {
+	tokens := make(map[string]glushkov.Token)
+	var order []string
+	for _, st := range p.table.States {
+		for _, kw := range st.Vocabulary {
+			if _, ok := tokens[kw.Keyword]; !ok {
+				tokens[kw.Keyword] = kw.Token
+				order = append(order, kw.Keyword)
+			}
+		}
+	}
+	// Longest first (ties: lexicographic), so each bucket resolves prefix
+	// collisions the same way the serial engine's verifyAt does.
+	sort.Slice(order, func(a, b int) bool {
+		if len(order[a]) != len(order[b]) {
+			return len(order[a]) > len(order[b])
+		}
+		return order[a] < order[b]
+	})
+	sp := &ScanPlan{plan: p, count: len(order)}
+	for _, kw := range order {
+		sk := scanKeyword{pattern: []byte(kw), token: tokens[kw]}
+		if len(kw) > sp.maxKw {
+			sp.maxKw = len(kw)
+		}
+		if sk.token.Close {
+			// "</x…": bucket by the byte after the slash.
+			c := sk.pattern[2]
+			sp.closing[c] = append(sp.closing[c], sk)
+		} else {
+			c := sk.pattern[1]
+			sp.open[c] = append(sp.open[c], sk)
+		}
+	}
+	return sp
+}
+
+// Plan returns the execution plan the scan tables were derived from.
+func (sp *ScanPlan) Plan() *Plan { return sp.plan }
+
+// MaxKeywordLen returns the length of the longest keyword in the union
+// vocabulary. Callers scanning non-final segments must provide at least
+// MaxKeywordLen()+1 bytes of lookahead past the owned range so straddling
+// keywords and their terminator byte are always in view.
+func (sp *ScanPlan) MaxKeywordLen() int { return sp.maxKw }
+
+// KeywordCount returns the size of the union vocabulary.
+func (sp *ScanPlan) KeywordCount() int { return sp.count }
+
+// SegmentScanner scans byte segments for candidates against one ScanPlan.
+// It is cheap (scratch state only; the tables live in the shared ScanPlan)
+// and not safe for concurrent use: give each worker goroutine its own.
+type SegmentScanner struct {
+	sp *ScanPlan
+	// match accumulates the string matchers' counters across Scan calls.
+	match stringmatch.Counters
+	// inspected counts the characters examined by verification and
+	// tag-end scanning, the scan-side analogue of the serial engine's
+	// non-matcher CharComparisons.
+	inspected int64
+	// rejected counts raw keyword matches whose terminator check failed
+	// (the scan-side analogue of the serial engine's RejectedMatches).
+	rejected int64
+}
+
+// NewScanner returns a fresh scanner over the plan's union vocabulary.
+func (sp *ScanPlan) NewScanner() *SegmentScanner { return &SegmentScanner{sp: sp} }
+
+// Counters returns the instrumentation accumulated across all Scan calls:
+// the string-matcher counters, the verification/tag-scan characters
+// examined, and the rejected raw matches.
+func (s *SegmentScanner) Counters() (m stringmatch.Counters, inspected, rejected int64) {
+	return s.match, s.inspected, s.rejected
+}
+
+// Scan appends to dst every candidate whose keyword starts within the owned
+// range [base, base+owned) and returns the extended slice. data[0] is the
+// byte at absolute input offset base. When final is false — data does not
+// extend to the end of the input — the caller must supply at least
+// MaxKeywordLen()+1 bytes past owned, so that a keyword starting on the
+// last owned byte still fits together with its terminator; tag ends may
+// nevertheless run past the data (Candidate.Complete is then false). When
+// final is true, running out of data mirrors the serial engine exactly: a
+// keyword without its terminator byte is invalid, a tag without '>' is the
+// "unexpected end of input inside tag" error.
+func (s *SegmentScanner) Scan(dst []Candidate, data []byte, base int64, owned int, final bool) []Candidate {
+	if owned > len(data) {
+		owned = len(data)
+	}
+	if s.sp.count == 0 || owned <= 0 {
+		return dst
+	}
+	i := 0
+	for i < owned {
+		j := bytes.IndexByte(data[i:owned], '<')
+		if j < 0 {
+			break
+		}
+		pos := i + j
+		// The hop between anchors is the scan-side analogue of a matcher
+		// shift; the anchor byte itself is one inspected character.
+		s.match.Shifts++
+		s.match.ShiftTotal += int64(j + 1)
+		s.match.Comparisons++
+		if c, ok := s.verify(data, base, pos, final); ok {
+			dst = append(dst, c)
+		}
+		// Occurrences never overlap (no keyword has an interior '<'), so
+		// the next anchor search can simply resume past this one.
+		i = pos + 1
+	}
+	return dst
+}
+
+// verify finds the unique keyword valid at the '<' anchor pos (longest
+// first within its bucket, as the serial engine's verifyAt does) and
+// resolves its tag end.
+func (s *SegmentScanner) verify(data []byte, base int64, pos int, final bool) (Candidate, bool) {
+	// The keyword plus its terminator byte must be in view. At the end of
+	// the input this mirrors the serial engine's rejection; before it, the
+	// caller's lookahead guarantee keeps every straddling keyword visible.
+	if pos+1 >= len(data) {
+		return Candidate{}, false
+	}
+	var bucket []scanKeyword
+	if data[pos+1] == '/' {
+		if pos+2 >= len(data) {
+			return Candidate{}, false
+		}
+		bucket = s.sp.closing[data[pos+2]]
+	} else {
+		bucket = s.sp.open[data[pos+1]]
+	}
+	if len(bucket) > 0 {
+		s.inspected++
+	}
+	for _, kw := range bucket {
+		end := pos + len(kw.pattern)
+		if end >= len(data) {
+			continue
+		}
+		s.inspected += int64(len(kw.pattern)) + 1
+		if !bytes.Equal(data[pos+1:end], kw.pattern[1:]) {
+			continue
+		}
+		if !isTagTerminator(data[end], kw.token.Close) {
+			s.rejected++
+			continue
+		}
+		c := Candidate{Pos: base + int64(pos), KwLen: len(kw.pattern), Token: kw.token}
+		s.scanTagEnd(data, base, pos, end, final, &c)
+		if c.Token.Close {
+			c.Bachelor = false
+		}
+		return c, true
+	}
+	return Candidate{}, false
+}
+
+// scanTagEnd resolves the tag's closing '>' within the available data,
+// mirroring the serial engine's quote handling and length bound.
+func (s *SegmentScanner) scanTagEnd(data []byte, base int64, tagStart, from int, final bool, c *Candidate) {
+	var ts TagScan
+	for i := from; i < len(data); i++ {
+		s.inspected++
+		done, bachelor := ts.Feed(data[i])
+		if done {
+			c.TagEnd = base + int64(i)
+			c.Bachelor = bachelor
+			c.Complete = true
+			return
+		}
+		if i+1-tagStart > MaxTagLength {
+			c.Complete = true
+			c.Err = TagTooLongError(base + int64(tagStart))
+			return
+		}
+	}
+	if final {
+		c.Complete = true
+		c.Err = EOFInsideTagError(base + int64(tagStart))
+	}
+}
+
+// TagScan is the incremental scan for a tag's closing '>': it tracks quoted
+// attribute values and whether the character before the '>' was '/' (a
+// bachelor tag). It is the byte-at-a-time form of the serial engine's
+// tag-end scan, shared with the split stitcher's cross-segment resolution.
+type TagScan struct {
+	quote        byte
+	lastNonQuote byte
+}
+
+// Feed advances the scan over c. done reports that c closed the tag;
+// bachelor is meaningful only when done is true.
+func (t *TagScan) Feed(c byte) (done, bachelor bool) {
+	if t.quote != 0 {
+		if c == t.quote {
+			t.quote = 0
+		}
+		return false, false
+	}
+	switch c {
+	case '"', '\'':
+		t.quote = c
+	case '>':
+		return true, t.lastNonQuote == '/'
+	}
+	t.lastNonQuote = c
+	return false, false
+}

@@ -1,15 +1,3 @@
-// Package dtd parses Document Type Definitions and exposes the schema
-// information the SMP static analysis needs: element content models,
-// required attributes, parent/child relationships, recursion detection and
-// minimum serialized lengths (which drive the initial-jump table J of the
-// runtime automaton).
-//
-// The parser understands the subset of XML 1.0 DTD syntax used by the
-// datasets in the paper (XMark, MEDLINE, Protein Sequence): <!DOCTYPE> with
-// an internal subset, <!ELEMENT> declarations with arbitrary content models
-// (EMPTY, ANY, #PCDATA, mixed content, sequences, choices and the ?, *, +
-// occurrence operators) and <!ATTLIST> declarations. Entity declarations,
-// notations, processing instructions and comments are skipped.
 package dtd
 
 import (

@@ -1,0 +1,22 @@
+// Package experiments implements the experiment harness that regenerates
+// every table and figure of the paper's evaluation (Section V) on the
+// bundled synthetic datasets:
+//
+//	Table I    — SMP performance characteristics on XMark data (XM1–XM20)
+//	Table II   — SMP on MEDLINE data (M1–M5)
+//	Table III  — SMP vs. a tokenizing projector (the type-based projection baseline)
+//	Fig. 7(a)  — in-memory engine alone vs. SMP + engine over a document-size sweep
+//	Fig. 7(b)  — streaming engine alone vs. pipelined SMP + engine on MEDLINE
+//	Fig. 7(c)  — SAX tokenization throughput vs. SMP prefiltering throughput
+//	Ablations  — string-matching algorithm, initial-jump and chunk-size studies
+//
+// Absolute document sizes are scaled down so the harness runs in minutes on
+// a laptop; all reported metrics are ratios (character-comparison %, output
+// ratio, initial-jump %) or normalized (MB/s), which the scaling preserves.
+// Each table carries notes with the paper's reference values so measured and
+// published shapes can be compared side by side.
+//
+// Run selects experiments by name ("table1", "fig7b", "ablation", … or
+// "all"); cmd/smpbench is the CLI front end and internal/stats renders the
+// resulting tables as text, markdown or CSV.
+package experiments

@@ -1,13 +1,3 @@
-// Package glushkov builds the automata behind the SMP static analysis: the
-// Glushkov (position) automaton of a DTD content model and the homogeneous
-// document-level DTD-automaton (paper Section IV, Fig. 5) that recognizes
-// the token sequences of all documents valid with respect to a
-// non-recursive DTD.
-//
-// A Glushkov automaton has one state per occurrence ("position") of a child
-// element name in the content model. All transitions into a position carry
-// the position's element name, which gives the automaton the homogeneity
-// property the paper relies on for assigning per-state actions.
 package glushkov
 
 import (

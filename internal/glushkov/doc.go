@@ -1,0 +1,20 @@
+// Package glushkov builds the automata behind the SMP static analysis: the
+// Glushkov (position) automaton of a DTD content model and the homogeneous
+// document-level DTD-automaton (paper Section IV, Fig. 5) that recognizes
+// the token sequences of all documents valid with respect to a
+// non-recursive DTD.
+//
+// A Glushkov automaton has one state per occurrence ("position") of a child
+// element name in the content model. All transitions into a position carry
+// the position's element name, which gives the automaton the homogeneity
+// property the paper relies on for assigning per-state actions: because
+// every state is entered by exactly one tag token, a single action table T
+// row per state suffices.
+//
+// The package also defines Token, the open/close tag alphabet the automata
+// and the runtime engine share: ⟨a⟩ and ⟨/a⟩ in the paper's notation,
+// Open("a") and Closing("a") here. The document-level automaton walks the
+// DTD's element graph, inlining each element's content-model automaton
+// between its opening and closing token, which is what makes non-recursion
+// a hard requirement (paper Definition 1).
+package glushkov

@@ -1,0 +1,19 @@
+// Package paths implements projection paths (paper Section III): simple
+// downward XPath expressions, optionally flagged with '#' to indicate that
+// the descendants of the selected nodes are required as well, plus the
+// prefix closure P+ and the branch-matching primitives on which the
+// relevance conditions C1-C3 of Definition 3 are built.
+//
+// A path is a sequence of /child and //descendant-or-self steps over
+// element names and the * wildcard, e.g. "/*", "//item/name#" or
+// "//australia//description#". A Set is the parsed, deduplicated form of a
+// comma- or whitespace-separated list of such paths; ParseSet never panics
+// on malformed input (enforced by the FuzzParseSet fuzz target), it returns
+// errors.
+//
+// The package also contains the static path extraction that turns an XQuery
+// or XPath query into the projection-path set the SMP compiler consumes
+// (paper Example 4, following Marian & Siméon's extraction algorithm):
+// ExtractQuery walks the query's FLWOR clauses and path expressions and
+// always adds the default top-level path "/*".
+package paths

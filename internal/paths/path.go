@@ -1,12 +1,3 @@
-// Package paths implements projection paths (paper Section III): simple
-// downward XPath expressions, optionally flagged with '#' to indicate that
-// the descendants of the selected nodes are required as well, plus the
-// prefix closure P+ and the branch-matching primitives on which the
-// relevance conditions C1-C3 of Definition 3 are built.
-//
-// The package also contains the static path extraction that turns an XQuery
-// or XPath query into the projection-path set the SMP compiler consumes
-// (paper Example 4, following Marian & Siméon's extraction algorithm).
 package paths
 
 import (

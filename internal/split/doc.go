@@ -1,0 +1,47 @@
+// Package split implements intra-document parallel projection: one XML byte
+// stream is cut into segments, the segments are scanned concurrently by
+// workers sharing a single compiled core.Plan, and the projection is
+// stitched back together in input order — byte-identical to the serial
+// engine's output.
+//
+// The serial SMP engine (internal/core) cannot start mid-document: the
+// runtime automaton's state at an interior offset is a function of the
+// whole prefix. The split mode therefore separates the two halves of the
+// algorithm by cost. The expensive half — skip-based string matching over
+// the input bytes — is made position-independent by running it
+// speculatively: each worker finds every verified occurrence of every
+// keyword in the union of all states' frontier vocabularies within its
+// segment (core.ScanPlan / core.SegmentScanner). The cheap half — walking
+// the automaton and copying the query-relevant regions — stays sequential:
+// a stitcher replays the transitions over the sparse, in-order candidate
+// lists and emits exactly the bytes the serial engine would have.
+//
+// # Split/stitch invariants
+//
+//   - Segments are cut at a '<' found by backing off from the nominal
+//     (even) segment end, so keywords usually begin exactly on a boundary.
+//     Each position of the input is owned by exactly one segment; a worker
+//     reports only candidates starting in its owned range, which is the
+//     dedup guarantee for the stitch phase.
+//   - Every segment carries a lookahead of one window (at least the
+//     longest keyword plus its terminator byte) past its owned range, so
+//     a keyword or tag straddling a boundary is still scanned by its
+//     owning segment; a tag end that outruns even the lookahead is
+//     resolved by the stitcher across chained segments.
+//   - Keyword occurrences never overlap across positions (every keyword
+//     begins with '<' and has no interior '<') and at most one keyword is
+//     valid per position (a terminator where a longer keyword has a
+//     tagname byte), so the candidate lists are a complete, duplicate-free
+//     oracle for the serial engine's state-local searches.
+//   - The stitcher consumes segments through a bounded reorder buffer and
+//     flushes open copy regions at segment boundaries, so memory stays
+//     proportional to workers times the segment size, never to the
+//     document; flushed bytes never pass the next match, keeping the
+//     concatenated output identical to the serial engine's.
+//
+// Because the scan is speculative, it inspects more characters than the
+// serial engine (it cannot use the state-dependent initial-jump table and
+// searches for the union vocabulary); the speed-up at N workers is
+// therefore N divided by that speculation overhead, which favours queries
+// whose serial runs are matcher-bound rather than jump-bound.
+package split

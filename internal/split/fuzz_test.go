@@ -1,0 +1,71 @@
+package split
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"smp/internal/compile"
+	"smp/internal/core"
+	"smp/internal/dtd"
+	"smp/internal/paths"
+)
+
+// fuzzPlans compiles the fuzz fixture plans once (a tiny chunk size keeps
+// the lookahead small, so even short fuzz inputs take the parallel path).
+var fuzzPlans = sync.OnceValue(func() []*core.Plan {
+	specs := []struct{ dtdSrc, pathSpec string }{
+		{fig1DTD, "/*, //australia//description#"},
+		{fig1DTD, "/*, //item/name#"},
+		{prefixDTD, "/*, //AbstractText#"},
+	}
+	var plans []*core.Plan
+	for _, s := range specs {
+		table, err := compile.Compile(dtd.MustParse(s.dtdSrc), paths.MustParseSet(s.pathSpec), compile.Options{})
+		if err != nil {
+			panic(err)
+		}
+		plans = append(plans, core.NewPlan(table, core.Options{ChunkSize: 48}))
+	}
+	return plans
+})
+
+var fuzzProjectors = sync.OnceValue(func() []*Projector {
+	var ps []*Projector
+	for _, plan := range fuzzPlans() {
+		ps = append(ps, New(plan))
+	}
+	return ps
+})
+
+// FuzzProjectParallel feeds arbitrary documents through the serial engine
+// and the split pipeline and requires agreement: identical projection bytes
+// whenever the serial engine succeeds, and failure exactly when it fails.
+// This is the executable form of the split/stitch soundness argument (see
+// doc.go); run with -race to also exercise the pipeline's synchronization.
+func FuzzProjectParallel(f *testing.F) {
+	f.Add([]byte(`<site><regions><africa/><asia/><australia><item><location>x</location><name>n</name><payment>p</payment><description>d</description><shipping/><incategory category="1"/></item></australia></regions></site>`), uint8(4), uint16(16))
+	f.Add([]byte(`<r><rec><Abstract>a</Abstract><AbstractText>b</AbstractText></rec></r>`), uint8(2), uint16(24))
+	f.Add([]byte(`<r><rec><AbstractText a="q>u<o/te">long text `+strings.Repeat("pad ", 64)+`</AbstractText></rec></r>`), uint8(3), uint16(17))
+	f.Add([]byte(`<site>`+strings.Repeat(`<regions>`, 40)+`plain`), uint8(5), uint16(32))
+	f.Add([]byte(``), uint8(2), uint16(16))
+	f.Add(bytes.Repeat([]byte(`< <site <AbstractTex </r <<>`), 30), uint8(7), uint16(19))
+
+	f.Fuzz(func(t *testing.T, doc []byte, workersRaw uint8, segRaw uint16) {
+		workers := 2 + int(workersRaw%7) // 2..8
+		segSize := 16 + int(segRaw%1024) // 16..1039
+		for i, plan := range fuzzPlans() {
+			serialOut, _, serialErr := core.NewFromPlan(plan).ProjectBytes(doc)
+			parOut, _, parErr := fuzzProjectors()[i].ProjectBytes(doc, Options{Workers: workers, SegmentSize: segSize})
+			if (serialErr == nil) != (parErr == nil) {
+				t.Fatalf("plan %d workers %d seg %d: serial err = %v, parallel err = %v",
+					i, workers, segSize, serialErr, parErr)
+			}
+			if serialErr == nil && !bytes.Equal(serialOut, parOut) {
+				t.Fatalf("plan %d workers %d seg %d: output differs: serial %d bytes, parallel %d bytes",
+					i, workers, segSize, len(serialOut), len(parOut))
+			}
+		}
+	})
+}

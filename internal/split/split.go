@@ -1,0 +1,391 @@
+package split
+
+import (
+	"bytes"
+	"io"
+	"sync"
+
+	"smp/internal/core"
+)
+
+// Options configures one parallel projection run.
+type Options struct {
+	// Workers is the number of segment-scan workers. Values <= 1 select
+	// the serial engine.
+	Workers int
+	// SegmentSize is the nominal segment length in bytes before the
+	// boundary back-off; 0 selects Workers times the plan's chunk size
+	// (so one round of segments covers roughly one window per worker).
+	SegmentSize int
+}
+
+// Projector runs intra-document parallel projections for one shared
+// core.Plan. It bundles the plan's scan tables (built once, in New) with a
+// shared-plan serial engine used as the fallback for small inputs and
+// single-worker runs. A Projector is immutable after New and safe for
+// concurrent use.
+type Projector struct {
+	plan   *core.Plan
+	scan   *core.ScanPlan
+	serial *core.Prefilter
+}
+
+// New builds a projector for the plan. The global scan tables — one matcher
+// over the union of every state's frontier vocabulary — are derived here,
+// once; Project never builds tables.
+func New(plan *core.Plan) *Projector {
+	return &Projector{
+		plan:   plan,
+		scan:   core.NewScanPlan(plan),
+		serial: core.NewFromPlan(plan),
+	}
+}
+
+// Plan returns the shared execution plan.
+func (p *Projector) Plan() *core.Plan { return p.plan }
+
+// segment is one unit of parallel work: the bytes from absolute offset base
+// onward, of which the first owned bytes belong to this segment (the rest
+// is lookahead shared with the next segment). A worker fills cands and
+// closes done; the stitcher consumes segments strictly in order (order is
+// carried by the reorder channel itself).
+type segment struct {
+	base  int64
+	data  []byte
+	owned int
+	final bool
+	// err is a read error that ends the run; it travels as a terminal
+	// sentinel segment (owned == 0) after the last data segment.
+	err   error
+	cands []core.Candidate
+	done  chan struct{}
+}
+
+// end returns the absolute offset one past the segment's owned bytes — the
+// canonical coverage boundary. Consecutive segments' canonical ranges tile
+// the input without gaps or overlaps.
+func (s *segment) end() int64 { return s.base + int64(s.owned) }
+
+// Project cuts the document read from src into segments, scans them on
+// opts.Workers goroutines against the shared plan, and stitches the
+// projection to dst in input order. The output is byte-identical to the
+// serial engine's; the stats are aggregated across workers (BytesRead and
+// BytesWritten are exact, instrumentation counters are the scan-side
+// equivalents of the serial counters, and may also differ because the
+// parallel reader always reads the whole input while the serial engine
+// stops at the final automaton state).
+//
+// Inputs smaller than one segment plus its lookahead, and runs with
+// opts.Workers <= 1, fall back to the serial shared-plan engine.
+// sizing resolves the segment size and lookahead of one run. The lookahead
+// must cover a keyword starting on the last owned byte plus its terminator;
+// one chunk keeps straddling tag-end scans rare.
+func (p *Projector) sizing(opts Options) (segSize, overlap int) {
+	chunk := p.plan.Options().ChunkSize
+	segSize = opts.SegmentSize
+	if segSize <= 0 {
+		segSize = opts.Workers * chunk
+	}
+	if segSize < 16 {
+		segSize = 16
+	}
+	overlap = chunk
+	if min := p.scan.MaxKeywordLen() + 1; overlap < min {
+		overlap = min
+	}
+	return segSize, overlap
+}
+
+// scanGroup runs the segment-scan workers of one projection.
+type scanGroup struct {
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	scanners []*core.SegmentScanner
+}
+
+// spawnScanners starts workers goroutines that scan segments from jobs
+// (closing each segment's done) until the channel closes.
+func (p *Projector) spawnScanners(workers int, jobs <-chan *segment) *scanGroup {
+	g := &scanGroup{}
+	for w := 0; w < workers; w++ {
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			sc := p.scan.NewScanner()
+			for seg := range jobs {
+				seg.cands = sc.Scan(seg.cands, seg.data, seg.base, seg.owned, seg.final)
+				close(seg.done)
+			}
+			g.mu.Lock()
+			g.scanners = append(g.scanners, sc)
+			g.mu.Unlock()
+		}()
+	}
+	return g
+}
+
+// finish waits for the workers and folds their scan counters plus the
+// plan-level sizes into the run stats.
+func (g *scanGroup) finish(p *Projector, stats *core.Stats) {
+	g.wg.Wait()
+	for _, sc := range g.scanners {
+		m, inspected, rejected := sc.Counters()
+		stats.CharComparisons += m.Comparisons + inspected
+		stats.Shifts += m.Shifts
+		stats.ShiftTotal += m.ShiftTotal
+		stats.RejectedMatches += rejected
+	}
+	table := p.plan.Table()
+	stats.States = table.Stats.States
+	stats.CWStates = table.Stats.CWStates
+	stats.BMStates = table.Stats.BMStates
+	stats.MatchersBuilt = p.plan.MatcherCount()
+}
+
+func (p *Projector) Project(dst io.Writer, src io.Reader, opts Options) (core.Stats, error) {
+	workers := opts.Workers
+	if workers <= 1 {
+		return p.serial.Project(dst, src)
+	}
+	segSize, overlap := p.sizing(opts)
+
+	// Read the first block synchronously: if the whole input fits, the
+	// serial engine wins — no goroutines, no segment copies. A read error
+	// this early is also handed to the serial engine, prefix first, so the
+	// output written and the error reported match a serial run exactly.
+	first := make([]byte, segSize+overlap)
+	n, err := io.ReadFull(src, first)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return p.serial.Project(dst, bytes.NewReader(first[:n]))
+	}
+	if err != nil {
+		return p.serial.Project(dst, io.MultiReader(bytes.NewReader(first[:n]), errorReader{err}))
+	}
+
+	r := &run{
+		segSize: segSize,
+		overlap: overlap,
+		jobs:    make(chan *segment, workers),
+		// ordered is the bounded reorder buffer: the reader blocks once
+		// this many segments are in flight, which bounds memory to
+		// O(inflight * (segSize+overlap)) however far scanning runs
+		// ahead of stitching.
+		ordered: make(chan *segment, 2*workers+2),
+		quit:    make(chan struct{}),
+	}
+
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() {
+		defer readerDone.Done()
+		r.read(src, first)
+	}()
+
+	g := p.spawnScanners(workers, r.jobs)
+
+	st := newStitcher(p, dst, r.ordered)
+	stats, runErr := st.run()
+
+	// Unwind: stop the reader (it may be blocked on a full channel or a
+	// slow src), let the workers drain the remaining jobs, and discard
+	// whatever the stitcher did not consume.
+	close(r.quit)
+	for range r.ordered {
+	}
+	readerDone.Wait()
+	g.finish(p, &stats)
+
+	stats.BytesRead = r.bytesRead
+	return stats, runErr
+}
+
+// ProjectBytes is Project over an in-memory document. Segmentation slices
+// the document directly — no segment buffers are allocated or copied.
+func (p *Projector) ProjectBytes(doc []byte, opts Options) ([]byte, core.Stats, error) {
+	var out bytes.Buffer
+	out.Grow(len(doc) / 8)
+	stats, err := p.ProjectBuffered(&out, doc, opts)
+	return out.Bytes(), stats, err
+}
+
+// ProjectBuffered is Project for a document already in memory: the
+// segments alias doc, so the pipeline's only allocations are the candidate
+// lists. The reorder buffer degenerates to a prefilled queue — the memory
+// is the caller's document either way.
+func (p *Projector) ProjectBuffered(dst io.Writer, doc []byte, opts Options) (core.Stats, error) {
+	workers := opts.Workers
+	segSize, overlap := p.sizing(opts)
+	if workers <= 1 || len(doc) < segSize+overlap {
+		return p.serial.Project(dst, bytes.NewReader(doc))
+	}
+
+	var segs []*segment
+	for base := 0; base < len(doc); {
+		rest := doc[base:]
+		if len(rest) <= segSize+overlap {
+			segs = append(segs, &segment{
+				base: int64(base), data: rest, owned: len(rest),
+				final: true, done: make(chan struct{}),
+			})
+			break
+		}
+		boundary := cut(rest, segSize)
+		end := boundary + overlap
+		segs = append(segs, &segment{
+			base: int64(base), data: rest[:end], owned: boundary,
+			done: make(chan struct{}),
+		})
+		base += boundary
+	}
+
+	jobs := make(chan *segment, len(segs))
+	ordered := make(chan *segment, len(segs))
+	for _, seg := range segs {
+		jobs <- seg
+		ordered <- seg
+	}
+	close(jobs)
+	close(ordered)
+
+	g := p.spawnScanners(workers, jobs)
+
+	st := newStitcher(p, dst, ordered)
+	stats, runErr := st.run()
+	g.finish(p, &stats)
+
+	stats.BytesRead = int64(len(doc))
+	return stats, runErr
+}
+
+// run is the per-Project pipeline state shared by the reader, the workers
+// and the stitcher.
+type run struct {
+	segSize int
+	overlap int
+	jobs    chan *segment // reader -> workers
+	ordered chan *segment // reader -> stitcher, in input order (reorder buffer)
+	quit    chan struct{} // closed by Project when the stitcher is done
+
+	bytesRead int64
+}
+
+// read cuts the input into segments and feeds them to the workers and, in
+// order, to the stitcher. carry holds the bytes already read past the
+// previous boundary (the first block on entry).
+func (r *run) read(src io.Reader, carry []byte) {
+	defer close(r.jobs)
+	defer close(r.ordered)
+	r.bytesRead = int64(len(carry))
+
+	var base int64
+	eof := false
+	for {
+		if want := r.segSize + r.overlap; !eof && len(carry) < want {
+			if cap(carry) < want {
+				grown := make([]byte, len(carry), want)
+				copy(grown, carry)
+				carry = grown
+			}
+			m, err := io.ReadFull(src, carry[len(carry):want])
+			carry = carry[:len(carry)+m]
+			r.bytesRead += int64(m)
+			switch err {
+			case nil:
+			case io.EOF, io.ErrUnexpectedEOF:
+				eof = true
+			default:
+				// Scan what was read before the error (the serial engine
+				// would have processed it), then surface the error as a
+				// terminal sentinel. The data segment is deliberately NOT
+				// final: anything unresolved at its edge (a truncated
+				// keyword or tag) then chases the next segment and finds
+				// the sentinel, so the stitcher reports the underlying
+				// read error — as the serial window would — rather than a
+				// synthesized end-of-input error.
+				if !r.emit(&segment{base: base, data: carry, owned: len(carry), done: make(chan struct{})}) {
+					return
+				}
+				sentinel := &segment{err: err, done: make(chan struct{})}
+				close(sentinel.done)
+				select {
+				case r.ordered <- sentinel:
+				case <-r.quit:
+				}
+				return
+			}
+		}
+		if eof {
+			if !r.emit(&segment{base: base, data: carry, owned: len(carry), final: true, done: make(chan struct{})}) {
+				return
+			}
+			return
+		}
+		boundary := cut(carry, r.segSize)
+		seg := &segment{
+			base:  base,
+			data:  carry[:boundary+r.overlap],
+			owned: boundary,
+			done:  make(chan struct{}),
+		}
+		if !r.emit(seg) {
+			return
+		}
+		// The tail (including the lookahead the segment shares) becomes
+		// the next segment's head. It must be copied: the dispatched
+		// segment's data aliases the old buffer, which workers read
+		// concurrently.
+		next := make([]byte, len(carry)-boundary, r.segSize+r.overlap)
+		copy(next, carry[boundary:])
+		base += int64(boundary)
+		carry = next
+	}
+}
+
+// emit hands a segment to a worker and to the stitcher's reorder buffer. It
+// reports false when the run has been cancelled.
+func (r *run) emit(seg *segment) bool {
+	select {
+	case r.jobs <- seg:
+	case <-r.quit:
+		return false
+	}
+	select {
+	case r.ordered <- seg:
+	case <-r.quit:
+		return false
+	}
+	return true
+}
+
+// errorReader replays a reader's error so a failing source can be handed
+// to the serial engine prefix-first.
+type errorReader struct{ err error }
+
+func (r errorReader) Read([]byte) (int, error) { return 0, r.err }
+
+// MinParallelInput returns the smallest input size, in bytes, that a run
+// with the given options actually projects in parallel: one segment plus
+// its lookahead. Smaller inputs fall back to the serial engine, so callers
+// that route work by size (e.g. a service threshold) should clamp their
+// threshold to at least this value to keep their accounting honest.
+func (p *Projector) MinParallelInput(opts Options) int {
+	segSize, overlap := p.sizing(opts)
+	return segSize + overlap
+}
+
+// cut picks the segment boundary: the offset of the last '<' at or before
+// target, found by backing off from the nominal (even) segment end, so
+// that keywords usually start exactly on a boundary and never straddle one.
+// A '<' inside text or a quoted attribute value is also safe — the boundary
+// only assigns candidate ownership, the scan itself is position-exhaustive
+// — and if no '<' exists in (0, target] the nominal end is used as is.
+func cut(buf []byte, target int) int {
+	if target >= len(buf) {
+		target = len(buf) - 1
+	}
+	// Exclude offset 0: a boundary must make progress.
+	if i := bytes.LastIndexByte(buf[1:target+1], '<'); i >= 0 {
+		return i + 1
+	}
+	return target
+}

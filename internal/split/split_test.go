@@ -1,0 +1,453 @@
+package split
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"smp/internal/compile"
+	"smp/internal/core"
+	"smp/internal/dtd"
+	"smp/internal/paths"
+	"smp/internal/xmlgen"
+)
+
+// The simplified XMark DTD of paper Fig. 1 (leaf elements are #PCDATA).
+const fig1DTD = `<!DOCTYPE site [
+	<!ELEMENT site (regions)>
+	<!ELEMENT regions (africa, asia, australia)>
+	<!ELEMENT africa (item*)>
+	<!ELEMENT asia (item*)>
+	<!ELEMENT australia (item*)>
+	<!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+	<!ELEMENT incategory EMPTY>
+	<!ATTLIST incategory category ID #REQUIRED>
+	<!ELEMENT location (#PCDATA)>
+	<!ELEMENT name (#PCDATA)>
+	<!ELEMENT payment (#PCDATA)>
+	<!ELEMENT description (#PCDATA)>
+	<!ELEMENT shipping (#PCDATA)>
+]>`
+
+// prefixDTD has tagnames that are prefixes of each other and one very long
+// tagname, to exercise longest-match verification and keyword straddling.
+const prefixDTD = `<!DOCTYPE r [
+	<!ELEMENT r (rec*)>
+	<!ELEMENT rec (Abstract?, AbstractText, AbstractTextTranslatedVersion?)>
+	<!ELEMENT Abstract (#PCDATA)>
+	<!ELEMENT AbstractText (#PCDATA)>
+	<!ELEMENT AbstractTextTranslatedVersion (#PCDATA)>
+]>`
+
+func makePlan(t testing.TB, dtdSrc, pathSpec string, opts core.Options) *core.Plan {
+	t.Helper()
+	table, err := compile.Compile(dtd.MustParse(dtdSrc), paths.MustParseSet(pathSpec), compile.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return core.NewPlan(table, opts)
+}
+
+// buildFig1Doc synthesizes a conforming Fig. 1 document of at least n bytes
+// with attribute values containing '<' and '/' and bachelor tags mixed in.
+func buildFig1Doc(n int) []byte {
+	var b bytes.Buffer
+	b.WriteString(`<site><regions><africa>`)
+	for i := 0; b.Len() < n/3; i++ {
+		fmt.Fprintf(&b, `<item><location>loc%d</location><name>n%d</name><payment>cash</payment><description>africa item %d with some text padding</description><shipping/><incategory category="c%d"/></item>`, i, i, i, i)
+	}
+	b.WriteString(`</africa><asia>`)
+	for i := 0; b.Len() < 2*n/3; i++ {
+		fmt.Fprintf(&b, `<item ><location a="x<nav y" b='also </desc here'>asia</location><name>m%d</name><payment>wire</payment><description>asia item %d</description><shipping>boat</shipping><incategory category="k"/></item>`, i, i)
+	}
+	b.WriteString(`</asia><australia>`)
+	for i := 0; b.Len() < n; i++ {
+		fmt.Fprintf(&b, `<item><location>oz</location><name>au%d</name><payment>card</payment><description>australian description number %d, deliberately long so that copy regions span several segments when the segment size is tiny</description><shipping>air</shipping><incategory category="z%d"/></item>`, i, i, i)
+	}
+	b.WriteString(`</australia></regions></site>`)
+	return b.Bytes()
+}
+
+func buildPrefixDoc(n int) []byte {
+	var b bytes.Buffer
+	b.WriteString(`<r>`)
+	for i := 0; b.Len() < n; i++ {
+		fmt.Fprintf(&b, `<rec><Abstract>short %d</Abstract><AbstractText>text %d</AbstractText><AbstractTextTranslatedVersion attr="v>alue">translated %d</AbstractTextTranslatedVersion></rec>`, i, i, i)
+	}
+	b.WriteString(`</r>`)
+	return b.Bytes()
+}
+
+// TestProjectParallelEquivalence asserts that the parallel projection is
+// byte-identical to the serial engine across worker counts, chunk sizes
+// (including ones smaller than the longest keyword) and segment sizes
+// (including ones tiny enough that keywords and tags straddle boundaries).
+func TestProjectParallelEquivalence(t *testing.T) {
+	docFig1 := buildFig1Doc(64 << 10)
+	docPrefix := buildPrefixDoc(32 << 10)
+	xmark := xmlgen.XMarkBytes(xmlgen.Config{TargetSize: 128 << 10, Seed: 7})
+
+	cases := []struct {
+		name     string
+		dtdSrc   string
+		pathSpec string
+		doc      []byte
+	}{
+		{"fig1/australia-description", fig1DTD, "/*, //australia//description#", docFig1},
+		{"fig1/names", fig1DTD, "/*, //item/name#", docFig1},
+		{"fig1/items-subtree", fig1DTD, "/*, //asia//item#", docFig1},
+		{"prefix/abstracttext", prefixDTD, "/*, //AbstractText#", docPrefix},
+		{"prefix/long-tag", prefixDTD, "/*, //AbstractTextTranslatedVersion#", docPrefix},
+		{"xmark/description", xmlgen.XMarkDTD(), "/*, //australia//description#", xmark},
+	}
+	chunks := []int{7, 64, 4096} // 7 is smaller than the longest keyword of every case
+	workerCounts := []int{1, 2, 4, 8}
+	segSizes := []int{0, 16, 301, 8 << 10}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, chunk := range chunks {
+				plan := makePlan(t, tc.dtdSrc, tc.pathSpec, core.Options{ChunkSize: chunk})
+				want, wantStats, err := core.NewFromPlan(plan).ProjectBytes(tc.doc)
+				if err != nil {
+					t.Fatalf("chunk %d: serial: %v", chunk, err)
+				}
+				proj := New(plan)
+				for _, workers := range workerCounts {
+					for _, seg := range segSizes {
+						got, stats, err := proj.ProjectBytes(tc.doc, Options{Workers: workers, SegmentSize: seg})
+						if err != nil {
+							t.Fatalf("chunk %d workers %d seg %d: %v", chunk, workers, seg, err)
+						}
+						if !bytes.Equal(got, want) {
+							t.Fatalf("chunk %d workers %d seg %d: output differs: got %d bytes, want %d\ngot:  %.120q\nwant: %.120q",
+								chunk, workers, seg, len(got), len(want), firstDiff(got, want), firstDiff(want, got))
+						}
+						if stats.BytesRead != int64(len(tc.doc)) {
+							t.Errorf("chunk %d workers %d seg %d: BytesRead = %d, want %d", chunk, workers, seg, stats.BytesRead, len(tc.doc))
+						}
+						if stats.BytesWritten != wantStats.BytesWritten {
+							t.Errorf("chunk %d workers %d seg %d: BytesWritten = %d, want %d", chunk, workers, seg, stats.BytesWritten, wantStats.BytesWritten)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// firstDiff returns the region around the first byte where a and b differ.
+func firstDiff(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 80
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}
+
+// TestProjectParallelBoundaryStraddle pins segment boundaries into the
+// middle of keywords, tags and copy regions: with SegmentSize 16 every tag
+// of the prefix document straddles at least one boundary.
+func TestProjectParallelBoundaryStraddle(t *testing.T) {
+	// A tag whose attribute list is far longer than the lookahead forces
+	// the stitcher's cross-segment tag-end resolution.
+	longAttr := `<rec><Abstract a="` + strings.Repeat("pad ", 200) + `">x</Abstract><AbstractText>y</AbstractText></rec>`
+	doc := []byte(`<r>` + strings.Repeat(longAttr, 8) + `</r>`)
+
+	plan := makePlan(t, prefixDTD, "/*, //Abstract#", core.Options{ChunkSize: 64})
+	want, _, err := core.NewFromPlan(plan).ProjectBytes(doc)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	proj := New(plan)
+	for _, workers := range []int{2, 4, 8} {
+		got, _, err := proj.ProjectBytes(doc, Options{Workers: workers, SegmentSize: 16})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers %d: output differs (got %d bytes, want %d)", workers, len(got), len(want))
+		}
+	}
+}
+
+// TestProjectParallelErrors checks that malformed and non-conforming
+// documents fail in parallel mode whenever they fail serially.
+func TestProjectParallelErrors(t *testing.T) {
+	plan := makePlan(t, fig1DTD, "/*, //australia//description#", core.Options{ChunkSize: 64})
+	proj := New(plan)
+	good := buildFig1Doc(8 << 10)
+
+	mutations := map[string][]byte{
+		"truncated":      good[:len(good)-200],
+		"unclosed-tag":   append(append([]byte{}, good[:2000]...), []byte("<name never closes")...),
+		"wrong-root":     []byte(`<bogus>` + string(good) + `</bogus>`),
+		"foreign-tag":    bytes.Replace(good, []byte("<asia>"), []byte("<asia><site>"), 1),
+		"empty":          nil,
+		"no-xml-at-all":  bytes.Repeat([]byte("plain text, nothing to see "), 400),
+		"stray-brackets": bytes.Repeat([]byte("< << <<< <>"), 2000),
+		// A searched-for keyword inside an attribute value: SMP matches at
+		// the string level, so both engines must take the same (wrong)
+		// turn and then agree on whatever follows from it.
+		"keyword-in-attribute": bytes.Replace(good, []byte(`<location>oz</location>`),
+			[]byte(`<location a="<description trap">oz</location>`), 1),
+	}
+	for name, doc := range mutations {
+		serialOut, _, serialErr := core.NewFromPlan(plan).ProjectBytes(doc)
+		for _, workers := range []int{2, 4} {
+			parOut, _, parErr := proj.ProjectBytes(doc, Options{Workers: workers, SegmentSize: 128})
+			if (serialErr == nil) != (parErr == nil) {
+				t.Errorf("%s workers %d: serial err = %v, parallel err = %v", name, workers, serialErr, parErr)
+				continue
+			}
+			if serialErr == nil && !bytes.Equal(serialOut, parOut) {
+				t.Errorf("%s workers %d: outputs differ (%d vs %d bytes)", name, workers, len(serialOut), len(parOut))
+			}
+		}
+	}
+}
+
+// errReader fails after yielding its prefix.
+type errReader struct {
+	data []byte
+	err  error
+	off  int
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, r.err
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestProjectParallelReadError checks that a mid-stream read failure is
+// surfaced (not swallowed and not deadlocked on).
+func TestProjectParallelReadError(t *testing.T) {
+	plan := makePlan(t, fig1DTD, "/*, //australia//description#", core.Options{ChunkSize: 64})
+	proj := New(plan)
+	doc := buildFig1Doc(32 << 10)
+	boom := errors.New("disk on fire")
+
+	var out bytes.Buffer
+	_, err := proj.Project(&out, &errReader{data: doc[:16<<10], err: boom}, Options{Workers: 4, SegmentSize: 512})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+
+	// Truncating inside a tag must still surface the reader's error — as
+	// the serial window does — not a synthesized end-of-input-inside-tag
+	// error from the scanner.
+	cutAt := bytes.LastIndex(doc[:16<<10], []byte("<name")) + 3
+	out.Reset()
+	_, err = proj.Project(&out, &errReader{data: doc[:cutAt], err: boom}, Options{Workers: 4, SegmentSize: 512})
+	if !errors.Is(err, boom) {
+		t.Fatalf("mid-tag truncation: err = %v, want %v", err, boom)
+	}
+
+	// An error during the very first block (before one segment fills) is
+	// handed to the serial engine prefix-first; the underlying error must
+	// surface and the readable prefix must still have been projected.
+	var serialOut bytes.Buffer
+	_, serialErr := core.NewFromPlan(plan).Project(&serialOut, &errReader{data: doc[:100], err: boom})
+	out.Reset()
+	_, err = proj.Project(&out, &errReader{data: doc[:100], err: boom}, Options{Workers: 4, SegmentSize: 512})
+	if !errors.Is(err, boom) {
+		t.Fatalf("first-block error: err = %v, want %v", err, boom)
+	}
+	if !errors.Is(serialErr, boom) || !bytes.Equal(out.Bytes(), serialOut.Bytes()) {
+		t.Fatalf("first-block error: output %q (err %v), serial wrote %q (err %v)",
+			out.Bytes(), err, serialOut.Bytes(), serialErr)
+	}
+}
+
+// failWriter fails after n bytes.
+type failWriter struct {
+	n   int
+	err error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	if w.n == 0 {
+		return len(p), w.err
+	}
+	return len(p), nil
+}
+
+// TestProjectParallelWriteError checks that a destination failure aborts
+// the run promptly with the writer's error.
+func TestProjectParallelWriteError(t *testing.T) {
+	plan := makePlan(t, fig1DTD, "/*, //australia//description#", core.Options{ChunkSize: 64})
+	proj := New(plan)
+	doc := buildFig1Doc(64 << 10)
+	boom := errors.New("pipe closed")
+
+	_, err := proj.Project(&failWriter{n: 64, err: boom}, bytes.NewReader(doc), Options{Workers: 4, SegmentSize: 512})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestProjectParallelSerialFallback checks the documented fallbacks: one
+// worker, and inputs smaller than a segment, take the serial path and still
+// produce correct output.
+func TestProjectParallelSerialFallback(t *testing.T) {
+	plan := makePlan(t, fig1DTD, "/*, //australia//description#", core.Options{})
+	proj := New(plan)
+	doc := buildFig1Doc(4 << 10)
+	want, _, err := core.NewFromPlan(plan).ProjectBytes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Workers: 1},
+		{Workers: 0},
+		{Workers: -3},
+		{Workers: 4}, // doc is smaller than the default segment size
+	} {
+		got, stats, err := proj.ProjectBytes(doc, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%+v: output differs", opts)
+		}
+		if stats.BytesRead != int64(len(doc)) {
+			t.Errorf("%+v: BytesRead = %d, want %d", opts, stats.BytesRead, len(doc))
+		}
+	}
+}
+
+// TestProjectParallelConcurrentRuns drives one Projector from many
+// goroutines at once (meaningful under -race).
+func TestProjectParallelConcurrentRuns(t *testing.T) {
+	plan := makePlan(t, fig1DTD, "/*, //item/name#", core.Options{ChunkSize: 256})
+	proj := New(plan)
+	doc := buildFig1Doc(48 << 10)
+	want, _, err := core.NewFromPlan(plan).ProjectBytes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			got, _, err := proj.ProjectBytes(doc, Options{Workers: 3, SegmentSize: 1024})
+			if err == nil && !bytes.Equal(got, want) {
+				err = errors.New("output differs")
+			}
+			errc <- err
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestCut checks the boundary back-off.
+func TestCut(t *testing.T) {
+	tests := []struct {
+		buf    string
+		target int
+		want   int
+	}{
+		{"aaaa<bbb<cc", 9, 8},  // backs off to the last '<' at or before target
+		{"aaaa<bbbbcc", 9, 4},  // ... further back if needed
+		{"<aaaaaaaaaa", 9, 9},  // offset 0 is not a boundary: nominal end
+		{"aaaaaaaaaaa", 9, 9},  // no '<' at all: nominal end
+		{"aaaa<bbbbbb", 4, 4},  // '<' exactly at the target
+		{"ab<de<ghijk", 10, 5}, // target at the last byte... backs to '<'
+	}
+	for _, tc := range tests {
+		if got := cut([]byte(tc.buf), tc.target); got != tc.want {
+			t.Errorf("cut(%q, %d) = %d, want %d", tc.buf, tc.target, got, tc.want)
+		}
+	}
+}
+
+// TestScannerCandidates pins the scanner's contract on a tiny document:
+// candidates are exactly the verified keyword occurrences, in order, with
+// prefix collisions resolved to the unique valid keyword.
+func TestScannerCandidates(t *testing.T) {
+	plan := makePlan(t, prefixDTD, "/*, //AbstractText#", core.Options{})
+	sp := core.NewScanPlan(plan)
+	doc := []byte(`<r><rec><Abstract>a</Abstract><AbstractText x="1">b</AbstractText></rec></r>`)
+	cands := sp.NewScanner().Scan(nil, doc, 0, len(doc), true)
+
+	var got []string
+	for _, c := range cands {
+		got = append(got, fmt.Sprintf("%d:%s", c.Pos, string(doc[c.Pos:c.Pos+int64(c.KwLen)])))
+	}
+	// The union vocabulary for this query is {<r, </r, <AbstractText,
+	// </AbstractText}: the automaton never searches for <rec or <Abstract,
+	// and "<Abstract>" must not be mistaken for a prefix of <AbstractText.
+	want := []string{
+		"0:<r", "30:<AbstractText", "51:</AbstractText", "72:</r",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("candidates = %v, want %v", got, want)
+	}
+	for _, c := range cands {
+		if !c.Complete || c.Err != nil {
+			t.Errorf("candidate at %d: Complete=%v Err=%v", c.Pos, c.Complete, c.Err)
+		}
+	}
+}
+
+// TestProjectParallelStreamsInOrder checks that dst sees the projection as
+// one in-order stream even when written through a tiny-segment pipeline.
+func TestProjectParallelStreamsInOrder(t *testing.T) {
+	plan := makePlan(t, fig1DTD, "/*, //australia//description#", core.Options{ChunkSize: 64})
+	proj := New(plan)
+	doc := buildFig1Doc(32 << 10)
+	want, _, err := core.NewFromPlan(plan).ProjectBytes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chunksSeen [][]byte
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 97)
+		for {
+			n, err := pr.Read(buf)
+			if n > 0 {
+				chunksSeen = append(chunksSeen, append([]byte(nil), buf[:n]...))
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	_, err = proj.Project(pw, bytes.NewReader(doc), Options{Workers: 4, SegmentSize: 256})
+	pw.CloseWithError(err)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Join(chunksSeen, nil); !bytes.Equal(got, want) {
+		t.Fatalf("streamed output differs: got %d bytes, want %d", len(got), len(want))
+	}
+}

@@ -1,0 +1,359 @@
+package split
+
+import (
+	"io"
+
+	"smp/internal/compile"
+	"smp/internal/core"
+	"smp/internal/glushkov"
+	"smp/internal/projection"
+)
+
+// stitcher replays the runtime automaton (paper Fig. 4) over the workers'
+// per-segment candidate lists, in input order, and emits the projection.
+// It is the sequential half of the split/stitch mode: the expensive part —
+// finding keyword occurrences — happened in parallel; selecting among them
+// is a walk over a sparse event list.
+//
+// Invariants that make the replay byte-identical to the serial engine:
+//
+//   - Candidates are position-exhaustive: every occurrence the serial
+//     engine's state-local search could verify appears in some segment's
+//     list (segments own disjoint position ranges, so no duplicates).
+//   - In state q at cursor c, the serial engine matches the first valid
+//     occurrence of q's vocabulary at or after c; the stitcher selects the
+//     first candidate at or after c whose token is in q's vocabulary.
+//     Candidates with other tokens are invisible to the serial search and
+//     are skipped (the stitch-time dedup of speculative matches).
+//   - An open copy region is flushed up to each passed segment boundary,
+//     which releases segment buffers; the serial engine flushes at window
+//     boundaries instead, but both emit the region's bytes contiguously
+//     and never beyond the next match, so the concatenated output is
+//     identical.
+type stitcher struct {
+	proj    *Projector
+	table   *compile.Table
+	out     io.Writer
+	ordered <-chan *segment
+
+	// chain[0] is the segment whose candidates are being consumed (at
+	// index cand); chain[1:] were pulled ahead to resolve a straddling
+	// tag end or copy region. readErr/srcDone record the terminal
+	// sentinel once seen.
+	chain   []*segment
+	cand    int
+	readErr error
+	srcDone bool
+
+	cursor     int64
+	copyActive bool
+	copyStart  int64
+
+	stats    core.Stats
+	writeErr error
+}
+
+func newStitcher(p *Projector, out io.Writer, ordered <-chan *segment) *stitcher {
+	return &stitcher{proj: p, table: p.plan.Table(), out: out, ordered: ordered}
+}
+
+// run is the stitch-side mirror of the serial engine's run loop.
+func (s *stitcher) run() (core.Stats, error) {
+	q := s.table.Initial
+	for {
+		st := s.table.State(q)
+		if len(st.Vocabulary) == 0 {
+			// Nothing left to search for; the state is final by
+			// construction. Remaining segments are discarded unscanned.
+			break
+		}
+
+		// Initial jump (table J).
+		if st.Jump > 0 {
+			s.cursor += int64(st.Jump)
+			s.stats.InitialJumpBytes += int64(st.Jump)
+		}
+
+		c, found, err := s.nextCandidate(st)
+		if err != nil {
+			return s.stats, err
+		}
+		if !found {
+			if st.Final {
+				break
+			}
+			return s.stats, core.EndOfInputError(q, st)
+		}
+
+		tagEnd, bachelor, err := s.resolveTagEnd(c)
+		if err != nil {
+			return s.stats, err
+		}
+
+		// Transition (table A) and action (table T), treating a bachelor
+		// tag as its opening tag immediately followed by its closing tag.
+		if c.Token.Close {
+			next := s.table.Successor(q, c.Token)
+			if next < 0 {
+				return s.stats, core.TransitionError(q, c.Token)
+			}
+			s.performClose(s.table.State(next), tagEnd, false)
+			q = next
+		} else {
+			next := s.table.Successor(q, c.Token)
+			if next < 0 {
+				return s.stats, core.TransitionError(q, c.Token)
+			}
+			s.performOpen(s.table.State(next), c.Pos, tagEnd, bachelor)
+			q = next
+			if bachelor {
+				closeTok := glushkov.Closing(c.Token.Name)
+				nextClose := s.table.Successor(q, closeTok)
+				if nextClose < 0 {
+					return s.stats, core.TransitionError(q, closeTok)
+				}
+				s.performClose(s.table.State(nextClose), tagEnd, true)
+				q = nextClose
+			}
+		}
+		if s.writeErr != nil {
+			return s.stats, s.writeErr
+		}
+		s.stats.TagsMatched++
+		s.cursor = tagEnd + 1
+	}
+	return s.stats, s.writeErr
+}
+
+// nextCandidate returns the first candidate at or after the cursor whose
+// token is in st's vocabulary, pulling segments (and flushing/releasing
+// passed ones) as needed. found is false at a clean end of input; a read
+// error is returned as err, exactly where the serial search would hit it.
+func (s *stitcher) nextCandidate(st *compile.State) (c *core.Candidate, found bool, err error) {
+	for {
+		if len(s.chain) == 0 {
+			if !s.pull() {
+				return nil, false, s.readErr
+			}
+		}
+		seg := s.chain[0]
+		for s.cand < len(seg.cands) {
+			c := &seg.cands[s.cand]
+			s.cand++
+			if c.Pos < s.cursor {
+				continue // inside the previous tag, or skipped by a jump
+			}
+			if vocabHasToken(st, c.Token) {
+				return c, true, nil
+			}
+			// A valid occurrence of a token the current state does not
+			// search for: the serial engine never sees it, and the next
+			// selected match moves the cursor past it.
+		}
+		s.passHead()
+	}
+}
+
+// pull appends the next in-order segment to the chain. It reports false
+// when the input is exhausted (s.readErr then carries any read error).
+func (s *stitcher) pull() bool {
+	if s.srcDone {
+		return false
+	}
+	seg, ok := <-s.ordered
+	if !ok {
+		s.srcDone = true
+		return false
+	}
+	if seg.err != nil {
+		s.srcDone = true
+		s.readErr = seg.err
+		return false
+	}
+	<-seg.done
+	s.chain = append(s.chain, seg)
+	held := 0
+	for _, cs := range s.chain {
+		held += len(cs.data)
+	}
+	if int64(held) > s.stats.MaxBufferBytes {
+		s.stats.MaxBufferBytes = int64(held)
+	}
+	return true
+}
+
+// passHead retires chain[0]: an open copy region is flushed up to the
+// segment's canonical end (its bytes can never be needed again — the next
+// selected match starts at or after that boundary), and the buffer is
+// released.
+func (s *stitcher) passHead() {
+	seg := s.chain[0]
+	if s.copyActive && s.copyStart < seg.end() {
+		s.writeRaw(s.copyStart, seg.end())
+		s.copyStart = seg.end()
+	}
+	s.chain = s.chain[1:]
+	s.cand = 0
+}
+
+// resolveTagEnd returns the selected candidate's tag end, resuming the scan
+// across following segments when the tag straddles the candidate's data.
+// The scan proceeds a canonical segment range at a time (not byte-at-a-time
+// through the chain), so a tag spanning many tiny segments stays linear.
+func (s *stitcher) resolveTagEnd(c *core.Candidate) (int64, bool, error) {
+	if c.Complete {
+		return c.TagEnd, c.Bachelor, c.Err
+	}
+	var ts core.TagScan
+	i := c.Pos + int64(c.KwLen)
+	for {
+		seg, err := s.segmentAt(i)
+		if err != nil {
+			return 0, false, err
+		}
+		if seg == nil {
+			return 0, false, core.EOFInsideTagError(c.Pos)
+		}
+		data := seg.data[:seg.owned]
+		for rel := int(i - seg.base); rel < len(data); rel++ {
+			s.stats.CharComparisons++
+			done, bachelor := ts.Feed(data[rel])
+			if done {
+				if c.Token.Close {
+					bachelor = false
+				}
+				return seg.base + int64(rel), bachelor, nil
+			}
+			if seg.base+int64(rel)+1-c.Pos > core.MaxTagLength {
+				return 0, false, core.TagTooLongError(c.Pos)
+			}
+		}
+		i = seg.end()
+	}
+}
+
+// segmentAt returns the chained segment whose canonical range covers the
+// absolute offset, pulling further segments as needed. It returns (nil,
+// nil) past the end of input and the read error if the input failed.
+func (s *stitcher) segmentAt(off int64) (*segment, error) {
+	for {
+		for _, seg := range s.chain {
+			if off >= seg.base && off < seg.end() {
+				return seg, nil
+			}
+		}
+		if !s.pull() {
+			return nil, s.readErr
+		}
+	}
+}
+
+// performOpen executes the action of the state entered by an opening tag
+// (mirror of the serial engine's performOpen).
+func (s *stitcher) performOpen(st *compile.State, tagStart, tagEnd int64, bachelor bool) {
+	switch st.Action {
+	case projection.CopySubtree:
+		s.copyActive = true
+		s.copyStart = tagStart
+	case projection.CopyTagAttrs:
+		s.writeRaw(tagStart, tagEnd+1)
+	case projection.CopyTag:
+		open, _, bach := s.proj.plan.TagStrings(st)
+		if bachelor {
+			s.writeString(bach)
+		} else {
+			s.writeString(open)
+		}
+	}
+}
+
+// performClose executes the action of the state entered by a closing tag
+// (mirror of the serial engine's performClose).
+func (s *stitcher) performClose(st *compile.State, tagEnd int64, bachelor bool) {
+	switch st.Action {
+	case projection.CopySubtree:
+		if s.copyActive {
+			s.writeRaw(s.copyStart, tagEnd+1)
+			s.copyActive = false
+		} else if !bachelor {
+			_, closeTag, _ := s.proj.plan.TagStrings(st)
+			s.writeString(closeTag)
+		}
+	case projection.CopyTagAttrs, projection.CopyTag:
+		if !bachelor {
+			_, closeTag, _ := s.proj.plan.TagStrings(st)
+			s.writeString(closeTag)
+		}
+	}
+}
+
+// ensureCovered pulls segments until the chain's canonical ranges cover the
+// absolute offset. It reports false only if the input ends first, which
+// cannot happen for offsets inside a resolved tag.
+func (s *stitcher) ensureCovered(off int64) bool {
+	for {
+		if n := len(s.chain); n > 0 && s.chain[n-1].end() > off {
+			return true
+		}
+		if !s.pull() {
+			return false
+		}
+	}
+}
+
+// writeRaw copies the input bytes [from, to) to the output, assembling them
+// from the chained segments' canonical ranges. A resolved tag end may lie
+// in a segment's lookahead, whose canonical owner has not been pulled yet —
+// ensureCovered chains it first.
+func (s *stitcher) writeRaw(from, to int64) {
+	if s.writeErr != nil || to <= from {
+		return
+	}
+	if !s.ensureCovered(to - 1) {
+		if s.writeErr = s.readErr; s.writeErr == nil {
+			s.writeErr = io.ErrUnexpectedEOF
+		}
+		return
+	}
+	for _, seg := range s.chain {
+		lo, hi := from, to
+		if lo < seg.base {
+			lo = seg.base
+		}
+		if hi > seg.end() {
+			hi = seg.end()
+		}
+		if lo >= hi {
+			continue
+		}
+		n, err := s.out.Write(seg.data[lo-seg.base : hi-seg.base])
+		s.stats.BytesWritten += int64(n)
+		if err != nil {
+			s.writeErr = err
+			return
+		}
+	}
+}
+
+// writeString writes a synthesized tag to the output.
+func (s *stitcher) writeString(str string) {
+	if s.writeErr != nil {
+		return
+	}
+	n, err := io.WriteString(s.out, str)
+	s.stats.BytesWritten += int64(n)
+	if err != nil {
+		s.writeErr = err
+	}
+}
+
+// vocabHasToken reports whether the state's frontier vocabulary contains
+// the token (linear scan; vocabularies are small).
+func vocabHasToken(st *compile.State, tok glushkov.Token) bool {
+	for _, kw := range st.Vocabulary {
+		if kw.Token == tok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+// Package stats provides the small measurement and reporting toolkit of the
+// experiment harness: fixed-width tables (one per paper table or figure)
+// with attached notes, CSV and markdown export, wall-clock timers, and
+// formatting helpers for byte sizes, durations, percentages, ratios and
+// throughput.
+//
+// It deliberately knows nothing about SMP itself — internal/experiments and
+// the cmd/smpbench modes build their tables out of these primitives so that
+// every experiment renders consistently in all three output formats, and so
+// numeric formatting (the "857.53 MiB/s" and "2.75%" cells) is defined in
+// exactly one place.
+package stats

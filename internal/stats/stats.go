@@ -1,7 +1,3 @@
-// Package stats provides the small measurement and reporting toolkit of the
-// experiment harness: fixed-width tables (one per paper table or figure),
-// CSV export, timers, and formatting helpers for byte sizes, durations and
-// throughput.
 package stats
 
 import (

@@ -112,6 +112,78 @@ func TestPrefilterSequentialReuseStatsReset(t *testing.T) {
 	}
 }
 
+// TestProjectParallelMatchesSerial checks the public intra-document
+// parallel surface: for every worker count, ProjectParallel and
+// ProjectBytesParallel must be byte-identical to the serial Project.
+func TestProjectParallelMatchesSerial(t *testing.T) {
+	dtdSource, err := DatasetDTD(XMark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small chunk keeps segments small, so even a modest document is cut
+	// into enough segments to exercise the pipeline at 8 workers.
+	pf, err := Compile(dtdSource, "/*, //australia//description#", Options{ChunkSize: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := GenerateBytes(XMark, 256<<10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats, err := pf.ProjectBytes(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		var out bytes.Buffer
+		stats, err := pf.ProjectParallel(&out, bytes.NewReader(doc), workers)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("workers %d: ProjectParallel output differs (%d vs %d bytes)", workers, out.Len(), len(want))
+		}
+		if stats.BytesWritten != wantStats.BytesWritten {
+			t.Errorf("workers %d: BytesWritten = %d, want %d", workers, stats.BytesWritten, wantStats.BytesWritten)
+		}
+		got, _, err := pf.ProjectBytesParallel(doc, workers)
+		if err != nil {
+			t.Fatalf("workers %d: ProjectBytesParallel: %v", workers, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers %d: ProjectBytesParallel output differs", workers)
+		}
+	}
+}
+
+// TestProjectParallelConcurrentCallers drives ProjectParallel itself from
+// several goroutines sharing one Prefilter (meaningful under -race).
+func TestProjectParallelConcurrentCallers(t *testing.T) {
+	pf, docs, want := concurrencyFixture(t)
+	var wg sync.WaitGroup
+	errc := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g % len(docs)
+			var out bytes.Buffer
+			_, err := pf.ProjectParallel(&out, bytes.NewReader(docs[i]), 2+g%3)
+			if err == nil && !bytes.Equal(out.Bytes(), want[i]) {
+				err = &mismatchError{goroutine: g, doc: i, got: out.Len(), want: len(want[i])}
+			}
+			errc <- err
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
 // TestProjectMatchesRun checks the streaming Project entry point against
 // the pre-existing Run and ProjectBytes paths.
 func TestProjectMatchesRun(t *testing.T) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# check_mdlinks.sh — verify that every relative markdown link in the
+# repository's documentation resolves to an existing file or directory.
+# External links (http/https/mailto) and pure #anchors are skipped; a
+# "path#anchor" link is checked for the path part only. No network, no
+# dependencies beyond POSIX sh + grep/sed.
+#
+# Usage: scripts/check_mdlinks.sh [file.md ...]   (default: all *.md tracked
+# in the repository root and docs/)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+    files="$*"
+else
+    files=$(find . -maxdepth 2 -name '*.md' -not -path './.git/*' | sort)
+fi
+
+status=0
+for f in $files; do
+    dir=$(dirname "$f")
+    # Extract the (...) targets of [...](...) links, one per line.
+    links=$(grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null | sed 's/.*(\(.*\))/\1/') || continue
+    for link in $links; do
+        case "$link" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "broken link in $f: $link" >&2
+            status=1
+        fi
+    done
+done
+exit $status

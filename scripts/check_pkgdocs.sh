@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# check_pkgdocs.sh — gate: every Go package in this repository (the root
+# package, internal/* and cmd/*) must carry a package comment ("// Package
+# foo ..." for libraries, a command comment for main packages). This is the
+# CI teeth behind the documentation pass: a new package cannot land silently
+# undocumented.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+for dir in . internal/*/ cmd/*/; do
+    dir=${dir%/}
+    # A package comment is a comment group immediately preceding a
+    # "package x" clause in some file of the directory.
+    ok=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        # The comment must be attached: the line right above "package x"
+        # is part of a // or */ comment.
+        if awk '
+            /^package / { if (prev ~ /^\/\// || prev ~ /\*\//) found = 1; exit }
+            { prev = $0 }
+            END { exit !found }
+        ' "$f"; then
+            ok=1
+            break
+        fi
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "package in $dir has no package comment (add a doc.go)" >&2
+        status=1
+    fi
+done
+exit $status

@@ -30,11 +30,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"smp/internal/compile"
 	"smp/internal/core"
 	"smp/internal/dtd"
 	"smp/internal/paths"
+	"smp/internal/split"
 	"smp/internal/xmlgen"
 )
 
@@ -99,6 +101,11 @@ type Prefilter struct {
 	set    *paths.Set
 	table  *compile.Table
 	engine *core.Prefilter
+
+	// splitOnce lazily builds the intra-document parallel projector (its
+	// global scan tables are only paid for when ProjectParallel is used).
+	splitOnce sync.Once
+	splitProj *split.Projector
 }
 
 // Compile builds a prefilter from DTD source text and a comma- or
@@ -167,7 +174,49 @@ func (p *Prefilter) ProjectBytes(doc []byte) ([]byte, Stats, error) {
 	return p.engine.ProjectBytes(doc)
 }
 
-// ProjectFile prefilters the file at inPath into outPath.
+// ProjectParallel is Project with intra-document parallelism: the input is
+// cut into segments at tag boundaries, the segments are scanned for keyword
+// candidates by workers goroutines sharing this prefilter's compiled plan,
+// and the projection is stitched to dst in input order through a bounded
+// reorder buffer. The output is byte-identical to Project's; only the
+// instrumentation counters differ (they aggregate the speculative
+// per-segment scans — see internal/split).
+//
+// workers <= 1, and inputs smaller than one segment, fall back to the
+// serial Project. Like Project, ProjectParallel is safe for concurrent use.
+func (p *Prefilter) ProjectParallel(dst io.Writer, src io.Reader, workers int) (Stats, error) {
+	if workers <= 1 {
+		return p.Project(dst, src)
+	}
+	return p.projector().Project(dst, src, split.Options{Workers: workers})
+}
+
+// ProjectBytesParallel is ProjectParallel over an in-memory document.
+func (p *Prefilter) ProjectBytesParallel(doc []byte, workers int) ([]byte, Stats, error) {
+	if workers <= 1 {
+		return p.ProjectBytes(doc)
+	}
+	return p.projector().ProjectBytes(doc, split.Options{Workers: workers})
+}
+
+// projector returns the lazily built intra-document parallel projector.
+func (p *Prefilter) projector() *split.Projector {
+	p.splitOnce.Do(func() { p.splitProj = split.New(p.engine.Plan()) })
+	return p.splitProj
+}
+
+// MinParallelInput returns the smallest input size, in bytes, that
+// ProjectParallel with the given worker count actually projects in
+// parallel (one segment plus its lookahead); smaller inputs take the
+// serial fallback. Useful for callers that route documents by size and
+// want their accounting to reflect runs that really fanned out.
+func (p *Prefilter) MinParallelInput(workers int) int {
+	return p.projector().MinParallelInput(split.Options{Workers: workers})
+}
+
+// ProjectFile prefilters the file at inPath into outPath. If the projection
+// fails mid-stream the partially written outPath is removed, so a failed
+// run never leaves a truncated output file behind.
 func (p *Prefilter) ProjectFile(inPath, outPath string) (Stats, error) {
 	in, err := os.Open(inPath)
 	if err != nil {
@@ -181,6 +230,9 @@ func (p *Prefilter) ProjectFile(inPath, outPath string) (Stats, error) {
 	stats, runErr := p.Project(out, in)
 	if closeErr := out.Close(); runErr == nil {
 		runErr = closeErr
+	}
+	if runErr != nil {
+		os.Remove(outPath)
 	}
 	return stats, runErr
 }

@@ -133,6 +133,30 @@ func TestRunAndProjectFile(t *testing.T) {
 	}
 }
 
+// TestProjectFilePartialCleanup checks that a projection failing mid-stream
+// does not leave a truncated output file behind.
+func TestProjectFilePartialCleanup(t *testing.T) {
+	pf, err := Compile(testDTD, "/*, //australia//description#", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.xml")
+	// A document that starts conforming and then breaks off mid-tag: the
+	// engine copies the root before failing, so output has been written.
+	bad := testDoc[:len(testDoc)-40] + "<name oops"
+	if err := os.WriteFile(in, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.xml")
+	if _, err := pf.ProjectFile(in, out); err == nil {
+		t.Fatal("ProjectFile succeeded on a malformed document")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("partial output file left behind (stat err = %v)", err)
+	}
+}
+
 func TestExtractPaths(t *testing.T) {
 	got, err := ExtractPaths(`for $i in /site/regions/australia/item return <item name="{$i/name/text()}">{$i/description}</item>`)
 	if err != nil {
