@@ -1,0 +1,94 @@
+package smp
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"smp/internal/core"
+	"smp/internal/corpus"
+)
+
+// BatchJob is one document of a batch: a name for reporting, a source, and
+// an optional destination for the projected output. See the aliased type
+// for the field contracts (Src is opened exactly once, by the worker that
+// picks the job up; a nil Dst discards the output).
+type BatchJob = corpus.Job
+
+// BatchResult is the outcome of one batch job: the job's name, the worker
+// that ran it, the run's Stats and wall-clock time, and the job's first
+// error — errors are isolated per job and never stop the batch.
+type BatchResult = corpus.Result
+
+// BatchAggregate sums a batch's results: documents attempted and failed,
+// bytes in and out, and the batch wall-clock time, with throughput and
+// output-ratio helpers.
+type BatchAggregate = corpus.Aggregate
+
+// BatchFromBytes builds a BatchJob over an in-memory document that discards
+// its output. Attach a Dst afterwards to keep the projection.
+func BatchFromBytes(name string, doc []byte) BatchJob {
+	return corpus.FromBytes(name, doc)
+}
+
+// BatchFromFile builds a BatchJob that reads the document from inPath and,
+// if outPath is non-empty, writes the projection to outPath. A job that
+// fails or is cancelled mid-stream removes its partial outPath, matching
+// the ProjectFile contract.
+func BatchFromFile(inPath, outPath string) BatchJob {
+	return corpus.FromFile(inPath, outPath)
+}
+
+// Batch shards a corpus of documents across a pool of worker goroutines
+// driving one compiled Prefilter. Every worker gets a private engine built
+// over the prefilter's immutable plan, so K workers hold one copy of the
+// compiled tables (matchers, interned tags, vocabulary orders) and only the
+// window buffers are per-worker. This is the inter-document axis of
+// parallelism; combine it with Project's WithWorkers for the intra-document
+// axis.
+//
+// The zero value of Workers selects runtime.GOMAXPROCS(0). A Batch value is
+// immutable configuration; Run may be called many times and concurrently.
+type Batch struct {
+	// Prefilter is the compiled prefilter every worker executes (required).
+	Prefilter *Prefilter
+	// Workers is the pool size; values < 1 select runtime.GOMAXPROCS(0).
+	Workers int
+	// ChunkSize overrides the streaming window chunk size of every job in
+	// the batch; 0 keeps the prefilter's compiled value.
+	ChunkSize int
+}
+
+// Run pushes every job through the worker pool and returns the per-job
+// results (in job order) plus the batch aggregate. Jobs that fail do not
+// stop the batch; their error is recorded in their BatchResult. Cancelling
+// ctx marks not-yet-started jobs with ctx.Err() and aborts in-flight jobs
+// at their next chunk boundary, so a cancelled batch drains promptly.
+func (b *Batch) Run(ctx context.Context, jobs []BatchJob) ([]BatchResult, BatchAggregate) {
+	if b.Prefilter == nil {
+		results := make([]BatchResult, len(jobs))
+		err := errors.New("smp: Batch needs a Prefilter")
+		for i, job := range jobs {
+			results[i] = BatchResult{Name: job.Name, Err: err}
+		}
+		return results, BatchAggregate{Documents: len(jobs), Failed: len(jobs)}
+	}
+	plan := b.Prefilter.engine.Plan()
+	chunk := b.ChunkSize
+	runner := corpus.Runner{
+		NewEngine: func() corpus.Engine { return batchEngine{core.NewFromPlan(plan), chunk} },
+		Workers:   b.Workers,
+	}
+	return runner.Run(ctx, jobs)
+}
+
+// batchEngine adapts a shared-plan core engine to the corpus runner,
+// carrying the batch's chunk-size override into every run.
+type batchEngine struct {
+	pf    *core.Prefilter
+	chunk int
+}
+
+func (e batchEngine) Project(ctx context.Context, dst io.Writer, src io.Reader) (core.Stats, error) {
+	return e.pf.ProjectWith(ctx, dst, src, core.RunOptions{ChunkSize: e.chunk})
+}

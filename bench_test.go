@@ -64,7 +64,7 @@ func runPrefilterBench(b *testing.B, table *compile.Table, doc []byte, ropts cor
 	b.ResetTimer()
 	var lastStats core.Stats
 	for i := 0; i < b.N; i++ {
-		_, st, err := pf.ProjectBytes(doc)
+		_, st, err := pf.ProjectBytes(context.Background(), doc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +138,7 @@ func BenchmarkFig7a_DOMEngine(b *testing.B) {
 	q, _ := xmlgen.QueryByID("XM13")
 	set := paths.MustParseSet(q.Paths)
 	table := compileFor(b, benchXMarkDTD, q.Paths, compile.Options{})
-	projected, _, err := core.New(table, core.Options{}).ProjectBytes(benchXMarkDoc)
+	projected, _, err := core.New(table, core.Options{}).ProjectBytes(context.Background(), benchXMarkDoc)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func BenchmarkFig7a_DOMEngine(b *testing.B) {
 		b.SetBytes(int64(len(benchXMarkDoc)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			proj, _, err := pf.ProjectBytes(benchXMarkDoc)
+			proj, _, err := pf.ProjectBytes(context.Background(), benchXMarkDoc)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -207,7 +207,7 @@ func BenchmarkFig7b_Pipelined(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				pr, pw := io.Pipe()
 				go func() {
-					_, err := pf.Run(newSliceReader(benchMedlineDoc), pw)
+					_, err := pf.Project(context.Background(), pw, newSliceReader(benchMedlineDoc))
 					pw.CloseWithError(err)
 				}()
 				if _, err := engine.EvaluateWorkload(pr, set, nil); err != nil {
@@ -400,7 +400,7 @@ func BenchmarkIntraDocParallel(b *testing.B) {
 		plan := core.NewPlan(compileFor(b, wl.schema, q.Paths, compile.Options{}), core.Options{})
 		projector := split.New(plan)
 		serial := core.NewFromPlan(plan)
-		want, _, err := serial.ProjectBytes(wl.doc)
+		want, _, err := serial.ProjectBytes(context.Background(), wl.doc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -411,7 +411,7 @@ func BenchmarkIntraDocParallel(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					out, _, err := projector.ProjectBytes(wl.doc, split.Options{Workers: workers})
+					out, _, err := projector.ProjectBytes(context.Background(), wl.doc, split.Options{Workers: workers})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -439,7 +439,7 @@ func BenchmarkIntraDocStreaming(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := projector.Project(io.Discard, newSliceReader(benchXMarkDoc), split.Options{Workers: workers}); err != nil {
+				if _, err := projector.Project(context.Background(), io.Discard, newSliceReader(benchXMarkDoc), split.Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -498,7 +498,7 @@ func BenchmarkStreamingProject(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pf.Run(newSliceReader(benchXMarkDoc), io.Discard); err != nil {
+		if _, err := pf.Project(context.Background(), io.Discard, newSliceReader(benchXMarkDoc)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -533,21 +533,21 @@ func BenchmarkColdStart(b *testing.B) {
 				b.Fatal(err)
 			}
 			pf := core.New(freshTable, core.Options{})
-			if _, _, err := pf.ProjectBytes(doc); err != nil {
+			if _, _, err := pf.ProjectBytes(context.Background(), doc); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("SteadyProject", func(b *testing.B) {
 		pf := core.New(table, core.Options{})
-		if _, _, err := pf.ProjectBytes(doc); err != nil {
+		if _, _, err := pf.ProjectBytes(context.Background(), doc); err != nil {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(len(doc)))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := pf.ProjectBytes(doc); err != nil {
+			if _, _, err := pf.ProjectBytes(context.Background(), doc); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -572,7 +572,7 @@ func BenchmarkSharedPlanEngines(b *testing.B) {
 			for i := range pfs {
 				pfs[i] = core.NewFromPlan(plan)
 				// Warm each engine's buffer pool once.
-				if _, _, err := pfs[i].ProjectBytes(doc); err != nil {
+				if _, _, err := pfs[i].ProjectBytes(context.Background(), doc); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -580,7 +580,7 @@ func BenchmarkSharedPlanEngines(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := pfs[i%engines].Run(newSliceReader(doc), io.Discard); err != nil {
+				if _, err := pfs[i%engines].Project(context.Background(), io.Discard, newSliceReader(doc)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -10,27 +10,36 @@
 //	smp -dtd auction.dtd -paths '/*' -describe
 //
 // With -j N the document is projected with intra-document parallelism (N
-// segment-scan workers, byte-identical output). A projection that fails
-// mid-stream removes its partial -out file and exits non-zero.
+// segment-scan workers, byte-identical output); -j 0 uses every core. File
+// mode (-in plus -out) and stream mode share one code path — the v2
+// Project/ProjectFile API with options. SIGINT/SIGTERM cancel the run's
+// context, so an interrupted projection exits promptly; a projection that
+// fails or is interrupted mid-stream removes its partial -out file and
+// exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"smp"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "smp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("smp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -43,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		describe  = fs.Bool("describe", false, "print the compiled lookup tables instead of projecting")
 		chunk     = fs.Int("chunk", 0, "streaming window chunk size in bytes (0 = default)")
 		noJumps   = fs.Bool("nojumps", false, "disable the initial-jump table J")
-		jobs      = fs.Int("j", 1, "intra-document parallel scan workers (<=1 = serial)")
+		jobs      = fs.Int("j", 1, "intra-document parallel scan workers (1 = serial, 0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	opts := smp.Options{ChunkSize: *chunk, DisableInitialJumps: *noJumps}
+	opts := smp.Options{DisableInitialJumps: *noJumps}
 	var pf *smp.Prefilter
 	if *pathSpec != "" {
 		pf, err = smp.Compile(string(dtdSrc), *pathSpec, opts)
@@ -75,35 +84,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	in := io.Reader(os.Stdin)
-	if *inPath != "" {
-		f, err := os.Open(*inPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
-	}
-	out := stdout
-	var outFile *os.File
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		outFile = f
-		out = f
+	runOpts := []smp.ProjectOption{smp.WithChunkSize(*chunk)}
+	switch {
+	case *jobs == 0:
+		runOpts = append(runOpts, smp.WithAutoWorkers())
+	case *jobs > 1:
+		runOpts = append(runOpts, smp.WithWorkers(*jobs))
 	}
 
-	stats, err := pf.ProjectParallel(out, in, *jobs)
-	if outFile != nil {
-		if closeErr := outFile.Close(); err == nil {
-			err = closeErr
+	var stats smp.Stats
+	if *inPath != "" && *outPath != "" {
+		// File mode: ProjectFile shares the streaming code path and removes
+		// the partial output file if the run fails or is interrupted.
+		stats, err = pf.ProjectFile(ctx, *inPath, *outPath, runOpts...)
+	} else {
+		in := io.Reader(os.Stdin)
+		if *inPath != "" {
+			f, err := os.Open(*inPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
 		}
-		if err != nil {
-			// Never leave a truncated projection behind: remove the partial
-			// output so a failed run is distinguishable from an empty one.
-			os.Remove(*outPath)
+		out := stdout
+		var outFile *os.File
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			outFile = f
+			out = f
+		}
+		stats, err = pf.Project(ctx, out, in, runOpts...)
+		if outFile != nil {
+			if closeErr := outFile.Close(); err == nil {
+				err = closeErr
+			}
+			if err != nil {
+				// Never leave a truncated projection behind: remove the partial
+				// output so a failed run is distinguishable from an empty one.
+				os.Remove(*outPath)
+			}
 		}
 	}
 	if err != nil {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,7 +46,7 @@ func TestRunProjectsWithPaths(t *testing.T) {
 	dtdPath, docPath, dir := writeFiles(t)
 	outPath := filepath.Join(dir, "out.xml")
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-dtd", dtdPath,
 		"-paths", "/*, //australia//description#",
 		"-in", docPath,
@@ -70,7 +72,7 @@ func TestRunProjectsWithPaths(t *testing.T) {
 func TestRunProjectsWithQueryToStdout(t *testing.T) {
 	dtdPath, docPath, _ := writeFiles(t)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-dtd", dtdPath,
 		"-query", "<q>{//australia//description}</q>",
 		"-in", docPath,
@@ -86,7 +88,7 @@ func TestRunProjectsWithQueryToStdout(t *testing.T) {
 func TestRunDescribe(t *testing.T) {
 	dtdPath, _, _ := writeFiles(t)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-dtd", dtdPath, "-paths", "/*, //australia#", "-describe"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"-dtd", dtdPath, "-paths", "/*, //australia#", "-describe"}, &stdout, &stderr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +112,7 @@ func TestRunArgumentErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer
-		if err := run(args, &stdout, &stderr); err == nil {
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -124,10 +126,10 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	parallelOut := filepath.Join(dir, "parallel.xml")
 	args := []string{"-dtd", dtdPath, "-paths", "/*, //australia//description#", "-in", docPath}
 	var stdout, stderr bytes.Buffer
-	if err := run(append(args, "-out", serialOut), &stdout, &stderr); err != nil {
+	if err := run(context.Background(), append(args, "-out", serialOut), &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append(args, "-out", parallelOut, "-j", "4"), &stdout, &stderr); err != nil {
+	if err := run(context.Background(), append(args, "-out", parallelOut, "-j", "4"), &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	serial, err := os.ReadFile(serialOut)
@@ -157,7 +159,7 @@ func TestRunRemovesPartialOutputOnFailure(t *testing.T) {
 	}
 	outPath := filepath.Join(dir, "out.xml")
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-dtd", dtdPath,
 		"-paths", "/*, //australia//description#",
 		"-in", badPath,
@@ -165,6 +167,29 @@ func TestRunRemovesPartialOutputOnFailure(t *testing.T) {
 	}, &stdout, &stderr)
 	if err == nil {
 		t.Fatal("run succeeded on a malformed document")
+	}
+	if _, statErr := os.Stat(outPath); !os.IsNotExist(statErr) {
+		t.Errorf("partial output file left behind (stat err = %v)", statErr)
+	}
+}
+
+// TestRunCancelledRemovesPartialOutput checks that an interrupted run (the
+// context cancels mid-stream, as on SIGINT) surfaces ctx.Err() and removes
+// the partial -out file.
+func TestRunCancelledRemovesPartialOutput(t *testing.T) {
+	dtdPath, docPath, dir := writeFiles(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outPath := filepath.Join(dir, "out.xml")
+	var stdout, stderr bytes.Buffer
+	err := run(ctx, []string{
+		"-dtd", dtdPath,
+		"-paths", "/*, //australia//description#",
+		"-in", docPath,
+		"-out", outPath,
+	}, &stdout, &stderr)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if _, statErr := os.Stat(outPath); !os.IsNotExist(statErr) {
 		t.Errorf("partial output file left behind (stat err = %v)", statErr)

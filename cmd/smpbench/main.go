@@ -9,10 +9,10 @@
 //	smpbench -experiment fig7b -medline 32MiB -format markdown
 //	smpbench -experiment table2 -queries M1,M5
 //
-// With -parallel N the harness instead exercises the corpus runner
-// (internal/corpus): it generates -docs documents (-xmark bytes each, or
+// With -parallel N the harness instead exercises the public batch runner
+// (smp.Batch): it generates -docs documents (-xmark bytes each, or
 // -medline bytes for a MEDLINE query) and compares serial prefiltering
-// against an N-worker pool sharing one goroutine-safe engine:
+// against an N-worker pool sharing one compiled plan:
 //
 //	smpbench -parallel 4 -docs 16 -xmark 4MiB -queries XM13
 //
@@ -33,29 +33,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
-	"smp/internal/compile"
-	"smp/internal/core"
-	"smp/internal/corpus"
-	"smp/internal/dtd"
+	"smp"
 	"smp/internal/experiments"
-	"smp/internal/paths"
-	"smp/internal/split"
 	"smp/internal/stats"
 	"smp/internal/xmlgen"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "smpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("smpbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -106,19 +105,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var tables []*stats.Table
 	switch {
 	case *coldstart:
-		t, err := runColdStart(cfg)
+		t, err := runColdStart(ctx, cfg)
 		if err != nil {
 			return err
 		}
 		tables = []*stats.Table{t}
 	case *parallel > 0:
-		t, err := runCorpus(*parallel, *docs, cfg)
+		t, err := runCorpus(ctx, *parallel, *docs, cfg)
 		if err != nil {
 			return err
 		}
 		tables = []*stats.Table{t}
 	case *intra > 0:
-		t, err := runIntraDoc(*intra, cfg)
+		t, err := runIntraDoc(ctx, *intra, cfg)
 		if err != nil {
 			return err
 		}
@@ -149,9 +148,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // runCorpus is the -parallel mode: it generates a batch of XMark-like
-// documents, prefilters the batch serially and with a worker pool, and
-// reports the aggregate throughput of both plus the speedup.
-func runCorpus(workers, docCount int, cfg experiments.Config) (*stats.Table, error) {
+// documents, prefilters the batch serially and with a worker pool (the
+// public smp.Batch API, workers sharing one compiled plan), and reports the
+// aggregate throughput of both plus the speedup.
+func runCorpus(ctx context.Context, workers, docCount int, cfg experiments.Config) (*stats.Table, error) {
 	queryID := "XM13"
 	if len(cfg.Queries) > 0 {
 		queryID = cfg.Queries[0]
@@ -161,27 +161,22 @@ func runCorpus(workers, docCount int, cfg experiments.Config) (*stats.Table, err
 		return nil, fmt.Errorf("unknown query %q", queryID)
 	}
 	dtdSource, gen, docSize := datasetFor(q, cfg)
-	schema, err := dtd.Parse(dtdSource)
+	pf, err := smp.Compile(dtdSource, q.Paths, smp.Options{})
 	if err != nil {
 		return nil, err
 	}
-	table, err := compile.Compile(schema, paths.MustParseSet(q.Paths), compile.Options{})
-	if err != nil {
-		return nil, err
-	}
-	engine := core.New(table, core.Options{})
 
-	jobs := make([]corpus.Job, docCount)
+	jobs := make([]smp.BatchJob, docCount)
 	for i := range jobs {
-		jobs[i] = corpus.FromBytes(fmt.Sprintf("doc%02d", i), gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + uint64(i) + 1}))
+		jobs[i] = smp.BatchFromBytes(fmt.Sprintf("doc%02d", i), gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + uint64(i) + 1}))
 	}
 
 	t := stats.NewTable(fmt.Sprintf("Corpus prefiltering, %d x %s, query %s", docCount, stats.FormatBytes(docSize), q.ID),
 		"Workers", "Wall Time", "Aggregate MiB/s", "Output %", "Failed", "Speedup")
-	var serial corpus.Aggregate
+	var serial smp.BatchAggregate
 	for _, w := range []int{1, workers} {
-		runner := corpus.Runner{Engine: engine, Workers: w}
-		results, agg := runner.Run(context.Background(), jobs)
+		batch := smp.Batch{Prefilter: pf, Workers: w}
+		results, agg := batch.Run(ctx, jobs)
 		for _, res := range results {
 			if res.Err != nil {
 				return nil, fmt.Errorf("document %s: %v", res.Name, res.Err)
@@ -207,9 +202,10 @@ func runCorpus(workers, docCount int, cfg experiments.Config) (*stats.Table, err
 
 // runIntraDoc is the -intra mode: it generates one document, prefilters it
 // with the serial engine and with the split/stitch pipeline at increasing
-// worker counts, verifies the parallel output is byte-identical, and
-// reports the single-stream throughput and speedup of each configuration.
-func runIntraDoc(workers int, cfg experiments.Config) (*stats.Table, error) {
+// worker counts (the v2 Project API with WithWorkers), verifies the
+// parallel output is byte-identical, and reports the single-stream
+// throughput and speedup of each configuration.
+func runIntraDoc(ctx context.Context, workers int, cfg experiments.Config) (*stats.Table, error) {
 	queryID := "XM13"
 	if len(cfg.Queries) > 0 {
 		queryID = cfg.Queries[0]
@@ -219,23 +215,17 @@ func runIntraDoc(workers int, cfg experiments.Config) (*stats.Table, error) {
 		return nil, fmt.Errorf("unknown query %q", queryID)
 	}
 	dtdSource, gen, docSize := datasetFor(q, cfg)
-	schema, err := dtd.Parse(dtdSource)
+	pf, err := smp.Compile(dtdSource, q.Paths, smp.Options{})
 	if err != nil {
 		return nil, err
 	}
-	table, err := compile.Compile(schema, paths.MustParseSet(q.Paths), compile.Options{})
-	if err != nil {
-		return nil, err
-	}
-	plan := core.NewPlan(table, core.Options{})
 	doc := gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + 1})
 
-	serial := core.NewFromPlan(plan)
-	want, _, err := serial.ProjectBytes(doc)
-	if err != nil {
+	var wantBuf bytes.Buffer
+	if _, err := pf.Project(ctx, &wantBuf, bytes.NewReader(doc)); err != nil {
 		return nil, fmt.Errorf("%s: serial projection: %w", q.ID, err)
 	}
-	projector := split.New(plan)
+	want := wantBuf.Bytes()
 
 	const rounds = 3
 	t := stats.NewTable(
@@ -247,13 +237,10 @@ func runIntraDoc(workers int, cfg experiments.Config) (*stats.Table, error) {
 		var outBytes int64
 		for i := 0; i < rounds; i++ {
 			timer := stats.StartTimer()
-			var out []byte
-			var runStats core.Stats
-			if w <= 1 {
-				out, runStats, err = serial.ProjectBytes(doc)
-			} else {
-				out, runStats, err = projector.ProjectBytes(doc, split.Options{Workers: w})
-			}
+			var outBuf bytes.Buffer
+			var runStats smp.Stats
+			_, err = pf.Project(ctx, &outBuf, bytes.NewReader(doc), smp.WithWorkers(w), smp.WithStatsInto(&runStats))
+			out := outBuf.Bytes()
 			elapsed := int64(timer.Elapsed())
 			if err != nil {
 				return nil, fmt.Errorf("%s: %d workers: %w", q.ID, w, err)
@@ -300,7 +287,7 @@ func workerLadder(max int) []int {
 // projection, separating the paper's static phase from its runtime phase.
 // With the Plan layer the first run pays no lazy table construction, so the
 // First/Steady ratio should sit near 1.
-func runColdStart(cfg experiments.Config) (*stats.Table, error) {
+func runColdStart(ctx context.Context, cfg experiments.Config) (*stats.Table, error) {
 	queryIDs := cfg.Queries
 	if len(queryIDs) == 0 {
 		queryIDs = []string{"XM1", "XM13", "M4"}
@@ -317,19 +304,14 @@ func runColdStart(cfg experiments.Config) (*stats.Table, error) {
 		doc := gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + 1})
 
 		compileTimer := stats.StartTimer()
-		schema, err := dtd.Parse(dtdSource)
-		if err != nil {
-			return nil, err
-		}
-		table, err := compile.Compile(schema, paths.MustParseSet(q.Paths), compile.Options{})
+		pf, err := smp.Compile(dtdSource, q.Paths, smp.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", q.ID, err)
 		}
-		engine := core.New(table, core.Options{})
 		compileElapsed := compileTimer.Elapsed()
 
 		firstTimer := stats.StartTimer()
-		if _, _, err := engine.ProjectBytes(doc); err != nil {
+		if _, err := pf.Project(ctx, io.Discard, bytes.NewReader(doc)); err != nil {
 			return nil, fmt.Errorf("%s: %w", q.ID, err)
 		}
 		first := firstTimer.Elapsed()
@@ -338,7 +320,7 @@ func runColdStart(cfg experiments.Config) (*stats.Table, error) {
 		steady := first
 		for i := 0; i < 5; i++ {
 			runTimer := stats.StartTimer()
-			if _, _, err := engine.ProjectBytes(doc); err != nil {
+			if _, err := pf.Project(ctx, io.Discard, bytes.NewReader(doc)); err != nil {
 				return nil, fmt.Errorf("%s: %w", q.ID, err)
 			}
 			if elapsed := runTimer.Elapsed(); elapsed < steady {
@@ -346,7 +328,7 @@ func runColdStart(cfg experiments.Config) (*stats.Table, error) {
 			}
 		}
 
-		ps := engine.PlanStats()
+		ps := pf.PlanStats()
 		t.AddRow(
 			q.ID,
 			stats.FormatDuration(compileElapsed),

@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-experiment", "table2",
 		"-medline", "200KiB",
 		"-queries", "M1,M5",
@@ -30,7 +31,7 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunMarkdownAndCSV(t *testing.T) {
 	for _, format := range []string{"markdown", "csv"} {
 		var stdout, stderr bytes.Buffer
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-experiment", "table1",
 			"-xmark", "150KiB",
 			"-queries", "XM13",
@@ -51,7 +52,7 @@ func TestRunMarkdownAndCSV(t *testing.T) {
 
 func TestRunSweepAndBudgetFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-experiment", "fig7a",
 		"-sweep", "32KiB,256KiB",
 		"-budget", "512KiB",
@@ -66,7 +67,7 @@ func TestRunSweepAndBudgetFlags(t *testing.T) {
 
 func TestRunColdStart(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-coldstart",
 		"-xmark", "150KiB",
 		"-queries", "XM13",
@@ -84,7 +85,7 @@ func TestRunColdStart(t *testing.T) {
 
 func TestRunColdStartUnknownQuery(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-coldstart", "-queries", "NOPE"}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"-coldstart", "-queries", "NOPE"}, &stdout, &stderr); err == nil {
 		t.Error("expected error for unknown query")
 	}
 }
@@ -100,7 +101,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer
-		if err := run(args, &stdout, &stderr); err == nil {
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -108,7 +109,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunIntraDoc(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-intra", "4",
 		"-xmark", "400KiB",
 		"-queries", "XM13",

@@ -15,7 +15,10 @@
 // The document is the POST body; the projection is the response body. The
 // per-run counters are reported in X-SMP-* response trailers, service-level
 // counters (requests, cache hits, bytes in/out, per-entry plan footprints,
-// intra-document parallel runs) at /stats. Request bodies that declare a
+// intra-document parallel runs, cancelled projections) at /stats. Every
+// projection runs under the request's context: when a client disconnects
+// mid-stream the in-flight projection is aborted at its next chunk boundary
+// and counted in /stats as "cancelled". Request bodies that declare a
 // Content-Length of at least -intramin bytes are projected with
 // intra-document parallelism (-intra scan workers splitting the single
 // stream, see internal/split); smaller or chunked bodies use the serial
@@ -120,14 +123,15 @@ type server struct {
 	start time.Time
 
 	// intraWorkers and intraMin select intra-document parallel projection
-	// (ProjectParallel) for request bodies whose Content-Length is at
-	// least intraMin bytes; smaller or chunked bodies stay serial.
+	// (Project with WithWorkers) for request bodies whose Content-Length
+	// is at least intraMin bytes; smaller or chunked bodies stay serial.
 	intraWorkers int
 	intraMin     int64
 
 	requests      atomic.Int64
 	failures      atomic.Int64
 	intraRequests atomic.Int64
+	cancelled     atomic.Int64
 	bytesRead     atomic.Int64
 	bytesWritten  atomic.Int64
 }
@@ -164,21 +168,30 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	// sent as HTTP trailers (declared before the first body write).
 	w.Header().Set("Trailer", "X-SMP-Bytes-Read, X-SMP-Bytes-Written, X-SMP-Char-Comparisons, X-SMP-Tags-Matched")
 	// Count an intra-document run only if the body is also large enough for
-	// the split pipeline itself — below pf.MinParallelInput, ProjectParallel
+	// the split pipeline itself — below pf.MinParallelInput, WithWorkers
 	// silently falls back to the serial engine and /stats must not claim a
 	// parallel run.
-	workers := 1
+	var opts []smp.ProjectOption
 	if s.intraWorkers > 1 && r.ContentLength >= s.intraMin &&
 		r.ContentLength >= int64(pf.MinParallelInput(s.intraWorkers)) {
-		workers = s.intraWorkers
+		opts = append(opts, smp.WithWorkers(s.intraWorkers))
 		s.intraRequests.Add(1)
 	}
 	out := &countingWriter{w: w}
-	stats, err := pf.ProjectParallel(out, r.Body, workers)
+	// The request context makes the projection cancellable end to end: a
+	// client that disconnects mid-stream aborts the in-flight run at its
+	// next chunk boundary instead of burning a core on a dead connection.
+	stats, err := pf.Project(r.Context(), out, r.Body, opts...)
 	s.bytesRead.Add(stats.BytesRead)
 	s.bytesWritten.Add(stats.BytesWritten)
 	if err != nil {
 		s.failures.Add(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || r.Context().Err() != nil {
+			// Client went away (or the handler deadline fired): the abort is
+			// accounted separately so /stats distinguishes dead-connection
+			// cleanup from real projection failures.
+			s.cancelled.Add(1)
+		}
 		if out.n == 0 {
 			// Nothing streamed yet (e.g. a document that does not conform to
 			// the DTD failed up front): a clean error response is possible.
@@ -305,6 +318,7 @@ type statsResponse struct {
 	IntraWorkers   int              `json:"intra_workers"`
 	IntraMinBytes  int64            `json:"intra_min_bytes"`
 	IntraRequests  int64            `json:"intra_requests"`
+	Cancelled      int64            `json:"cancelled"`
 	BytesRead      int64            `json:"bytes_read"`
 	BytesWritten   int64            `json:"bytes_written"`
 	CacheSize      int              `json:"cache_size"`
@@ -324,6 +338,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IntraWorkers:   s.intraWorkers,
 		IntraMinBytes:  s.intraMin,
 		IntraRequests:  s.intraRequests.Load(),
+		Cancelled:      s.cancelled.Load(),
 		BytesRead:      s.bytesRead.Load(),
 		BytesWritten:   s.bytesWritten.Load(),
 		CacheSize:      size,

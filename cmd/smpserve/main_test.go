@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"smp"
 )
@@ -75,10 +78,11 @@ func TestProjectInlineDTD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := pf.ProjectBytes([]byte(auctionDoc))
-	if err != nil {
+	var wantBuf bytes.Buffer
+	if _, err := pf.Project(context.Background(), &wantBuf, strings.NewReader(auctionDoc)); err != nil {
 		t.Fatal(err)
 	}
+	want := wantBuf.Bytes()
 	if !bytes.Equal(body, want) {
 		t.Fatalf("projection = %q, want %q", body, want)
 	}
@@ -360,10 +364,11 @@ func TestIntraDocParallelThreshold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := pf.ProjectBytes(big.Bytes())
-	if err != nil {
+	var wantBuf bytes.Buffer
+	if _, err := pf.Project(context.Background(), &wantBuf, bytes.NewReader(big.Bytes())); err != nil {
 		t.Fatal(err)
 	}
+	want := wantBuf.Bytes()
 
 	params := "paths=" + url.QueryEscape("/*, //australia//description#")
 	// Small body: stays serial.
@@ -401,5 +406,76 @@ func TestIntraDocParallelThreshold(t *testing.T) {
 	}
 	if stats.IntraWorkers != 4 || stats.IntraMinBytes != 64<<10 {
 		t.Errorf("intra config in /stats = (%d, %d), want (4, %d)", stats.IntraWorkers, stats.IntraMinBytes, 64<<10)
+	}
+}
+
+// TestClientDisconnectCancelsProjection starts an endless streaming
+// projection, disconnects the client mid-stream, and checks that the
+// in-flight projection is aborted via the request context and counted in
+// /stats as a cancellation.
+func TestClientDisconnectCancelsProjection(t *testing.T) {
+	srv, ts := testServer(t, 4)
+	// africa descriptions are kept, so the response streams while the body
+	// is still being produced — the disconnect happens genuinely mid-stream.
+	params := "paths=" + url.QueryEscape("/*, //africa//description#")
+
+	pr, pw := io.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/project?"+params, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-SMP-DTD", url.PathEscape(auctionDTD))
+
+	go func() {
+		// An endless conforming document: the projection can only end via
+		// cancellation.
+		if _, err := io.WriteString(pw, `<site><regions><africa>`); err != nil {
+			return
+		}
+		for i := 0; ; i++ {
+			_, err := fmt.Fprintf(pw,
+				`<item><location>x</location><name>n%d</name><payment>p</payment><description>africa description %d with enough text to keep the projected stream flowing</description><shipping/><incategory category="c"/></item>`,
+				i, i)
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	// Wait until projected output is streaming, then disconnect.
+	if _, err := resp.Body.Read(make([]byte, 1)); err != nil {
+		t.Fatalf("reading the projected stream: %v", err)
+	}
+	cancel()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.cancelled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("projection was not cancelled after the client disconnected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	statsResp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cancelled < 1 {
+		t.Errorf("stats.cancelled = %d, want >= 1", stats.Cancelled)
 	}
 }

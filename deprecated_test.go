@@ -1,0 +1,54 @@
+package smp
+
+// Compatibility coverage for the deprecated v1 wrappers: they must keep
+// delegating to the v2 Project path byte-for-byte until they are removed.
+// The lint:ignore directives keep the staticcheck deprecation gate (SA1019)
+// clean — this file is the one place deprecated entry points may be called.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDeprecatedWrappersDelegate checks every v1 wrapper against the v2
+// canonical Project output.
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	pf, docs, want := concurrencyFixture(t)
+	for i, doc := range docs {
+		//lint:ignore SA1019 compatibility coverage for the v1 wrapper
+		viaBytes, stats, err := pf.ProjectBytes(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(viaBytes, want[i]) || stats.BytesWritten != int64(len(want[i])) {
+			t.Errorf("doc %d: ProjectBytes diverged from Project", i)
+		}
+
+		var viaRun bytes.Buffer
+		//lint:ignore SA1019 compatibility coverage for the v1 wrapper
+		if _, err := pf.Run(bytes.NewReader(doc), &viaRun); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(viaRun.Bytes(), want[i]) {
+			t.Errorf("doc %d: Run diverged from Project", i)
+		}
+
+		var viaParallel bytes.Buffer
+		//lint:ignore SA1019 compatibility coverage for the v1 wrapper
+		if _, err := pf.ProjectParallel(&viaParallel, bytes.NewReader(doc), 4); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(viaParallel.Bytes(), want[i]) {
+			t.Errorf("doc %d: ProjectParallel diverged from Project", i)
+		}
+
+		//lint:ignore SA1019 compatibility coverage for the v1 wrapper
+		viaBytesParallel, _, err := pf.ProjectBytesParallel(doc, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(viaBytesParallel, want[i]) {
+			t.Errorf("doc %d: ProjectBytesParallel diverged from Project", i)
+		}
+	}
+}

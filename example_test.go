@@ -2,6 +2,7 @@ package smp_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -36,11 +37,12 @@ func ExampleCompile() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, stats, err := pf.ProjectBytes([]byte(auctionDoc))
+	var out bytes.Buffer
+	stats, err := pf.Project(context.Background(), &out, strings.NewReader(auctionDoc))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(string(out))
+	fmt.Println(out.String())
 	fmt.Printf("%d -> %d bytes\n", stats.BytesRead, stats.BytesWritten)
 	// Output:
 	// <site><australia><description>Palm Zire 71</description></australia></site>
@@ -71,7 +73,7 @@ func ExamplePrefilter_Project() {
 		log.Fatal(err)
 	}
 	var projection bytes.Buffer
-	stats, err := pf.Project(&projection, strings.NewReader(auctionDoc))
+	stats, err := pf.Project(context.Background(), &projection, strings.NewReader(auctionDoc))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,11 +84,11 @@ func ExamplePrefilter_Project() {
 	// kept 17.4% of the input
 }
 
-// ExamplePrefilter_ProjectParallel projects one large document using
+// ExamplePrefilter_Project_workers projects one large document using
 // intra-document parallelism: the input is cut into segments at tag
 // boundaries, scanned by four workers sharing the compiled plan, and
-// stitched back in order — byte-identical to the serial Project.
-func ExamplePrefilter_ProjectParallel() {
+// stitched back in order — byte-identical to the serial run.
+func ExamplePrefilter_Project_workers() {
 	pf, err := smp.Compile(auctionDTD, "/*, //australia//description#", smp.Options{})
 	if err != nil {
 		log.Fatal(err)
@@ -99,17 +101,43 @@ func ExamplePrefilter_ProjectParallel() {
 	doc.WriteString("</australia></regions></site>")
 
 	var parallel bytes.Buffer
-	stats, err := pf.ProjectParallel(&parallel, bytes.NewReader(doc.Bytes()), 4)
+	stats, err := pf.Project(context.Background(), &parallel, bytes.NewReader(doc.Bytes()), smp.WithWorkers(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	serial, _, err := pf.ProjectBytes(doc.Bytes())
-	if err != nil {
+	var serial bytes.Buffer
+	if _, err := pf.Project(context.Background(), &serial, bytes.NewReader(doc.Bytes())); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("projected %d bytes down to %d\n", stats.BytesRead, stats.BytesWritten)
-	fmt.Println("identical to serial:", bytes.Equal(parallel.Bytes(), serial))
+	fmt.Println("identical to serial:", bytes.Equal(parallel.Bytes(), serial.Bytes()))
 	// Output:
 	// projected 695071 bytes down to 165036
 	// identical to serial: true
+}
+
+// ExampleBatch shards a corpus of documents across two workers sharing one
+// compiled plan; per-job errors are isolated in the results and cancelling
+// the context would abort the whole batch.
+func ExampleBatch() {
+	pf, err := smp.Compile(auctionDTD, "/*, //australia//description#", smp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := []smp.BatchJob{
+		smp.BatchFromBytes("a.xml", []byte(auctionDoc)),
+		smp.BatchFromBytes("b.xml", []byte(auctionDoc)),
+		smp.BatchFromBytes("c.xml", []byte(auctionDoc)),
+	}
+	batch := smp.Batch{Prefilter: pf, Workers: 2}
+	results, agg := batch.Run(context.Background(), jobs)
+	for _, res := range results {
+		fmt.Printf("%s: %d -> %d bytes (err=%v)\n", res.Name, res.Stats.BytesRead, res.Stats.BytesWritten, res.Err)
+	}
+	fmt.Printf("batch: %d documents, %d failed\n", agg.Documents, agg.Failed)
+	// Output:
+	// a.xml: 431 -> 75 bytes (err=<nil>)
+	// b.xml: 431 -> 75 bytes (err=<nil>)
+	// c.xml: 431 -> 75 bytes (err=<nil>)
+	// batch: 3 documents, 0 failed
 }

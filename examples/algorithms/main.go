@@ -8,6 +8,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -50,10 +52,12 @@ func main() {
 			log.Fatalf("%s: %v", c.name, err)
 		}
 		start := time.Now()
-		out, stats, err := pf.ProjectBytes(doc)
+		var outBuf bytes.Buffer
+		stats, err := pf.Project(context.Background(), &outBuf, bytes.NewReader(doc))
 		if err != nil {
 			log.Fatalf("%s: %v", c.name, err)
 		}
+		out := outBuf.Bytes()
 		elapsed := time.Since(start)
 		mbps := float64(len(doc)) / (1 << 20) / elapsed.Seconds()
 		fmt.Printf("%-42s %11.1f%% %12.1f %12.1f\n",

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -44,12 +46,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", q.ID, err)
 		}
-		out, stats, err := pf.ProjectBytes(doc)
+		var out bytes.Buffer
+		stats, err := pf.Project(context.Background(), &out, bytes.NewReader(doc))
 		if err != nil {
 			log.Fatalf("%s: %v", q.ID, err)
 		}
 		fmt.Printf("%-6s %11dB %9.1f%% %11.1f%% %12.1f  %s\n",
-			q.ID, len(out), 100*stats.OutputRatio(), stats.CharCompPercent(),
+			q.ID, out.Len(), 100*stats.OutputRatio(), stats.CharCompPercent(),
 			stats.AvgShift(), q.Description)
 	}
 

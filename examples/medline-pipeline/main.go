@@ -8,6 +8,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,7 +50,7 @@ func main() {
 	projReader, projWriter := io.Pipe()
 	statsCh := make(chan smp.Stats, 1)
 	go func() {
-		stats, err := pf.Project(projWriter, docReader)
+		stats, err := pf.Project(context.Background(), projWriter, docReader)
 		projWriter.CloseWithError(err)
 		statsCh <- stats
 	}()

@@ -7,8 +7,11 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"smp"
 )
@@ -39,12 +42,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, stats, err := pf.ProjectBytes([]byte(document))
+	var out bytes.Buffer
+	stats, err := pf.Project(context.Background(), &out, strings.NewReader(document))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("== projection for paths /*, //australia//description# ==")
-	fmt.Println(string(out))
+	fmt.Println(out.String())
 	fmt.Printf("\ninput %d bytes -> output %d bytes (%.1f%% kept)\n",
 		stats.BytesRead, stats.BytesWritten, 100*stats.OutputRatio())
 	fmt.Printf("characters inspected: %.1f%% of the input (paper Example 1 reports ~22%%)\n",
@@ -61,11 +65,11 @@ func main() {
 	for _, p := range queryPF.Paths() {
 		fmt.Println("  ", p)
 	}
-	out2, _, err := queryPF.ProjectBytes([]byte(document))
-	if err != nil {
+	var out2 bytes.Buffer
+	if _, err := queryPF.Project(context.Background(), &out2, strings.NewReader(document)); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nsame projection: %v\n", string(out2) == string(out))
+	fmt.Printf("\nsame projection: %v\n", out2.String() == out.String())
 
 	// The compiled lookup tables A, V, J, T (paper Fig. 3) can be inspected.
 	fmt.Println("\n== compiled lookup tables ==")

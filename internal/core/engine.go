@@ -19,6 +19,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -117,11 +118,34 @@ func (p *Prefilter) Plan() *Plan { return p.plan }
 // PlanStats returns the size and footprint of the shared plan.
 func (p *Prefilter) PlanStats() PlanStats { return p.plan.stats }
 
+// RunOptions are the per-run overrides of a single projection; the zero
+// value keeps the plan's configuration.
+type RunOptions struct {
+	// ChunkSize overrides the plan's streaming window chunk size for this
+	// run only; 0 keeps the plan's value. Pooled engines serve any chunk
+	// size — the buffer grows as needed and is reused across runs.
+	ChunkSize int
+}
+
 // Project prefilters the document read from src, writing the projection to
-// dst. It may be called concurrently from multiple goroutines.
-func (p *Prefilter) Project(dst io.Writer, src io.Reader) (Stats, error) {
+// dst. It may be called concurrently from multiple goroutines. The context
+// is checked at every chunk boundary: a cancelled ctx stops the run before
+// its next read and Project returns ctx.Err().
+func (p *Prefilter) Project(ctx context.Context, dst io.Writer, src io.Reader) (Stats, error) {
+	return p.ProjectWith(ctx, dst, src, RunOptions{})
+}
+
+// ProjectWith is Project with per-run overrides.
+func (p *Prefilter) ProjectWith(ctx context.Context, dst io.Writer, src io.Reader, opts RunOptions) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = p.plan.opts.ChunkSize
+	}
 	e := p.pool.Get().(*engine)
-	e.reset(src, dst)
+	e.reset(ctx, src, dst, chunk)
 	err := e.run()
 	e.finishStats()
 	stats := e.stats
@@ -130,18 +154,11 @@ func (p *Prefilter) Project(dst io.Writer, src io.Reader) (Stats, error) {
 	return stats, err
 }
 
-// Run prefilters the document read from r, writing the projection to w.
-// It is Project with the reader-first argument order kept for existing
-// callers (notably the corpus runner's Engine interface).
-func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
-	return p.Project(w, r)
-}
-
 // ProjectBytes prefilters an in-memory document and returns the projection.
-func (p *Prefilter) ProjectBytes(doc []byte) ([]byte, Stats, error) {
+func (p *Prefilter) ProjectBytes(ctx context.Context, doc []byte) ([]byte, Stats, error) {
 	var out bytes.Buffer
 	out.Grow(len(doc) / 8)
-	stats, err := p.Project(&out, bytes.NewReader(doc))
+	stats, err := p.Project(ctx, &out, bytes.NewReader(doc))
 	return out.Bytes(), stats, err
 }
 
@@ -164,11 +181,12 @@ type engine struct {
 	writeErr error
 }
 
-// reset prepares a pooled engine for a fresh run: it rebinds the input and
-// output and zeroes the run counters. The window chunk buffer is the only
-// state carried over — reusing it is what makes steady-state runs cheap.
-func (e *engine) reset(r io.Reader, w io.Writer) {
-	e.win.reset(r)
+// reset prepares a pooled engine for a fresh run: it rebinds the input,
+// output and run context and zeroes the run counters. The window chunk
+// buffer is the only state carried over — reusing it is what makes
+// steady-state runs cheap.
+func (e *engine) reset(ctx context.Context, r io.Reader, w io.Writer, chunk int) {
+	e.win.reset(ctx, r, chunk)
 	e.out = w
 	e.copyActive = false
 	e.copyStart = 0
@@ -178,9 +196,11 @@ func (e *engine) reset(r io.Reader, w io.Writer) {
 }
 
 // release drops the references a pooled engine holds into caller-owned
-// values, so the pool does not pin a caller's reader or writer alive.
+// values, so the pool does not pin a caller's reader, writer or context
+// alive.
 func (e *engine) release() {
 	e.win.r = nil
+	e.win.ctx = context.Background()
 	e.out = nil
 }
 

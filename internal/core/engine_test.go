@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -50,7 +51,7 @@ func newPrefilter(t *testing.T, dtdSrc, pathSpec string, opts Options) *Prefilte
 
 func runPrefilter(t *testing.T, p *Prefilter, doc string) (string, Stats) {
 	t.Helper()
-	out, stats, err := p.ProjectBytes([]byte(doc))
+	out, stats, err := p.ProjectBytes(context.Background(), []byte(doc))
 	if err != nil {
 		t.Fatalf("ProjectBytes: %v", err)
 	}
@@ -274,14 +275,14 @@ func TestRunBachelorTagActions(t *testing.T) {
 func TestRunInvalidDocumentReportsError(t *testing.T) {
 	p := newPrefilter(t, example2DTD, "/*, /a/b#", Options{})
 	// Truncated document: <a> opened, never closed, no relevant content.
-	if _, _, err := p.ProjectBytes([]byte(`<a><b>x`)); err == nil {
+	if _, _, err := p.ProjectBytes(context.Background(), []byte(`<a><b>x`)); err == nil {
 		t.Error("expected error for truncated document")
 	}
 	// A document violating the DTD in a way the automaton notices: a d-tag
 	// cannot follow in any state, so scanning simply never finds it; but a
 	// stray closing tag for an unexpected element leads to a missing
 	// transition only if matched. A truncated file inside a copied region:
-	if _, _, err := p.ProjectBytes([]byte(`<a><b>unterminated`)); err == nil {
+	if _, _, err := p.ProjectBytes(context.Background(), []byte(`<a><b>unterminated`)); err == nil {
 		t.Error("expected error for unterminated copy region")
 	}
 }
@@ -315,7 +316,7 @@ func TestRunStatsConsistency(t *testing.T) {
 func TestRunWriterErrorPropagates(t *testing.T) {
 	p := newPrefilter(t, example2DTD, "/*, /a/b#", Options{})
 	w := &failingWriter{failAfter: 1}
-	_, err := p.Run(strings.NewReader(`<a><b>x</b></a>`), w)
+	_, err := p.Project(context.Background(), w, strings.NewReader(`<a><b>x</b></a>`))
 	if err == nil {
 		t.Error("expected write error to propagate")
 	}
@@ -373,7 +374,7 @@ func TestRunOutputIsWellFormed(t *testing.T) {
 func TestRunIntoBuffer(t *testing.T) {
 	p := newPrefilter(t, example2DTD, "/*, //c#", Options{})
 	var buf bytes.Buffer
-	stats, err := p.Run(strings.NewReader(`<a><b>x</b><c><b>y</b></c></a>`), &buf)
+	stats, err := p.Project(context.Background(), &buf, strings.NewReader(`<a><b>x</b><c><b>y</b></c></a>`))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"smp/internal/compile"
@@ -38,7 +39,7 @@ func runWorkloadAgainstOracle(t *testing.T, schema *dtd.DTD, doc []byte, queries
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			smpOut, stats, err := New(table, Options{}).ProjectBytes(doc)
+			smpOut, stats, err := New(table, Options{}).ProjectBytes(context.Background(), doc)
 			if err != nil {
 				t.Fatalf("run: %v", err)
 			}
@@ -82,11 +83,11 @@ func TestXMarkWorkloadSmallChunks(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: compile: %v", id, err)
 		}
-		wide, _, err := New(table, Options{}).ProjectBytes(doc)
+		wide, _, err := New(table, Options{}).ProjectBytes(context.Background(), doc)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
-		narrow, _, err := New(table, Options{ChunkSize: 128}).ProjectBytes(doc)
+		narrow, _, err := New(table, Options{ChunkSize: 128}).ProjectBytes(context.Background(), doc)
 		if err != nil {
 			t.Fatalf("%s (chunk 128): %v", id, err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 
@@ -26,12 +27,12 @@ func TestNewFromPlanSharesTables(t *testing.T) {
 		t.Fatal("NewFromPlan did not share the plan")
 	}
 
-	want, _, err := New(table, Options{}).ProjectBytes([]byte(paperFig2Document))
+	want, _, err := New(table, Options{}).ProjectBytes(context.Background(), []byte(paperFig2Document))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range []*Prefilter{p1, p2} {
-		got, _, err := p.ProjectBytes([]byte(paperFig2Document))
+		got, _, err := p.ProjectBytes(context.Background(), []byte(paperFig2Document))
 		if err != nil {
 			t.Fatalf("prefilter %d: %v", i, err)
 		}
@@ -82,12 +83,12 @@ func TestSteadyStateAllocationsBufferOnly(t *testing.T) {
 	steady := func(p *Prefilter) float64 {
 		// Warm the pool (grows the window buffer once).
 		for i := 0; i < 3; i++ {
-			if _, err := p.Project(io.Discard, bytes.NewReader(doc)); err != nil {
+			if _, err := p.Project(context.Background(), io.Discard, bytes.NewReader(doc)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		return testing.AllocsPerRun(20, func() {
-			if _, err := p.Project(io.Discard, bytes.NewReader(doc)); err != nil {
+			if _, err := p.Project(context.Background(), io.Discard, bytes.NewReader(doc)); err != nil {
 				t.Fatal(err)
 			}
 		})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -118,7 +119,7 @@ func checkAgainstOracle(t *testing.T, schema *dtd.DTD, doc []byte, spec string) 
 	if err != nil {
 		t.Fatalf("compile %q: %v", spec, err)
 	}
-	smpOut, _, err := New(table, Options{ChunkSize: 256}).ProjectBytes(doc)
+	smpOut, _, err := New(table, Options{ChunkSize: 256}).ProjectBytes(context.Background(), doc)
 	if err != nil {
 		t.Fatalf("run %q: %v\ndoc: %s", spec, err, clipString(string(doc), 400))
 	}
@@ -165,7 +166,7 @@ func TestReaderFailurePropagates(t *testing.T) {
 
 	readErr := errors.New("disk on fire")
 	var out strings.Builder
-	_, err = pf.Run(&failingReader{data: doc, failAt: len(doc) / 2, err: readErr}, &stringWriter{&out})
+	_, err = pf.Project(context.Background(), &stringWriter{&out}, &failingReader{data: doc, failAt: len(doc) / 2, err: readErr})
 	if err == nil {
 		t.Fatal("expected an error from the failing reader")
 	}
@@ -177,7 +178,7 @@ func TestReaderFailurePropagates(t *testing.T) {
 
 	// A failure after the last query-relevant tag must still be reported,
 	// never silently pass as a successful (truncated) projection.
-	_, err = pf.Run(&failingReader{data: doc, failAt: len(doc) - 2, err: readErr}, &stringWriter{&out})
+	_, err = pf.Project(context.Background(), &stringWriter{&out}, &failingReader{data: doc, failAt: len(doc) - 2, err: readErr})
 	if !errors.Is(err, readErr) {
 		t.Errorf("late read failure: error = %v, want the reader's %v", err, readErr)
 	}
@@ -192,7 +193,7 @@ func TestTruncatedInputReportsState(t *testing.T) {
 		t.Fatal(err)
 	}
 	pf := New(table, Options{})
-	_, _, err = pf.ProjectBytes([]byte(`<a><b>never closed`))
+	_, _, err = pf.ProjectBytes(context.Background(), []byte(`<a><b>never closed`))
 	if err == nil {
 		t.Fatal("expected an error for the truncated document")
 	}

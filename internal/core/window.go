@@ -1,6 +1,9 @@
 package core
 
-import "io"
+import (
+	"context"
+	"io"
+)
 
 // window is the streaming read buffer of the runtime algorithm. The paper's
 // prototype reads the document in fixed-size chunks into a pre-allocated
@@ -14,33 +17,49 @@ import "io"
 // proportional to the chunk size rather than to the document or output size.
 type window struct {
 	r     io.Reader
+	ctx   context.Context
 	buf   []byte
 	base  int64 // absolute offset of buf[0]
 	n     int   // valid bytes in buf
 	eof   bool
 	chunk int
 	// readErr is the first non-EOF read error; the engine surfaces it
-	// instead of treating the truncation as an ordinary end of input.
+	// instead of treating the truncation as an ordinary end of input. A
+	// cancelled context surfaces the same way: the run's context error is
+	// recorded here at the chunk boundary that observed it.
 	readErr error
 
 	bytesRead int64
 	maxBuffer int
 }
 
-// newWindow returns a window reading from r in chunks of the given size.
-func newWindow(r io.Reader, chunk int) *window {
+// clampChunk enforces the minimum read granularity in one place.
+func clampChunk(chunk int) int {
 	if chunk < 64 {
-		chunk = 64
+		return 64
 	}
-	return &window{r: r, chunk: chunk, buf: make([]byte, 0, 2*chunk)}
+	return chunk
 }
 
-// reset rebinds the window to a new reader for another document, keeping the
-// already-grown chunk buffer so pooled engines run allocation-free in the
-// steady state. maxBuffer restarts at zero: it reports what this run needs,
-// not the capacity a previous run on the same pooled engine grew to.
-func (w *window) reset(r io.Reader) {
+// newWindow returns a window reading from r in chunks of the given size,
+// with the chunk buffer pre-allocated so a pooled engine's first run does
+// not grow it.
+func newWindow(r io.Reader, chunk int) *window {
+	chunk = clampChunk(chunk)
+	return &window{r: r, ctx: context.Background(), chunk: chunk, buf: make([]byte, 0, 2*chunk)}
+}
+
+// reset rebinds the window to a new reader (and run context) for another
+// document, keeping the already-grown chunk buffer so pooled engines run
+// allocation-free in the steady state. chunk is the read granularity of this
+// run — a pooled window may serve runs with different chunk sizes. maxBuffer
+// restarts at zero: it reports what this run needs, not the capacity a
+// previous run on the same pooled engine grew to.
+func (w *window) reset(ctx context.Context, r io.Reader, chunk int) {
+	chunk = clampChunk(chunk)
 	w.r = r
+	w.ctx = ctx
+	w.chunk = chunk
 	w.base = 0
 	w.n = 0
 	w.eof = false
@@ -84,9 +103,18 @@ func (w *window) compact(keep int64) {
 }
 
 // more reads one more chunk from the underlying reader. It reports whether
-// any new data became available.
+// any new data became available. The run's context is checked here, at the
+// chunk boundary, so a cancelled projection stops before its next read and
+// surfaces ctx.Err() through readErr.
 func (w *window) more() bool {
 	if w.eof {
+		return false
+	}
+	if err := w.ctx.Err(); err != nil {
+		w.eof = true
+		if w.readErr == nil {
+			w.readErr = err
+		}
 		return false
 	}
 	if w.n+w.chunk > cap(w.buf) {

@@ -15,10 +15,12 @@ import (
 	"smp/internal/stats"
 )
 
-// Engine is the per-document prefiltering interface the runner drives. Both
-// *core.Prefilter and the public smp.Prefilter (via an adapter) satisfy it.
+// Engine is the per-document prefiltering interface the runner drives;
+// *core.Prefilter satisfies it directly. The batch context is passed into
+// every run, so cancelling the batch aborts in-flight projections at their
+// next chunk boundary rather than only skipping unstarted jobs.
 type Engine interface {
-	Run(r io.Reader, w io.Writer) (core.Stats, error)
+	Project(ctx context.Context, dst io.Writer, src io.Reader) (core.Stats, error)
 }
 
 // Job is one document of a batch: a name for reporting, a source, and an
@@ -32,6 +34,10 @@ type Job struct {
 	// Dst opens the destination for the projection. A nil Dst discards the
 	// output (useful for measurement runs where only the stats matter).
 	Dst func() (io.WriteCloser, error)
+	// Cleanup, if non-nil, is called after a failed run (any error in the
+	// job's Result, including a cancelled context) so file-backed
+	// destinations can remove their partial output. FromFile sets it.
+	Cleanup func()
 }
 
 // FromBytes builds a Job over an in-memory document that discards its
@@ -46,7 +52,10 @@ func FromBytes(name string, doc []byte) Job {
 }
 
 // FromFile builds a Job that reads the document from inPath and, if outPath
-// is non-empty, writes the projection to outPath.
+// is non-empty, writes the projection to outPath. A job that fails — or is
+// cancelled — mid-stream removes the partially written outPath, matching
+// the ProjectFile contract: a failed run never leaves a truncated output
+// file behind.
 func FromFile(inPath, outPath string) Job {
 	j := Job{
 		Name: inPath,
@@ -54,6 +63,7 @@ func FromFile(inPath, outPath string) Job {
 	}
 	if outPath != "" {
 		j.Dst = func() (io.WriteCloser, error) { return os.Create(outPath) }
+		j.Cleanup = func() { os.Remove(outPath) }
 	}
 	return j
 }
@@ -124,7 +134,8 @@ type Runner struct {
 // results (in job order) plus the batch aggregate. Jobs that fail do not
 // stop the batch; their error is recorded in their Result. If ctx is
 // cancelled, not-yet-started jobs are marked with ctx.Err() and workers
-// drain without running them.
+// drain without running them; in-flight jobs abort at their engine's next
+// chunk boundary and record ctx.Err() in their Result as well.
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, Aggregate) {
 	if r.Engine == nil && r.NewEngine == nil {
 		// Fail per the API contract (errors live in Results) instead of
@@ -212,11 +223,14 @@ func runJob(ctx context.Context, worker int, engine Engine, job Job) Result {
 		dstCloser = wc
 	}
 
-	res.Stats, res.Err = engine.Run(src, dst)
+	res.Stats, res.Err = engine.Project(ctx, dst, src)
 	if dstCloser != nil {
 		if cerr := dstCloser.Close(); res.Err == nil {
 			res.Err = cerr
 		}
+	}
+	if res.Err != nil && job.Cleanup != nil {
+		job.Cleanup()
 	}
 	return res
 }

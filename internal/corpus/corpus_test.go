@@ -72,7 +72,7 @@ func TestRunnerMatchesSerial(t *testing.T) {
 
 	want := make([][]byte, len(docs))
 	for i, doc := range docs {
-		out, _, err := engine.ProjectBytes(doc)
+		out, _, err := engine.ProjectBytes(context.Background(), doc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +202,7 @@ func TestFromFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := engine.ProjectBytes(doc)
+	want, _, err := engine.ProjectBytes(context.Background(), doc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,6 +220,61 @@ func TestReport(t *testing.T) {
 	for _, want := range []string{"corpus", "Document", "a", "ok", "1 document(s), 0 failed"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// cancellingSource produces an endless keyword-free stream and cancels the
+// batch context after cancelAt bytes; only context cancellation can end the
+// run, so the test proves in-flight jobs abort at a chunk boundary.
+type cancellingSource struct {
+	produced int
+	cancelAt int
+	cancel   context.CancelFunc
+	mu       *sync.Mutex
+}
+
+func (r *cancellingSource) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'x'
+	}
+	r.produced += len(p)
+	if r.produced >= r.cancelAt {
+		r.mu.Lock()
+		if r.cancel != nil {
+			r.cancel()
+			r.cancel = nil
+		}
+		r.mu.Unlock()
+	}
+	return len(p), nil
+}
+
+func (r *cancellingSource) Close() error { return nil }
+
+// TestRunnerCancelsInFlightJobs checks that cancelling the batch context
+// aborts jobs that are already running, not only unstarted ones.
+func TestRunnerCancelsInFlightJobs(t *testing.T) {
+	engine := testEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	jobs := make([]Job, 3)
+	for i := range jobs {
+		src := &cancellingSource{cancelAt: 256 << 10, cancel: cancel, mu: &mu}
+		jobs[i] = Job{
+			Name: "endless" + strconv.Itoa(i),
+			Src:  func() (io.ReadCloser, error) { return src, nil },
+		}
+	}
+	results, agg := (&Runner{Engine: engine, Workers: 3}).Run(ctx, jobs)
+	if agg.Failed != len(jobs) {
+		t.Fatalf("agg.Failed = %d, want %d", agg.Failed, len(jobs))
+	}
+	for i, res := range results {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("results[%d].Err = %v, want context.Canceled", i, res.Err)
 		}
 	}
 }

@@ -12,7 +12,9 @@
 //	results, agg := runner.Run(context.Background(), jobs)
 //
 // which uses one shared engine (the core engine is goroutine-safe and pools
-// its per-run buffers internally) and GOMAXPROCS workers. Either way all
+// its per-run buffers internally) and GOMAXPROCS workers. The context given
+// to Run reaches every engine run: cancelling it skips unstarted jobs and
+// aborts in-flight projections at their next chunk boundary. Either way all
 // workers execute one immutable compiled Plan — matcher tables, interned tag
 // strings and vocabulary orders exist once per compilation, not once per
 // worker. Setting NewEngine gives every worker a private engine instance

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -118,7 +119,7 @@ func runOne(w workload, q xmlgen.Query, copts compile.Options, ropts core.Option
 
 	pf := core.New(table, ropts)
 	runTimer := stats.StartTimer()
-	_, st, err := pf.ProjectBytes(w.doc)
+	_, st, err := pf.ProjectBytes(context.Background(), w.doc)
 	if err != nil {
 		return runResult{}, fmt.Errorf("%s: %w", q.ID, err)
 	}
@@ -253,7 +254,7 @@ func Fig7a(cfg Config) (*stats.Table, error) {
 		}
 
 		smpTimer := stats.StartTimer()
-		projected, _, err := pf.ProjectBytes(doc)
+		projected, _, err := pf.ProjectBytes(context.Background(), doc)
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +312,7 @@ func Fig7b(cfg Config) (*stats.Table, error) {
 		aloneElapsed := aloneTimer.Elapsed()
 
 		smpTimer := stats.StartTimer()
-		if _, _, err := pf.ProjectBytes(w.doc); err != nil {
+		if _, _, err := pf.ProjectBytes(context.Background(), w.doc); err != nil {
 			return nil, fmt.Errorf("%s: %w", q.ID, err)
 		}
 		smpElapsed := smpTimer.Elapsed()
@@ -322,7 +323,7 @@ func Fig7b(cfg Config) (*stats.Table, error) {
 		pr, pw := io.Pipe()
 		prefErr := make(chan error, 1)
 		go func() {
-			_, err := pf.Run(bytesReader(w.doc), pw)
+			_, err := pf.Project(context.Background(), pw, bytesReader(w.doc))
 			pw.CloseWithError(err)
 			prefErr <- err
 		}()

@@ -2,6 +2,7 @@ package split
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -56,8 +57,8 @@ func FuzzProjectParallel(f *testing.F) {
 		workers := 2 + int(workersRaw%7) // 2..8
 		segSize := 16 + int(segRaw%1024) // 16..1039
 		for i, plan := range fuzzPlans() {
-			serialOut, _, serialErr := core.NewFromPlan(plan).ProjectBytes(doc)
-			parOut, _, parErr := fuzzProjectors()[i].ProjectBytes(doc, Options{Workers: workers, SegmentSize: segSize})
+			serialOut, _, serialErr := core.NewFromPlan(plan).ProjectBytes(context.Background(), doc)
+			parOut, _, parErr := fuzzProjectors()[i].ProjectBytes(context.Background(), doc, Options{Workers: workers, SegmentSize: segSize})
 			if (serialErr == nil) != (parErr == nil) {
 				t.Fatalf("plan %d workers %d seg %d: serial err = %v, parallel err = %v",
 					i, workers, segSize, serialErr, parErr)

@@ -2,6 +2,7 @@ package split
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"sync"
 
@@ -14,9 +15,13 @@ type Options struct {
 	// the serial engine.
 	Workers int
 	// SegmentSize is the nominal segment length in bytes before the
-	// boundary back-off; 0 selects Workers times the plan's chunk size
-	// (so one round of segments covers roughly one window per worker).
+	// boundary back-off; 0 selects Workers times the chunk size (so one
+	// round of segments covers roughly one window per worker).
 	SegmentSize int
+	// ChunkSize overrides the plan's streaming chunk size for this run: it
+	// sets the serial fallback's window granularity and the default
+	// segment sizing. 0 keeps the plan's value.
+	ChunkSize int
 }
 
 // Projector runs intra-document parallel projections for one shared
@@ -76,12 +81,18 @@ func (s *segment) end() int64 { return s.base + int64(s.owned) }
 // stops at the final automaton state).
 //
 // Inputs smaller than one segment plus its lookahead, and runs with
-// opts.Workers <= 1, fall back to the serial shared-plan engine.
+// opts.Workers <= 1, fall back to the serial shared-plan engine. The
+// context is honoured in every pipeline stage: the reader stops cutting
+// segments, the workers stop scanning, and the stitcher returns ctx.Err()
+// as soon as it observes the cancellation.
 // sizing resolves the segment size and lookahead of one run. The lookahead
 // must cover a keyword starting on the last owned byte plus its terminator;
 // one chunk keeps straddling tag-end scans rare.
 func (p *Projector) sizing(opts Options) (segSize, overlap int) {
-	chunk := p.plan.Options().ChunkSize
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = p.plan.Options().ChunkSize
+	}
 	segSize = opts.SegmentSize
 	if segSize <= 0 {
 		segSize = opts.Workers * chunk
@@ -104,8 +115,11 @@ type scanGroup struct {
 }
 
 // spawnScanners starts workers goroutines that scan segments from jobs
-// (closing each segment's done) until the channel closes.
-func (p *Projector) spawnScanners(workers int, jobs <-chan *segment) *scanGroup {
+// (closing each segment's done) until the channel closes. A cancelled ctx
+// turns the remaining scans into no-ops — each segment's done is still
+// closed, so the stitcher (which observes the same ctx) never blocks on a
+// skipped segment.
+func (p *Projector) spawnScanners(ctx context.Context, workers int, jobs <-chan *segment) *scanGroup {
 	g := &scanGroup{}
 	for w := 0; w < workers; w++ {
 		g.wg.Add(1)
@@ -113,7 +127,9 @@ func (p *Projector) spawnScanners(workers int, jobs <-chan *segment) *scanGroup 
 			defer g.wg.Done()
 			sc := p.scan.NewScanner()
 			for seg := range jobs {
-				seg.cands = sc.Scan(seg.cands, seg.data, seg.base, seg.owned, seg.final)
+				if ctx.Err() == nil {
+					seg.cands = sc.Scan(seg.cands, seg.data, seg.base, seg.owned, seg.final)
+				}
 				close(seg.done)
 			}
 			g.mu.Lock()
@@ -142,10 +158,14 @@ func (g *scanGroup) finish(p *Projector, stats *core.Stats) {
 	stats.MatchersBuilt = p.plan.MatcherCount()
 }
 
-func (p *Projector) Project(dst io.Writer, src io.Reader, opts Options) (core.Stats, error) {
+func (p *Projector) Project(ctx context.Context, dst io.Writer, src io.Reader, opts Options) (core.Stats, error) {
 	workers := opts.Workers
+	serialRun := core.RunOptions{ChunkSize: opts.ChunkSize}
 	if workers <= 1 {
-		return p.serial.Project(dst, src)
+		return p.serial.ProjectWith(ctx, dst, src, serialRun)
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Stats{}, err
 	}
 	segSize, overlap := p.sizing(opts)
 
@@ -156,13 +176,14 @@ func (p *Projector) Project(dst io.Writer, src io.Reader, opts Options) (core.St
 	first := make([]byte, segSize+overlap)
 	n, err := io.ReadFull(src, first)
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		return p.serial.Project(dst, bytes.NewReader(first[:n]))
+		return p.serial.ProjectWith(ctx, dst, bytes.NewReader(first[:n]), serialRun)
 	}
 	if err != nil {
-		return p.serial.Project(dst, io.MultiReader(bytes.NewReader(first[:n]), errorReader{err}))
+		return p.serial.ProjectWith(ctx, dst, io.MultiReader(bytes.NewReader(first[:n]), errorReader{err}), serialRun)
 	}
 
 	r := &run{
+		ctx:     ctx,
 		segSize: segSize,
 		overlap: overlap,
 		jobs:    make(chan *segment, workers),
@@ -181,9 +202,9 @@ func (p *Projector) Project(dst io.Writer, src io.Reader, opts Options) (core.St
 		r.read(src, first)
 	}()
 
-	g := p.spawnScanners(workers, r.jobs)
+	g := p.spawnScanners(ctx, workers, r.jobs)
 
-	st := newStitcher(p, dst, r.ordered)
+	st := newStitcher(ctx, p, dst, r.ordered)
 	stats, runErr := st.run()
 
 	// Unwind: stop the reader (it may be blocked on a full channel or a
@@ -201,10 +222,10 @@ func (p *Projector) Project(dst io.Writer, src io.Reader, opts Options) (core.St
 
 // ProjectBytes is Project over an in-memory document. Segmentation slices
 // the document directly — no segment buffers are allocated or copied.
-func (p *Projector) ProjectBytes(doc []byte, opts Options) ([]byte, core.Stats, error) {
+func (p *Projector) ProjectBytes(ctx context.Context, doc []byte, opts Options) ([]byte, core.Stats, error) {
 	var out bytes.Buffer
 	out.Grow(len(doc) / 8)
-	stats, err := p.ProjectBuffered(&out, doc, opts)
+	stats, err := p.ProjectBuffered(ctx, &out, doc, opts)
 	return out.Bytes(), stats, err
 }
 
@@ -212,11 +233,14 @@ func (p *Projector) ProjectBytes(doc []byte, opts Options) ([]byte, core.Stats, 
 // segments alias doc, so the pipeline's only allocations are the candidate
 // lists. The reorder buffer degenerates to a prefilled queue — the memory
 // is the caller's document either way.
-func (p *Projector) ProjectBuffered(dst io.Writer, doc []byte, opts Options) (core.Stats, error) {
+func (p *Projector) ProjectBuffered(ctx context.Context, dst io.Writer, doc []byte, opts Options) (core.Stats, error) {
 	workers := opts.Workers
 	segSize, overlap := p.sizing(opts)
 	if workers <= 1 || len(doc) < segSize+overlap {
-		return p.serial.Project(dst, bytes.NewReader(doc))
+		return p.serial.ProjectWith(ctx, dst, bytes.NewReader(doc), core.RunOptions{ChunkSize: opts.ChunkSize})
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Stats{}, err
 	}
 
 	var segs []*segment
@@ -247,9 +271,9 @@ func (p *Projector) ProjectBuffered(dst io.Writer, doc []byte, opts Options) (co
 	close(jobs)
 	close(ordered)
 
-	g := p.spawnScanners(workers, jobs)
+	g := p.spawnScanners(ctx, workers, jobs)
 
-	st := newStitcher(p, dst, ordered)
+	st := newStitcher(ctx, p, dst, ordered)
 	stats, runErr := st.run()
 	g.finish(p, &stats)
 
@@ -260,6 +284,7 @@ func (p *Projector) ProjectBuffered(dst io.Writer, doc []byte, opts Options) (co
 // run is the per-Project pipeline state shared by the reader, the workers
 // and the stitcher.
 type run struct {
+	ctx     context.Context
 	segSize int
 	overlap int
 	jobs    chan *segment // reader -> workers
@@ -280,6 +305,20 @@ func (r *run) read(src io.Reader, carry []byte) {
 	var base int64
 	eof := false
 	for {
+		// The context check sits at the segment boundary — the parallel
+		// pipeline's analogue of the serial window's chunk boundary. The
+		// carry bytes are dropped: after a cancel the workers skip their
+		// scans and the stitcher returns ctx.Err() at its next check, so
+		// only the terminal sentinel carrying the error matters.
+		if err := r.ctx.Err(); err != nil {
+			sentinel := &segment{err: err, done: make(chan struct{})}
+			close(sentinel.done)
+			select {
+			case r.ordered <- sentinel:
+			case <-r.quit:
+			}
+			return
+		}
 		if want := r.segSize + r.overlap; !eof && len(carry) < want {
 			if cap(carry) < want {
 				grown := make([]byte, len(carry), want)

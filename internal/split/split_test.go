@@ -2,11 +2,14 @@ package split
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"smp/internal/compile"
 	"smp/internal/core"
@@ -111,14 +114,14 @@ func TestProjectParallelEquivalence(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, chunk := range chunks {
 				plan := makePlan(t, tc.dtdSrc, tc.pathSpec, core.Options{ChunkSize: chunk})
-				want, wantStats, err := core.NewFromPlan(plan).ProjectBytes(tc.doc)
+				want, wantStats, err := core.NewFromPlan(plan).ProjectBytes(context.Background(), tc.doc)
 				if err != nil {
 					t.Fatalf("chunk %d: serial: %v", chunk, err)
 				}
 				proj := New(plan)
 				for _, workers := range workerCounts {
 					for _, seg := range segSizes {
-						got, stats, err := proj.ProjectBytes(tc.doc, Options{Workers: workers, SegmentSize: seg})
+						got, stats, err := proj.ProjectBytes(context.Background(), tc.doc, Options{Workers: workers, SegmentSize: seg})
 						if err != nil {
 							t.Fatalf("chunk %d workers %d seg %d: %v", chunk, workers, seg, err)
 						}
@@ -166,13 +169,13 @@ func TestProjectParallelBoundaryStraddle(t *testing.T) {
 	doc := []byte(`<r>` + strings.Repeat(longAttr, 8) + `</r>`)
 
 	plan := makePlan(t, prefixDTD, "/*, //Abstract#", core.Options{ChunkSize: 64})
-	want, _, err := core.NewFromPlan(plan).ProjectBytes(doc)
+	want, _, err := core.NewFromPlan(plan).ProjectBytes(context.Background(), doc)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	proj := New(plan)
 	for _, workers := range []int{2, 4, 8} {
-		got, _, err := proj.ProjectBytes(doc, Options{Workers: workers, SegmentSize: 16})
+		got, _, err := proj.ProjectBytes(context.Background(), doc, Options{Workers: workers, SegmentSize: 16})
 		if err != nil {
 			t.Fatalf("workers %d: %v", workers, err)
 		}
@@ -204,9 +207,9 @@ func TestProjectParallelErrors(t *testing.T) {
 			[]byte(`<location a="<description trap">oz</location>`), 1),
 	}
 	for name, doc := range mutations {
-		serialOut, _, serialErr := core.NewFromPlan(plan).ProjectBytes(doc)
+		serialOut, _, serialErr := core.NewFromPlan(plan).ProjectBytes(context.Background(), doc)
 		for _, workers := range []int{2, 4} {
-			parOut, _, parErr := proj.ProjectBytes(doc, Options{Workers: workers, SegmentSize: 128})
+			parOut, _, parErr := proj.ProjectBytes(context.Background(), doc, Options{Workers: workers, SegmentSize: 128})
 			if (serialErr == nil) != (parErr == nil) {
 				t.Errorf("%s workers %d: serial err = %v, parallel err = %v", name, workers, serialErr, parErr)
 				continue
@@ -243,7 +246,7 @@ func TestProjectParallelReadError(t *testing.T) {
 	boom := errors.New("disk on fire")
 
 	var out bytes.Buffer
-	_, err := proj.Project(&out, &errReader{data: doc[:16<<10], err: boom}, Options{Workers: 4, SegmentSize: 512})
+	_, err := proj.Project(context.Background(), &out, &errReader{data: doc[:16<<10], err: boom}, Options{Workers: 4, SegmentSize: 512})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
@@ -253,7 +256,7 @@ func TestProjectParallelReadError(t *testing.T) {
 	// error from the scanner.
 	cutAt := bytes.LastIndex(doc[:16<<10], []byte("<name")) + 3
 	out.Reset()
-	_, err = proj.Project(&out, &errReader{data: doc[:cutAt], err: boom}, Options{Workers: 4, SegmentSize: 512})
+	_, err = proj.Project(context.Background(), &out, &errReader{data: doc[:cutAt], err: boom}, Options{Workers: 4, SegmentSize: 512})
 	if !errors.Is(err, boom) {
 		t.Fatalf("mid-tag truncation: err = %v, want %v", err, boom)
 	}
@@ -262,9 +265,9 @@ func TestProjectParallelReadError(t *testing.T) {
 	// handed to the serial engine prefix-first; the underlying error must
 	// surface and the readable prefix must still have been projected.
 	var serialOut bytes.Buffer
-	_, serialErr := core.NewFromPlan(plan).Project(&serialOut, &errReader{data: doc[:100], err: boom})
+	_, serialErr := core.NewFromPlan(plan).Project(context.Background(), &serialOut, &errReader{data: doc[:100], err: boom})
 	out.Reset()
-	_, err = proj.Project(&out, &errReader{data: doc[:100], err: boom}, Options{Workers: 4, SegmentSize: 512})
+	_, err = proj.Project(context.Background(), &out, &errReader{data: doc[:100], err: boom}, Options{Workers: 4, SegmentSize: 512})
 	if !errors.Is(err, boom) {
 		t.Fatalf("first-block error: err = %v, want %v", err, boom)
 	}
@@ -302,7 +305,7 @@ func TestProjectParallelWriteError(t *testing.T) {
 	doc := buildFig1Doc(64 << 10)
 	boom := errors.New("pipe closed")
 
-	_, err := proj.Project(&failWriter{n: 64, err: boom}, bytes.NewReader(doc), Options{Workers: 4, SegmentSize: 512})
+	_, err := proj.Project(context.Background(), &failWriter{n: 64, err: boom}, bytes.NewReader(doc), Options{Workers: 4, SegmentSize: 512})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
@@ -315,7 +318,7 @@ func TestProjectParallelSerialFallback(t *testing.T) {
 	plan := makePlan(t, fig1DTD, "/*, //australia//description#", core.Options{})
 	proj := New(plan)
 	doc := buildFig1Doc(4 << 10)
-	want, _, err := core.NewFromPlan(plan).ProjectBytes(doc)
+	want, _, err := core.NewFromPlan(plan).ProjectBytes(context.Background(), doc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +328,7 @@ func TestProjectParallelSerialFallback(t *testing.T) {
 		{Workers: -3},
 		{Workers: 4}, // doc is smaller than the default segment size
 	} {
-		got, stats, err := proj.ProjectBytes(doc, opts)
+		got, stats, err := proj.ProjectBytes(context.Background(), doc, opts)
 		if err != nil {
 			t.Fatalf("%+v: %v", opts, err)
 		}
@@ -344,14 +347,14 @@ func TestProjectParallelConcurrentRuns(t *testing.T) {
 	plan := makePlan(t, fig1DTD, "/*, //item/name#", core.Options{ChunkSize: 256})
 	proj := New(plan)
 	doc := buildFig1Doc(48 << 10)
-	want, _, err := core.NewFromPlan(plan).ProjectBytes(doc)
+	want, _, err := core.NewFromPlan(plan).ProjectBytes(context.Background(), doc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	errc := make(chan error, 8)
 	for g := 0; g < 8; g++ {
 		go func() {
-			got, _, err := proj.ProjectBytes(doc, Options{Workers: 3, SegmentSize: 1024})
+			got, _, err := proj.ProjectBytes(context.Background(), doc, Options{Workers: 3, SegmentSize: 1024})
 			if err == nil && !bytes.Equal(got, want) {
 				err = errors.New("output differs")
 			}
@@ -421,7 +424,7 @@ func TestProjectParallelStreamsInOrder(t *testing.T) {
 	plan := makePlan(t, fig1DTD, "/*, //australia//description#", core.Options{ChunkSize: 64})
 	proj := New(plan)
 	doc := buildFig1Doc(32 << 10)
-	want, _, err := core.NewFromPlan(plan).ProjectBytes(doc)
+	want, _, err := core.NewFromPlan(plan).ProjectBytes(context.Background(), doc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,7 +444,7 @@ func TestProjectParallelStreamsInOrder(t *testing.T) {
 			}
 		}
 	}()
-	_, err = proj.Project(pw, bytes.NewReader(doc), Options{Workers: 4, SegmentSize: 256})
+	_, err = proj.Project(context.Background(), pw, bytes.NewReader(doc), Options{Workers: 4, SegmentSize: 256})
 	pw.CloseWithError(err)
 	<-done
 	if err != nil {
@@ -449,5 +452,83 @@ func TestProjectParallelStreamsInOrder(t *testing.T) {
 	}
 	if got := bytes.Join(chunksSeen, nil); !bytes.Equal(got, want) {
 		t.Fatalf("streamed output differs: got %d bytes, want %d", len(got), len(want))
+	}
+}
+
+// slowCancelReader delivers data in small reads and cancels the context
+// after a fixed number of bytes, simulating a client that disconnects
+// mid-stream. Reads keep succeeding after the cancel — the pipeline itself
+// must notice the context, not rely on the reader failing.
+type slowCancelReader struct {
+	data     []byte
+	off      int
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+func (r *slowCancelReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	if len(p) > 256 {
+		p = p[:256]
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	if r.off >= r.cancelAt && r.cancel != nil {
+		r.cancel()
+		r.cancel = nil
+	}
+	return n, nil
+}
+
+// TestProjectParallelContextCancelled cancels a parallel projection
+// mid-stream and checks that Project returns ctx.Err() promptly, drains its
+// pipeline (no goroutine leaks) and that the same run without cancellation
+// is byte-identical to the serial engine.
+func TestProjectParallelContextCancelled(t *testing.T) {
+	plan := makePlan(t, fig1DTD, "/*, //australia//description#", core.Options{ChunkSize: 64})
+	proj := New(plan)
+	doc := buildFig1Doc(64 << 10)
+
+	for _, workers := range []int{2, 4, 8} {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		var out bytes.Buffer
+		_, err := proj.Project(ctx, &out, &slowCancelReader{data: doc, cancelAt: 8 << 10, cancel: cancel},
+			Options{Workers: workers, SegmentSize: 512})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers %d: err = %v, want context.Canceled", workers, err)
+		}
+		waitForGoroutines(t, before)
+	}
+
+	// A pre-cancelled context never starts the pipeline.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := proj.Project(ctx, io.Discard, bytes.NewReader(doc), Options{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err = %v, want context.Canceled", err)
+	}
+	if _, err := proj.ProjectBuffered(ctx, io.Discard, doc, Options{Workers: 4, SegmentSize: 512}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled buffered: err = %v, want context.Canceled", err)
+	}
+}
+
+// waitForGoroutines retries until the goroutine count returns to (near) the
+// baseline; the pipeline's reader and workers unwind asynchronously after
+// Project returns.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

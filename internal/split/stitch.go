@@ -1,6 +1,7 @@
 package split
 
 import (
+	"context"
 	"io"
 
 	"smp/internal/compile"
@@ -32,6 +33,7 @@ import (
 //     identical.
 type stitcher struct {
 	proj    *Projector
+	ctx     context.Context
 	table   *compile.Table
 	out     io.Writer
 	ordered <-chan *segment
@@ -53,14 +55,20 @@ type stitcher struct {
 	writeErr error
 }
 
-func newStitcher(p *Projector, out io.Writer, ordered <-chan *segment) *stitcher {
-	return &stitcher{proj: p, table: p.plan.Table(), out: out, ordered: ordered}
+func newStitcher(ctx context.Context, p *Projector, out io.Writer, ordered <-chan *segment) *stitcher {
+	return &stitcher{proj: p, ctx: ctx, table: p.plan.Table(), out: out, ordered: ordered}
 }
 
-// run is the stitch-side mirror of the serial engine's run loop.
+// run is the stitch-side mirror of the serial engine's run loop. The run
+// context is checked once per selected match and whenever a segment is
+// pulled, so a cancelled projection returns ctx.Err() without waiting for
+// the reader to notice.
 func (s *stitcher) run() (core.Stats, error) {
 	q := s.table.Initial
 	for {
+		if err := s.ctx.Err(); err != nil {
+			return s.stats, err
+		}
 		st := s.table.State(q)
 		if len(st.Vocabulary) == 0 {
 			// Nothing left to search for; the state is final by
@@ -155,12 +163,21 @@ func (s *stitcher) nextCandidate(st *compile.State) (c *core.Candidate, found bo
 }
 
 // pull appends the next in-order segment to the chain. It reports false
-// when the input is exhausted (s.readErr then carries any read error).
+// when the input is exhausted (s.readErr then carries any read error) or
+// the run context is cancelled (s.readErr then carries ctx.Err()).
 func (s *stitcher) pull() bool {
 	if s.srcDone {
 		return false
 	}
-	seg, ok := <-s.ordered
+	var seg *segment
+	var ok bool
+	select {
+	case seg, ok = <-s.ordered:
+	case <-s.ctx.Done():
+		s.srcDone = true
+		s.readErr = s.ctx.Err()
+		return false
+	}
 	if !ok {
 		s.srcDone = true
 		return false

@@ -7,6 +7,8 @@ package smp
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"strconv"
 	"sync"
 	"testing"
@@ -32,10 +34,11 @@ func concurrencyFixture(t *testing.T) (*Prefilter, [][]byte, [][]byte) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want[i], _, err = pf.ProjectBytes(docs[i])
-		if err != nil {
+		var buf bytes.Buffer
+		if _, err := pf.Project(context.Background(), &buf, bytes.NewReader(docs[i])); err != nil {
 			t.Fatal(err)
 		}
+		want[i] = buf.Bytes()
 	}
 	return pf, docs, want
 }
@@ -57,7 +60,7 @@ func TestPrefilterConcurrentIdenticalOutput(t *testing.T) {
 			for it := 0; it < iterations; it++ {
 				i := (g + it) % len(docs)
 				var out bytes.Buffer
-				stats, err := pf.Project(&out, bytes.NewReader(docs[i]))
+				stats, err := pf.Project(context.Background(), &out, bytes.NewReader(docs[i]))
 				if err != nil {
 					errc <- err
 					return
@@ -94,13 +97,13 @@ func (e *mismatchError) Error() string {
 // runs: repeating the same document must repeat the same counters.
 func TestPrefilterSequentialReuseStatsReset(t *testing.T) {
 	pf, docs, _ := concurrencyFixture(t)
-	_, first, err := pf.ProjectBytes(docs[0])
-	if err != nil {
+	var first Stats
+	if _, err := pf.Project(context.Background(), io.Discard, bytes.NewReader(docs[0]), WithStatsInto(&first)); err != nil {
 		t.Fatal(err)
 	}
 	for run := 0; run < 3; run++ {
-		_, again, err := pf.ProjectBytes(docs[0])
-		if err != nil {
+		var again Stats
+		if _, err := pf.Project(context.Background(), io.Discard, bytes.NewReader(docs[0]), WithStatsInto(&again)); err != nil {
 			t.Fatal(err)
 		}
 		// MatchersBuilt reports the shared plan's table count, constant
@@ -112,10 +115,10 @@ func TestPrefilterSequentialReuseStatsReset(t *testing.T) {
 	}
 }
 
-// TestProjectParallelMatchesSerial checks the public intra-document
-// parallel surface: for every worker count, ProjectParallel and
-// ProjectBytesParallel must be byte-identical to the serial Project.
-func TestProjectParallelMatchesSerial(t *testing.T) {
+// TestProjectWorkersMatchesSerial checks the public intra-document
+// parallel surface: for every worker count, Project with WithWorkers must
+// be byte-identical to the serial Project.
+func TestProjectWorkersMatchesSerial(t *testing.T) {
 	dtdSource, err := DatasetDTD(XMark)
 	if err != nil {
 		t.Fatal(err)
@@ -130,33 +133,28 @@ func TestProjectParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, wantStats, err := pf.ProjectBytes(doc)
-	if err != nil {
+	var wantBuf bytes.Buffer
+	var wantStats Stats
+	if _, err := pf.Project(context.Background(), &wantBuf, bytes.NewReader(doc), WithStatsInto(&wantStats)); err != nil {
 		t.Fatal(err)
 	}
+	want := wantBuf.Bytes()
 	for _, workers := range []int{1, 2, 4, 8} {
 		var out bytes.Buffer
-		stats, err := pf.ProjectParallel(&out, bytes.NewReader(doc), workers)
+		stats, err := pf.Project(context.Background(), &out, bytes.NewReader(doc), WithWorkers(workers))
 		if err != nil {
 			t.Fatalf("workers %d: %v", workers, err)
 		}
 		if !bytes.Equal(out.Bytes(), want) {
-			t.Fatalf("workers %d: ProjectParallel output differs (%d vs %d bytes)", workers, out.Len(), len(want))
+			t.Fatalf("workers %d: WithWorkers output differs (%d vs %d bytes)", workers, out.Len(), len(want))
 		}
 		if stats.BytesWritten != wantStats.BytesWritten {
 			t.Errorf("workers %d: BytesWritten = %d, want %d", workers, stats.BytesWritten, wantStats.BytesWritten)
 		}
-		got, _, err := pf.ProjectBytesParallel(doc, workers)
-		if err != nil {
-			t.Fatalf("workers %d: ProjectBytesParallel: %v", workers, err)
-		}
-		if !bytes.Equal(got, want) {
-			t.Fatalf("workers %d: ProjectBytesParallel output differs", workers)
-		}
 	}
 }
 
-// TestProjectParallelConcurrentCallers drives ProjectParallel itself from
+// TestProjectParallelConcurrentCallers drives parallel Project calls from
 // several goroutines sharing one Prefilter (meaningful under -race).
 func TestProjectParallelConcurrentCallers(t *testing.T) {
 	pf, docs, want := concurrencyFixture(t)
@@ -168,7 +166,7 @@ func TestProjectParallelConcurrentCallers(t *testing.T) {
 			defer wg.Done()
 			i := g % len(docs)
 			var out bytes.Buffer
-			_, err := pf.ProjectParallel(&out, bytes.NewReader(docs[i]), 2+g%3)
+			_, err := pf.Project(context.Background(), &out, bytes.NewReader(docs[i]), WithWorkers(2+g%3))
 			if err == nil && !bytes.Equal(out.Bytes(), want[i]) {
 				err = &mismatchError{goroutine: g, doc: i, got: out.Len(), want: len(want[i])}
 			}
@@ -184,23 +182,44 @@ func TestProjectParallelConcurrentCallers(t *testing.T) {
 	}
 }
 
-// TestProjectMatchesRun checks the streaming Project entry point against
-// the pre-existing Run and ProjectBytes paths.
-func TestProjectMatchesRun(t *testing.T) {
+// TestProjectOptionsCombine checks that chunk-size overrides and the stats
+// sink compose with workers without changing the projection.
+func TestProjectOptionsCombine(t *testing.T) {
 	pf, docs, want := concurrencyFixture(t)
 	for i, doc := range docs {
-		var viaProject, viaRun bytes.Buffer
-		if _, err := pf.Project(&viaProject, bytes.NewReader(doc)); err != nil {
-			t.Fatal(err)
+		for _, opts := range [][]ProjectOption{
+			{WithChunkSize(1 << 10)},
+			{WithChunkSize(777)},
+			{WithWorkers(3), WithChunkSize(1 << 10)},
+			{WithAutoWorkers()},
+			{nil}, // nil options are ignored
+		} {
+			var out bytes.Buffer
+			var st Stats
+			if _, err := pf.Project(context.Background(), &out, bytes.NewReader(doc), append(opts, WithStatsInto(&st))...); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want[i]) {
+				t.Errorf("doc %d opts %d: output differs (%d vs %d bytes)", i, len(opts), out.Len(), len(want[i]))
+			}
+			if st.BytesWritten != int64(len(want[i])) {
+				t.Errorf("doc %d: WithStatsInto.BytesWritten = %d, want %d", i, st.BytesWritten, len(want[i]))
+			}
 		}
-		if _, err := pf.Run(bytes.NewReader(doc), &viaRun); err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(viaProject.Bytes(), want[i]) {
-			t.Errorf("doc %d: Project output differs from ProjectBytes", i)
-		}
-		if !bytes.Equal(viaRun.Bytes(), want[i]) {
-			t.Errorf("doc %d: Run output differs from ProjectBytes", i)
-		}
+	}
+}
+
+// TestMinParallelInputHonorsOptions checks the size-routing contract: the
+// reported parallel threshold reflects the same options the projection will
+// run with (chunk-size override, WithWorkers precedence).
+func TestMinParallelInputHonorsOptions(t *testing.T) {
+	pf, _, _ := concurrencyFixture(t)
+	base := pf.MinParallelInput(4)
+	small := pf.MinParallelInput(4, WithChunkSize(4096))
+	if small >= base {
+		t.Errorf("MinParallelInput with a smaller chunk = %d, want < %d", small, base)
+	}
+	if viaOpt := pf.MinParallelInput(1, WithWorkers(4), WithChunkSize(4096)); viaOpt != small {
+		t.Errorf("WithWorkers option = %d, want %d (same as the workers argument)", viaOpt, small)
 	}
 }

@@ -14,11 +14,20 @@
 //
 //	pf, err := smp.Compile(dtdSource, "/*, //australia//description#", smp.Options{})
 //	if err != nil { ... }
-//	projected, stats, err := pf.ProjectBytes(document)
+//	stats, err := pf.Project(ctx, dst, src)
 //
 // or, extracting the projection paths from a query:
 //
 //	pf, err := smp.CompileQuery(dtdSource, "<q>{//australia//description}</q>", smp.Options{})
+//
+// Project is the one canonical execution call: it streams src through the
+// prefilter into dst, honours ctx cancellation at every chunk boundary, and
+// takes functional options for everything the v1 method matrix spread over
+// separate entry points — WithWorkers(n) for intra-document parallelism,
+// WithChunkSize(n) for the window granularity, WithStatsInto(&st) to
+// receive the counters even on error paths. Whole-corpus workloads go
+// through Batch, which shards jobs across workers sharing one compiled
+// plan.
 //
 // The package also bundles deterministic XMark-like and MEDLINE-like dataset
 // generators and the benchmark query workloads used by the experiment
@@ -27,9 +36,11 @@
 package smp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 
 	"smp/internal/compile"
@@ -103,7 +114,7 @@ type Prefilter struct {
 	engine *core.Prefilter
 
 	// splitOnce lazily builds the intra-document parallel projector (its
-	// global scan tables are only paid for when ProjectParallel is used).
+	// global scan tables are only paid for once a run asks for workers).
 	splitOnce sync.Once
 	splitProj *split.Projector
 }
@@ -146,78 +157,101 @@ func compileSet(dtdSource string, set *paths.Set, opts Options) (*Prefilter, err
 	return &Prefilter{schema: schema, set: set, table: table, engine: engine}, nil
 }
 
+// ProjectOption configures one projection run. Options are the v2
+// replacement for the v1 serial/parallel/bytes method matrix: one Project
+// call takes the document stream plus whatever overrides the run needs.
+type ProjectOption func(*projectConfig)
+
+// projectConfig is the resolved per-run configuration.
+type projectConfig struct {
+	workers   int
+	chunkSize int
+	statsInto *Stats
+}
+
+func resolveOptions(opts []ProjectOption) projectConfig {
+	var cfg projectConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithWorkers projects with intra-document parallelism: the input is cut
+// into segments at tag boundaries, scanned for keyword candidates by n
+// goroutines sharing the prefilter's compiled plan, and stitched to the
+// output in input order — byte-identical to the serial run (only the
+// instrumentation counters differ; they aggregate the speculative
+// per-segment scans, see internal/split). n <= 1, and inputs smaller than
+// one segment plus its lookahead (see MinParallelInput), run serially.
+func WithWorkers(n int) ProjectOption {
+	return func(c *projectConfig) { c.workers = n }
+}
+
+// WithAutoWorkers is WithWorkers(runtime.GOMAXPROCS(0)): use every
+// available core for one document.
+func WithAutoWorkers() ProjectOption {
+	return WithWorkers(runtime.GOMAXPROCS(0))
+}
+
+// WithChunkSize overrides the streaming window chunk size (the read
+// granularity, default 32 KiB) for this run only. For parallel runs it also
+// scales the default segment size and the segment lookahead. n <= 0 keeps
+// the prefilter's compiled value.
+func WithChunkSize(n int) ProjectOption {
+	return func(c *projectConfig) { c.chunkSize = n }
+}
+
+// WithStatsInto stores the run's counters in *st before Project returns.
+// The value is identical to Project's Stats result; the pointer form exists
+// for callers that discard the return in an error path but still want the
+// partial counters (bytes read before a cancellation, for example).
+func WithStatsInto(st *Stats) ProjectOption {
+	return func(c *projectConfig) { c.statsInto = st }
+}
+
 // Project streams the document read from src through the prefilter and
-// writes the projection to dst. It is the canonical entry point and the
-// streaming dual of ProjectBytes: memory use stays proportional to the
-// configured chunk size, never to the document or projection size. The input
-// must be valid with respect to the prefilter's DTD.
+// writes the projection to dst. It is the canonical execution call of the
+// package: every other entry point (ProjectFile, Batch, the deprecated v1
+// wrappers) routes through it. Memory use stays proportional to the chunk
+// size, never to the document or projection size. The input must be valid
+// with respect to the prefilter's DTD.
+//
+// The context is honoured at every chunk boundary in every layer — the
+// serial window, the parallel segment reader, the stitcher and the workers
+// — so a cancelled ctx makes Project return ctx.Err() promptly without
+// leaking goroutines. Output already written to dst stays written; callers
+// that must not observe partial output use ProjectFile (which removes the
+// file on failure) or buffer dst themselves.
 //
 // A Prefilter is safe for concurrent use: Project may be called from many
 // goroutines at once. The matcher tables, tag strings and vocabulary orders
 // were all precompiled into the immutable plan by Compile; only window chunk
 // buffers are per-run, and those are recycled through an internal sync.Pool,
 // so steady-state calls do not allocate fresh engine state.
-func (p *Prefilter) Project(dst io.Writer, src io.Reader) (Stats, error) {
-	return p.engine.Project(dst, src)
-}
-
-// Run prefilters the document read from r and writes the projection to w.
-//
-// Deprecated: Run is Project with the argument order flipped, kept for
-// existing callers. Use Project.
-func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
-	return p.Project(w, r)
-}
-
-// ProjectBytes prefilters an in-memory document and returns the projection.
-func (p *Prefilter) ProjectBytes(doc []byte) ([]byte, Stats, error) {
-	return p.engine.ProjectBytes(doc)
-}
-
-// ProjectParallel is Project with intra-document parallelism: the input is
-// cut into segments at tag boundaries, the segments are scanned for keyword
-// candidates by workers goroutines sharing this prefilter's compiled plan,
-// and the projection is stitched to dst in input order through a bounded
-// reorder buffer. The output is byte-identical to Project's; only the
-// instrumentation counters differ (they aggregate the speculative
-// per-segment scans — see internal/split).
-//
-// workers <= 1, and inputs smaller than one segment, fall back to the
-// serial Project. Like Project, ProjectParallel is safe for concurrent use.
-func (p *Prefilter) ProjectParallel(dst io.Writer, src io.Reader, workers int) (Stats, error) {
-	if workers <= 1 {
-		return p.Project(dst, src)
+func (p *Prefilter) Project(ctx context.Context, dst io.Writer, src io.Reader, opts ...ProjectOption) (Stats, error) {
+	cfg := resolveOptions(opts)
+	var stats Stats
+	var err error
+	if cfg.workers > 1 {
+		stats, err = p.projector().Project(ctx, dst, src, split.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize})
+	} else {
+		stats, err = p.engine.ProjectWith(ctx, dst, src, core.RunOptions{ChunkSize: cfg.chunkSize})
 	}
-	return p.projector().Project(dst, src, split.Options{Workers: workers})
-}
-
-// ProjectBytesParallel is ProjectParallel over an in-memory document.
-func (p *Prefilter) ProjectBytesParallel(doc []byte, workers int) ([]byte, Stats, error) {
-	if workers <= 1 {
-		return p.ProjectBytes(doc)
+	if cfg.statsInto != nil {
+		*cfg.statsInto = stats
 	}
-	return p.projector().ProjectBytes(doc, split.Options{Workers: workers})
+	return stats, err
 }
 
-// projector returns the lazily built intra-document parallel projector.
-func (p *Prefilter) projector() *split.Projector {
-	p.splitOnce.Do(func() { p.splitProj = split.New(p.engine.Plan()) })
-	return p.splitProj
-}
-
-// MinParallelInput returns the smallest input size, in bytes, that
-// ProjectParallel with the given worker count actually projects in
-// parallel (one segment plus its lookahead); smaller inputs take the
-// serial fallback. Useful for callers that route documents by size and
-// want their accounting to reflect runs that really fanned out.
-func (p *Prefilter) MinParallelInput(workers int) int {
-	return p.projector().MinParallelInput(split.Options{Workers: workers})
-}
-
-// ProjectFile prefilters the file at inPath into outPath. If the projection
-// fails mid-stream the partially written outPath is removed, so a failed
-// run never leaves a truncated output file behind.
-func (p *Prefilter) ProjectFile(inPath, outPath string) (Stats, error) {
+// ProjectFile prefilters the file at inPath into outPath, with the same
+// options as Project (pass WithWorkers to fan one large file out across
+// cores). If the projection fails mid-stream — including a cancelled ctx —
+// the partially written outPath is removed, so a failed run never leaves a
+// truncated output file behind.
+func (p *Prefilter) ProjectFile(ctx context.Context, inPath, outPath string, opts ...ProjectOption) (Stats, error) {
 	in, err := os.Open(inPath)
 	if err != nil {
 		return Stats{}, err
@@ -227,7 +261,7 @@ func (p *Prefilter) ProjectFile(inPath, outPath string) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	stats, runErr := p.Project(out, in)
+	stats, runErr := p.Project(ctx, out, in, opts...)
 	if closeErr := out.Close(); runErr == nil {
 		runErr = closeErr
 	}
@@ -235,6 +269,64 @@ func (p *Prefilter) ProjectFile(inPath, outPath string) (Stats, error) {
 		os.Remove(outPath)
 	}
 	return stats, runErr
+}
+
+// projector returns the lazily built intra-document parallel projector.
+func (p *Prefilter) projector() *split.Projector {
+	p.splitOnce.Do(func() { p.splitProj = split.New(p.engine.Plan()) })
+	return p.splitProj
+}
+
+// MinParallelInput returns the smallest input size, in bytes, that Project
+// with WithWorkers(workers) actually projects in parallel (one segment plus
+// its lookahead); smaller inputs take the serial fallback. Useful for
+// callers that route documents by size and want their accounting to reflect
+// runs that really fanned out. Pass the same options the projection will
+// use — a WithChunkSize override changes the threshold (a WithWorkers
+// option takes precedence over the workers argument).
+func (p *Prefilter) MinParallelInput(workers int, opts ...ProjectOption) int {
+	cfg := resolveOptions(opts)
+	if cfg.workers > 0 {
+		workers = cfg.workers
+	}
+	return p.projector().MinParallelInput(split.Options{Workers: workers, ChunkSize: cfg.chunkSize})
+}
+
+// Run prefilters the document read from r and writes the projection to w.
+//
+// Deprecated: Run is the v1 spelling of Project with the argument order
+// flipped and no cancellation. Use Project(ctx, w, r).
+func (p *Prefilter) Run(r io.Reader, w io.Writer) (Stats, error) {
+	return p.Project(context.Background(), w, r)
+}
+
+// ProjectBytes prefilters an in-memory document and returns the projection.
+//
+// Deprecated: ProjectBytes is the v1 in-memory convenience. Use
+// Project(ctx, &buf, bytes.NewReader(doc)), which adds cancellation and
+// per-run options.
+func (p *Prefilter) ProjectBytes(doc []byte) ([]byte, Stats, error) {
+	return p.engine.ProjectBytes(context.Background(), doc)
+}
+
+// ProjectParallel is Project with intra-document parallelism.
+//
+// Deprecated: use Project(ctx, dst, src, WithWorkers(workers)) — the same
+// pipeline, with cancellation.
+func (p *Prefilter) ProjectParallel(dst io.Writer, src io.Reader, workers int) (Stats, error) {
+	return p.Project(context.Background(), dst, src, WithWorkers(workers))
+}
+
+// ProjectBytesParallel is ProjectParallel over an in-memory document.
+//
+// Deprecated: use Project with WithWorkers over a bytes.Reader (the
+// streaming pipeline copies segments; the in-memory zero-copy segmentation
+// is an optimization this wrapper alone still reaches).
+func (p *Prefilter) ProjectBytesParallel(doc []byte, workers int) ([]byte, Stats, error) {
+	if workers <= 1 {
+		return p.ProjectBytes(doc)
+	}
+	return p.projector().ProjectBytes(context.Background(), doc, split.Options{Workers: workers})
 }
 
 // Paths returns the projection paths the prefilter preserves, sorted.

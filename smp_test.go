@@ -2,6 +2,7 @@ package smp
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,15 +27,23 @@ const testDTD = `<!DOCTYPE site [
 
 const testDoc = `<site><regions><africa><item><location>United States</location><name>T V</name><payment>Creditcard</payment><description>15''LCD-FlatPanel</description><shipping>Within country</shipping><incategory category="3"/></item></africa><asia/><australia><item ><location>Egypt</location><name>PDA</name><payment>Check</payment><description>Palm Zire 71</description><shipping/><incategory category="3"/></item></australia></regions></site>`
 
+// projectBytes runs the v2 Project over an in-memory document.
+func projectBytes(t *testing.T, pf *Prefilter, doc []byte, opts ...ProjectOption) ([]byte, Stats) {
+	t.Helper()
+	var out bytes.Buffer
+	stats, err := pf.Project(context.Background(), &out, bytes.NewReader(doc), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes(), stats
+}
+
 func TestCompileAndProject(t *testing.T) {
 	pf, err := Compile(testDTD, "/*, //australia//description#", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, stats, err := pf.ProjectBytes([]byte(testDoc))
-	if err != nil {
-		t.Fatal(err)
-	}
+	out, stats := projectBytes(t, pf, []byte(testDoc))
 	want := `<site><australia><description>Palm Zire 71</description></australia></site>`
 	if string(out) != want {
 		t.Errorf("projection = %q, want %q", out, want)
@@ -65,10 +74,7 @@ func TestCompileQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := pf.ProjectBytes([]byte(testDoc))
-	if err != nil {
-		t.Fatal(err)
-	}
+	out, _ := projectBytes(t, pf, []byte(testDoc))
 	if !strings.Contains(string(out), "Palm Zire 71") {
 		t.Errorf("projection %q misses the australia description", out)
 	}
@@ -95,17 +101,17 @@ func TestCompileErrors(t *testing.T) {
 	}
 }
 
-func TestRunAndProjectFile(t *testing.T) {
+func TestProjectAndProjectFile(t *testing.T) {
 	pf, err := Compile(testDTD, "/*, /site/regions/australia/item/name#", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if _, err := pf.Run(strings.NewReader(testDoc), &buf); err != nil {
+	if _, err := pf.Project(context.Background(), &buf, strings.NewReader(testDoc)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "<name>PDA</name>") {
-		t.Errorf("Run output %q misses the australia item name", buf.String())
+		t.Errorf("Project output %q misses the australia item name", buf.String())
 	}
 
 	dir := t.TempDir()
@@ -114,7 +120,7 @@ func TestRunAndProjectFile(t *testing.T) {
 	if err := os.WriteFile(in, []byte(testDoc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := pf.ProjectFile(in, out)
+	stats, err := pf.ProjectFile(context.Background(), in, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,10 +131,27 @@ func TestRunAndProjectFile(t *testing.T) {
 	if int64(len(data)) != stats.BytesWritten {
 		t.Errorf("file size %d != BytesWritten %d", len(data), stats.BytesWritten)
 	}
-	if _, err := pf.ProjectFile(filepath.Join(dir, "missing.xml"), out); err == nil {
+	if !bytes.Equal(data, buf.Bytes()) {
+		t.Error("file mode and stream mode disagree")
+	}
+
+	// File mode shares the v2 code path, so worker options apply to it too.
+	outParallel := filepath.Join(dir, "out-parallel.xml")
+	if _, err := pf.ProjectFile(context.Background(), in, outParallel, WithWorkers(4)); err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := os.ReadFile(outParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parallel, data) {
+		t.Errorf("ProjectFile with workers differs from serial (%d vs %d bytes)", len(parallel), len(data))
+	}
+
+	if _, err := pf.ProjectFile(context.Background(), filepath.Join(dir, "missing.xml"), out); err == nil {
 		t.Error("expected error for missing input file")
 	}
-	if _, err := pf.ProjectFile(in, filepath.Join(dir, "no-such-dir", "out.xml")); err == nil {
+	if _, err := pf.ProjectFile(context.Background(), in, filepath.Join(dir, "no-such-dir", "out.xml")); err == nil {
 		t.Error("expected error for unwritable output path")
 	}
 }
@@ -149,7 +172,7 @@ func TestProjectFilePartialCleanup(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out.xml")
-	if _, err := pf.ProjectFile(in, out); err == nil {
+	if _, err := pf.ProjectFile(context.Background(), in, out); err == nil {
 		t.Fatal("ProjectFile succeeded on a malformed document")
 	}
 	if _, err := os.Stat(out); !os.IsNotExist(err) {
@@ -230,11 +253,13 @@ func TestEndToEndGeneratedWorkload(t *testing.T) {
 				t.Errorf("%s: compile: %v", q.ID, err)
 				continue
 			}
-			out, stats, err := pf.ProjectBytes(doc)
+			var buf bytes.Buffer
+			stats, err := pf.Project(context.Background(), &buf, bytes.NewReader(doc))
 			if err != nil {
 				t.Errorf("%s: run: %v", q.ID, err)
 				continue
 			}
+			out := buf.Bytes()
 			if len(out) >= len(doc) {
 				t.Errorf("%s: projection did not shrink the document", q.ID)
 			}
