@@ -7,6 +7,7 @@ import (
 
 	"smp/internal/core"
 	"smp/internal/corpus"
+	"smp/internal/multiquery"
 )
 
 // BatchJob is one document of a batch: a name for reporting, a source, and
@@ -39,6 +40,14 @@ func BatchFromFile(inPath, outPath string) BatchJob {
 	return corpus.FromFile(inPath, outPath)
 }
 
+// BatchMultiFromFile builds a BatchJob for a multi-query batch (a Batch with
+// Multi set): the document read from inPath, query i's projection written to
+// outPaths[i] (an empty outPath discards that query's output). A job that
+// fails or is cancelled removes every output file it created.
+func BatchMultiFromFile(inPath string, outPaths []string) BatchJob {
+	return corpus.FromFileMulti(inPath, outPaths)
+}
+
 // Batch shards a corpus of documents across a pool of worker goroutines
 // driving one compiled Prefilter. Every worker gets a private engine built
 // over the prefilter's immutable plan, so K workers hold one copy of the
@@ -50,8 +59,16 @@ func BatchFromFile(inPath, outPath string) BatchJob {
 // The zero value of Workers selects runtime.GOMAXPROCS(0). A Batch value is
 // immutable configuration; Run may be called many times and concurrently.
 type Batch struct {
-	// Prefilter is the compiled prefilter every worker executes (required).
+	// Prefilter is the compiled prefilter every worker executes (required
+	// unless Multi is set).
 	Prefilter *Prefilter
+	// Multi, if non-nil, turns the batch into a multi-query batch: every
+	// job's document is projected for all of Multi's queries in one shared
+	// scan (see MultiPrefilter). Per-query destinations come from the job
+	// (BatchMultiFromFile); per-query counters land in BatchResult.QueryStats
+	// and a failed query surfaces as a *MultiError in the job's Err. Multi
+	// takes precedence over Prefilter.
+	Multi *MultiPrefilter
 	// Workers is the pool size; values < 1 select runtime.GOMAXPROCS(0).
 	Workers int
 	// ChunkSize overrides the streaming window chunk size of every job in
@@ -65,9 +82,21 @@ type Batch struct {
 // ctx marks not-yet-started jobs with ctx.Err() and aborts in-flight jobs
 // at their next chunk boundary, so a cancelled batch drains promptly.
 func (b *Batch) Run(ctx context.Context, jobs []BatchJob) ([]BatchResult, BatchAggregate) {
+	if b.Multi != nil {
+		// A MultiPrefilter is immutable and safe for concurrent use, so every
+		// worker can drive the same merged scan tables; only the per-run
+		// segment chain is private to each in-flight job.
+		multi := b.Multi.multi
+		chunk := b.ChunkSize
+		runner := corpus.Runner{
+			NewMultiEngine: func() corpus.MultiEngine { return multiBatchEngine{multi, chunk} },
+			Workers:        b.Workers,
+		}
+		return runner.Run(ctx, jobs)
+	}
 	if b.Prefilter == nil {
 		results := make([]BatchResult, len(jobs))
-		err := errors.New("smp: Batch needs a Prefilter")
+		err := errors.New("smp: Batch needs a Prefilter or a Multi")
 		for i, job := range jobs {
 			results[i] = BatchResult{Name: job.Name, Err: err}
 		}
@@ -91,4 +120,16 @@ type batchEngine struct {
 
 func (e batchEngine) Project(ctx context.Context, dst io.Writer, src io.Reader) (core.Stats, error) {
 	return e.pf.ProjectWith(ctx, dst, src, core.RunOptions{ChunkSize: e.chunk})
+}
+
+// multiBatchEngine adapts a merged multi-query projection to the corpus
+// runner, carrying the batch's chunk-size override into every run.
+type multiBatchEngine struct {
+	m     *multiquery.Multi
+	chunk int
+}
+
+func (e multiBatchEngine) MultiProject(ctx context.Context, dsts []io.Writer, src io.Reader) ([]core.Stats, core.Stats, error) {
+	res, err := e.m.Project(ctx, dsts, src, multiquery.Options{ChunkSize: e.chunk})
+	return res.Query, res.Aggregate(), err
 }

@@ -124,3 +124,31 @@ func TestRunIntraDoc(t *testing.T) {
 		}
 	}
 }
+
+func TestRunMultiQuery(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-multi", "4",
+		"-xmark", "400KiB",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Multi-query shared projection", "4 queries", "independent passes", "1 shared scan", "Speedup", "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiQueryMixedDatasets(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-multi", "2",
+		"-queries", "XM1,M1",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "one dataset") {
+		t.Fatalf("err = %v, want one-dataset error", err)
+	}
+}

@@ -3,24 +3,25 @@ package main
 import (
 	"container/list"
 	"sync"
-
-	"smp"
 )
 
-// prefilterCache is a mutex-protected LRU of compiled prefilters, keyed by
-// the (DTD source, projection-path spec) pair. Compilation is the expensive
-// static analysis of the paper (DTD parse, Glushkov automata, table and
-// matcher construction); caching turns the service into compile-once,
-// serve-many.
+// prefilterCache is a mutex-protected LRU of compiled artifacts — single
+// prefilters keyed by the (DTD source, canonical path set) pair, and merged
+// multi-query prefilters keyed by their ordered per-query sets. Compilation
+// is the expensive static analysis of the paper (DTD parse, Glushkov
+// automata, table and matcher construction); caching turns the service into
+// compile-once, serve-many.
 //
-// Entries are weighed by the memory footprint of their compiled plan
-// (smp.Prefilter.PlanStats), so the cache can be bounded in bytes as well as
-// in entry count: a handful of huge-DTD prefilters counts like many small
-// ones.
+// Entries are weighed by an explicit byte footprint supplied at insertion,
+// so the cache can be bounded in bytes as well as in entry count. The weight
+// is merge-aware: a single prefilter weighs its whole compiled plan
+// (smp.Prefilter.PlanStats), while a multi-query entry weighs only the union
+// scan tables it adds on top — its per-query plans are shared with (and
+// already weighed by) the individual entries the service resolves first.
 type prefilterCache struct {
 	mu       sync.Mutex
 	capacity int
-	maxBytes int64      // total plan-byte budget; 0 = unlimited
+	maxBytes int64      // total weight budget; 0 = unlimited
 	order    *list.List // front = most recently used; values are *cacheEntry
 	entries  map[string]*list.Element
 
@@ -36,16 +37,18 @@ type cacheEntry struct {
 	// query), safe to expose in /stats — the key itself embeds the full DTD
 	// source.
 	label string
-	pf    *smp.Prefilter
-	// planBytes is the compiled plan's footprint; weight adds the key bytes
-	// (DTD source + spec) the entry pins and is what the budget counts.
+	val   any
+	// planBytes is the entry's own compiled footprint (the full plan for a
+	// single prefilter, the union scan tables for a merged one); weight adds
+	// the key bytes (DTD source + spec) the entry pins and is what the
+	// budget counts.
 	planBytes int64
 	weight    int64
 	hits      int64
 }
 
-// cacheEntryInfo is the /stats view of one cached prefilter: the plan
-// footprint proper and the full eviction weight (plan + cache key).
+// cacheEntryInfo is the /stats view of one cached entry: the compiled
+// footprint proper and the full eviction weight (footprint + cache key).
 type cacheEntryInfo struct {
 	Label       string `json:"label"`
 	PlanBytes   int64  `json:"plan_bytes"`
@@ -53,10 +56,10 @@ type cacheEntryInfo struct {
 	Hits        int64  `json:"hits"`
 }
 
-// newPrefilterCache returns an LRU holding up to capacity compiled
-// prefilters (capacity < 1 selects 1) whose plans together stay within
-// maxBytes (0 disables the byte budget). The most recently used entry is
-// never evicted, so a single over-budget plan still serves.
+// newPrefilterCache returns an LRU holding up to capacity compiled entries
+// (capacity < 1 selects 1) whose footprints together stay within maxBytes (0
+// disables the byte budget). The most recently used entry is never evicted,
+// so a single over-budget plan still serves.
 func newPrefilterCache(capacity int, maxBytes int64) *prefilterCache {
 	if capacity < 1 {
 		capacity = 1
@@ -69,14 +72,8 @@ func newPrefilterCache(capacity int, maxBytes int64) *prefilterCache {
 	}
 }
 
-// entryWeight is the byte weight of one cache entry: the compiled plan plus
-// the key (which embeds the DTD source and path spec).
-func entryWeight(key string, pf *smp.Prefilter) int64 {
-	return pf.PlanStats().MemBytes + int64(len(key))
-}
-
-// get returns the cached prefilter for key and marks it most recently used.
-func (c *prefilterCache) get(key string) (*smp.Prefilter, bool) {
+// get returns the cached value for key and marks it most recently used.
+func (c *prefilterCache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -87,26 +84,26 @@ func (c *prefilterCache) get(key string) (*smp.Prefilter, bool) {
 	c.hits++
 	el.Value.(*cacheEntry).hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).pf, true
+	return el.Value.(*cacheEntry).val, true
 }
 
-// put inserts a compiled prefilter, evicting least recently used entries
-// while the cache exceeds its entry capacity or its byte budget. If another
-// goroutine compiled and inserted the same key concurrently, the existing
-// entry wins (both are equivalent).
-func (c *prefilterCache) put(key, label string, pf *smp.Prefilter) *smp.Prefilter {
+// put inserts a compiled value weighing planBytes, evicting least recently
+// used entries while the cache exceeds its entry capacity or its byte
+// budget. If another goroutine compiled and inserted the same key
+// concurrently, the existing entry wins (both are equivalent).
+func (c *prefilterCache) put(key, label string, val any, planBytes int64) any {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry).pf
+		return el.Value.(*cacheEntry).val
 	}
 	entry := &cacheEntry{
 		key:       key,
 		label:     label,
-		pf:        pf,
-		planBytes: pf.PlanStats().MemBytes,
-		weight:    entryWeight(key, pf),
+		val:       val,
+		planBytes: planBytes,
+		weight:    planBytes + int64(len(key)),
 	}
 	c.entries[key] = c.order.PushFront(entry)
 	c.totalBytes += entry.weight
@@ -119,7 +116,7 @@ func (c *prefilterCache) put(key, label string, pf *smp.Prefilter) *smp.Prefilte
 		c.totalBytes -= old.weight
 		c.evictions++
 	}
-	return pf
+	return val
 }
 
 // view returns the per-entry footprints (most-recently-used first) together

@@ -9,8 +9,20 @@
 //	POST /project?dataset=xmark&paths=/*,//item/name%23
 //	POST /project?dataset=medline&query=<q>{//MedlineCitation/Article}</q>
 //	POST /project?paths=...        (DTD source in the X-SMP-DTD header)
+//	POST /multiproject?dataset=xmark&paths=...&paths=...   (one scan, N queries)
 //	GET  /healthz
 //	GET  /stats
+//
+// Cache keys are canonical: a path set is parsed, deduplicated and sorted
+// before it is looked up, so requests naming the same projection paths in a
+// different order — or extracting them from an equivalent query expression —
+// share one compiled plan. /multiproject accepts one repeated paths= (or
+// query=) parameter per query, projects the body for all of them in a single
+// document scan (see smp.MultiPrefilter), and answers multipart/mixed with
+// one part per query in parameter order; per-query counters and errors ride
+// in the part headers. Its per-query plans go through the same LRU as
+// /project entries, and the merged entry is weighed merge-aware (only the
+// union scan tables it adds).
 //
 // The document is the POST body; the projection is the response body. The
 // per-run counters are reported in X-SMP-* response trailers, service-level
@@ -38,6 +50,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -45,18 +58,22 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"mime/multipart"
 	"net"
 	"net/http"
+	"net/textproto"
 	"net/url"
 	"os"
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"smp"
+	"smp/internal/paths"
 )
 
 func main() {
@@ -131,6 +148,8 @@ type server struct {
 	requests      atomic.Int64
 	failures      atomic.Int64
 	intraRequests atomic.Int64
+	multiRequests atomic.Int64
+	multiQueries  atomic.Int64
 	cancelled     atomic.Int64
 	bytesRead     atomic.Int64
 	bytesWritten  atomic.Int64
@@ -144,6 +163,7 @@ func newServer(cacheSize int, cacheBytes int64, opts smp.Options) *server {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/project", s.handleProject)
+	mux.HandleFunc("/multiproject", s.handleMultiProject)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
@@ -209,6 +229,162 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	setStatsHeaders(w.Header(), stats)
 }
 
+// handleMultiProject projects one request body for K queries in a single
+// scan (POST /multiproject?dataset=xmark&paths=...&paths=...). Each repeated
+// paths (or query) parameter is one query; the response is multipart/mixed
+// with one part per query, in parameter order. Part headers carry the
+// query's canonical path set and its per-query counters; a query that failed
+// carries an X-SMP-Error header and an empty body instead, without affecting
+// its siblings. Per-query outputs are buffered in memory for the multipart
+// framing, so this endpoint suits query fan-out on moderate documents; for
+// huge single-query streams, /project streams unbuffered.
+func (s *server) handleMultiProject(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST the document to /multiproject")
+		return
+	}
+	multi, specs, err := s.multiPrefilterFor(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.multiRequests.Add(1)
+	s.multiQueries.Add(int64(multi.Len()))
+
+	bufs := make([]bytes.Buffer, multi.Len())
+	dsts := make([]io.Writer, multi.Len())
+	for i := range bufs {
+		dsts[i] = &bufs[i]
+	}
+	var agg smp.Stats
+	qstats, runErr := multi.MultiProject(r.Context(), dsts, r.Body, smp.WithStatsInto(&agg))
+	s.bytesRead.Add(agg.BytesRead)
+	s.bytesWritten.Add(agg.BytesWritten)
+	var merr *smp.MultiError
+	if runErr != nil {
+		s.failures.Add(1)
+		if r.Context().Err() != nil {
+			// Client went away: nothing has been written yet (outputs are
+			// buffered), so just account for the abort and drop the
+			// connection.
+			s.cancelled.Add(1)
+			panic(http.ErrAbortHandler)
+		}
+		if !errors.As(runErr, &merr) {
+			s.fail(w, http.StatusBadRequest, runErr.Error())
+			return
+		}
+	}
+
+	mw := multipart.NewWriter(w)
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	w.Header().Set("X-SMP-Queries", strconv.Itoa(multi.Len()))
+	setStatsHeaders(w.Header(), agg)
+	for i := range bufs {
+		h := make(textproto.MIMEHeader)
+		h.Set("Content-Type", "application/xml")
+		h.Set("X-SMP-Query", strconv.Itoa(i))
+		h.Set("X-SMP-Paths", specs[i])
+		h.Set("X-SMP-Bytes-Written", strconv.FormatInt(qstats[i].BytesWritten, 10))
+		h.Set("X-SMP-Tags-Matched", strconv.FormatInt(qstats[i].TagsMatched, 10))
+		if merr != nil && merr.Errs[i] != nil {
+			h.Set("X-SMP-Error", merr.Errs[i].Error())
+		}
+		pw, err := mw.CreatePart(h)
+		if err != nil {
+			log.Printf("smpserve: multipart framing: %v", err)
+			panic(http.ErrAbortHandler)
+		}
+		if merr == nil || merr.Errs[i] == nil {
+			if _, err := pw.Write(bufs[i].Bytes()); err != nil {
+				log.Printf("smpserve: writing query %d output: %v", i, err)
+				panic(http.ErrAbortHandler)
+			}
+		}
+	}
+	if err := mw.Close(); err != nil {
+		log.Printf("smpserve: closing multipart response: %v", err)
+	}
+}
+
+// multiPrefilterFor resolves the request's DTD plus its repeated paths= (or
+// query=) parameters to a merged multi-query prefilter. Each query is first
+// resolved through the same LRU the /project endpoint uses — so a
+// multi-query request warms (and reuses) exactly the per-query plans that
+// standalone requests serve from — and the merged entry is then cached under
+// the ordered per-query key list, weighed merge-aware: only the union scan
+// tables it adds on top of the already-weighed per-query plans.
+func (s *server) multiPrefilterFor(r *http.Request) (*smp.MultiPrefilter, []string, error) {
+	dtdSource, err := requestDTD(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	pathsList := r.URL.Query()["paths"]
+	queryList := r.URL.Query()["query"]
+	switch {
+	case len(pathsList) == 0 && len(queryList) == 0:
+		return nil, nil, fmt.Errorf("missing ?paths=... or ?query=... parameters (repeat one per query)")
+	case len(pathsList) > 0 && len(queryList) > 0:
+		return nil, nil, fmt.Errorf("give either ?paths= or ?query= parameters, not both")
+	}
+	raw, isQuery := pathsList, false
+	if len(queryList) > 0 {
+		raw, isQuery = queryList, true
+	}
+	dtdID := "dtd=inline"
+	if dataset := r.URL.Query().Get("dataset"); dataset != "" {
+		dtdID = "dataset=" + dataset
+	}
+	specs := make([]string, len(raw))
+	for i, spec := range raw {
+		canonical, err := canonicalSpecOne(spec, isQuery)
+		if err != nil {
+			return nil, nil, fmt.Errorf("query %d: %v", i, err)
+		}
+		specs[i] = canonical
+	}
+	// Canonicalization alone determines the merged key, so a warm multi
+	// entry serves without touching (or recompiling) the per-query entries —
+	// under capacity pressure the singles may have been evicted, and
+	// resolving them first would rebuild them on every request just to
+	// discard the result on this hit.
+	multiKey := "\x00multi\x00" + dtdSource + "\x00" + strings.Join(specs, "\x00")
+	if v, ok := s.cache.get(multiKey); ok {
+		return v.(*smp.MultiPrefilter), specs, nil
+	}
+	pfs := make([]*smp.Prefilter, len(specs))
+	for i, canonical := range specs {
+		pf, err := s.cachedPrefilter(dtdSource, canonical, dtdID+" paths="+canonical)
+		if err != nil {
+			return nil, nil, fmt.Errorf("query %d: %v", i, err)
+		}
+		pfs[i] = pf
+	}
+	multi, err := smp.NewMultiPrefilter(pfs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The merged entry weighs only the union scan tables: its per-query
+	// plans are shared with (and weighed by) the single entries resolved
+	// above. The known tradeoff: if capacity pressure later evicts a single
+	// entry, the surviving multi entry still pins that plan, so totalBytes
+	// undercounts until the multi entry is evicted too — size -cache at
+	// least one above the largest expected query fan-out to keep the
+	// accounting tight.
+	label := fmt.Sprintf("multi %s queries=%d union=%d", dtdID, multi.Len(), multi.PlanStats().UnionKeywords)
+	v := s.cache.put(multiKey, label, multi, multi.PlanStats().ScanBytes)
+	return v.(*smp.MultiPrefilter), specs, nil
+}
+
+// canonicalSpecOne canonicalizes one multi-query parameter.
+func canonicalSpecOne(spec string, isQuery bool) (string, error) {
+	if isQuery {
+		return canonicalSpec("", spec)
+	}
+	return canonicalSpec(spec, "")
+}
+
 // countingWriter tracks whether (and how much of) the response body has
 // been written, which decides how a projection error can be reported.
 type countingWriter struct {
@@ -237,23 +413,46 @@ func (s *server) prefilterFor(r *http.Request) (*smp.Prefilter, error) {
 	case pathSpec != "" && querySpec != "":
 		return nil, fmt.Errorf("give either ?paths= or ?query=, not both")
 	}
-
-	key := dtdSource + "\x00p\x00" + pathSpec + "\x00q\x00" + querySpec
-	if pf, ok := s.cache.get(key); ok {
-		return pf, nil
-	}
-	// Compile outside the cache lock; a concurrent request for the same key
-	// may compile twice, but both results are equivalent and put() keeps one.
-	var pf *smp.Prefilter
-	if pathSpec != "" {
-		pf, err = smp.Compile(dtdSource, pathSpec, s.opts)
-	} else {
-		pf, err = smp.CompileQuery(dtdSource, querySpec, s.opts)
-	}
+	canonical, err := canonicalSpec(pathSpec, querySpec)
 	if err != nil {
 		return nil, err
 	}
-	return s.cache.put(key, entryLabel(r, pathSpec, querySpec), pf), nil
+	return s.cachedPrefilter(dtdSource, canonical, entryLabel(r, pathSpec, querySpec))
+}
+
+// canonicalSpec resolves a request's projection spec — a literal path list
+// or an XQuery expression — to the canonical path-set spelling: paths
+// parsed, deduplicated and sorted. Requests naming the same set in a
+// different order (or extracting it from a query) therefore share one cache
+// key and one compiled plan.
+func canonicalSpec(pathSpec, querySpec string) (string, error) {
+	var set *paths.Set
+	var err error
+	if pathSpec != "" {
+		set, err = paths.ParseSet(pathSpec)
+	} else {
+		set, err = paths.ExtractQuery(querySpec)
+	}
+	if err != nil {
+		return "", err
+	}
+	return set.String(), nil
+}
+
+// cachedPrefilter returns the compiled prefilter for a canonical (DTD, path
+// set) key, compiling and inserting on a miss. Compilation happens outside
+// the cache lock; a concurrent request for the same key may compile twice,
+// but both results are equivalent and put() keeps one.
+func (s *server) cachedPrefilter(dtdSource, canonical, label string) (*smp.Prefilter, error) {
+	key := dtdSource + "\x00" + canonical
+	if v, ok := s.cache.get(key); ok {
+		return v.(*smp.Prefilter), nil
+	}
+	pf, err := smp.Compile(dtdSource, canonical, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.cache.put(key, label, pf, pf.PlanStats().MemBytes).(*smp.Prefilter), nil
 }
 
 // entryLabel builds the human-readable /stats identity of a cache entry.
@@ -318,6 +517,8 @@ type statsResponse struct {
 	IntraWorkers   int              `json:"intra_workers"`
 	IntraMinBytes  int64            `json:"intra_min_bytes"`
 	IntraRequests  int64            `json:"intra_requests"`
+	MultiRequests  int64            `json:"multi_requests"`
+	MultiQueries   int64            `json:"multi_queries"`
 	Cancelled      int64            `json:"cancelled"`
 	BytesRead      int64            `json:"bytes_read"`
 	BytesWritten   int64            `json:"bytes_written"`
@@ -338,6 +539,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IntraWorkers:   s.intraWorkers,
 		IntraMinBytes:  s.intraMin,
 		IntraRequests:  s.intraRequests.Load(),
+		MultiRequests:  s.multiRequests.Load(),
+		MultiQueries:   s.multiQueries.Load(),
 		Cancelled:      s.cancelled.Load(),
 		BytesRead:      s.bytesRead.Load(),
 		BytesWritten:   s.bytesWritten.Load(),

@@ -212,9 +212,9 @@ func TestCacheEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache.put("a", "a", pf)
-	cache.put("b", "b", pf)
-	cache.put("c", "c", pf) // evicts "a"
+	cache.put("a", "a", pf, pf.PlanStats().MemBytes)
+	cache.put("b", "b", pf, pf.PlanStats().MemBytes)
+	cache.put("c", "c", pf, pf.PlanStats().MemBytes) // evicts "a"
 	if _, ok := cache.get("a"); ok {
 		t.Error("entry a should have been evicted")
 	}
@@ -225,7 +225,7 @@ func TestCacheEviction(t *testing.T) {
 	if size != 2 || evictions != 1 {
 		t.Errorf("size/evictions = %d/%d, want 2/1", size, evictions)
 	}
-	if want := 2 * entryWeight("b", pf); bytes != want {
+	if want := 2 * (pf.PlanStats().MemBytes + int64(len("b"))); bytes != want {
 		t.Errorf("cache bytes = %d, want %d (two weighted entries)", bytes, want)
 	}
 	for _, e := range entries {
@@ -243,15 +243,15 @@ func TestCacheByteBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	weight := entryWeight("a", pf)
+	weight := pf.PlanStats().MemBytes + int64(len("a"))
 	if weight <= int64(len("a")) {
 		t.Fatalf("entry weight %d does not include the plan footprint", weight)
 	}
 
 	// Budget for one and a half entries: the second put must evict the first.
 	cache := newPrefilterCache(16, weight*3/2)
-	cache.put("a", "a", pf)
-	cache.put("b", "b", pf)
+	cache.put("a", "a", pf, pf.PlanStats().MemBytes)
+	cache.put("b", "b", pf, pf.PlanStats().MemBytes)
 	if _, ok := cache.get("a"); ok {
 		t.Error("entry a should have been evicted by the byte budget")
 	}
@@ -261,7 +261,7 @@ func TestCacheByteBudget(t *testing.T) {
 
 	// A budget smaller than a single plan still keeps the newest entry.
 	tiny := newPrefilterCache(16, 1)
-	tiny.put("only", "only", pf)
+	tiny.put("only", "only", pf, pf.PlanStats().MemBytes)
 	if _, ok := tiny.get("only"); !ok {
 		t.Error("most recent entry must never be evicted, even over budget")
 	}

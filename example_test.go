@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"strings"
 
@@ -140,4 +141,33 @@ func ExampleBatch() {
 	// b.xml: 431 -> 75 bytes (err=<nil>)
 	// c.xml: 431 -> 75 bytes (err=<nil>)
 	// batch: 3 documents, 0 failed
+}
+
+// ExampleMultiPrefilter_MultiProject serves three queries from one scan of
+// the document: each query's output is byte-identical to its standalone
+// Project run, but the document is only searched once.
+func ExampleMultiPrefilter_MultiProject() {
+	m, err := smp.CompileMulti(auctionDTD, []string{
+		"/*, //australia//description#",
+		"/*, //item/name#",
+		"/*, //africa//payment#",
+	}, smp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outs := make([]bytes.Buffer, m.Len())
+	dsts := make([]io.Writer, m.Len())
+	for i := range outs {
+		dsts[i] = &outs[i]
+	}
+	if _, err := m.MultiProject(context.Background(), dsts, strings.NewReader(auctionDoc)); err != nil {
+		log.Fatal(err)
+	}
+	for i := range outs {
+		fmt.Printf("query %d: %s\n", i, outs[i].String())
+	}
+	// Output:
+	// query 0: <site><australia><description>Palm Zire 71</description></australia></site>
+	// query 1: <site><item><name>T V</name></item><item><name>PDA</name></item></site>
+	// query 2: <site><africa><payment>Creditcard</payment></africa></site>
 }

@@ -63,14 +63,21 @@ type Candidate struct {
 	Err error
 }
 
-// ScanPlan is the immutable scan-side companion of a Plan: the union of
-// every state's frontier vocabulary, bucketed for anchored verification.
-// Every keyword starts with '<', so the scan does not need a general
-// multi-keyword matcher at all: it hops from '<' to '<' with the vectorized
-// bytes.IndexByte and verifies the handful of keywords whose first tagname
-// byte matches — which is also what keeps the speculation overhead low
-// enough for the parallel mode to win. Like the Plan, a ScanPlan is built
-// once and shared read-only by any number of segment scanners.
+// ScanPlan is the immutable scan-side companion of one or more Plans: the
+// union of every state's frontier vocabulary across every plan, bucketed for
+// anchored verification. Every keyword starts with '<', so the scan does not
+// need a general multi-keyword matcher at all: it hops from '<' to '<' with
+// the vectorized bytes.IndexByte and verifies the handful of keywords whose
+// first tagname byte matches — which is also what keeps the speculation
+// overhead low enough for the parallel mode to win. Like the Plan, a
+// ScanPlan is built once and shared read-only by any number of segment
+// scanners.
+//
+// The candidate stream a ScanPlan produces is a sound and complete oracle
+// for ANY runtime automaton whose vocabulary is a subset of the scanned
+// union (see the invariants above): this is the seam the intra-document
+// parallel mode (internal/split, one plan) and the multi-query mode
+// (internal/multiquery, K merged plans) both build on.
 type ScanPlan struct {
 	plan *Plan
 	// open[c] holds the keywords "<c…" and closing[c] the keywords "</c…",
@@ -78,6 +85,7 @@ type ScanPlan struct {
 	open, closing [256][]scanKeyword
 	count         int
 	maxKw         int
+	memSize       int64
 }
 
 type scanKeyword struct {
@@ -87,14 +95,28 @@ type scanKeyword struct {
 
 // NewScanPlan derives the global-vocabulary scan tables from a compiled
 // plan.
-func NewScanPlan(p *Plan) *ScanPlan {
+func NewScanPlan(p *Plan) *ScanPlan { return NewScanPlanUnion([]*Plan{p}) }
+
+// NewScanPlanUnion derives one set of scan tables from the union of several
+// plans' vocabularies. A keyword determines its token ("<x…" is the opening
+// token x, "</x…" the closing token x) independently of the plan that
+// contributed it, so merging vocabularies never creates a conflict: the
+// shared candidate stream reports each occurrence once, and every consumer
+// automaton recognizes exactly the candidates whose token its current state
+// searches for. This is what lets K queries share a single document scan.
+func NewScanPlanUnion(plans []*Plan) *ScanPlan {
+	if len(plans) == 0 {
+		panic("core: NewScanPlanUnion needs at least one plan")
+	}
 	tokens := make(map[string]glushkov.Token)
 	var order []string
-	for _, st := range p.table.States {
-		for _, kw := range st.Vocabulary {
-			if _, ok := tokens[kw.Keyword]; !ok {
-				tokens[kw.Keyword] = kw.Token
-				order = append(order, kw.Keyword)
+	for _, p := range plans {
+		for _, st := range p.table.States {
+			for _, kw := range st.Vocabulary {
+				if _, ok := tokens[kw.Keyword]; !ok {
+					tokens[kw.Keyword] = kw.Token
+					order = append(order, kw.Keyword)
+				}
 			}
 		}
 	}
@@ -106,12 +128,14 @@ func NewScanPlan(p *Plan) *ScanPlan {
 		}
 		return order[a] < order[b]
 	})
-	sp := &ScanPlan{plan: p, count: len(order)}
+	sp := &ScanPlan{plan: plans[0], count: len(order)}
+	sp.memSize = 2 * 256 * 24 // the two bucket arrays (slice headers)
 	for _, kw := range order {
 		sk := scanKeyword{pattern: []byte(kw), token: tokens[kw]}
 		if len(kw) > sp.maxKw {
 			sp.maxKw = len(kw)
 		}
+		sp.memSize += int64(len(kw)+len(sk.token.Name)) + 48
 		if sk.token.Close {
 			// "</x…": bucket by the byte after the slash.
 			c := sk.pattern[2]
@@ -124,8 +148,15 @@ func NewScanPlan(p *Plan) *ScanPlan {
 	return sp
 }
 
-// Plan returns the execution plan the scan tables were derived from.
+// Plan returns the execution plan the scan tables were derived from (the
+// first plan, for tables built over a union).
 func (sp *ScanPlan) Plan() *Plan { return sp.plan }
+
+// MemSize returns the approximate footprint of the scan tables in bytes:
+// what a union scan adds on top of the per-query plans it was derived from.
+// Cache implementations that already weigh the underlying plans should count
+// only this for a merged entry.
+func (sp *ScanPlan) MemSize() int64 { return sp.memSize }
 
 // MaxKeywordLen returns the length of the longest keyword in the union
 // vocabulary. Callers scanning non-final segments must provide at least

@@ -79,6 +79,32 @@ func (s Stats) OutputRatio() float64 {
 	return float64(s.BytesWritten) / float64(s.BytesRead)
 }
 
+// Add merges other's counters into s, for callers that aggregate several
+// runs (a batch of documents, or the per-query legs of one multi-query
+// pass): the work counters — bytes, comparisons, jumps, shifts, tags,
+// rejections — and the table sizes (States, CWStates, BMStates,
+// MatchersBuilt, which sum to the total automaton size driven by the merged
+// runs) are added, while MaxBufferBytes keeps the largest single-run
+// high-water mark, since runs that did not overlap in time never held their
+// buffers together.
+func (s *Stats) Add(other Stats) {
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	s.CharComparisons += other.CharComparisons
+	s.InitialJumpBytes += other.InitialJumpBytes
+	s.Shifts += other.Shifts
+	s.ShiftTotal += other.ShiftTotal
+	s.TagsMatched += other.TagsMatched
+	s.RejectedMatches += other.RejectedMatches
+	s.States += other.States
+	s.CWStates += other.CWStates
+	s.BMStates += other.BMStates
+	s.MatchersBuilt += other.MatchersBuilt
+	if other.MaxBufferBytes > s.MaxBufferBytes {
+		s.MaxBufferBytes = other.MaxBufferBytes
+	}
+}
+
 // addMatcher accumulates the run's string-matcher counters.
 func (s *Stats) addMatcher(m stringmatch.Counters) {
 	s.CharComparisons += m.Comparisons

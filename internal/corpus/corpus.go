@@ -23,6 +23,14 @@ type Engine interface {
 	Project(ctx context.Context, dst io.Writer, src io.Reader) (core.Stats, error)
 }
 
+// MultiEngine is the multi-query variant of Engine: one document, K queries,
+// one scan (internal/multiquery). It returns one Stats per query plus the
+// run aggregate; err carries the per-query failures. A nil dsts discards
+// every query's output.
+type MultiEngine interface {
+	MultiProject(ctx context.Context, dsts []io.Writer, src io.Reader) (query []core.Stats, run core.Stats, err error)
+}
+
 // Job is one document of a batch: a name for reporting, a source, and an
 // optional destination for the projected output.
 type Job struct {
@@ -34,6 +42,10 @@ type Job struct {
 	// Dst opens the destination for the projection. A nil Dst discards the
 	// output (useful for measurement runs where only the stats matter).
 	Dst func() (io.WriteCloser, error)
+	// Dsts opens the per-query destinations of a multi-query batch (a runner
+	// with NewMultiEngine); it must return one writer per merged query. A nil
+	// Dsts discards every query's output. Single-query runs ignore it.
+	Dsts func() ([]io.WriteCloser, error)
 	// Cleanup, if non-nil, is called after a failed run (any error in the
 	// job's Result, including a cancelled context) so file-backed
 	// destinations can remove their partial output. FromFile sets it.
@@ -74,8 +86,13 @@ type Result struct {
 	Name string
 	// Worker is the index of the worker that ran the job.
 	Worker int
-	// Stats are the runtime counters of the job's prefiltering run.
+	// Stats are the runtime counters of the job's prefiltering run. For a
+	// multi-query run they are the aggregate: the shared scan pass plus
+	// every query's replay, with the document counted once.
 	Stats core.Stats
+	// QueryStats holds the per-query counters of a multi-query run, in query
+	// order; nil for single-query runs.
+	QueryStats []core.Stats
 	// Elapsed is the wall-clock time of the run, including source open and
 	// destination close.
 	Elapsed time.Duration
@@ -126,6 +143,11 @@ type Runner struct {
 	// core.NewFromPlan over one shared plan so the workers still hold a
 	// single copy of the compiled tables.
 	NewEngine func() Engine
+	// NewMultiEngine, if non-nil, turns the batch into a multi-query batch:
+	// every job's document is projected for all K merged queries in one scan
+	// (job destinations come from Job.Dsts). It takes precedence over Engine
+	// and NewEngine.
+	NewMultiEngine func() MultiEngine
 	// Workers is the pool size; values < 1 select runtime.GOMAXPROCS(0).
 	Workers int
 }
@@ -137,11 +159,11 @@ type Runner struct {
 // drain without running them; in-flight jobs abort at their engine's next
 // chunk boundary and record ctx.Err() in their Result as well.
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, Aggregate) {
-	if r.Engine == nil && r.NewEngine == nil {
+	if r.Engine == nil && r.NewEngine == nil && r.NewMultiEngine == nil {
 		// Fail per the API contract (errors live in Results) instead of
 		// panicking on a nil interface inside a worker goroutine.
 		results := make([]Result, len(jobs))
-		err := errors.New("corpus: Runner needs Engine or NewEngine")
+		err := errors.New("corpus: Runner needs Engine, NewEngine or NewMultiEngine")
 		for i, job := range jobs {
 			results[i] = Result{Name: job.Name, Err: err}
 		}
@@ -161,6 +183,17 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, Aggregate) {
 	start := time.Now()
 
 	for w := 0; w < workers; w++ {
+		if r.NewMultiEngine != nil {
+			multi := r.NewMultiEngine()
+			wg.Add(1)
+			go func(worker int, multi MultiEngine) {
+				defer wg.Done()
+				for i := range indexes {
+					results[i] = runMultiJob(ctx, worker, multi, jobs[i])
+				}
+			}(w, multi)
+			continue
+		}
 		engine := r.Engine
 		if r.NewEngine != nil {
 			engine = r.NewEngine()
@@ -181,16 +214,18 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, Aggregate) {
 	wg.Wait()
 
 	agg := Aggregate{Documents: len(jobs), Elapsed: time.Since(start)}
+	var sum core.Stats
 	for _, res := range results {
 		if res.Err != nil {
 			agg.Failed++
 			continue
 		}
-		agg.BytesRead += res.Stats.BytesRead
-		agg.BytesWritten += res.Stats.BytesWritten
-		agg.CharComparisons += res.Stats.CharComparisons
-		agg.TagsMatched += res.Stats.TagsMatched
+		sum.Add(res.Stats)
 	}
+	agg.BytesRead = sum.BytesRead
+	agg.BytesWritten = sum.BytesWritten
+	agg.CharComparisons = sum.CharComparisons
+	agg.TagsMatched = sum.TagsMatched
 	return results, agg
 }
 
@@ -200,6 +235,12 @@ func runJob(ctx context.Context, worker int, engine Engine, job Job) Result {
 	timer := stats.StartTimer()
 	defer func() { res.Elapsed = timer.Elapsed() }()
 
+	if job.Dsts != nil {
+		// A multi-query job in a single-query batch would silently discard
+		// its per-query outputs; fail it instead.
+		res.Err = errors.New("corpus: job has multi-query destinations (Dsts) but the runner is single-query")
+		return res
+	}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
@@ -234,6 +275,109 @@ func runJob(ctx context.Context, worker int, engine Engine, job Job) Result {
 	}
 	return res
 }
+
+// runMultiJob executes one multi-query job on one worker: the document is
+// opened once, projected for every merged query in one scan, and each
+// query's output goes to its own destination from Job.Dsts.
+func runMultiJob(ctx context.Context, worker int, engine MultiEngine, job Job) Result {
+	res := Result{Name: job.Name, Worker: worker}
+	timer := stats.StartTimer()
+	defer func() { res.Elapsed = timer.Elapsed() }()
+
+	if job.Dsts == nil && job.Dst != nil {
+		// A single-destination job in a multi-query batch would silently
+		// discard every query's output; fail it instead (a job with neither
+		// destination is an intentional measurement run).
+		res.Err = errors.New("corpus: job has a single destination (Dst) but the runner is multi-query; use Dsts")
+		return res
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	src, err := job.Src()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer src.Close()
+
+	var dsts []io.Writer
+	var closers []io.Closer
+	if job.Dsts != nil {
+		wcs, err := job.Dsts()
+		if err != nil {
+			res.Err = err
+			if job.Cleanup != nil {
+				job.Cleanup()
+			}
+			return res
+		}
+		dsts = make([]io.Writer, len(wcs))
+		for i, wc := range wcs {
+			dsts[i] = wc
+			closers = append(closers, wc)
+		}
+	}
+
+	res.QueryStats, res.Stats, res.Err = engine.MultiProject(ctx, dsts, src)
+	for _, c := range closers {
+		if cerr := c.Close(); res.Err == nil {
+			res.Err = cerr
+		}
+	}
+	if res.Err != nil && job.Cleanup != nil {
+		job.Cleanup()
+	}
+	return res
+}
+
+// FromFileMulti builds a multi-query Job: the document read from inPath,
+// query i's projection written to outPaths[i] (an empty outPath discards
+// that query's output). A job that fails — or is cancelled — removes every
+// non-empty outPath, matching the ProjectFile contract (like FromFile, the
+// removal is unconditional, so the closures hold no per-run state and the
+// Job stays safe to reuse across concurrent Run calls).
+func FromFileMulti(inPath string, outPaths []string) Job {
+	j := Job{
+		Name: inPath,
+		Src:  func() (io.ReadCloser, error) { return os.Open(inPath) },
+	}
+	j.Dsts = func() ([]io.WriteCloser, error) {
+		wcs := make([]io.WriteCloser, len(outPaths))
+		for i, p := range outPaths {
+			if p == "" {
+				wcs[i] = nopWriteCloser{io.Discard}
+				continue
+			}
+			f, err := os.Create(p)
+			if err != nil {
+				for q, wc := range wcs[:i] {
+					wc.Close()
+					if outPaths[q] != "" {
+						os.Remove(outPaths[q])
+					}
+				}
+				return nil, err
+			}
+			wcs[i] = f
+		}
+		return wcs, nil
+	}
+	j.Cleanup = func() {
+		for _, p := range outPaths {
+			if p != "" {
+				os.Remove(p)
+			}
+		}
+	}
+	return j
+}
+
+// nopWriteCloser discards Close for writer-only destinations.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
 
 // Report renders a batch's results and aggregate as a stats.Table, one row
 // per document plus a summary note.

@@ -1,0 +1,34 @@
+// Package multiquery projects one document for K queries in a single scan.
+//
+// The paper reduces XML projection to keyword search, and the expensive part
+// of serving a query is the search itself: scanning the document for
+// occurrences of the query's tag-keyword vocabulary. That work is shareable.
+// This package merges the compiled plans of K queries into one union
+// vocabulary, runs the anchored position-exhaustive scan of
+// internal/core/scan.go exactly once over the input, and drives K per-query
+// runtime automata (paper Fig. 4) off the shared candidate stream. Each
+// query keeps its own cursor, copy region and counters and writes to its own
+// destination, so per-query output is byte-identical to a standalone serial
+// run by construction.
+//
+// Soundness rests on the same two properties the intra-document parallel
+// mode (internal/split) uses, applied to a union of vocabularies: keyword
+// occurrences never overlap (every keyword starts with '<' and has no
+// interior '<'), and at any position at most one keyword of ANY union is
+// valid (the terminator byte disambiguates prefixes). A candidate's token is
+// a pure function of its keyword, independent of which query contributed it,
+// so the shared stream is a sound and complete oracle for every automaton
+// whose vocabulary the union subsumes: each query selects the first valid
+// candidate of its current state's vocabulary at or after its cursor —
+// exactly the occurrence its standalone search would have matched — and
+// every other candidate is invisible to it.
+//
+// The pipeline is deliberately sequential: one goroutine reads the input in
+// overlapping segments, scans each segment once, replays all K automata over
+// the candidates, and retires segments every query has moved past (flushing
+// open copy regions up to the retired boundary, which bounds memory by the
+// segment size plus straddling-tag lookback, independent of document size).
+// The win over K independent runs is algorithmic — one scan instead of K —
+// and therefore shows on a single core; combine it with internal/corpus for
+// the inter-document parallel axis.
+package multiquery

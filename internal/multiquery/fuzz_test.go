@@ -1,0 +1,94 @@
+package multiquery
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"smp/internal/compile"
+	"smp/internal/core"
+	"smp/internal/dtd"
+	"smp/internal/paths"
+)
+
+// fuzzMultiPlans compiles the fuzz fixture once: three overlapping queries
+// over the Fig. 1 DTD plus three prefix-colliding queries — the union
+// vocabulary mixes short, long and prefix-sharing keywords.
+var fuzzMultiPlans = sync.OnceValue(func() [][]*core.Plan {
+	sets := []struct {
+		dtdSrc string
+		specs  []string
+	}{
+		{fig1DTD, []string{"/*, //australia//description#", "/*, //item/name#", "/*, //asia//item#"}},
+		{prefixDTD, []string{"/*, //Abstract#", "/*, //AbstractText#", "/*, //AbstractTextTranslatedVersion#"}},
+	}
+	var out [][]*core.Plan
+	for _, s := range sets {
+		var plans []*core.Plan
+		for _, spec := range s.specs {
+			table, err := compile.Compile(dtd.MustParse(s.dtdSrc), paths.MustParseSet(spec), compile.Options{})
+			if err != nil {
+				panic(err)
+			}
+			plans = append(plans, core.NewPlan(table, core.Options{ChunkSize: 48}))
+		}
+		out = append(out, plans)
+	}
+	return out
+})
+
+var fuzzMultis = sync.OnceValue(func() []*Multi {
+	var ms []*Multi
+	for _, plans := range fuzzMultiPlans() {
+		ms = append(ms, New(plans))
+	}
+	return ms
+})
+
+// FuzzMultiProject feeds arbitrary documents through K standalone serial
+// engines and one shared multi-query pass and requires per-query agreement:
+// identical projection bytes whenever the standalone run succeeds, and
+// failure exactly when it fails. This is the executable form of the shared-
+// oracle soundness argument (see doc.go).
+func FuzzMultiProject(f *testing.F) {
+	f.Add([]byte(`<site><regions><africa/><asia/><australia><item><location>x</location><name>n</name><payment>p</payment><description>d</description><shipping/><incategory category="1"/></item></australia></regions></site>`), uint16(64))
+	f.Add([]byte(`<r><rec><Abstract>a</Abstract><AbstractText>b</AbstractText></rec></r>`), uint16(70))
+	f.Add([]byte(`<r><rec><AbstractText a="q>u<o/te">long text `+strings.Repeat("pad ", 64)+`</AbstractText></rec></r>`), uint16(91))
+	f.Add([]byte(`<site>`+strings.Repeat(`<regions>`, 40)+`plain`), uint16(80))
+	f.Add([]byte(``), uint16(64))
+	f.Add(bytes.Repeat([]byte(`< <site <AbstractTex </r <<>`), 30), uint16(77))
+
+	f.Fuzz(func(t *testing.T, doc []byte, chunkRaw uint16) {
+		chunk := 64 + int(chunkRaw%2048) // 64..2111
+		for si, m := range fuzzMultis() {
+			plans := fuzzMultiPlans()[si]
+			bufs := make([]bytes.Buffer, len(plans))
+			dsts := make([]io.Writer, len(plans))
+			for i := range bufs {
+				dsts[i] = &bufs[i]
+			}
+			_, runErr := m.Project(context.Background(), dsts, bytes.NewReader(doc), Options{ChunkSize: chunk})
+			merr, _ := runErr.(*Error)
+			if runErr != nil && merr == nil {
+				t.Fatalf("set %d chunk %d: run error is %T, want *Error: %v", si, chunk, runErr, runErr)
+			}
+			for i, plan := range plans {
+				want, _, wantErr := core.NewFromPlan(plan).ProjectBytes(context.Background(), doc)
+				var gotErr error
+				if merr != nil {
+					gotErr = merr.Errs[i]
+				}
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("set %d chunk %d query %d: serial err = %v, multi err = %v", si, chunk, i, wantErr, gotErr)
+				}
+				if wantErr == nil && !bytes.Equal(want, bufs[i].Bytes()) {
+					t.Fatalf("set %d chunk %d query %d: output differs: serial %d bytes, multi %d bytes",
+						si, chunk, i, len(want), bufs[i].Len())
+				}
+			}
+		}
+	})
+}

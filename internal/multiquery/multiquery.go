@@ -1,0 +1,723 @@
+package multiquery
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"smp/internal/compile"
+	"smp/internal/core"
+	"smp/internal/glushkov"
+	"smp/internal/projection"
+)
+
+// Options configures one multi-query projection run.
+type Options struct {
+	// ChunkSize is the scan segment granularity in bytes (the shared
+	// pipeline's analogue of the serial window chunk); 0 selects the largest
+	// chunk size among the merged plans.
+	ChunkSize int
+}
+
+// Multi is a compiled multi-query projection: K immutable per-query plans
+// merged behind one union-vocabulary scan table. A Multi is built once (New)
+// and never mutated afterwards, so it is safe for concurrent use by multiple
+// goroutines — every Project call allocates its own run state.
+type Multi struct {
+	plans []*core.Plan
+	scan  *core.ScanPlan
+	chunk int
+}
+
+// New merges the compiled plans of K queries into one multi-query
+// projection. The union scan tables are derived here, once; Project never
+// builds tables. The plans may come from entirely unrelated path sets — the
+// scan simply searches the union of their vocabularies, and each query's
+// automaton recognizes exactly the candidates it would have matched alone.
+func New(plans []*core.Plan) *Multi {
+	if len(plans) == 0 {
+		panic("multiquery: New needs at least one plan")
+	}
+	chunk := 0
+	for _, p := range plans {
+		if c := p.Options().ChunkSize; c > chunk {
+			chunk = c
+		}
+	}
+	return &Multi{plans: plans, scan: core.NewScanPlanUnion(plans), chunk: chunk}
+}
+
+// Len returns the number of merged queries.
+func (m *Multi) Len() int { return len(m.plans) }
+
+// Plans returns the merged per-query plans, in query order.
+func (m *Multi) Plans() []*core.Plan { return m.plans }
+
+// ScanPlan returns the shared union-vocabulary scan tables.
+func (m *Multi) ScanPlan() *core.ScanPlan { return m.scan }
+
+// Result bundles the counters of one multi-query run.
+type Result struct {
+	// Query holds one Stats per query, in input order: that query's
+	// replay-side counters (bytes written, tags matched, initial jumps, tag
+	// scan comparisons) plus its own automaton sizes. BytesRead reports the
+	// shared pass's total — the one scan serves every query, so each query's
+	// ratio counters are relative to the same document.
+	Query []core.Stats
+	// Scan holds the shared pass's counters: the bytes read, the anchored
+	// scan's shifts and comparisons, the rejected raw matches and the
+	// segment-chain memory high-water mark. This work was done once, however
+	// many queries consumed it.
+	Scan core.Stats
+}
+
+// Aggregate folds the result into one Stats: the shared scan pass plus every
+// query's replay counters, with the document counted once.
+func (r Result) Aggregate() core.Stats {
+	agg := r.Scan
+	for _, q := range r.Query {
+		agg.Add(q)
+	}
+	// Every per-query Stats reports the shared read and held no buffers of
+	// its own; the document and the chain memory count once, not K times.
+	agg.BytesRead = r.Scan.BytesRead
+	agg.MaxBufferBytes = r.Scan.MaxBufferBytes
+	return agg
+}
+
+// Error reports the per-query failures of one multi-query run. Errs has one
+// slot per query, in input order; a nil slot is a query that succeeded.
+// Errors are isolated per query: one query's write failure or DTD
+// conformance error never stops the others, while a run-level failure (a
+// source read error, a cancelled context) fails every query that had not
+// already finished — exactly the error each would have hit standalone.
+type Error struct {
+	Errs []error
+}
+
+// Error summarizes the failures.
+func (e *Error) Error() string {
+	failed := 0
+	var first error
+	for _, err := range e.Errs {
+		if err != nil {
+			failed++
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	if failed == 1 {
+		return fmt.Sprintf("multiquery: 1 of %d queries failed: %v", len(e.Errs), first)
+	}
+	return fmt.Sprintf("multiquery: %d of %d queries failed (first: %v)", failed, len(e.Errs), first)
+}
+
+// Unwrap exposes the non-nil per-query errors to errors.Is and errors.As.
+func (e *Error) Unwrap() []error {
+	var errs []error
+	for _, err := range e.Errs {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// Project streams the document read from src through the shared scan once
+// and writes query i's projection to dsts[i]. Each query's output is
+// byte-identical to a standalone serial core run of its plan over the same
+// document. dsts must have one writer per query (nil writers discard that
+// query's output); a nil dsts discards every output, for measurement runs.
+//
+// The context is checked at every segment boundary — the multi-query
+// pipeline's analogue of the serial window's chunk boundary — so a cancelled
+// ctx stops the run before its next read and fails the unfinished queries
+// with ctx.Err(). If any query fails, the returned error is a *Error with
+// one slot per query.
+func (m *Multi) Project(ctx context.Context, dsts []io.Writer, src io.Reader, opts Options) (Result, error) {
+	if dsts == nil {
+		dsts = make([]io.Writer, len(m.plans))
+	}
+	if len(dsts) != len(m.plans) {
+		return Result{}, fmt.Errorf("multiquery: %d destinations for %d queries", len(dsts), len(m.plans))
+	}
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = m.chunk
+	}
+	if chunk < 64 {
+		chunk = 64
+	}
+	d := newDriver(ctx, m, dsts, src, chunk)
+	return d.run()
+}
+
+// mseg is one scanned slice of the input: the bytes from absolute offset
+// base onward, of which the first owned bytes belong to this segment (the
+// rest is the lookahead the scanner needs for keywords starting on the last
+// owned bytes), plus the candidates found within the owned range.
+type mseg struct {
+	base  int64
+	data  []byte
+	owned int
+	final bool
+	cands []core.Candidate
+}
+
+// end returns the absolute offset one past the segment's owned bytes.
+// Consecutive segments' owned ranges tile the input without gaps.
+func (s *mseg) end() int64 { return s.base + int64(s.owned) }
+
+// source reads the input sequentially, cuts it into overlapping segments and
+// scans each exactly once against the union vocabulary. This is the single
+// shared pass: everything downstream only walks the sparse candidate lists.
+type source struct {
+	ctx     context.Context
+	r       io.Reader
+	sc      *core.SegmentScanner
+	segSize int
+	overlap int
+	carry   []byte // bytes already read past the previous segment boundary
+	base    int64
+	done    bool
+	// err is the terminal failure — a read error or the run context's error
+	// — observed after the last data segment was handed out; nil at a clean
+	// end of input.
+	err error
+
+	bytesRead int64
+	// freeData and freeCands recycle retired segments' buffers, so the
+	// steady state allocates nothing per segment.
+	freeData  [][]byte
+	freeCands [][]core.Candidate
+}
+
+func newSource(ctx context.Context, r io.Reader, scan *core.ScanPlan, segSize int) *source {
+	overlap := scan.MaxKeywordLen() + 1
+	return &source{ctx: ctx, r: r, sc: scan.NewScanner(), segSize: segSize, overlap: overlap}
+}
+
+// next returns the next scanned segment, or nil when the input is exhausted;
+// s.err then carries the read or context error (nil at a clean end). The
+// context is checked here, at the segment boundary, so a cancelled run stops
+// before its next read. A mid-stream read error emits the bytes read so far
+// as a non-final trailing segment first — anything unresolved at its edge (a
+// truncated keyword or tag) then chases the next segment, finds none, and
+// surfaces the underlying error exactly where the serial window would.
+func (s *source) next() *mseg {
+	if s.done {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.done = true
+		s.err = err
+		return nil
+	}
+	want := s.segSize + s.overlap
+	if len(s.carry) < want {
+		if cap(s.carry) < want {
+			grown := make([]byte, len(s.carry), want)
+			copy(grown, s.carry)
+			s.carry = grown
+		}
+		n, err := io.ReadFull(s.r, s.carry[len(s.carry):want])
+		s.carry = s.carry[:len(s.carry)+n]
+		s.bytesRead += int64(n)
+		switch err {
+		case nil:
+		case io.EOF, io.ErrUnexpectedEOF:
+			s.done = true
+			return s.emit(len(s.carry), true)
+		default:
+			s.done = true
+			s.err = err
+			return s.emit(len(s.carry), false)
+		}
+	}
+	return s.emit(s.segSize, false)
+}
+
+// emit cuts a segment owning the first owned bytes of carry, scans it, and
+// carries the tail (the lookahead shared with the next segment) over into a
+// fresh buffer.
+func (s *source) emit(owned int, final bool) *mseg {
+	seg := &mseg{base: s.base, data: s.carry, owned: owned, final: final}
+	tail := s.carry[owned:]
+	var next []byte
+	if n := len(s.freeData); n > 0 {
+		next, s.freeData = s.freeData[n-1], s.freeData[:n-1]
+	}
+	if cap(next) < s.segSize+s.overlap {
+		next = make([]byte, 0, s.segSize+s.overlap)
+	}
+	s.carry = append(next[:0], tail...)
+	s.base += int64(owned)
+
+	var cands []core.Candidate
+	if n := len(s.freeCands); n > 0 {
+		cands, s.freeCands = s.freeCands[n-1], s.freeCands[:n-1]
+	}
+	seg.cands = s.sc.Scan(cands[:0], seg.data, seg.base, seg.owned, seg.final)
+	return seg
+}
+
+// recycle returns a retired segment's buffers to the free lists. The caller
+// guarantees no query still references the segment's data.
+func (s *source) recycle(seg *mseg) {
+	s.freeData = append(s.freeData, seg.data[:0])
+	s.freeCands = append(s.freeCands, seg.cands[:0])
+}
+
+// qrun is the replay state of one query: its automaton position, cursor,
+// copy region and counters — exactly the per-run state of a standalone
+// serial engine, minus the window (the driver's shared segment chain plays
+// that role for every query at once).
+type qrun struct {
+	plan  *core.Plan
+	table *compile.Table
+	out   io.Writer
+
+	q      int
+	st     *compile.State
+	cursor int64
+
+	copyActive bool
+	copyStart  int64
+
+	// seg is the index (sequence number) of the segment whose candidates the
+	// query consumes next, cand the position within its candidate list.
+	seg, cand int
+
+	stats    core.Stats
+	writeErr error
+	err      error
+	done     bool
+}
+
+// live reports whether the query still consumes candidates.
+func (k *qrun) live() bool { return !k.done && k.err == nil }
+
+// enter moves the query to state q: it re-resolves the state pointer,
+// completes the query if no vocabulary remains (the state is final by
+// construction), and applies the state's initial jump (table J) — the same
+// order as the serial engine's run loop head.
+func (k *qrun) enter(q int) {
+	k.q = q
+	k.st = k.table.State(q)
+	if len(k.st.Vocabulary) == 0 {
+		k.done = true
+		return
+	}
+	if k.st.Jump > 0 {
+		k.cursor += int64(k.st.Jump)
+		k.stats.InitialJumpBytes += int64(k.st.Jump)
+	}
+}
+
+// driver owns one multi-query run: the shared source, the chain of live
+// segments, and the K query replays. Everything is sequential — one
+// goroutine, no synchronization; the speedup over K independent runs is
+// purely algorithmic (one document scan instead of K).
+type driver struct {
+	src      *source
+	segs     []*mseg // live chain; segs[0] has sequence number firstSeq
+	firstSeq int
+	queries  []*qrun
+
+	held    int // bytes across live segments (the run's memory)
+	maxHeld int
+}
+
+func newDriver(ctx context.Context, m *Multi, dsts []io.Writer, src io.Reader, chunk int) *driver {
+	d := &driver{src: newSource(ctx, src, m.scan, chunk)}
+	d.queries = make([]*qrun, len(m.plans))
+	for i, plan := range m.plans {
+		out := dsts[i]
+		if out == nil {
+			out = io.Discard
+		}
+		d.queries[i] = &qrun{plan: plan, table: plan.Table(), out: out}
+	}
+	return d
+}
+
+func (d *driver) lastSeq() int        { return d.firstSeq + len(d.segs) - 1 }
+func (d *driver) segAt(seq int) *mseg { return d.segs[seq-d.firstSeq] }
+
+func (d *driver) anyLive() bool {
+	for _, k := range d.queries {
+		if k.live() {
+			return true
+		}
+	}
+	return false
+}
+
+// load appends the next scanned segment to the chain. It reports false when
+// the input is exhausted (d.src.err then carries any terminal error).
+func (d *driver) load() bool {
+	seg := d.src.next()
+	if seg == nil {
+		return false
+	}
+	d.segs = append(d.segs, seg)
+	d.held += len(seg.data)
+	if d.held > d.maxHeld {
+		d.maxHeld = d.held
+	}
+	return true
+}
+
+// run executes the multi-query replay: load one segment per round, advance
+// every live query through everything loaded, retire what nobody needs
+// anymore. Reading stops as soon as every query has finished (like the
+// serial engine, which stops at its final automaton state). One query's tag
+// chase can pull segments ahead mid-round; queries advanced earlier that
+// round catch up on the next pass, so the loop only ends once the input is
+// exhausted AND every live query has consumed every loaded segment.
+func (d *driver) run() (Result, error) {
+	for _, k := range d.queries {
+		k.enter(k.table.Initial)
+	}
+	for d.anyLive() {
+		loaded := d.load()
+		caughtUp := true
+		for _, k := range d.queries {
+			if k.live() && k.seg <= d.lastSeq() {
+				d.advance(k)
+				caughtUp = false
+			}
+		}
+		d.retire()
+		if !loaded && caughtUp {
+			break
+		}
+	}
+	d.finish()
+	return d.result()
+}
+
+// advance feeds k every candidate of every currently loaded segment, in
+// position order. Candidates before the cursor (inside the previous tag, or
+// skipped by a jump) and candidates whose token the current state does not
+// search for are invisible, exactly as they are to a standalone run.
+// Resolving a straddling tag end may load further segments mid-loop;
+// re-reading lastSeq each iteration picks those up.
+func (d *driver) advance(k *qrun) {
+	for k.live() && k.seg <= d.lastSeq() {
+		seg := d.segAt(k.seg)
+		for k.cand < len(seg.cands) {
+			c := &seg.cands[k.cand]
+			k.cand++
+			if c.Pos < k.cursor {
+				continue
+			}
+			if !vocabHasToken(k.st, c.Token) {
+				continue
+			}
+			d.selectCandidate(k, c)
+			if !k.live() {
+				return
+			}
+		}
+		k.seg++
+		k.cand = 0
+	}
+}
+
+// selectCandidate performs one step of the Fig. 4 automaton for query k: the
+// candidate is the first valid occurrence of the state's vocabulary at or
+// after the cursor — the same occurrence the standalone engine's search
+// would have matched. A bachelor tag is treated as its opening tag
+// immediately followed by its closing tag.
+func (d *driver) selectCandidate(k *qrun, c *core.Candidate) {
+	tagEnd, bachelor, err := d.resolveTagEnd(k, c)
+	if err != nil {
+		k.err = err
+		return
+	}
+	next := k.table.Successor(k.q, c.Token)
+	if next < 0 {
+		k.err = core.TransitionError(k.q, c.Token)
+		return
+	}
+	if c.Token.Close {
+		d.performClose(k, k.table.State(next), tagEnd, false)
+		k.q = next
+	} else {
+		d.performOpen(k, k.table.State(next), c.Pos, tagEnd, bachelor)
+		k.q = next
+		if bachelor {
+			closeTok := glushkov.Closing(c.Token.Name)
+			nextClose := k.table.Successor(k.q, closeTok)
+			if nextClose < 0 {
+				k.err = core.TransitionError(k.q, closeTok)
+				return
+			}
+			d.performClose(k, k.table.State(nextClose), tagEnd, true)
+			k.q = nextClose
+		}
+	}
+	if k.writeErr != nil {
+		k.err = k.writeErr
+		return
+	}
+	k.stats.TagsMatched++
+	k.cursor = tagEnd + 1
+	k.enter(k.q)
+}
+
+// resolveTagEnd returns the candidate's tag end, resuming the scan across
+// following segments when the tag straddles the candidate's data (the
+// scanner then reported Complete == false). Running out of input mirrors the
+// serial engine: a pending read or context error surfaces as such, a clean
+// end of input inside a tag is the EOF-inside-tag error.
+func (d *driver) resolveTagEnd(k *qrun, c *core.Candidate) (int64, bool, error) {
+	if c.Complete {
+		return c.TagEnd, c.Bachelor, c.Err
+	}
+	var ts core.TagScan
+	i := c.Pos + int64(c.KwLen)
+	for {
+		seg, err := d.segmentAt(i)
+		if err != nil {
+			return 0, false, err
+		}
+		if seg == nil {
+			return 0, false, core.EOFInsideTagError(c.Pos)
+		}
+		data := seg.data[:seg.owned]
+		for rel := int(i - seg.base); rel < len(data); rel++ {
+			k.stats.CharComparisons++
+			done, bachelor := ts.Feed(data[rel])
+			if done {
+				if c.Token.Close {
+					bachelor = false
+				}
+				return seg.base + int64(rel), bachelor, nil
+			}
+			if seg.base+int64(rel)+1-c.Pos > core.MaxTagLength {
+				return 0, false, core.TagTooLongError(c.Pos)
+			}
+		}
+		i = seg.end()
+	}
+}
+
+// segmentAt returns the live segment whose owned range covers the absolute
+// offset, loading further segments as needed. It returns (nil, nil) past the
+// end of input and the terminal error if the input failed.
+func (d *driver) segmentAt(off int64) (*mseg, error) {
+	for {
+		for _, seg := range d.segs {
+			if off >= seg.base && off < seg.end() {
+				return seg, nil
+			}
+		}
+		if !d.load() {
+			return nil, d.src.err
+		}
+	}
+}
+
+// performOpen executes the action of the state entered by an opening tag
+// (mirror of the serial engine's performOpen, writing to k's output).
+func (d *driver) performOpen(k *qrun, st *compile.State, tagStart, tagEnd int64, bachelor bool) {
+	switch st.Action {
+	case projection.CopySubtree:
+		k.copyActive = true
+		k.copyStart = tagStart
+	case projection.CopyTagAttrs:
+		d.writeRaw(k, tagStart, tagEnd+1)
+	case projection.CopyTag:
+		open, _, bach := k.plan.TagStrings(st)
+		if bachelor {
+			k.writeString(bach)
+		} else {
+			k.writeString(open)
+		}
+	}
+}
+
+// performClose executes the action of the state entered by a closing tag
+// (mirror of the serial engine's performClose).
+func (d *driver) performClose(k *qrun, st *compile.State, tagEnd int64, bachelor bool) {
+	switch st.Action {
+	case projection.CopySubtree:
+		if k.copyActive {
+			d.writeRaw(k, k.copyStart, tagEnd+1)
+			k.copyActive = false
+		} else if !bachelor {
+			_, closeTag, _ := k.plan.TagStrings(st)
+			k.writeString(closeTag)
+		}
+	case projection.CopyTagAttrs, projection.CopyTag:
+		if !bachelor {
+			_, closeTag, _ := k.plan.TagStrings(st)
+			k.writeString(closeTag)
+		}
+	}
+}
+
+// ensureCovered loads segments until the chain's owned ranges cover the
+// absolute offset. It reports false only if the input ends first, which
+// cannot happen for offsets inside a resolved tag.
+func (d *driver) ensureCovered(off int64) bool {
+	for {
+		if n := len(d.segs); n > 0 && d.segs[n-1].end() > off {
+			return true
+		}
+		if !d.load() {
+			return false
+		}
+	}
+}
+
+// writeRaw copies the input bytes [from, to) to k's output, assembling them
+// from the live segments' owned ranges. A resolved tag end may lie in a
+// segment's lookahead whose owner has not been loaded yet — ensureCovered
+// loads it first.
+func (d *driver) writeRaw(k *qrun, from, to int64) {
+	if k.writeErr != nil || to <= from {
+		return
+	}
+	if !d.ensureCovered(to - 1) {
+		if k.writeErr = d.src.err; k.writeErr == nil {
+			k.writeErr = io.ErrUnexpectedEOF
+		}
+		return
+	}
+	for _, seg := range d.segs {
+		lo, hi := from, to
+		if lo < seg.base {
+			lo = seg.base
+		}
+		if hi > seg.end() {
+			hi = seg.end()
+		}
+		if lo >= hi {
+			continue
+		}
+		n, err := k.out.Write(seg.data[lo-seg.base : hi-seg.base])
+		k.stats.BytesWritten += int64(n)
+		if err != nil {
+			k.writeErr = err
+			return
+		}
+	}
+}
+
+// writeString writes a synthesized tag to k's output.
+func (k *qrun) writeString(str string) {
+	if k.writeErr != nil {
+		return
+	}
+	n, err := io.WriteString(k.out, str)
+	k.stats.BytesWritten += int64(n)
+	if err != nil {
+		k.writeErr = err
+	}
+}
+
+// retire drops head segments every live query has moved past, flushing each
+// open copy region up to the retired boundary first (its bytes can never be
+// needed again — the next selected match starts at or after it; the serial
+// engine flushes at window boundaries instead, but both emit the region's
+// bytes contiguously, so the concatenated output is identical). Retired
+// buffers go back to the source's free lists.
+func (d *driver) retire() {
+	for len(d.segs) > 0 {
+		head := d.segs[0]
+		for _, k := range d.queries {
+			if k.live() && k.seg <= d.firstSeq {
+				return
+			}
+		}
+		for _, k := range d.queries {
+			if k.live() && k.copyActive && k.copyStart < head.end() {
+				d.writeRaw(k, k.copyStart, head.end())
+				k.copyStart = head.end()
+				if k.writeErr != nil {
+					k.err = k.writeErr
+				}
+			}
+		}
+		d.segs = d.segs[1:]
+		d.firstSeq++
+		d.held -= len(head.data)
+		d.src.recycle(head)
+	}
+}
+
+// finish settles every query still live once the input is exhausted: a
+// terminal source error (read failure, cancelled context) fails each of them
+// — the standalone engine would have hit the same error at its window's next
+// read, even in a final state — while a clean end of input completes queries
+// whose state is final and diagnoses the others exactly as the serial
+// engine's end-of-input path does.
+func (d *driver) finish() {
+	if d.src.err != nil {
+		for _, k := range d.queries {
+			if k.live() {
+				k.err = d.src.err
+			}
+		}
+		return
+	}
+	for _, k := range d.queries {
+		if !k.live() {
+			continue
+		}
+		if k.st.Final {
+			k.done = true
+		} else {
+			k.err = core.EndOfInputError(k.q, k.st)
+		}
+	}
+}
+
+// result assembles the per-query and scan-side counters and the per-query
+// error slots.
+func (d *driver) result() (Result, error) {
+	res := Result{Query: make([]core.Stats, len(d.queries))}
+	m, inspected, rejected := d.src.sc.Counters()
+	res.Scan.BytesRead = d.src.bytesRead
+	res.Scan.CharComparisons = m.Comparisons + inspected
+	res.Scan.Shifts = m.Shifts
+	res.Scan.ShiftTotal = m.ShiftTotal
+	res.Scan.RejectedMatches = rejected
+	res.Scan.MaxBufferBytes = int64(d.maxHeld)
+
+	failed := false
+	for i, k := range d.queries {
+		k.stats.BytesRead = d.src.bytesRead
+		k.stats.States = k.table.Stats.States
+		k.stats.CWStates = k.table.Stats.CWStates
+		k.stats.BMStates = k.table.Stats.BMStates
+		k.stats.MatchersBuilt = k.plan.MatcherCount()
+		res.Query[i] = k.stats
+		if k.err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		return res, nil
+	}
+	errs := make([]error, len(d.queries))
+	for i, k := range d.queries {
+		errs[i] = k.err
+	}
+	return res, &Error{Errs: errs}
+}
+
+// vocabHasToken reports whether the state's frontier vocabulary contains the
+// token (linear scan; vocabularies are small).
+func vocabHasToken(st *compile.State, tok glushkov.Token) bool {
+	for _, kw := range st.Vocabulary {
+		if kw.Token == tok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,496 @@
+package multiquery
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"smp/internal/compile"
+	"smp/internal/core"
+	"smp/internal/dtd"
+	"smp/internal/paths"
+	"smp/internal/xmlgen"
+)
+
+// The simplified XMark DTD of paper Fig. 1 (leaf elements are #PCDATA).
+const fig1DTD = `<!DOCTYPE site [
+	<!ELEMENT site (regions)>
+	<!ELEMENT regions (africa, asia, australia)>
+	<!ELEMENT africa (item*)>
+	<!ELEMENT asia (item*)>
+	<!ELEMENT australia (item*)>
+	<!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+	<!ELEMENT incategory EMPTY>
+	<!ATTLIST incategory category ID #REQUIRED>
+	<!ELEMENT location (#PCDATA)>
+	<!ELEMENT name (#PCDATA)>
+	<!ELEMENT payment (#PCDATA)>
+	<!ELEMENT description (#PCDATA)>
+	<!ELEMENT shipping (#PCDATA)>
+]>`
+
+// prefixDTD has tagnames that are prefixes of each other, to exercise
+// longest-match verification against the union vocabulary.
+const prefixDTD = `<!DOCTYPE r [
+	<!ELEMENT r (rec*)>
+	<!ELEMENT rec (Abstract?, AbstractText, AbstractTextTranslatedVersion?)>
+	<!ELEMENT Abstract (#PCDATA)>
+	<!ELEMENT AbstractText (#PCDATA)>
+	<!ELEMENT AbstractTextTranslatedVersion (#PCDATA)>
+]>`
+
+func makePlan(t testing.TB, dtdSrc, pathSpec string, opts core.Options) *core.Plan {
+	t.Helper()
+	table, err := compile.Compile(dtd.MustParse(dtdSrc), paths.MustParseSet(pathSpec), compile.Options{})
+	if err != nil {
+		t.Fatalf("compile %q: %v", pathSpec, err)
+	}
+	return core.NewPlan(table, opts)
+}
+
+func makePlans(t testing.TB, dtdSrc string, pathSpecs []string, opts core.Options) []*core.Plan {
+	t.Helper()
+	plans := make([]*core.Plan, len(pathSpecs))
+	for i, spec := range pathSpecs {
+		plans[i] = makePlan(t, dtdSrc, spec, opts)
+	}
+	return plans
+}
+
+func buildFig1Doc(n int) []byte {
+	var b bytes.Buffer
+	b.WriteString(`<site><regions><africa>`)
+	for i := 0; b.Len() < n/3; i++ {
+		fmt.Fprintf(&b, `<item><location>loc%d</location><name>n%d</name><payment>cash</payment><description>africa item %d with some text padding</description><shipping/><incategory category="c%d"/></item>`, i, i, i, i)
+	}
+	b.WriteString(`</africa><asia>`)
+	for i := 0; b.Len() < 2*n/3; i++ {
+		fmt.Fprintf(&b, `<item ><location a="x<nav y" b='also </desc here'>asia</location><name>m%d</name><payment>wire</payment><description>asia item %d</description><shipping>boat</shipping><incategory category="k"/></item>`, i, i)
+	}
+	b.WriteString(`</asia><australia>`)
+	for i := 0; b.Len() < n; i++ {
+		fmt.Fprintf(&b, `<item><location>oz</location><name>au%d</name><payment>card</payment><description>australian description number %d, deliberately long so that copy regions span several segments when the segment size is tiny</description><shipping>air</shipping><incategory category="z%d"/></item>`, i, i, i)
+	}
+	b.WriteString(`</australia></regions></site>`)
+	return b.Bytes()
+}
+
+// serialRun projects doc with a standalone serial engine over the plan.
+func serialRun(t testing.TB, plan *core.Plan, doc []byte) ([]byte, error) {
+	t.Helper()
+	out, _, err := core.NewFromPlan(plan).ProjectBytes(context.Background(), doc)
+	return out, err
+}
+
+// assertEquivalent runs the multi-query projection of plans over doc and
+// asserts each query's output and error match its standalone serial run.
+func assertEquivalent(t *testing.T, plans []*core.Plan, doc []byte, opts Options) {
+	t.Helper()
+	m := New(plans)
+	bufs := make([]bytes.Buffer, len(plans))
+	dsts := make([]io.Writer, len(plans))
+	for i := range bufs {
+		dsts[i] = &bufs[i]
+	}
+	res, runErr := m.Project(context.Background(), dsts, bytes.NewReader(doc), opts)
+	var merr *Error
+	if runErr != nil && !errors.As(runErr, &merr) {
+		t.Fatalf("run error is %T, want *Error: %v", runErr, runErr)
+	}
+	for i, plan := range plans {
+		want, wantErr := serialRun(t, plan, doc)
+		var gotErr error
+		if merr != nil {
+			gotErr = merr.Errs[i]
+		}
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("query %d: serial err = %v, multi err = %v", i, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Errorf("query %d: serial err %q, multi err %q", i, wantErr, gotErr)
+			}
+			continue
+		}
+		if !bytes.Equal(want, bufs[i].Bytes()) {
+			t.Errorf("query %d: output differs: serial %d bytes, multi %d bytes",
+				i, len(want), bufs[i].Len())
+		}
+		if res.Query[i].BytesWritten != int64(bufs[i].Len()) {
+			t.Errorf("query %d: BytesWritten = %d, wrote %d", i, res.Query[i].BytesWritten, bufs[i].Len())
+		}
+	}
+	if runErr == nil && res.Scan.BytesRead != int64(len(doc)) {
+		// Reading may legitimately stop early when every query finishes, but
+		// never exceed the document.
+		if res.Scan.BytesRead > int64(len(doc)) {
+			t.Errorf("Scan.BytesRead = %d > document %d", res.Scan.BytesRead, len(doc))
+		}
+	}
+}
+
+// TestMultiProjectEquivalenceWorkloads asserts byte-identity between one
+// shared pass and K independent serial runs on the bundled XMark and MEDLINE
+// benchmark query sets, for K in {1, 2, 4, 8} and several scan granularities
+// (including ones small enough that keywords and tags straddle segments).
+func TestMultiProjectEquivalenceWorkloads(t *testing.T) {
+	workloads := []struct {
+		name    string
+		dtdSrc  string
+		doc     []byte
+		queries []xmlgen.Query
+	}{
+		{"xmark", xmlgen.XMarkDTD(), xmlgen.XMarkBytes(xmlgen.Config{TargetSize: 128 << 10, Seed: 7}), xmlgen.XMarkQueries()},
+		{"medline", xmlgen.MedlineDTD(), xmlgen.MedlineBytes(xmlgen.Config{TargetSize: 128 << 10, Seed: 7}), xmlgen.MedlineQueries()},
+	}
+	for _, wl := range workloads {
+		for _, k := range []int{1, 2, 4, 8} {
+			n := k
+			if n > len(wl.queries) {
+				n = len(wl.queries)
+			}
+			specs := make([]string, n)
+			for i := 0; i < n; i++ {
+				specs[i] = wl.queries[i].Paths
+			}
+			t.Run(fmt.Sprintf("%s/k%d", wl.name, k), func(t *testing.T) {
+				plans := makePlans(t, wl.dtdSrc, specs, core.Options{})
+				for _, chunk := range []int{64, 301, 32 << 10} {
+					assertEquivalent(t, plans, wl.doc, Options{ChunkSize: chunk})
+				}
+			})
+		}
+	}
+}
+
+// TestMultiProjectVocabularyMixes covers the vocabulary-overlap spectrum:
+// fully overlapping (the same query twice), partially overlapping, and
+// disjoint frontier vocabularies, plus prefix-colliding tagnames whose
+// longest-first resolution must not leak across queries.
+func TestMultiProjectVocabularyMixes(t *testing.T) {
+	docFig1 := buildFig1Doc(48 << 10)
+	var docPrefix bytes.Buffer
+	docPrefix.WriteString(`<r>`)
+	for i := 0; docPrefix.Len() < 24<<10; i++ {
+		fmt.Fprintf(&docPrefix, `<rec><Abstract>short %d</Abstract><AbstractText>text %d</AbstractText><AbstractTextTranslatedVersion attr="v>alue">translated %d</AbstractTextTranslatedVersion></rec>`, i, i, i)
+	}
+	docPrefix.WriteString(`</r>`)
+
+	cases := []struct {
+		name   string
+		dtdSrc string
+		doc    []byte
+		specs  []string
+	}{
+		{"identical", fig1DTD, docFig1, []string{
+			"/*, //australia//description#",
+			"/*, //australia//description#",
+		}},
+		{"overlapping", fig1DTD, docFig1, []string{
+			"/*, //australia//description#",
+			"/*, //item/name#",
+			"/*, //asia//item#",
+		}},
+		{"disjoint", fig1DTD, docFig1, []string{
+			"/*, //item/name#",
+			"/*, //item/payment#",
+		}},
+		{"prefix-collisions", prefixDTD, docPrefix.Bytes(), []string{
+			"/*, //Abstract#",
+			"/*, //AbstractText#",
+			"/*, //AbstractTextTranslatedVersion#",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plans := makePlans(t, tc.dtdSrc, tc.specs, core.Options{})
+			for _, chunk := range []int{64, 777, 8 << 10} {
+				assertEquivalent(t, plans, tc.doc, Options{ChunkSize: chunk})
+			}
+		})
+	}
+}
+
+// TestMultiProjectNonConforming asserts that a document violating the DTD
+// fails each query with exactly the diagnostic its standalone run reports —
+// including queries whose automata accept the malformed part and succeed.
+func TestMultiProjectNonConforming(t *testing.T) {
+	// regions out of order: africa content appears inside asia.
+	doc := []byte(`<site><regions><africa></africa><australia><item><location>x</location><name>n</name><payment>p</payment><description>d</description><shipping/><incategory category="1"/></item></australia><asia></asia></regions></site>`)
+	plans := makePlans(t, fig1DTD, []string{
+		"/*, //australia//description#",
+		"/*, //asia//item#",
+		"/*, //item/name#",
+	}, core.Options{})
+	assertEquivalent(t, plans, doc, Options{ChunkSize: 64})
+	// Truncated document: ends inside a tag.
+	assertEquivalent(t, plans, []byte(`<site><regions><africa><item `), Options{ChunkSize: 64})
+	// Empty document.
+	assertEquivalent(t, plans, nil, Options{ChunkSize: 64})
+}
+
+// failAfterReader yields the prefix, then fails with errBoom.
+type failAfterReader struct {
+	data []byte
+	off  int
+}
+
+var errBoom = errors.New("boom: backing store failed")
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, errBoom
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestMultiProjectReadError asserts that a mid-stream read failure surfaces
+// the underlying error for every query the input had not yet completed,
+// while queries that finished before the failure point stay successful.
+func TestMultiProjectReadError(t *testing.T) {
+	doc := buildFig1Doc(64 << 10)
+	plans := makePlans(t, fig1DTD, []string{
+		"/*, //australia//description#",
+		"/*, //item/name#",
+	}, core.Options{})
+	m := New(plans)
+	prefix := doc[:len(doc)/2]
+	_, err := m.Project(context.Background(), nil, &failAfterReader{data: prefix}, Options{ChunkSize: 512})
+	var merr *Error
+	if !errors.As(err, &merr) {
+		t.Fatalf("error = %v, want *Error", err)
+	}
+	for i, qerr := range merr.Errs {
+		if !errors.Is(qerr, errBoom) {
+			t.Errorf("query %d: err = %v, want errBoom", i, qerr)
+		}
+	}
+	if !errors.Is(err, errBoom) {
+		t.Errorf("errors.Is(err, errBoom) = false through the multi error")
+	}
+	// The serial engine hits the same error.
+	for i, plan := range plans {
+		_, serr := core.NewFromPlan(plan).Project(context.Background(), io.Discard, &failAfterReader{data: prefix})
+		if !errors.Is(serr, errBoom) {
+			t.Errorf("query %d: serial err = %v, want errBoom", i, serr)
+		}
+	}
+}
+
+// failingWriter fails after limit bytes.
+type failingWriter struct {
+	n     int
+	limit int
+}
+
+var errSink = errors.New("sink full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		return 0, errSink
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// TestMultiProjectWriteErrorIsolation asserts that one query's failing
+// destination stops only that query: the others still produce byte-identical
+// output, and the run error carries exactly one non-nil slot.
+func TestMultiProjectWriteErrorIsolation(t *testing.T) {
+	doc := buildFig1Doc(64 << 10)
+	plans := makePlans(t, fig1DTD, []string{
+		"/*, //australia//description#",
+		"/*, //item/name#",
+	}, core.Options{})
+	m := New(plans)
+	var good bytes.Buffer
+	bad := &failingWriter{limit: 64}
+	_, err := m.Project(context.Background(), []io.Writer{bad, &good}, bytes.NewReader(doc), Options{ChunkSize: 1024})
+	var merr *Error
+	if !errors.As(err, &merr) {
+		t.Fatalf("error = %v, want *Error", err)
+	}
+	if !errors.Is(merr.Errs[0], errSink) {
+		t.Errorf("query 0 err = %v, want errSink", merr.Errs[0])
+	}
+	if merr.Errs[1] != nil {
+		t.Errorf("query 1 err = %v, want nil", merr.Errs[1])
+	}
+	want, werr := serialRun(t, plans[1], doc)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if !bytes.Equal(want, good.Bytes()) {
+		t.Errorf("query 1 output differs after query 0's write error: %d vs %d bytes", good.Len(), len(want))
+	}
+}
+
+// cancelAfterReader cancels the run context once limit bytes have streamed,
+// then keeps serving data — the pipeline must notice at its next segment
+// boundary.
+type cancelAfterReader struct {
+	data   []byte
+	off    int
+	limit  int
+	cancel context.CancelFunc
+}
+
+func (r *cancelAfterReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	if r.off >= r.limit && r.cancel != nil {
+		r.cancel()
+		r.cancel = nil
+	}
+	return n, nil
+}
+
+// TestMultiProjectCancellation covers the context paths: a pre-cancelled
+// context fails every query with ctx.Err() before any read, and a mid-run
+// cancellation is observed at a segment boundary.
+func TestMultiProjectCancellation(t *testing.T) {
+	doc := buildFig1Doc(128 << 10)
+	plans := makePlans(t, fig1DTD, []string{
+		"/*, //australia//description#",
+		"/*, //item/name#",
+	}, core.Options{})
+	m := New(plans)
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := m.Project(ctx, nil, bytes.NewReader(doc), Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res.Scan.BytesRead != 0 {
+			t.Errorf("read %d bytes under a pre-cancelled context", res.Scan.BytesRead)
+		}
+	})
+
+	t.Run("mid-run", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		src := &cancelAfterReader{data: doc, limit: 16 << 10, cancel: cancel}
+		_, err := m.Project(ctx, nil, src, Options{ChunkSize: 1024})
+		var merr *Error
+		if !errors.As(err, &merr) {
+			t.Fatalf("error = %v, want *Error", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errors.Is(err, context.Canceled) = false: %v", err)
+		}
+		for i, qerr := range merr.Errs {
+			if !errors.Is(qerr, context.Canceled) {
+				t.Errorf("query %d err = %v, want context.Canceled", i, qerr)
+			}
+		}
+		if src.off >= len(doc) {
+			t.Error("reader drained to EOF despite cancellation")
+		}
+	})
+}
+
+// TestMultiProjectDestinationMismatch pins the dsts contract.
+func TestMultiProjectDestinationMismatch(t *testing.T) {
+	plans := makePlans(t, fig1DTD, []string{"/*, //item/name#", "/*, //asia//item#"}, core.Options{})
+	m := New(plans)
+	_, err := m.Project(context.Background(), []io.Writer{io.Discard}, strings.NewReader("<site/>"), Options{})
+	if err == nil || !strings.Contains(err.Error(), "destinations") {
+		t.Fatalf("err = %v, want destination-count error", err)
+	}
+}
+
+// TestAggregateCountsDocumentOnce pins the Result.Aggregate contract: K
+// queries over one document aggregate to one document's bytes read, while
+// per-query work sums.
+func TestAggregateCountsDocumentOnce(t *testing.T) {
+	doc := buildFig1Doc(32 << 10)
+	plans := makePlans(t, fig1DTD, []string{
+		"/*, //australia//description#",
+		"/*, //item/name#",
+		"/*, //asia//item#",
+	}, core.Options{})
+	m := New(plans)
+	res, err := m.Project(context.Background(), nil, bytes.NewReader(doc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.Aggregate()
+	if agg.BytesRead != res.Scan.BytesRead {
+		t.Errorf("Aggregate.BytesRead = %d, want the shared pass's %d", agg.BytesRead, res.Scan.BytesRead)
+	}
+	var wantWritten, wantTags int64
+	for _, q := range res.Query {
+		wantWritten += q.BytesWritten
+		wantTags += q.TagsMatched
+	}
+	if agg.BytesWritten != wantWritten {
+		t.Errorf("Aggregate.BytesWritten = %d, want %d", agg.BytesWritten, wantWritten)
+	}
+	if agg.TagsMatched != wantTags {
+		t.Errorf("Aggregate.TagsMatched = %d, want %d", agg.TagsMatched, wantTags)
+	}
+}
+
+// TestMultiProjectStreamingChunked feeds the document through a reader that
+// returns tiny, irregular reads, so segment fills span many Read calls.
+func TestMultiProjectStreamingChunked(t *testing.T) {
+	doc := buildFig1Doc(32 << 10)
+	plans := makePlans(t, fig1DTD, []string{
+		"/*, //australia//description#",
+		"/*, //item/name#",
+	}, core.Options{})
+	m := New(plans)
+	bufs := make([]bytes.Buffer, len(plans))
+	dsts := []io.Writer{&bufs[0], &bufs[1]}
+	if _, err := m.Project(context.Background(), dsts, iotest(doc), Options{ChunkSize: 256}); err != nil {
+		t.Fatal(err)
+	}
+	for i, plan := range plans {
+		want, err := serialRun(t, plan, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, bufs[i].Bytes()) {
+			t.Errorf("query %d: output differs over a chunked reader", i)
+		}
+	}
+}
+
+// iotest returns a reader yielding irregular small reads.
+func iotest(doc []byte) io.Reader {
+	return &irregularReader{data: doc}
+}
+
+type irregularReader struct {
+	data []byte
+	off  int
+	step int
+}
+
+func (r *irregularReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	r.step = r.step%7 + 1
+	n := r.step * 13
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(r.data)-r.off {
+		n = len(r.data) - r.off
+	}
+	copy(p, r.data[r.off:r.off+n])
+	r.off += n
+	return n, nil
+}

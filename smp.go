@@ -27,7 +27,9 @@
 // WithChunkSize(n) for the window granularity, WithStatsInto(&st) to
 // receive the counters even on error paths. Whole-corpus workloads go
 // through Batch, which shards jobs across workers sharing one compiled
-// plan.
+// plan, and K concurrent queries over one document go through CompileMulti
+// and MultiPrefilter.MultiProject, which serve all K from a single document
+// scan (per-query output byte-identical to a standalone Project run).
 //
 // The package also bundles deterministic XMark-like and MEDLINE-like dataset
 // generators and the benchmark query workloads used by the experiment
