@@ -7,7 +7,7 @@ import (
 
 	"smp/internal/core"
 	"smp/internal/corpus"
-	"smp/internal/multiquery"
+	"smp/internal/pipeline"
 )
 
 // BatchJob is one document of a batch: a name for reporting, a source, and
@@ -71,6 +71,11 @@ type Batch struct {
 	Multi *MultiPrefilter
 	// Workers is the pool size; values < 1 select runtime.GOMAXPROCS(0).
 	Workers int
+	// IntraWorkers, if > 1, additionally fans each job's document scan out
+	// across that many segment-scan workers (Project's WithWorkers axis), so
+	// a batch can combine inter-document and intra-document parallelism.
+	// Documents smaller than the parallel threshold keep the serial scan.
+	IntraWorkers int
 	// ChunkSize overrides the streaming window chunk size of every job in
 	// the batch; 0 keeps the prefilter's compiled value.
 	ChunkSize int
@@ -87,9 +92,9 @@ func (b *Batch) Run(ctx context.Context, jobs []BatchJob) ([]BatchResult, BatchA
 		// worker can drive the same merged scan tables; only the per-run
 		// segment chain is private to each in-flight job.
 		multi := b.Multi.multi
-		chunk := b.ChunkSize
+		opts := pipeline.Options{Workers: b.IntraWorkers, ChunkSize: b.ChunkSize}
 		runner := corpus.Runner{
-			NewMultiEngine: func() corpus.MultiEngine { return multiBatchEngine{multi, chunk} },
+			NewMultiEngine: func() corpus.MultiEngine { return multiBatchEngine{multi, opts} },
 			Workers:        b.Workers,
 		}
 		return runner.Run(ctx, jobs)
@@ -101,6 +106,18 @@ func (b *Batch) Run(ctx context.Context, jobs []BatchJob) ([]BatchResult, BatchA
 			results[i] = BatchResult{Name: job.Name, Err: err}
 		}
 		return results, BatchAggregate{Documents: len(jobs), Failed: len(jobs)}
+	}
+	if b.IntraWorkers > 1 {
+		// Both axes at once: the shared K=1 pipeline engine is immutable, so
+		// every batch worker can drive it concurrently; each job fans its
+		// document scan out across IntraWorkers segment scanners.
+		eng := b.Prefilter.projector()
+		opts := pipeline.Options{Workers: b.IntraWorkers, ChunkSize: b.ChunkSize}
+		runner := corpus.Runner{
+			NewEngine: func() corpus.Engine { return intraBatchEngine{eng, opts} },
+			Workers:   b.Workers,
+		}
+		return runner.Run(ctx, jobs)
 	}
 	plan := b.Prefilter.engine.Plan()
 	chunk := b.ChunkSize
@@ -122,14 +139,27 @@ func (e batchEngine) Project(ctx context.Context, dst io.Writer, src io.Reader) 
 	return e.pf.ProjectWith(ctx, dst, src, core.RunOptions{ChunkSize: e.chunk})
 }
 
+// intraBatchEngine adapts the K=1 pipeline engine to the corpus runner for
+// batches that also fan out within each document.
+type intraBatchEngine struct {
+	eng  *pipeline.Engine
+	opts pipeline.Options
+}
+
+func (e intraBatchEngine) Project(ctx context.Context, dst io.Writer, src io.Reader) (core.Stats, error) {
+	res, err := e.eng.Project(ctx, []io.Writer{dst}, src, e.opts)
+	return res.Aggregate(), singleQueryErr(err)
+}
+
 // multiBatchEngine adapts a merged multi-query projection to the corpus
-// runner, carrying the batch's chunk-size override into every run.
+// runner, carrying the batch's worker and chunk-size overrides into every
+// run.
 type multiBatchEngine struct {
-	m     *multiquery.Multi
-	chunk int
+	m    *pipeline.Engine
+	opts pipeline.Options
 }
 
 func (e multiBatchEngine) MultiProject(ctx context.Context, dsts []io.Writer, src io.Reader) ([]core.Stats, core.Stats, error) {
-	res, err := e.m.Project(ctx, dsts, src, multiquery.Options{ChunkSize: e.chunk})
+	res, err := e.m.Project(ctx, dsts, src, e.opts)
 	return res.Query, res.Aggregate(), err
 }

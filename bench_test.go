@@ -18,12 +18,11 @@ import (
 	"smp/internal/core"
 	"smp/internal/corpus"
 	"smp/internal/dtd"
-	"smp/internal/multiquery"
 	"smp/internal/paths"
+	"smp/internal/pipeline"
 	"smp/internal/projection"
 	"smp/internal/query"
 	"smp/internal/sax"
-	"smp/internal/split"
 	"smp/internal/xmlgen"
 )
 
@@ -380,7 +379,7 @@ func BenchmarkCorpusParallel(b *testing.B) {
 
 // BenchmarkIntraDocParallel measures intra-document parallelism: ONE
 // document split into segments, scanned by N workers sharing the compiled
-// plan, and stitched back in order (internal/split). workers_1 is the
+// plan, and replayed back in order (internal/pipeline). workers_1 is the
 // serial engine baseline. On multicore hardware the scan fans out and the
 // pipeline should exceed 1.5x at 4 workers (MEDLINE-style vocabularies win
 // even earlier because the anchored scan out-shifts Commentz-Walter); on a
@@ -400,7 +399,7 @@ func BenchmarkIntraDocParallel(b *testing.B) {
 	for _, wl := range workloads {
 		q, _ := xmlgen.QueryByID(wl.queryID)
 		plan := core.NewPlan(compileFor(b, wl.schema, q.Paths, compile.Options{}), core.Options{})
-		projector := split.New(plan)
+		projector := pipeline.New([]*core.Plan{plan})
 		serial := core.NewFromPlan(plan)
 		want, _, err := serial.ProjectBytes(context.Background(), wl.doc)
 		if err != nil {
@@ -413,12 +412,14 @@ func BenchmarkIntraDocParallel(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					out, _, err := projector.ProjectBytes(context.Background(), wl.doc, split.Options{Workers: workers})
+					var out bytes.Buffer
+					out.Grow(len(want))
+					_, err := projector.ProjectBuffered(context.Background(), []io.Writer{&out}, wl.doc, pipeline.Options{Workers: workers})
 					if err != nil {
 						b.Fatal(err)
 					}
-					if len(out) != len(want) {
-						b.Fatalf("output size %d, want %d", len(out), len(want))
+					if out.Len() != len(want) {
+						b.Fatalf("output size %d, want %d", out.Len(), len(want))
 					}
 				}
 			})
@@ -433,7 +434,7 @@ func BenchmarkIntraDocStreaming(b *testing.B) {
 	benchSetup(b)
 	q, _ := xmlgen.QueryByID("XM13")
 	plan := core.NewPlan(compileFor(b, benchXMarkDTD, q.Paths, compile.Options{}), core.Options{})
-	projector := split.New(plan)
+	projector := pipeline.New([]*core.Plan{plan})
 	for _, workers := range []int{1, 4} {
 		workers := workers
 		b.Run("workers_"+strconv.Itoa(workers), func(b *testing.B) {
@@ -441,7 +442,7 @@ func BenchmarkIntraDocStreaming(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := projector.Project(context.Background(), io.Discard, newSliceReader(benchXMarkDoc), split.Options{Workers: workers}); err != nil {
+				if _, err := projector.Project(context.Background(), nil, newSliceReader(benchXMarkDoc), pipeline.Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -609,7 +610,7 @@ func BenchmarkMultiQuery(b *testing.B) {
 			plans[i] = core.NewPlan(compileFor(b, benchXMarkDTD, queries[i].Paths, compile.Options{}), core.Options{})
 			engines[i] = core.NewFromPlan(plans[i])
 		}
-		m := multiquery.New(plans)
+		m := pipeline.New(plans)
 
 		// Byte-identity before timing: the benchmark must not race ahead of
 		// a correctness regression.
@@ -626,7 +627,7 @@ func BenchmarkMultiQuery(b *testing.B) {
 		for i := range bufs {
 			dsts[i] = &bufs[i]
 		}
-		if _, err := m.Project(context.Background(), dsts, newSliceReader(benchXMarkDoc), multiquery.Options{}); err != nil {
+		if _, err := m.Project(context.Background(), dsts, newSliceReader(benchXMarkDoc), pipeline.Options{}); err != nil {
 			b.Fatal(err)
 		}
 		for i := range bufs {
@@ -652,7 +653,35 @@ func BenchmarkMultiQuery(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Project(context.Background(), nil, newSliceReader(benchXMarkDoc), multiquery.Options{}); err != nil {
+				if _, err := m.Project(context.Background(), nil, newSliceReader(benchXMarkDoc), pipeline.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultiQueryParallel measures both axes of the unified pipeline at
+// once: K merged queries replaying one candidate stream produced by W
+// segment-scan workers. w_1 is the serial shared scan (the old multiquery
+// shape); higher W fans the same scan out on multicore hardware.
+func BenchmarkMultiQueryParallel(b *testing.B) {
+	benchSetup(b)
+	queries := xmlgen.XMarkQueries()
+	const k = 4
+	plans := make([]*core.Plan, k)
+	for i := 0; i < k; i++ {
+		plans[i] = core.NewPlan(compileFor(b, benchXMarkDTD, queries[i].Paths, compile.Options{}), core.Options{})
+	}
+	m := pipeline.New(plans)
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run("k4_w"+itoa(workers), func(b *testing.B) {
+			b.SetBytes(int64(len(benchXMarkDoc)) * int64(k))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Project(context.Background(), nil, newSliceReader(benchXMarkDoc), pipeline.Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -149,6 +150,69 @@ func TestProjectCancelledParallel(t *testing.T) {
 	}
 }
 
+// TestMultiProjectCancelledMatrix cancels the unified pipeline mid-stream
+// across the K×W matrix, with cancellation points chosen to land in
+// different pipeline stages (during the first segment reads, mid-scan, and
+// late while the replays drain), and checks the prompt context error, the
+// goroutine baseline, and that the shared engine is not poisoned — an
+// uncancelled run afterwards stays byte-identical to the standalone runs.
+func TestMultiProjectCancelledMatrix(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		m, doc := multiFixture(t, XMark, k, 256<<10)
+		want := make([][]byte, m.Len())
+		for i := range want {
+			var buf bytes.Buffer
+			if _, err := m.Query(i).Project(context.Background(), &buf, bytes.NewReader(doc)); err != nil {
+				t.Fatal(err)
+			}
+			want[i] = buf.Bytes()
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			t.Run(fmt.Sprintf("k%d_w%d", k, workers), func(t *testing.T) {
+				before := runtime.NumGoroutine()
+				for _, at := range []int{4 << 10, len(doc) / 2, len(doc) - 512} {
+					ctx, cancel := context.WithCancel(context.Background())
+					_, err := m.MultiProject(ctx, nil,
+						&cancelAfterReader{r: bytes.NewReader(doc), n: at, cancel: cancel},
+						WithWorkers(workers), WithChunkSize(4<<10))
+					cancel()
+					// A cancellation landing on the final reads may lose the
+					// race with a clean finish; anything else must surface
+					// context.Canceled on every unfinished query.
+					if err == nil && at < len(doc)-4<<10 {
+						t.Fatalf("cancel@%d: run completed despite mid-stream cancellation", at)
+					}
+					if err != nil {
+						if !errors.Is(err, context.Canceled) {
+							t.Fatalf("cancel@%d: err = %v, want context.Canceled", at, err)
+						}
+						var merr *MultiError
+						if !errors.As(err, &merr) {
+							t.Fatalf("cancel@%d: err is %T, want *MultiError", at, err)
+						}
+					}
+					waitGoroutines(t, before)
+				}
+				bufs := make([]bytes.Buffer, m.Len())
+				dsts := make([]io.Writer, m.Len())
+				for i := range bufs {
+					dsts[i] = &bufs[i]
+				}
+				if _, err := m.MultiProject(context.Background(), dsts, bytes.NewReader(doc),
+					WithWorkers(workers), WithChunkSize(4<<10)); err != nil {
+					t.Fatal(err)
+				}
+				for i := range bufs {
+					if !bytes.Equal(bufs[i].Bytes(), want[i]) {
+						t.Errorf("query %d: output differs after cancelled runs", i)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestProjectFileCancelledRemovesOutput checks the no-partial-file contract
 // under cancellation, serial and parallel.
 func TestProjectFileCancelledRemovesOutput(t *testing.T) {
@@ -173,41 +237,48 @@ func TestProjectFileCancelledRemovesOutput(t *testing.T) {
 
 // TestBatchCancelledMidRun cancels a batch while jobs are in flight: every
 // result carries a context error, started jobs abort at a chunk boundary,
-// and the worker pool drains without leaking goroutines.
+// and the worker pool drains without leaking goroutines — with and without
+// the intra-document axis stacked on top.
 func TestBatchCancelledMidRun(t *testing.T) {
 	pf, _ := cancelFixture(t)
-	before := runtime.NumGoroutine()
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	for _, intra := range []int{0, 4} {
+		intra := intra
+		t.Run("intra_"+strconv.Itoa(intra), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
 
-	// Endless keyword-free sources: only cancellation can end these jobs.
-	var mu sync.Mutex
-	cancelOnce := func() {
-		mu.Lock()
-		defer mu.Unlock()
-		if cancel != nil {
-			cancel()
-		}
+			// Endless keyword-free sources: only cancellation can end these
+			// jobs.
+			var mu sync.Mutex
+			cancelOnce := func() {
+				mu.Lock()
+				defer mu.Unlock()
+				if cancel != nil {
+					cancel()
+				}
+			}
+			jobs := make([]BatchJob, 4)
+			for i := range jobs {
+				jobs[i] = BatchJob{
+					Name: "endless" + strconv.Itoa(i),
+					Src: func() (io.ReadCloser, error) {
+						return io.NopCloser(&endlessReader{after: 128 << 10, trigger: cancelOnce}), nil
+					},
+				}
+			}
+			results, agg := (&Batch{Prefilter: pf, Workers: 2, IntraWorkers: intra}).Run(ctx, jobs)
+			if agg.Failed != len(jobs) {
+				t.Fatalf("agg.Failed = %d, want %d", agg.Failed, len(jobs))
+			}
+			for i, res := range results {
+				if !errors.Is(res.Err, context.Canceled) {
+					t.Errorf("results[%d].Err = %v, want context.Canceled", i, res.Err)
+				}
+			}
+			waitGoroutines(t, before)
+		})
 	}
-	jobs := make([]BatchJob, 4)
-	for i := range jobs {
-		jobs[i] = BatchJob{
-			Name: "endless" + strconv.Itoa(i),
-			Src: func() (io.ReadCloser, error) {
-				return io.NopCloser(&endlessReader{after: 128 << 10, trigger: cancelOnce}), nil
-			},
-		}
-	}
-	results, agg := (&Batch{Prefilter: pf, Workers: 2}).Run(ctx, jobs)
-	if agg.Failed != len(jobs) {
-		t.Fatalf("agg.Failed = %d, want %d", agg.Failed, len(jobs))
-	}
-	for i, res := range results {
-		if !errors.Is(res.Err, context.Canceled) {
-			t.Errorf("results[%d].Err = %v, want context.Canceled", i, res.Err)
-		}
-	}
-	waitGoroutines(t, before)
 }
 
 // endlessReader produces keyword-free bytes forever and fires trigger once

@@ -24,11 +24,24 @@
 // time, the first run should cost the same as the steady state:
 //
 //	smpbench -coldstart -xmark 4MiB -queries XM1,XM13,M4
+//
+// Combining -multi K with -intra W runs the unified-pipeline grid: one
+// shared scan serving K queries, fanned out across 1..W segment-scan
+// workers, each cell verified byte-identical to K independent serial
+// passes before it is timed:
+//
+//	smpbench -multi 4 -intra 4 -xmark 8MiB
+//
+// Every benchmark mode verifies byte-identity against the serial engine
+// before timing and exits non-zero on any mismatch, so the harness doubles
+// as a correctness gate. With -json FILE the modes also append machine-
+// readable records ({mode, k, w, mbps}) to FILE for CI trend tracking.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -71,7 +84,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		docs        = fs.Int("docs", 16, "corpus mode: number of generated documents in the batch")
 		coldstart   = fs.Bool("coldstart", false, "cold-start mode: report compile, first-run and steady-state time per query")
 		intra       = fs.Int("intra", 0, "intra-document mode: split one document across N scan workers and compare against the serial engine (0 = off)")
-		multi       = fs.Int("multi", 0, "multi-query mode: project one document for K queries in one shared scan and compare against K independent passes (0 = off)")
+		multi       = fs.Int("multi", 0, "multi-query mode: project one document for K queries in one shared scan and compare against K independent passes (0 = off); combine with -intra for the K×W grid")
+		jsonPath    = fs.String("json", "", "also write machine-readable benchmark records ({mode,k,w,mbps}) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +117,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg.Queries = strings.Split(*queries, ",")
 	}
 
+	blog := &benchLog{}
 	var tables []*stats.Table
 	switch {
 	case *coldstart:
@@ -111,20 +126,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		tables = []*stats.Table{t}
+	case *multi > 0 && *intra > 0:
+		t, err := runGrid(ctx, *multi, *intra, cfg, blog)
+		if err != nil {
+			return err
+		}
+		tables = []*stats.Table{t}
 	case *parallel > 0:
-		t, err := runCorpus(ctx, *parallel, *docs, cfg)
+		t, err := runCorpus(ctx, *parallel, *docs, cfg, blog)
 		if err != nil {
 			return err
 		}
 		tables = []*stats.Table{t}
 	case *intra > 0:
-		t, err := runIntraDoc(ctx, *intra, cfg)
+		t, err := runIntraDoc(ctx, *intra, cfg, blog)
 		if err != nil {
 			return err
 		}
 		tables = []*stats.Table{t}
 	case *multi > 0:
-		t, err := runMultiQuery(ctx, *multi, cfg)
+		t, err := runMultiQuery(ctx, *multi, cfg, blog)
 		if err != nil {
 			return err
 		}
@@ -151,14 +172,56 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("unknown format %q", *format)
 		}
 	}
+	if *jsonPath != "" {
+		if err := blog.write(*jsonPath); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
+// benchRecord is one machine-readable measurement emitted by -json: the
+// benchmark mode, the number of queries K and scan workers W of the
+// configuration, and its throughput in MiB/s.
+type benchRecord struct {
+	Mode string  `json:"mode"`
+	K    int     `json:"k"`
+	W    int     `json:"w"`
+	MBps float64 `json:"mbps"`
+}
+
+// benchLog collects the records of one harness invocation for -json.
+type benchLog struct {
+	records []benchRecord
+}
+
+func (l *benchLog) add(mode string, k, w int, mbps float64) {
+	l.records = append(l.records, benchRecord{Mode: mode, K: k, W: w, MBps: mbps})
+}
+
+func (l *benchLog) write(path string) error {
+	if l.records == nil {
+		l.records = []benchRecord{}
+	}
+	data, err := json.MarshalIndent(l.records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// nopWriteCloser adapts an in-memory buffer to the BatchJob.Dst contract.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
 // runCorpus is the -parallel mode: it generates a batch of XMark-like
-// documents, prefilters the batch serially and with a worker pool (the
-// public smp.Batch API, workers sharing one compiled plan), and reports the
-// aggregate throughput of both plus the speedup.
-func runCorpus(ctx context.Context, workers, docCount int, cfg experiments.Config) (*stats.Table, error) {
+// documents, verifies that a worker pool run (the public smp.Batch API,
+// workers sharing one compiled plan) produces byte-identical output to the
+// serial engine on every document, then prefilters the batch serially and
+// with the pool and reports the aggregate throughput of both plus the
+// speedup.
+func runCorpus(ctx context.Context, workers, docCount int, cfg experiments.Config, blog *benchLog) (*stats.Table, error) {
 	queryID := "XM13"
 	if len(cfg.Queries) > 0 {
 		queryID = cfg.Queries[0]
@@ -173,9 +236,41 @@ func runCorpus(ctx context.Context, workers, docCount int, cfg experiments.Confi
 		return nil, err
 	}
 
+	docs := make([][]byte, docCount)
 	jobs := make([]smp.BatchJob, docCount)
 	for i := range jobs {
-		jobs[i] = smp.BatchFromBytes(fmt.Sprintf("doc%02d", i), gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + uint64(i) + 1}))
+		docs[i] = gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + uint64(i) + 1})
+		jobs[i] = smp.BatchFromBytes(fmt.Sprintf("doc%02d", i), docs[i])
+	}
+
+	// Verify before timing: the pooled run must reproduce the serial
+	// engine's output byte for byte on every document.
+	want := make([][]byte, docCount)
+	for i, doc := range docs {
+		var buf bytes.Buffer
+		if _, err := pf.Project(ctx, &buf, bytes.NewReader(doc)); err != nil {
+			return nil, fmt.Errorf("document doc%02d: serial projection: %w", i, err)
+		}
+		want[i] = buf.Bytes()
+	}
+	got := make([]bytes.Buffer, docCount)
+	verifyJobs := make([]smp.BatchJob, docCount)
+	for i := range verifyJobs {
+		dst := &got[i]
+		verifyJobs[i] = smp.BatchFromBytes(fmt.Sprintf("doc%02d", i), docs[i])
+		verifyJobs[i].Dst = func() (io.WriteCloser, error) { return nopWriteCloser{dst}, nil }
+	}
+	results, _ := (&smp.Batch{Prefilter: pf, Workers: workers}).Run(ctx, verifyJobs)
+	for _, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("document %s: %v", res.Name, res.Err)
+		}
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Bytes(), want[i]) {
+			return nil, fmt.Errorf("document doc%02d: %d-worker batch output differs from the serial engine (%d vs %d bytes)",
+				i, workers, got[i].Len(), len(want[i]))
+		}
 	}
 
 	t := stats.NewTable(fmt.Sprintf("Corpus prefiltering, %d x %s, query %s", docCount, stats.FormatBytes(docSize), q.ID),
@@ -192,6 +287,7 @@ func runCorpus(ctx context.Context, workers, docCount int, cfg experiments.Confi
 		if w == 1 {
 			serial = agg
 		}
+		blog.add("corpus", 1, w, agg.ThroughputMBps())
 		t.AddRow(
 			strconv.Itoa(w),
 			stats.FormatDuration(agg.Elapsed),
@@ -204,15 +300,16 @@ func runCorpus(ctx context.Context, workers, docCount int, cfg experiments.Confi
 			break // -parallel 1: the serial row is the whole story
 		}
 	}
+	t.AddNote("%s", "pooled output verified byte-identical to the serial engine on every document before timing")
 	return t, nil
 }
 
 // runIntraDoc is the -intra mode: it generates one document, prefilters it
-// with the serial engine and with the split/stitch pipeline at increasing
-// worker counts (the v2 Project API with WithWorkers), verifies the
-// parallel output is byte-identical, and reports the single-stream
+// with the serial engine and with the unified pipeline at increasing
+// segment-scan worker counts (the Project API with WithWorkers), verifies
+// the parallel output is byte-identical, and reports the single-stream
 // throughput and speedup of each configuration.
-func runIntraDoc(ctx context.Context, workers int, cfg experiments.Config) (*stats.Table, error) {
+func runIntraDoc(ctx context.Context, workers int, cfg experiments.Config, blog *benchLog) (*stats.Table, error) {
 	queryID := "XM13"
 	if len(cfg.Queries) > 0 {
 		queryID = cfg.Queries[0]
@@ -264,6 +361,7 @@ func runIntraDoc(ctx context.Context, workers int, cfg experiments.Config) (*sta
 		if w == 1 {
 			serialElapsed = best
 		}
+		blog.add("intra", 1, w, float64(len(doc))/(1<<20)/time.Duration(best).Seconds())
 		t.AddRow(
 			strconv.Itoa(w),
 			stats.FormatDuration(time.Duration(best)),
@@ -282,38 +380,8 @@ func runIntraDoc(ctx context.Context, workers int, cfg experiments.Config) (*sta
 // verifies every per-query output is byte-identical, and reports both wall
 // times and the speedup. The win is algorithmic — one document scan instead
 // of K — so it shows on a single core.
-func runMultiQuery(ctx context.Context, k int, cfg experiments.Config) (*stats.Table, error) {
-	queryIDs := cfg.Queries
-	if len(queryIDs) == 0 {
-		all := xmlgen.XMarkQueries()
-		if k > len(all) {
-			k = len(all)
-		}
-		for _, q := range all[:k] {
-			queryIDs = append(queryIDs, q.ID)
-		}
-	}
-	qs := make([]xmlgen.Query, len(queryIDs))
-	for i, id := range queryIDs {
-		q, ok := xmlgen.QueryByID(id)
-		if !ok {
-			return nil, fmt.Errorf("unknown query %q", id)
-		}
-		qs[i] = q
-	}
-	dtdSource, gen, docSize := datasetFor(qs[0], cfg)
-	for _, q := range qs[1:] {
-		if d, _, _ := datasetFor(q, cfg); d != dtdSource {
-			return nil, fmt.Errorf("multi-query mode needs queries from one dataset (got %s and %s)", qs[0].ID, q.ID)
-		}
-	}
-	doc := gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + 1})
-
-	specs := make([]string, len(qs))
-	for i, q := range qs {
-		specs[i] = q.Paths
-	}
-	mpf, err := smp.CompileMulti(dtdSource, specs, smp.Options{})
+func runMultiQuery(ctx context.Context, k int, cfg experiments.Config, blog *benchLog) (*stats.Table, error) {
+	qs, queryIDs, doc, mpf, err := multiWorkload(k, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +441,7 @@ func runMultiQuery(ctx context.Context, k int, cfg experiments.Config) (*stats.T
 		wantTotal += int64(len(w))
 	}
 	inputMiB := float64(len(doc)) / (1 << 20)
+	blog.add("multi", mpf.Len(), 1, inputMiB*float64(mpf.Len())/time.Duration(shared).Seconds())
 	t.AddRow(
 		fmt.Sprintf("%d independent passes", mpf.Len()),
 		stats.FormatDuration(time.Duration(independent)),
@@ -388,6 +457,114 @@ func runMultiQuery(ctx context.Context, k int, cfg experiments.Config) (*stats.T
 		stats.FormatRatio(float64(independent), float64(shared)),
 	)
 	t.AddNote("every per-query output verified byte-identical to its independent pass; MiB/s counts the document once per query served (one scan amortizes across %d queries)", mpf.Len())
+	return t, nil
+}
+
+// multiWorkload resolves the workload shared by the multi-query modes
+// (-multi alone and the -multi/-intra grid): the first K benchmark queries
+// of one dataset (or cfg.Queries verbatim), one generated document, and the
+// compiled MultiPrefilter.
+func multiWorkload(k int, cfg experiments.Config) ([]xmlgen.Query, []string, []byte, *smp.MultiPrefilter, error) {
+	queryIDs := cfg.Queries
+	if len(queryIDs) == 0 {
+		all := xmlgen.XMarkQueries()
+		if k > len(all) {
+			k = len(all)
+		}
+		for _, q := range all[:k] {
+			queryIDs = append(queryIDs, q.ID)
+		}
+	}
+	qs := make([]xmlgen.Query, len(queryIDs))
+	for i, id := range queryIDs {
+		q, ok := xmlgen.QueryByID(id)
+		if !ok {
+			return nil, nil, nil, nil, fmt.Errorf("unknown query %q", id)
+		}
+		qs[i] = q
+	}
+	dtdSource, gen, docSize := datasetFor(qs[0], cfg)
+	for _, q := range qs[1:] {
+		if d, _, _ := datasetFor(q, cfg); d != dtdSource {
+			return nil, nil, nil, nil, fmt.Errorf("multi-query mode needs queries from one dataset (got %s and %s)", qs[0].ID, q.ID)
+		}
+	}
+	doc := gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + 1})
+
+	specs := make([]string, len(qs))
+	for i, q := range qs {
+		specs[i] = q.Paths
+	}
+	mpf, err := smp.CompileMulti(dtdSource, specs, smp.Options{})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return qs, queryIDs, doc, mpf, nil
+}
+
+// runGrid is the combined -multi K -intra W mode: one shared scan serves K
+// queries while the candidate scan itself fans out across 1..W segment
+// workers — the full unified K×W pipeline. Every cell is verified
+// byte-identical to K independent serial passes before its timing counts.
+func runGrid(ctx context.Context, k, workers int, cfg experiments.Config, blog *benchLog) (*stats.Table, error) {
+	qs, queryIDs, doc, mpf, err := multiWorkload(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference: K independent serial passes with standalone engines.
+	want := make([][]byte, mpf.Len())
+	for i := range want {
+		var out bytes.Buffer
+		if _, err := mpf.Query(i).Project(ctx, &out, bytes.NewReader(doc)); err != nil {
+			return nil, fmt.Errorf("%s: independent pass: %w", qs[i].ID, err)
+		}
+		want[i] = out.Bytes()
+	}
+
+	const rounds = 3
+	t := stats.NewTable(
+		fmt.Sprintf("Unified K×W pipeline, one %s document, %d queries (%s)",
+			stats.FormatBytes(int64(len(doc))), len(qs), strings.Join(queryIDs, ",")),
+		"Scan Workers", "Wall Time", "MiB/s", "Speedup")
+	outs := make([]bytes.Buffer, mpf.Len())
+	dsts := make([]io.Writer, mpf.Len())
+	var base int64
+	for _, w := range workerLadder(workers) {
+		var best int64
+		for round := 0; round < rounds; round++ {
+			for i := range outs {
+				outs[i].Reset()
+				dsts[i] = &outs[i]
+			}
+			timer := stats.StartTimer()
+			if _, err := mpf.MultiProject(ctx, dsts, bytes.NewReader(doc), smp.WithWorkers(w)); err != nil {
+				return nil, fmt.Errorf("%d workers: %w", w, err)
+			}
+			elapsed := int64(timer.Elapsed())
+			for i := range outs {
+				if !bytes.Equal(outs[i].Bytes(), want[i]) {
+					return nil, fmt.Errorf("%s: %d workers: output differs from the independent serial pass (%d vs %d bytes)",
+						qs[i].ID, w, outs[i].Len(), len(want[i]))
+				}
+			}
+			if round == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		if w == 1 {
+			base = best
+		}
+		mbps := float64(len(doc)) / (1 << 20) * float64(mpf.Len()) / time.Duration(best).Seconds()
+		blog.add("grid", mpf.Len(), w, mbps)
+		t.AddRow(
+			strconv.Itoa(w),
+			stats.FormatDuration(time.Duration(best)),
+			stats.FormatFloat(mbps),
+			stats.FormatRatio(float64(base), float64(best)),
+		)
+	}
+	t.AddNote("every cell verified byte-identical to %d independent serial passes before timing; MiB/s counts the document once per query served; scan-worker speedup needs real cores", mpf.Len())
 	return t, nil
 }
 

@@ -33,8 +33,11 @@
 // and counted in /stats as "cancelled". Request bodies that declare a
 // Content-Length of at least -intramin bytes are projected with
 // intra-document parallelism (-intra scan workers splitting the single
-// stream, see internal/split); smaller or chunked bodies use the serial
-// engine. The prefilter cache can be bounded both by entry count (-cache)
+// stream, see internal/pipeline); smaller or chunked bodies use the serial
+// engine. The same policy applies to /multiproject — a large body is served
+// by the unified K×W pipeline, K queries over W parallel segment scanners,
+// counted in /stats as "multi_intra_requests".
+// The prefilter cache can be bounded both by entry count (-cache)
 // and by the total memory of the compiled plans (-cachebytes); SIGINT or
 // SIGTERM triggers a graceful shutdown that drains in-flight projections
 // (-drain).
@@ -145,14 +148,15 @@ type server struct {
 	intraWorkers int
 	intraMin     int64
 
-	requests      atomic.Int64
-	failures      atomic.Int64
-	intraRequests atomic.Int64
-	multiRequests atomic.Int64
-	multiQueries  atomic.Int64
-	cancelled     atomic.Int64
-	bytesRead     atomic.Int64
-	bytesWritten  atomic.Int64
+	requests           atomic.Int64
+	failures           atomic.Int64
+	intraRequests      atomic.Int64
+	multiRequests      atomic.Int64
+	multiIntraRequests atomic.Int64
+	multiQueries       atomic.Int64
+	cancelled          atomic.Int64
+	bytesRead          atomic.Int64
+	bytesWritten       atomic.Int64
 }
 
 func newServer(cacheSize int, cacheBytes int64, opts smp.Options) *server {
@@ -257,8 +261,18 @@ func (s *server) handleMultiProject(w http.ResponseWriter, r *http.Request) {
 	for i := range bufs {
 		dsts[i] = &bufs[i]
 	}
+	// Same intra-document policy as /project: a body large enough for the
+	// parallel segment scan is served by the unified K×W pipeline. Below
+	// MinParallelInput, WithWorkers silently falls back to the serial shared
+	// scan and /stats must not claim a parallel run.
+	opts := []smp.ProjectOption{}
+	if s.intraWorkers > 1 && r.ContentLength >= s.intraMin &&
+		r.ContentLength >= int64(multi.MinParallelInput(s.intraWorkers)) {
+		opts = append(opts, smp.WithWorkers(s.intraWorkers))
+		s.multiIntraRequests.Add(1)
+	}
 	var agg smp.Stats
-	qstats, runErr := multi.MultiProject(r.Context(), dsts, r.Body, smp.WithStatsInto(&agg))
+	qstats, runErr := multi.MultiProject(r.Context(), dsts, r.Body, append(opts, smp.WithStatsInto(&agg))...)
 	s.bytesRead.Add(agg.BytesRead)
 	s.bytesWritten.Add(agg.BytesWritten)
 	var merr *smp.MultiError
@@ -511,45 +525,47 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the shared, immutable tables its concurrent runs execute against — and
 // its full weight.
 type statsResponse struct {
-	UptimeSeconds  float64          `json:"uptime_seconds"`
-	Requests       int64            `json:"requests"`
-	Failures       int64            `json:"failures"`
-	IntraWorkers   int              `json:"intra_workers"`
-	IntraMinBytes  int64            `json:"intra_min_bytes"`
-	IntraRequests  int64            `json:"intra_requests"`
-	MultiRequests  int64            `json:"multi_requests"`
-	MultiQueries   int64            `json:"multi_queries"`
-	Cancelled      int64            `json:"cancelled"`
-	BytesRead      int64            `json:"bytes_read"`
-	BytesWritten   int64            `json:"bytes_written"`
-	CacheSize      int              `json:"cache_size"`
-	CacheBytes     int64            `json:"cache_bytes"`
-	CacheHits      int64            `json:"cache_hits"`
-	CacheMisses    int64            `json:"cache_misses"`
-	CacheEvictions int64            `json:"cache_evictions"`
-	CacheEntries   []cacheEntryInfo `json:"cache_entries"`
+	UptimeSeconds      float64          `json:"uptime_seconds"`
+	Requests           int64            `json:"requests"`
+	Failures           int64            `json:"failures"`
+	IntraWorkers       int              `json:"intra_workers"`
+	IntraMinBytes      int64            `json:"intra_min_bytes"`
+	IntraRequests      int64            `json:"intra_requests"`
+	MultiRequests      int64            `json:"multi_requests"`
+	MultiIntraRequests int64            `json:"multi_intra_requests"`
+	MultiQueries       int64            `json:"multi_queries"`
+	Cancelled          int64            `json:"cancelled"`
+	BytesRead          int64            `json:"bytes_read"`
+	BytesWritten       int64            `json:"bytes_written"`
+	CacheSize          int              `json:"cache_size"`
+	CacheBytes         int64            `json:"cache_bytes"`
+	CacheHits          int64            `json:"cache_hits"`
+	CacheMisses        int64            `json:"cache_misses"`
+	CacheEvictions     int64            `json:"cache_evictions"`
+	CacheEntries       []cacheEntryInfo `json:"cache_entries"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	entries, size, cacheBytes, hits, misses, evictions := s.cache.view()
 	resp := statsResponse{
-		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Requests:       s.requests.Load(),
-		Failures:       s.failures.Load(),
-		IntraWorkers:   s.intraWorkers,
-		IntraMinBytes:  s.intraMin,
-		IntraRequests:  s.intraRequests.Load(),
-		MultiRequests:  s.multiRequests.Load(),
-		MultiQueries:   s.multiQueries.Load(),
-		Cancelled:      s.cancelled.Load(),
-		BytesRead:      s.bytesRead.Load(),
-		BytesWritten:   s.bytesWritten.Load(),
-		CacheSize:      size,
-		CacheBytes:     cacheBytes,
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		CacheEntries:   entries,
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Requests:           s.requests.Load(),
+		Failures:           s.failures.Load(),
+		IntraWorkers:       s.intraWorkers,
+		IntraMinBytes:      s.intraMin,
+		IntraRequests:      s.intraRequests.Load(),
+		MultiRequests:      s.multiRequests.Load(),
+		MultiIntraRequests: s.multiIntraRequests.Load(),
+		MultiQueries:       s.multiQueries.Load(),
+		Cancelled:          s.cancelled.Load(),
+		BytesRead:          s.bytesRead.Load(),
+		BytesWritten:       s.bytesWritten.Load(),
+		CacheSize:          size,
+		CacheBytes:         cacheBytes,
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheEvictions:     evictions,
+		CacheEntries:       entries,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {

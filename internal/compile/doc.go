@@ -16,6 +16,6 @@
 // serial engine executes it directly (internal/core wraps it in a Plan
 // together with the precompiled string matchers), the intra-document
 // parallel mode derives its union-vocabulary scan tables from it
-// (core.NewScanPlan, used by internal/split), and Table.String renders the
+// (core.NewScanPlan, used by internal/pipeline), and Table.String renders the
 // tables in the shape of paper Fig. 3 for inspection (`smp -describe`).
 package compile

@@ -306,8 +306,8 @@ func describeState(st *compile.State) string {
 }
 
 // The error constructors below are shared verbatim by the serial engine and
-// the split stitcher (internal/split), so the two paths cannot drift apart
-// in what they report for the same document.
+// the parallel replays (internal/pipeline), so the two paths cannot drift
+// apart in what they report for the same document.
 
 // EndOfInputError is the error for an input that ends while the automaton
 // still expects vocabulary in a non-final state.

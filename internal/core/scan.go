@@ -8,8 +8,8 @@ import (
 	"smp/internal/stringmatch"
 )
 
-// This file is the core half of the intra-document parallel projection mode
-// (internal/split): a position-exhaustive keyword scan over one segment of
+// This file is the core half of the unified parallel projection pipeline
+// (internal/pipeline): a position-exhaustive keyword scan over one segment of
 // the input, against the union of all states' frontier vocabularies.
 //
 // The serial engine searches only for the current state's vocabulary and
@@ -75,9 +75,9 @@ type Candidate struct {
 //
 // The candidate stream a ScanPlan produces is a sound and complete oracle
 // for ANY runtime automaton whose vocabulary is a subset of the scanned
-// union (see the invariants above): this is the seam the intra-document
-// parallel mode (internal/split, one plan) and the multi-query mode
-// (internal/multiquery, K merged plans) both build on.
+// union (see the invariants above): this is the seam the unified pipeline
+// (internal/pipeline) builds on, for one plan (intra-document parallelism)
+// and for K merged plans (multi-query sharing) alike.
 type ScanPlan struct {
 	plan *Plan
 	// open[c] holds the keywords "<c…" and closing[c] the keywords "</c…",

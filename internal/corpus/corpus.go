@@ -24,7 +24,7 @@ type Engine interface {
 }
 
 // MultiEngine is the multi-query variant of Engine: one document, K queries,
-// one scan (internal/multiquery). It returns one Stats per query plus the
+// one scan (internal/pipeline). It returns one Stats per query plus the
 // run aggregate; err carries the per-query failures. A nil dsts discards
 // every query's output.
 type MultiEngine interface {

@@ -3,8 +3,8 @@
 // per-document runtime statistics. It is the batch/concurrent layer on top
 // of the single-document engine in internal/core: the engine answers "how do
 // I project one document fast", corpus answers "how do I push a whole corpus
-// through N cores". (The third axis — splitting one large document across
-// cores — is internal/split.)
+// through N cores". (The other axes — splitting one large document across
+// cores, and serving K queries from one scan — live in internal/pipeline.)
 //
 // The zero-configuration path is
 //

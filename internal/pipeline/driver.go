@@ -1,8 +1,6 @@
-package multiquery
+package pipeline
 
 import (
-	"context"
-	"fmt"
 	"io"
 
 	"smp/internal/compile"
@@ -10,264 +8,6 @@ import (
 	"smp/internal/glushkov"
 	"smp/internal/projection"
 )
-
-// Options configures one multi-query projection run.
-type Options struct {
-	// ChunkSize is the scan segment granularity in bytes (the shared
-	// pipeline's analogue of the serial window chunk); 0 selects the largest
-	// chunk size among the merged plans.
-	ChunkSize int
-}
-
-// Multi is a compiled multi-query projection: K immutable per-query plans
-// merged behind one union-vocabulary scan table. A Multi is built once (New)
-// and never mutated afterwards, so it is safe for concurrent use by multiple
-// goroutines — every Project call allocates its own run state.
-type Multi struct {
-	plans []*core.Plan
-	scan  *core.ScanPlan
-	chunk int
-}
-
-// New merges the compiled plans of K queries into one multi-query
-// projection. The union scan tables are derived here, once; Project never
-// builds tables. The plans may come from entirely unrelated path sets — the
-// scan simply searches the union of their vocabularies, and each query's
-// automaton recognizes exactly the candidates it would have matched alone.
-func New(plans []*core.Plan) *Multi {
-	if len(plans) == 0 {
-		panic("multiquery: New needs at least one plan")
-	}
-	chunk := 0
-	for _, p := range plans {
-		if c := p.Options().ChunkSize; c > chunk {
-			chunk = c
-		}
-	}
-	return &Multi{plans: plans, scan: core.NewScanPlanUnion(plans), chunk: chunk}
-}
-
-// Len returns the number of merged queries.
-func (m *Multi) Len() int { return len(m.plans) }
-
-// Plans returns the merged per-query plans, in query order.
-func (m *Multi) Plans() []*core.Plan { return m.plans }
-
-// ScanPlan returns the shared union-vocabulary scan tables.
-func (m *Multi) ScanPlan() *core.ScanPlan { return m.scan }
-
-// Result bundles the counters of one multi-query run.
-type Result struct {
-	// Query holds one Stats per query, in input order: that query's
-	// replay-side counters (bytes written, tags matched, initial jumps, tag
-	// scan comparisons) plus its own automaton sizes. BytesRead reports the
-	// shared pass's total — the one scan serves every query, so each query's
-	// ratio counters are relative to the same document.
-	Query []core.Stats
-	// Scan holds the shared pass's counters: the bytes read, the anchored
-	// scan's shifts and comparisons, the rejected raw matches and the
-	// segment-chain memory high-water mark. This work was done once, however
-	// many queries consumed it.
-	Scan core.Stats
-}
-
-// Aggregate folds the result into one Stats: the shared scan pass plus every
-// query's replay counters, with the document counted once.
-func (r Result) Aggregate() core.Stats {
-	agg := r.Scan
-	for _, q := range r.Query {
-		agg.Add(q)
-	}
-	// Every per-query Stats reports the shared read and held no buffers of
-	// its own; the document and the chain memory count once, not K times.
-	agg.BytesRead = r.Scan.BytesRead
-	agg.MaxBufferBytes = r.Scan.MaxBufferBytes
-	return agg
-}
-
-// Error reports the per-query failures of one multi-query run. Errs has one
-// slot per query, in input order; a nil slot is a query that succeeded.
-// Errors are isolated per query: one query's write failure or DTD
-// conformance error never stops the others, while a run-level failure (a
-// source read error, a cancelled context) fails every query that had not
-// already finished — exactly the error each would have hit standalone.
-type Error struct {
-	Errs []error
-}
-
-// Error summarizes the failures.
-func (e *Error) Error() string {
-	failed := 0
-	var first error
-	for _, err := range e.Errs {
-		if err != nil {
-			failed++
-			if first == nil {
-				first = err
-			}
-		}
-	}
-	if failed == 1 {
-		return fmt.Sprintf("multiquery: 1 of %d queries failed: %v", len(e.Errs), first)
-	}
-	return fmt.Sprintf("multiquery: %d of %d queries failed (first: %v)", failed, len(e.Errs), first)
-}
-
-// Unwrap exposes the non-nil per-query errors to errors.Is and errors.As.
-func (e *Error) Unwrap() []error {
-	var errs []error
-	for _, err := range e.Errs {
-		if err != nil {
-			errs = append(errs, err)
-		}
-	}
-	return errs
-}
-
-// Project streams the document read from src through the shared scan once
-// and writes query i's projection to dsts[i]. Each query's output is
-// byte-identical to a standalone serial core run of its plan over the same
-// document. dsts must have one writer per query (nil writers discard that
-// query's output); a nil dsts discards every output, for measurement runs.
-//
-// The context is checked at every segment boundary — the multi-query
-// pipeline's analogue of the serial window's chunk boundary — so a cancelled
-// ctx stops the run before its next read and fails the unfinished queries
-// with ctx.Err(). If any query fails, the returned error is a *Error with
-// one slot per query.
-func (m *Multi) Project(ctx context.Context, dsts []io.Writer, src io.Reader, opts Options) (Result, error) {
-	if dsts == nil {
-		dsts = make([]io.Writer, len(m.plans))
-	}
-	if len(dsts) != len(m.plans) {
-		return Result{}, fmt.Errorf("multiquery: %d destinations for %d queries", len(dsts), len(m.plans))
-	}
-	chunk := opts.ChunkSize
-	if chunk <= 0 {
-		chunk = m.chunk
-	}
-	if chunk < 64 {
-		chunk = 64
-	}
-	d := newDriver(ctx, m, dsts, src, chunk)
-	return d.run()
-}
-
-// mseg is one scanned slice of the input: the bytes from absolute offset
-// base onward, of which the first owned bytes belong to this segment (the
-// rest is the lookahead the scanner needs for keywords starting on the last
-// owned bytes), plus the candidates found within the owned range.
-type mseg struct {
-	base  int64
-	data  []byte
-	owned int
-	final bool
-	cands []core.Candidate
-}
-
-// end returns the absolute offset one past the segment's owned bytes.
-// Consecutive segments' owned ranges tile the input without gaps.
-func (s *mseg) end() int64 { return s.base + int64(s.owned) }
-
-// source reads the input sequentially, cuts it into overlapping segments and
-// scans each exactly once against the union vocabulary. This is the single
-// shared pass: everything downstream only walks the sparse candidate lists.
-type source struct {
-	ctx     context.Context
-	r       io.Reader
-	sc      *core.SegmentScanner
-	segSize int
-	overlap int
-	carry   []byte // bytes already read past the previous segment boundary
-	base    int64
-	done    bool
-	// err is the terminal failure — a read error or the run context's error
-	// — observed after the last data segment was handed out; nil at a clean
-	// end of input.
-	err error
-
-	bytesRead int64
-	// freeData and freeCands recycle retired segments' buffers, so the
-	// steady state allocates nothing per segment.
-	freeData  [][]byte
-	freeCands [][]core.Candidate
-}
-
-func newSource(ctx context.Context, r io.Reader, scan *core.ScanPlan, segSize int) *source {
-	overlap := scan.MaxKeywordLen() + 1
-	return &source{ctx: ctx, r: r, sc: scan.NewScanner(), segSize: segSize, overlap: overlap}
-}
-
-// next returns the next scanned segment, or nil when the input is exhausted;
-// s.err then carries the read or context error (nil at a clean end). The
-// context is checked here, at the segment boundary, so a cancelled run stops
-// before its next read. A mid-stream read error emits the bytes read so far
-// as a non-final trailing segment first — anything unresolved at its edge (a
-// truncated keyword or tag) then chases the next segment, finds none, and
-// surfaces the underlying error exactly where the serial window would.
-func (s *source) next() *mseg {
-	if s.done {
-		return nil
-	}
-	if err := s.ctx.Err(); err != nil {
-		s.done = true
-		s.err = err
-		return nil
-	}
-	want := s.segSize + s.overlap
-	if len(s.carry) < want {
-		if cap(s.carry) < want {
-			grown := make([]byte, len(s.carry), want)
-			copy(grown, s.carry)
-			s.carry = grown
-		}
-		n, err := io.ReadFull(s.r, s.carry[len(s.carry):want])
-		s.carry = s.carry[:len(s.carry)+n]
-		s.bytesRead += int64(n)
-		switch err {
-		case nil:
-		case io.EOF, io.ErrUnexpectedEOF:
-			s.done = true
-			return s.emit(len(s.carry), true)
-		default:
-			s.done = true
-			s.err = err
-			return s.emit(len(s.carry), false)
-		}
-	}
-	return s.emit(s.segSize, false)
-}
-
-// emit cuts a segment owning the first owned bytes of carry, scans it, and
-// carries the tail (the lookahead shared with the next segment) over into a
-// fresh buffer.
-func (s *source) emit(owned int, final bool) *mseg {
-	seg := &mseg{base: s.base, data: s.carry, owned: owned, final: final}
-	tail := s.carry[owned:]
-	var next []byte
-	if n := len(s.freeData); n > 0 {
-		next, s.freeData = s.freeData[n-1], s.freeData[:n-1]
-	}
-	if cap(next) < s.segSize+s.overlap {
-		next = make([]byte, 0, s.segSize+s.overlap)
-	}
-	s.carry = append(next[:0], tail...)
-	s.base += int64(owned)
-
-	var cands []core.Candidate
-	if n := len(s.freeCands); n > 0 {
-		cands, s.freeCands = s.freeCands[n-1], s.freeCands[:n-1]
-	}
-	seg.cands = s.sc.Scan(cands[:0], seg.data, seg.base, seg.owned, seg.final)
-	return seg
-}
-
-// recycle returns a retired segment's buffers to the free lists. The caller
-// guarantees no query still references the segment's data.
-func (s *source) recycle(seg *mseg) {
-	s.freeData = append(s.freeData, seg.data[:0])
-	s.freeCands = append(s.freeCands, seg.cands[:0])
-}
 
 // qrun is the replay state of one query: its automaton position, cursor,
 // copy region and counters — exactly the per-run state of a standalone
@@ -315,12 +55,12 @@ func (k *qrun) enter(q int) {
 	}
 }
 
-// driver owns one multi-query run: the shared source, the chain of live
-// segments, and the K query replays. Everything is sequential — one
-// goroutine, no synchronization; the speedup over K independent runs is
-// purely algorithmic (one document scan instead of K).
+// driver owns one run: the shared segment source, the chain of live
+// segments, and the K query replays. The replay side is sequential — one
+// goroutine, no synchronization; with a parallel source the concurrency
+// lives entirely behind the source's in-order segment stream.
 type driver struct {
-	src      *source
+	src      source
 	segs     []*mseg // live chain; segs[0] has sequence number firstSeq
 	firstSeq int
 	queries  []*qrun
@@ -329,10 +69,10 @@ type driver struct {
 	maxHeld int
 }
 
-func newDriver(ctx context.Context, m *Multi, dsts []io.Writer, src io.Reader, chunk int) *driver {
-	d := &driver{src: newSource(ctx, src, m.scan, chunk)}
-	d.queries = make([]*qrun, len(m.plans))
-	for i, plan := range m.plans {
+func newDriver(e *Engine, dsts []io.Writer, src source) *driver {
+	d := &driver{src: src}
+	d.queries = make([]*qrun, len(e.plans))
+	for i, plan := range e.plans {
 		out := dsts[i]
 		if out == nil {
 			out = io.Discard
@@ -369,12 +109,12 @@ func (d *driver) load() bool {
 	return true
 }
 
-// run executes the multi-query replay: load one segment per round, advance
-// every live query through everything loaded, retire what nobody needs
-// anymore. Reading stops as soon as every query has finished (like the
-// serial engine, which stops at its final automaton state). One query's tag
-// chase can pull segments ahead mid-round; queries advanced earlier that
-// round catch up on the next pass, so the loop only ends once the input is
+// run executes the replay: load one segment per round, advance every live
+// query through everything loaded, retire what nobody needs anymore.
+// Pulling stops as soon as every query has finished (like the serial
+// engine, which stops at its final automaton state). One query's tag chase
+// can pull segments ahead mid-round; queries advanced earlier that round
+// catch up on the next pass, so the loop only ends once the input is
 // exhausted AND every live query has consumed every loaded segment.
 func (d *driver) run() (Result, error) {
 	for _, k := range d.queries {
@@ -516,7 +256,7 @@ func (d *driver) segmentAt(off int64) (*mseg, error) {
 			}
 		}
 		if !d.load() {
-			return nil, d.src.err
+			return nil, d.src.err()
 		}
 	}
 }
@@ -583,7 +323,7 @@ func (d *driver) writeRaw(k *qrun, from, to int64) {
 		return
 	}
 	if !d.ensureCovered(to - 1) {
-		if k.writeErr = d.src.err; k.writeErr == nil {
+		if k.writeErr = d.src.err(); k.writeErr == nil {
 			k.writeErr = io.ErrUnexpectedEOF
 		}
 		return
@@ -625,7 +365,7 @@ func (k *qrun) writeString(str string) {
 // needed again — the next selected match starts at or after it; the serial
 // engine flushes at window boundaries instead, but both emit the region's
 // bytes contiguously, so the concatenated output is identical). Retired
-// buffers go back to the source's free lists.
+// buffers go back to the source for reuse.
 func (d *driver) retire() {
 	for len(d.segs) > 0 {
 		head := d.segs[0]
@@ -657,10 +397,10 @@ func (d *driver) retire() {
 // whose state is final and diagnoses the others exactly as the serial
 // engine's end-of-input path does.
 func (d *driver) finish() {
-	if d.src.err != nil {
+	if err := d.src.err(); err != nil {
 		for _, k := range d.queries {
 			if k.live() {
-				k.err = d.src.err
+				k.err = err
 			}
 		}
 		return
@@ -677,21 +417,16 @@ func (d *driver) finish() {
 	}
 }
 
-// result assembles the per-query and scan-side counters and the per-query
-// error slots.
+// result unwinds the source, folds the scan-side counters and assembles the
+// per-query Stats and error slots.
 func (d *driver) result() (Result, error) {
 	res := Result{Query: make([]core.Stats, len(d.queries))}
-	m, inspected, rejected := d.src.sc.Counters()
-	res.Scan.BytesRead = d.src.bytesRead
-	res.Scan.CharComparisons = m.Comparisons + inspected
-	res.Scan.Shifts = m.Shifts
-	res.Scan.ShiftTotal = m.ShiftTotal
-	res.Scan.RejectedMatches = rejected
+	d.src.close(&res.Scan)
 	res.Scan.MaxBufferBytes = int64(d.maxHeld)
 
 	failed := false
 	for i, k := range d.queries {
-		k.stats.BytesRead = d.src.bytesRead
+		k.stats.BytesRead = res.Scan.BytesRead
 		k.stats.States = k.table.Stats.States
 		k.stats.CWStates = k.table.Stats.CWStates
 		k.stats.BMStates = k.table.Stats.BMStates

@@ -7,7 +7,7 @@ import (
 	"io"
 
 	"smp/internal/core"
-	"smp/internal/multiquery"
+	"smp/internal/pipeline"
 )
 
 // MultiPrefilter is a compiled multi-query prefilter: K queries over one
@@ -24,20 +24,22 @@ import (
 // prefiltering is string matching, the expensive part of serving a query —
 // scanning the document for vocabulary occurrences — is shareable across
 // queries, and K concurrent queries against one document cost one scan plus
-// K sparse replays instead of K scans.
+// K sparse replays instead of K scans. The scan itself can additionally be
+// fanned out across W workers (WithWorkers), so both axes of the unified
+// pipeline compose in one call.
 //
 // A MultiPrefilter is immutable after compilation and safe for concurrent
 // use by multiple goroutines.
 type MultiPrefilter struct {
 	pfs   []*Prefilter
-	multi *multiquery.Multi
+	multi *pipeline.Engine
 }
 
 // MultiError is the error type of a failed multi-query projection: one slot
 // per query, nil for queries that succeeded. errors.Is and errors.As see
 // through it to the per-query errors (e.g. errors.Is(err, context.Canceled)
 // after a cancelled run).
-type MultiError = multiquery.Error
+type MultiError = pipeline.Error
 
 // MultiPlanStats report the memory footprint of a compiled MultiPrefilter,
 // split into the per-query plans (which concurrent standalone prefilters for
@@ -103,7 +105,7 @@ func NewMultiPrefilter(pfs ...*Prefilter) (*MultiPrefilter, error) {
 	for i, pf := range pfs {
 		plans[i] = pf.engine.Plan()
 	}
-	return &MultiPrefilter{pfs: pfs, multi: multiquery.New(plans)}, nil
+	return &MultiPrefilter{pfs: pfs, multi: pipeline.New(plans)}, nil
 }
 
 // Len returns the number of merged queries.
@@ -128,19 +130,36 @@ func (m *MultiPrefilter) PlanStats() MultiPlanStats {
 	return st
 }
 
+// MinParallelInput returns the smallest input size, in bytes, that
+// MultiProject with WithWorkers(workers) actually scans in parallel (one
+// segment plus its lookahead); smaller inputs take the serial scan. Pass
+// the same options the projection will use — a WithChunkSize override
+// changes the threshold (a WithWorkers option takes precedence over the
+// workers argument).
+func (m *MultiPrefilter) MinParallelInput(workers int, opts ...ProjectOption) int {
+	cfg := resolveOptions(opts)
+	if cfg.workers > 0 {
+		workers = cfg.workers
+	}
+	return m.multi.MinParallelInput(pipeline.Options{Workers: workers, ChunkSize: cfg.chunkSize})
+}
+
 // MultiProject streams the document read from src through the shared scan
 // once and writes query i's projection to dsts[i], returning one Stats per
 // query. dsts must have one writer per query; a nil writer discards that
 // query's output, and a nil dsts discards every output (measurement runs).
 //
 // MultiProject follows the v2 execution contract: the context is honoured at
-// every chunk boundary (a cancelled ctx stops the run before its next read
+// every segment boundary (a cancelled ctx stops the run before its next read
 // and fails the unfinished queries with ctx.Err()), WithChunkSize overrides
 // the scan granularity for this run, and WithStatsInto receives the
 // aggregate counters — the shared scan pass plus every query's replay,
-// with the document counted once — even on error paths. WithWorkers is
-// ignored: the scan is already shared, and the replay is a sparse sequential
-// walk; combine MultiProject with Batch for the inter-document axis instead.
+// with the document counted once — even on error paths. WithWorkers(n) (or
+// WithAutoWorkers) fans the shared scan out across n segment-scan workers:
+// the K replays consume one in-order candidate stream whatever the worker
+// count, so every query's output stays byte-identical to its standalone
+// serial Project run. Inputs smaller than one segment plus its lookahead
+// (see MinParallelInput) keep the serial scan.
 //
 // Errors are isolated per query: one query's write failure or DTD
 // conformance error never stops the others. If any query fails, the returned
@@ -148,7 +167,7 @@ func (m *MultiPrefilter) PlanStats() MultiPlanStats {
 // valid either way.
 func (m *MultiPrefilter) MultiProject(ctx context.Context, dsts []io.Writer, src io.Reader, opts ...ProjectOption) ([]Stats, error) {
 	cfg := resolveOptions(opts)
-	res, err := m.multi.Project(ctx, dsts, src, multiquery.Options{ChunkSize: cfg.chunkSize})
+	res, err := m.multi.Project(ctx, dsts, src, pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize})
 	if cfg.statsInto != nil {
 		*cfg.statsInto = res.Aggregate()
 	}

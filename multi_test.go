@@ -41,45 +41,66 @@ func multiFixture(t *testing.T, d Dataset, k int, size int64) (*MultiPrefilter, 
 }
 
 // TestMultiProjectMatchesStandalone asserts the public multi-query contract
-// on both bundled workloads: each query's output from one shared pass is
-// byte-identical to its standalone Project run.
+// on both bundled workloads, across the worker axis: each query's output
+// from one shared pass — serial or fanned out with WithWorkers — is
+// byte-identical to its standalone Project run. The small chunk override
+// keeps the parallel threshold below the document size, so the W > 1 cells
+// genuinely take the parallel scan.
 func TestMultiProjectMatchesStandalone(t *testing.T) {
 	for _, d := range []Dataset{XMark, Medline} {
 		for _, k := range []int{1, 2, 4, 8} {
 			m, doc := multiFixture(t, d, k, 96<<10)
-			bufs := make([]bytes.Buffer, m.Len())
-			dsts := make([]io.Writer, m.Len())
-			for i := range bufs {
-				dsts[i] = &bufs[i]
-			}
-			var agg Stats
-			qstats, err := m.MultiProject(context.Background(), dsts, bytes.NewReader(doc), WithStatsInto(&agg))
-			if err != nil {
-				t.Fatalf("%s k=%d: %v", d, k, err)
-			}
-			if len(qstats) != m.Len() {
-				t.Fatalf("%s k=%d: %d stats for %d queries", d, k, len(qstats), m.Len())
-			}
-			var wantWritten int64
-			for i := 0; i < m.Len(); i++ {
-				var want bytes.Buffer
-				if _, err := m.Query(i).Project(context.Background(), &want, bytes.NewReader(doc)); err != nil {
-					t.Fatalf("%s k=%d query %d standalone: %v", d, k, i, err)
+			for _, workers := range []int{1, 2, 4} {
+				bufs := make([]bytes.Buffer, m.Len())
+				dsts := make([]io.Writer, m.Len())
+				for i := range bufs {
+					dsts[i] = &bufs[i]
 				}
-				if !bytes.Equal(want.Bytes(), bufs[i].Bytes()) {
-					t.Errorf("%s k=%d query %d (%v): multi output %d bytes, standalone %d bytes",
-						d, k, i, m.Query(i).Paths(), bufs[i].Len(), want.Len())
+				var agg Stats
+				qstats, err := m.MultiProject(context.Background(), dsts, bytes.NewReader(doc),
+					WithStatsInto(&agg), WithWorkers(workers), WithChunkSize(4<<10))
+				if err != nil {
+					t.Fatalf("%s k=%d w=%d: %v", d, k, workers, err)
 				}
-				wantWritten += int64(bufs[i].Len())
-			}
-			if agg.BytesWritten != wantWritten {
-				t.Errorf("%s k=%d: aggregate BytesWritten = %d, want %d", d, k, agg.BytesWritten, wantWritten)
-			}
-			if agg.BytesRead > int64(len(doc)) {
-				t.Errorf("%s k=%d: aggregate BytesRead = %d > document %d (shared pass must count once)",
-					d, k, agg.BytesRead, len(doc))
+				if len(qstats) != m.Len() {
+					t.Fatalf("%s k=%d w=%d: %d stats for %d queries", d, k, workers, len(qstats), m.Len())
+				}
+				var wantWritten int64
+				for i := 0; i < m.Len(); i++ {
+					var want bytes.Buffer
+					if _, err := m.Query(i).Project(context.Background(), &want, bytes.NewReader(doc)); err != nil {
+						t.Fatalf("%s k=%d w=%d query %d standalone: %v", d, k, workers, i, err)
+					}
+					if !bytes.Equal(want.Bytes(), bufs[i].Bytes()) {
+						t.Errorf("%s k=%d w=%d query %d (%v): multi output %d bytes, standalone %d bytes",
+							d, k, workers, i, m.Query(i).Paths(), bufs[i].Len(), want.Len())
+					}
+					wantWritten += int64(bufs[i].Len())
+				}
+				if agg.BytesWritten != wantWritten {
+					t.Errorf("%s k=%d w=%d: aggregate BytesWritten = %d, want %d", d, k, workers, agg.BytesWritten, wantWritten)
+				}
+				if workers == 1 && agg.BytesRead > int64(len(doc)) {
+					t.Errorf("%s k=%d: aggregate BytesRead = %d > document %d (shared pass must count once)",
+						d, k, agg.BytesRead, len(doc))
+				}
 			}
 		}
+	}
+}
+
+// TestMultiProjectMinParallelInput pins the public threshold accessor: a
+// smaller chunk lowers the threshold, and a WithWorkers option takes
+// precedence over the workers argument.
+func TestMultiProjectMinParallelInput(t *testing.T) {
+	m, _ := multiFixture(t, XMark, 2, 4<<10)
+	small := m.MinParallelInput(4, WithChunkSize(1<<10))
+	big := m.MinParallelInput(4)
+	if small >= big {
+		t.Errorf("smaller chunk should lower the threshold: %d >= %d", small, big)
+	}
+	if viaOpt := m.MinParallelInput(1, WithWorkers(4), WithChunkSize(1<<10)); viaOpt != small {
+		t.Errorf("WithWorkers option = %d, want %d (same as the workers argument)", viaOpt, small)
 	}
 }
 

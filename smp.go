@@ -38,7 +38,9 @@
 package smp
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -49,7 +51,7 @@ import (
 	"smp/internal/core"
 	"smp/internal/dtd"
 	"smp/internal/paths"
-	"smp/internal/split"
+	"smp/internal/pipeline"
 	"smp/internal/xmlgen"
 )
 
@@ -115,10 +117,10 @@ type Prefilter struct {
 	table  *compile.Table
 	engine *core.Prefilter
 
-	// splitOnce lazily builds the intra-document parallel projector (its
-	// global scan tables are only paid for once a run asks for workers).
-	splitOnce sync.Once
-	splitProj *split.Projector
+	// pipeOnce lazily builds the K=1 unified pipeline engine (its global
+	// scan tables are only paid for once a run asks for workers).
+	pipeOnce sync.Once
+	pipeEng  *pipeline.Engine
 }
 
 // Compile builds a prefilter from DTD source text and a comma- or
@@ -183,11 +185,13 @@ func resolveOptions(opts []ProjectOption) projectConfig {
 
 // WithWorkers projects with intra-document parallelism: the input is cut
 // into segments at tag boundaries, scanned for keyword candidates by n
-// goroutines sharing the prefilter's compiled plan, and stitched to the
+// goroutines sharing the prefilter's compiled plan, and replayed to the
 // output in input order — byte-identical to the serial run (only the
 // instrumentation counters differ; they aggregate the speculative
-// per-segment scans, see internal/split). n <= 1, and inputs smaller than
-// one segment plus its lookahead (see MinParallelInput), run serially.
+// per-segment scans, see internal/pipeline). n <= 1, and inputs smaller
+// than one segment plus its lookahead (see MinParallelInput), run serially.
+// The option composes with MultiProject: K queries and n workers share one
+// candidate pipeline.
 func WithWorkers(n int) ProjectOption {
 	return func(c *projectConfig) { c.workers = n }
 }
@@ -238,7 +242,10 @@ func (p *Prefilter) Project(ctx context.Context, dst io.Writer, src io.Reader, o
 	var stats Stats
 	var err error
 	if cfg.workers > 1 {
-		stats, err = p.projector().Project(ctx, dst, src, split.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize})
+		var res pipeline.Result
+		res, err = p.projector().Project(ctx, []io.Writer{dst}, src, pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize})
+		stats = res.Aggregate()
+		err = singleQueryErr(err)
 	} else {
 		stats, err = p.engine.ProjectWith(ctx, dst, src, core.RunOptions{ChunkSize: cfg.chunkSize})
 	}
@@ -246,6 +253,17 @@ func (p *Prefilter) Project(ctx context.Context, dst io.Writer, src io.Reader, o
 		*cfg.statsInto = stats
 	}
 	return stats, err
+}
+
+// singleQueryErr unwraps the pipeline's per-query error envelope for K=1
+// surfaces: a single-query run reports its one error directly, exactly as
+// the serial engine does.
+func singleQueryErr(err error) error {
+	var perr *pipeline.Error
+	if errors.As(err, &perr) && len(perr.Errs) == 1 {
+		return perr.Errs[0]
+	}
+	return err
 }
 
 // ProjectFile prefilters the file at inPath into outPath, with the same
@@ -273,10 +291,11 @@ func (p *Prefilter) ProjectFile(ctx context.Context, inPath, outPath string, opt
 	return stats, runErr
 }
 
-// projector returns the lazily built intra-document parallel projector.
-func (p *Prefilter) projector() *split.Projector {
-	p.splitOnce.Do(func() { p.splitProj = split.New(p.engine.Plan()) })
-	return p.splitProj
+// projector returns the lazily built single-query pipeline engine — the
+// K=1 case of the unified K×W pipeline (see internal/pipeline).
+func (p *Prefilter) projector() *pipeline.Engine {
+	p.pipeOnce.Do(func() { p.pipeEng = pipeline.New([]*core.Plan{p.engine.Plan()}) })
+	return p.pipeEng
 }
 
 // MinParallelInput returns the smallest input size, in bytes, that Project
@@ -291,7 +310,7 @@ func (p *Prefilter) MinParallelInput(workers int, opts ...ProjectOption) int {
 	if cfg.workers > 0 {
 		workers = cfg.workers
 	}
-	return p.projector().MinParallelInput(split.Options{Workers: workers, ChunkSize: cfg.chunkSize})
+	return p.projector().MinParallelInput(pipeline.Options{Workers: workers, ChunkSize: cfg.chunkSize})
 }
 
 // Run prefilters the document read from r and writes the projection to w.
@@ -328,7 +347,10 @@ func (p *Prefilter) ProjectBytesParallel(doc []byte, workers int) ([]byte, Stats
 	if workers <= 1 {
 		return p.ProjectBytes(doc)
 	}
-	return p.projector().ProjectBytes(context.Background(), doc, split.Options{Workers: workers})
+	var out bytes.Buffer
+	out.Grow(len(doc) / 8)
+	res, err := p.projector().ProjectBuffered(context.Background(), []io.Writer{&out}, doc, pipeline.Options{Workers: workers})
+	return out.Bytes(), res.Aggregate(), singleQueryErr(err)
 }
 
 // Paths returns the projection paths the prefilter preserves, sorted.
