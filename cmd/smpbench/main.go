@@ -32,10 +32,24 @@
 //
 //	smpbench -multi 4 -intra 4 -xmark 8MiB
 //
+// With -scan the harness measures the raw candidate-scan kernel in
+// isolation (no automaton replay, no output): the active kernel (SWAR
+// unless SMP_SCAN_KERNEL=scalar pins the reference), the scalar reference
+// kernel, and a pure bytes.IndexByte('<') sweep — the memchr reference,
+// i.e. the platform's effective memory bandwidth for anchor finding. Each
+// kernel row reports its throughput as a fraction of that reference:
+//
+//	smpbench -scan -xmark 32MiB
+//
 // Every benchmark mode verifies byte-identity against the serial engine
 // before timing and exits non-zero on any mismatch, so the harness doubles
-// as a correctness gate. With -json FILE the modes also append machine-
-// readable records ({mode, k, w, mbps}) to FILE for CI trend tracking.
+// as a correctness gate. With -json FILE the modes append one trajectory
+// point {rev, date, note, records} to FILE, where each record is
+// {mode, k, w, input, mbps, allocs}; committed BENCH_*.json files track
+// this trajectory across revisions. -compare BASE -against FRESH
+// -threshold PCT gates a fresh trajectory file against a committed
+// baseline, normalizing by each file's memchr reference record when
+// present so the check cancels out machine-speed differences.
 package main
 
 import (
@@ -46,14 +60,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"smp"
+	"smp/internal/compile"
+	"smp/internal/core"
+	"smp/internal/dtd"
 	"smp/internal/experiments"
+	"smp/internal/paths"
 	"smp/internal/stats"
 	"smp/internal/xmlgen"
 )
@@ -85,7 +105,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		coldstart   = fs.Bool("coldstart", false, "cold-start mode: report compile, first-run and steady-state time per query")
 		intra       = fs.Int("intra", 0, "intra-document mode: split one document across N scan workers and compare against the serial engine (0 = off)")
 		multi       = fs.Int("multi", 0, "multi-query mode: project one document for K queries in one shared scan and compare against K independent passes (0 = off); combine with -intra for the K×W grid")
-		jsonPath    = fs.String("json", "", "also write machine-readable benchmark records ({mode,k,w,mbps}) to this file")
+		scanMode    = fs.Bool("scan", false, "scan-kernel mode: measure raw candidate-scan throughput (SWAR, scalar reference, memchr bandwidth reference)")
+		jsonPath    = fs.String("json", "", "append one trajectory point ({rev,date,note,records}) to this file")
+		note        = fs.String("note", "", "free-form note stored in the -json trajectory point")
+		comparePath = fs.String("compare", "", "compare mode: committed baseline trajectory file (use with -against)")
+		againstPath = fs.String("against", "", "compare mode: fresh trajectory file to gate against -compare")
+		threshold   = fs.Float64("threshold", 15, "compare mode: fail on throughput regressions beyond this percentage")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,11 +142,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg.Queries = strings.Split(*queries, ",")
 	}
 
-	blog := &benchLog{}
+	if *comparePath != "" || *againstPath != "" {
+		if *comparePath == "" || *againstPath == "" {
+			return fmt.Errorf("compare mode needs both -compare BASELINE and -against FRESH")
+		}
+		return runCompare(*comparePath, *againstPath, *threshold, stdout)
+	}
+
+	blog := &benchLog{note: *note}
 	var tables []*stats.Table
 	switch {
+	case *scanMode:
+		t, err := runScanKernel(ctx, cfg, blog)
+		if err != nil {
+			return err
+		}
+		tables = []*stats.Table{t}
 	case *coldstart:
-		t, err := runColdStart(ctx, cfg)
+		t, err := runColdStart(ctx, cfg, blog)
 		if err != nil {
 			return err
 		}
@@ -180,34 +218,96 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// benchRecord is one machine-readable measurement emitted by -json: the
-// benchmark mode, the number of queries K and scan workers W of the
-// configuration, and its throughput in MiB/s.
+// benchRecord is one machine-readable measurement: the benchmark mode, the
+// number of queries K and scan workers W of the configuration, the input
+// variant (mmap/stream for projection modes; the kernel name for -scan),
+// the throughput in MiB/s, and the allocations per timed run.
 type benchRecord struct {
-	Mode string  `json:"mode"`
-	K    int     `json:"k"`
-	W    int     `json:"w"`
-	MBps float64 `json:"mbps"`
+	Mode   string  `json:"mode"`
+	K      int     `json:"k"`
+	W      int     `json:"w"`
+	Input  string  `json:"input,omitempty"`
+	MBps   float64 `json:"mbps"`
+	Allocs int64   `json:"allocs"`
+}
+
+// key identifies a record across trajectory points: two points' records
+// with equal keys measure the same configuration.
+func (r benchRecord) key() string {
+	return fmt.Sprintf("%s k=%d w=%d input=%s", r.Mode, r.K, r.W, r.Input)
+}
+
+// benchPoint is one -json invocation of the harness: the git revision and
+// date it measured, an optional free-form note, and its records. Committed
+// BENCH_*.json files are arrays of points — the performance trajectory of
+// the repository.
+type benchPoint struct {
+	Rev     string        `json:"rev"`
+	Date    string        `json:"date"`
+	Note    string        `json:"note,omitempty"`
+	Records []benchRecord `json:"records"`
 }
 
 // benchLog collects the records of one harness invocation for -json.
 type benchLog struct {
+	note    string
 	records []benchRecord
 }
 
-func (l *benchLog) add(mode string, k, w int, mbps float64) {
-	l.records = append(l.records, benchRecord{Mode: mode, K: k, W: w, MBps: mbps})
+func (l *benchLog) add(mode string, k, w int, input string, mbps float64, allocs int64) {
+	l.records = append(l.records, benchRecord{Mode: mode, K: k, W: w, Input: input, MBps: mbps, Allocs: allocs})
 }
 
+// write appends this invocation as one trajectory point to path. An
+// existing trajectory (or a legacy flat record array) is preserved; a
+// missing or unreadable file starts a fresh trajectory.
 func (l *benchLog) write(path string) error {
 	if l.records == nil {
 		l.records = []benchRecord{}
 	}
-	data, err := json.MarshalIndent(l.records, "", "  ")
+	trajectory, err := readTrajectory(path)
+	if err != nil {
+		trajectory = nil
+	}
+	trajectory = append(trajectory, benchPoint{
+		Rev:     gitRev(),
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Note:    l.note,
+		Records: l.records,
+	})
+	data, err := json.MarshalIndent(trajectory, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readTrajectory loads a trajectory file. A legacy flat record array (the
+// pre-trajectory -json format) is wrapped as a single point.
+func readTrajectory(path string) ([]benchPoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var trajectory []benchPoint
+	if err := json.Unmarshal(data, &trajectory); err == nil {
+		return trajectory, nil
+	}
+	var records []benchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("%s: neither a trajectory nor a record array: %w", path, err)
+	}
+	return []benchPoint{{Rev: "unknown", Records: records}}, nil
+}
+
+// gitRev best-effort resolves the short revision of the working tree; the
+// trajectory stays usable outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // nopWriteCloser adapts an in-memory buffer to the BatchJob.Dst contract.
@@ -287,7 +387,7 @@ func runCorpus(ctx context.Context, workers, docCount int, cfg experiments.Confi
 		if w == 1 {
 			serial = agg
 		}
-		blog.add("corpus", 1, w, agg.ThroughputMBps())
+		blog.add("corpus", 1, w, "stream", agg.ThroughputMBps(), 0)
 		t.AddRow(
 			strconv.Itoa(w),
 			stats.FormatDuration(agg.Elapsed),
@@ -361,7 +461,7 @@ func runIntraDoc(ctx context.Context, workers int, cfg experiments.Config, blog 
 		if w == 1 {
 			serialElapsed = best
 		}
-		blog.add("intra", 1, w, float64(len(doc))/(1<<20)/time.Duration(best).Seconds())
+		blog.add("intra", 1, w, "stream", float64(len(doc))/(1<<20)/time.Duration(best).Seconds(), 0)
 		t.AddRow(
 			strconv.Itoa(w),
 			stats.FormatDuration(time.Duration(best)),
@@ -390,7 +490,7 @@ func runMultiQuery(ctx context.Context, k int, cfg experiments.Config, blog *ben
 	t := stats.NewTable(
 		fmt.Sprintf("Multi-query shared projection, one %s document, %d queries (%s)",
 			stats.FormatBytes(int64(len(doc))), len(qs), strings.Join(queryIDs, ",")),
-		"Mode", "Wall Time", "MiB/s", "Output %", "Speedup")
+		"Mode", "Input", "Wall Time", "MiB/s", "Output %", "Speedup")
 
 	// Baseline: K independent standalone passes over the same document.
 	want := make([][]byte, len(qs))
@@ -408,56 +508,105 @@ func runMultiQuery(ctx context.Context, k int, cfg experiments.Config, blog *ben
 			independent = elapsed
 		}
 	}
-
-	// Shared: one scan serving every query.
-	var shared int64
-	var aggOut int64
-	outs := make([]bytes.Buffer, mpf.Len())
-	for round := 0; round < rounds; round++ {
-		dsts := make([]io.Writer, mpf.Len())
-		for i := range outs {
-			outs[i].Reset()
-			dsts[i] = &outs[i]
-		}
-		var agg smp.Stats
-		timer := stats.StartTimer()
-		if _, err := mpf.MultiProject(ctx, dsts, bytes.NewReader(doc), smp.WithStatsInto(&agg)); err != nil {
-			return nil, fmt.Errorf("shared pass: %w", err)
-		}
-		if elapsed := int64(timer.Elapsed()); round == 0 || elapsed < shared {
-			shared = elapsed
-		}
-		aggOut = agg.BytesWritten
-	}
-	for i := range outs {
-		if !bytes.Equal(outs[i].Bytes(), want[i]) {
-			return nil, fmt.Errorf("%s: shared output differs from the independent pass (%d vs %d bytes)",
-				qs[i].ID, outs[i].Len(), len(want[i]))
-		}
-	}
-
 	var wantTotal int64
 	for _, w := range want {
 		wantTotal += int64(len(w))
 	}
 	inputMiB := float64(len(doc)) / (1 << 20)
-	blog.add("multi", mpf.Len(), 1, inputMiB*float64(mpf.Len())/time.Duration(shared).Seconds())
 	t.AddRow(
 		fmt.Sprintf("%d independent passes", mpf.Len()),
+		"stream",
 		stats.FormatDuration(time.Duration(independent)),
 		stats.FormatFloat(inputMiB*float64(mpf.Len())/time.Duration(independent).Seconds()),
 		stats.FormatPercent(100*float64(wantTotal)/float64(len(doc)*mpf.Len())),
 		stats.FormatRatio(1, 1),
 	)
-	t.AddRow(
-		"1 shared scan",
-		stats.FormatDuration(time.Duration(shared)),
-		stats.FormatFloat(inputMiB*float64(mpf.Len())/time.Duration(shared).Seconds()),
-		stats.FormatPercent(100*float64(aggOut)/float64(len(doc)*mpf.Len())),
-		stats.FormatRatio(float64(independent), float64(shared)),
-	)
-	t.AddNote("every per-query output verified byte-identical to its independent pass; MiB/s counts the document once per query served (one scan amortizes across %d queries)", mpf.Len())
+
+	// The shared-scan pass runs twice: once from an in-memory stream and
+	// once from a regular file, where the engine memory-maps the document
+	// and scans it in place. The Input column reports the path the engine
+	// actually took (Stats.ZeroCopyInput), so a platform without mmap
+	// support shows stream for both rows.
+	docFile, err := writeTempDoc(doc)
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(docFile)
+	outs := make([]bytes.Buffer, mpf.Len())
+	for _, fromFile := range []bool{false, true} {
+		var shared int64
+		var aggOut int64
+		input := "stream"
+		for round := 0; round < rounds; round++ {
+			dsts := make([]io.Writer, mpf.Len())
+			for i := range outs {
+				outs[i].Reset()
+				dsts[i] = &outs[i]
+			}
+			src := io.Reader(bytes.NewReader(doc))
+			var f *os.File
+			if fromFile {
+				if f, err = os.Open(docFile); err != nil {
+					return nil, err
+				}
+				src = f
+			}
+			var agg smp.Stats
+			timer := stats.StartTimer()
+			_, err := mpf.MultiProject(ctx, dsts, src, smp.WithStatsInto(&agg))
+			elapsed := int64(timer.Elapsed())
+			if f != nil {
+				f.Close()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("shared pass: %w", err)
+			}
+			if round == 0 || elapsed < shared {
+				shared = elapsed
+			}
+			aggOut = agg.BytesWritten
+			if agg.ZeroCopyInput {
+				input = "mmap"
+			}
+		}
+		for i := range outs {
+			if !bytes.Equal(outs[i].Bytes(), want[i]) {
+				return nil, fmt.Errorf("%s: shared %s output differs from the independent pass (%d vs %d bytes)",
+					qs[i].ID, input, outs[i].Len(), len(want[i]))
+			}
+		}
+		blog.add("multi", mpf.Len(), 1, input, inputMiB*float64(mpf.Len())/time.Duration(shared).Seconds(), 0)
+		t.AddRow(
+			"1 shared scan",
+			input,
+			stats.FormatDuration(time.Duration(shared)),
+			stats.FormatFloat(inputMiB*float64(mpf.Len())/time.Duration(shared).Seconds()),
+			stats.FormatPercent(100*float64(aggOut)/float64(len(doc)*mpf.Len())),
+			stats.FormatRatio(float64(independent), float64(shared)),
+		)
+	}
+	t.AddNote("every per-query output verified byte-identical to its independent pass; MiB/s counts the document once per query served (one scan amortizes across %d queries); input=mmap scans the file in place with zero copies", mpf.Len())
 	return t, nil
+}
+
+// writeTempDoc materializes a generated document as a regular file so a
+// benchmark can exercise the zero-copy mmap input path. The caller removes
+// the returned path.
+func writeTempDoc(doc []byte) (string, error) {
+	f, err := os.CreateTemp("", "smpbench-*.xml")
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(doc); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	return f.Name(), nil
 }
 
 // multiWorkload resolves the workload shared by the multi-query modes
@@ -556,7 +705,7 @@ func runGrid(ctx context.Context, k, workers int, cfg experiments.Config, blog *
 			base = best
 		}
 		mbps := float64(len(doc)) / (1 << 20) * float64(mpf.Len()) / time.Duration(best).Seconds()
-		blog.add("grid", mpf.Len(), w, mbps)
+		blog.add("grid", mpf.Len(), w, "stream", mbps, 0)
 		t.AddRow(
 			strconv.Itoa(w),
 			stats.FormatDuration(time.Duration(best)),
@@ -585,15 +734,19 @@ func workerLadder(max int) []int {
 // tables), the first projection after compiling and the steady-state
 // projection, separating the paper's static phase from its runtime phase.
 // With the Plan layer the first run pays no lazy table construction, so the
-// First/Steady ratio should sit near 1.
-func runColdStart(ctx context.Context, cfg experiments.Config) (*stats.Table, error) {
+// First/Steady ratio should sit near 1. Each query runs twice — from an
+// in-memory stream and from a regular file, where the engine memory-maps
+// the input — with a fresh compile per variant so both First runs are
+// genuine cold starts. The Input column reports the path the engine
+// actually took (stream on platforms without mmap support).
+func runColdStart(ctx context.Context, cfg experiments.Config, blog *benchLog) (*stats.Table, error) {
 	queryIDs := cfg.Queries
 	if len(queryIDs) == 0 {
 		queryIDs = []string{"XM1", "XM13", "M4"}
 	}
 
 	t := stats.NewTable("Cold start — static analysis vs. first vs. steady-state run",
-		"Query", "Compile", "Plan Bytes", "Matchers", "First Run", "Steady Run", "First/Steady")
+		"Query", "Input", "Compile", "Plan Bytes", "Matchers", "First Run", "Steady Run", "First/Steady")
 	for _, id := range queryIDs {
 		q, ok := xmlgen.QueryByID(id)
 		if !ok {
@@ -601,45 +754,310 @@ func runColdStart(ctx context.Context, cfg experiments.Config) (*stats.Table, er
 		}
 		dtdSource, gen, docSize := datasetFor(q, cfg)
 		doc := gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + 1})
-
-		compileTimer := stats.StartTimer()
-		pf, err := smp.Compile(dtdSource, q.Paths, smp.Options{})
+		docFile, err := writeTempDoc(doc)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", q.ID, err)
+			return nil, err
 		}
-		compileElapsed := compileTimer.Elapsed()
 
-		firstTimer := stats.StartTimer()
-		if _, err := pf.Project(ctx, io.Discard, bytes.NewReader(doc)); err != nil {
-			return nil, fmt.Errorf("%s: %w", q.ID, err)
-		}
-		first := firstTimer.Elapsed()
-
-		// Steady state: the fastest of a few warmed runs.
-		steady := first
-		for i := 0; i < 5; i++ {
-			runTimer := stats.StartTimer()
-			if _, err := pf.Project(ctx, io.Discard, bytes.NewReader(doc)); err != nil {
+		for _, fromFile := range []bool{false, true} {
+			compileTimer := stats.StartTimer()
+			pf, err := smp.Compile(dtdSource, q.Paths, smp.Options{})
+			if err != nil {
+				os.Remove(docFile)
 				return nil, fmt.Errorf("%s: %w", q.ID, err)
 			}
-			if elapsed := runTimer.Elapsed(); elapsed < steady {
-				steady = elapsed
+			compileElapsed := compileTimer.Elapsed()
+
+			input := "stream"
+			runOnce := func() (time.Duration, error) {
+				src := io.Reader(bytes.NewReader(doc))
+				var f *os.File
+				if fromFile {
+					var err error
+					if f, err = os.Open(docFile); err != nil {
+						return 0, err
+					}
+					defer f.Close()
+					src = f
+				}
+				var runStats smp.Stats
+				runTimer := stats.StartTimer()
+				if _, err := pf.Project(ctx, io.Discard, src, smp.WithStatsInto(&runStats)); err != nil {
+					return 0, err
+				}
+				elapsed := runTimer.Elapsed()
+				if runStats.ZeroCopyInput {
+					input = "mmap"
+				}
+				return elapsed, nil
+			}
+
+			first, err := runOnce()
+			if err != nil {
+				os.Remove(docFile)
+				return nil, fmt.Errorf("%s: %w", q.ID, err)
+			}
+
+			// Steady state: the fastest of a few warmed runs.
+			steady := first
+			for i := 0; i < 5; i++ {
+				elapsed, err := runOnce()
+				if err != nil {
+					os.Remove(docFile)
+					return nil, fmt.Errorf("%s: %w", q.ID, err)
+				}
+				if elapsed < steady {
+					steady = elapsed
+				}
+			}
+
+			ps := pf.PlanStats()
+			blog.add("coldstart", 1, 1, input, float64(len(doc))/(1<<20)/steady.Seconds(), 0)
+			t.AddRow(
+				q.ID,
+				input,
+				stats.FormatDuration(compileElapsed),
+				stats.FormatBytes(ps.MemBytes),
+				strconv.Itoa(ps.SingleMatchers+ps.MultiMatchers),
+				stats.FormatDuration(first),
+				stats.FormatDuration(steady),
+				stats.FormatRatio(float64(first), float64(steady)),
+			)
+		}
+		os.Remove(docFile)
+	}
+	t.AddNote("%s", "compile covers the full static analysis including plan construction (matcher tables, tag interning, vocabulary orders); the first run builds nothing lazily, so First/Steady ≈ 1 up to cache warmth; input=mmap scans the file in place with zero copies")
+	return t, nil
+}
+
+// runScanKernel is the -scan mode: it measures the raw candidate-scan
+// kernel on one generated document, with no automaton replay and no output
+// — the layer the paper's "prefiltering at I/O speed" claim lives in.
+// Three rows: the active kernel (SWAR unless SMP_SCAN_KERNEL=scalar pins
+// the scalar reference), the scalar reference kernel, and a pure
+// bytes.IndexByte('<') sweep — the memchr reference, i.e. the platform's
+// effective memory bandwidth for anchor finding. Each row reports its
+// throughput as a fraction of that reference. Both kernels' candidate
+// streams are compared before timing, so the mode doubles as a full-size
+// differential gate.
+func runScanKernel(ctx context.Context, cfg experiments.Config, blog *benchLog) (*stats.Table, error) {
+	queryID := "XM13"
+	if len(cfg.Queries) > 0 {
+		queryID = cfg.Queries[0]
+	}
+	q, ok := xmlgen.QueryByID(queryID)
+	if !ok {
+		return nil, fmt.Errorf("unknown query %q", queryID)
+	}
+	dtdSource, gen, docSize := datasetFor(q, cfg)
+	doc := gen(xmlgen.Config{TargetSize: docSize, Seed: cfg.Seed + 1})
+
+	schema, err := dtd.Parse(dtdSource)
+	if err != nil {
+		return nil, err
+	}
+	set, err := paths.ParseSet(q.Paths)
+	if err != nil {
+		return nil, err
+	}
+	table, err := compile.Compile(schema, set, compile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sp := core.NewScanPlan(core.NewPlan(table, core.Options{}))
+
+	active := "swar"
+	if os.Getenv("SMP_SCAN_KERNEL") == "scalar" {
+		active = "scalar"
+	}
+
+	// Differential gate before timing: the dispatching kernel must emit
+	// exactly the scalar reference kernel's candidate stream.
+	var activeCands, scalarCands []core.Candidate
+	activeCands = sp.NewScanner().Scan(activeCands, doc, 0, len(doc), true)
+	scalarCands = sp.NewScanner().ScanScalar(scalarCands, doc, 0, len(doc), true)
+	if len(activeCands) != len(scalarCands) {
+		return nil, fmt.Errorf("kernel divergence: %d candidates (%s) vs %d (scalar)",
+			len(activeCands), active, len(scalarCands))
+	}
+	for i := range activeCands {
+		if activeCands[i] != scalarCands[i] {
+			return nil, fmt.Errorf("kernel divergence at candidate %d: %+v (%s) vs %+v (scalar)",
+				i, activeCands[i], active, scalarCands[i])
+		}
+	}
+
+	// Scanner scratch and the candidate buffer persist across rounds,
+	// matching the engine's steady state: the first (untimed) warmup round
+	// pays the buffer growth, the timed rounds reuse it.
+	swarScanner, scalarScanner := sp.NewScanner(), sp.NewScanner()
+	var swarDst, scalarDst []core.Candidate
+	kernels := []struct {
+		name  string // trajectory record key, stable across revisions
+		label string // table row label
+		run   func() int
+	}{
+		{"scan", fmt.Sprintf("scan (%s)", active), func() int {
+			swarDst = swarScanner.Scan(swarDst[:0], doc, 0, len(doc), true)
+			return len(swarDst)
+		}},
+		{"scalar", "scalar reference", func() int {
+			scalarDst = scalarScanner.ScanScalar(scalarDst[:0], doc, 0, len(doc), true)
+			return len(scalarDst)
+		}},
+		{"memchr", "memchr (IndexByte '<')", func() int {
+			n := 0
+			for off := 0; off < len(doc); {
+				i := bytes.IndexByte(doc[off:], '<')
+				if i < 0 {
+					break
+				}
+				off += i + 1
+				n++
+			}
+			return n
+		}},
+	}
+
+	const rounds = 5
+	type measurement struct {
+		best   time.Duration
+		allocs int64
+		count  int
+	}
+	results := make([]measurement, len(kernels))
+	var memchrBest time.Duration
+	for ki, k := range kernels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var m measurement
+		m.count = k.run() // warmup: grow the candidate buffer, fault in the document
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		for round := 0; round < rounds; round++ {
+			timer := stats.StartTimer()
+			m.count = k.run()
+			if elapsed := timer.Elapsed(); round == 0 || elapsed < m.best {
+				m.best = elapsed
 			}
 		}
+		runtime.ReadMemStats(&ms1)
+		m.allocs = int64(ms1.Mallocs-ms0.Mallocs) / rounds
+		results[ki] = m
+		if k.name == "memchr" {
+			memchrBest = m.best
+		}
+	}
 
-		ps := pf.PlanStats()
+	t := stats.NewTable(
+		fmt.Sprintf("Scan kernel bandwidth, one %s document, query %s vocabulary", stats.FormatBytes(docSize), q.ID),
+		"Kernel", "Wall Time", "MiB/s", "% of memchr", "Allocs/Run", "Matches")
+	inputMiB := float64(len(doc)) / (1 << 20)
+	for ki, k := range kernels {
+		m := results[ki]
+		mbps := inputMiB / m.best.Seconds()
+		blog.add("scan", 1, 1, k.name, mbps, m.allocs)
 		t.AddRow(
-			q.ID,
-			stats.FormatDuration(compileElapsed),
-			stats.FormatBytes(ps.MemBytes),
-			strconv.Itoa(ps.SingleMatchers+ps.MultiMatchers),
-			stats.FormatDuration(first),
-			stats.FormatDuration(steady),
-			stats.FormatRatio(float64(first), float64(steady)),
+			k.label,
+			stats.FormatDuration(m.best),
+			stats.FormatFloat(mbps),
+			stats.FormatPercent(100*memchrBest.Seconds()/m.best.Seconds()),
+			strconv.FormatInt(m.allocs, 10),
+			strconv.Itoa(m.count),
 		)
 	}
-	t.AddNote("%s", "compile covers the full static analysis including plan construction (matcher tables, tag interning, vocabulary orders); the first run builds nothing lazily, so First/Steady ≈ 1 up to cache warmth")
+	t.AddNote("candidate discovery only, no automaton replay or output; memchr is a pure bytes.IndexByte('<') sweep — the platform's memory-bandwidth reference for anchor finding; Matches counts candidates for the kernels and raw '<' anchors for memchr; active kernel: %s (pin with SMP_SCAN_KERNEL=scalar)", active)
 	return t, nil
+}
+
+// runCompare is the -compare mode, the CI regression gate: it loads two
+// trajectory files, takes the latest point of each, and fails on any
+// configuration whose throughput dropped more than threshold percent.
+// When both points carry the memchr bandwidth reference record (-scan
+// mode), throughputs are normalized by it first, so a slower CI machine
+// does not read as a regression and a faster one does not mask it.
+func runCompare(basePath, freshPath string, threshold float64, stdout io.Writer) error {
+	baseTraj, err := readTrajectory(basePath)
+	if err != nil {
+		return err
+	}
+	freshTraj, err := readTrajectory(freshPath)
+	if err != nil {
+		return err
+	}
+	if len(baseTraj) == 0 || len(freshTraj) == 0 {
+		return fmt.Errorf("empty trajectory (%s: %d points, %s: %d points)",
+			basePath, len(baseTraj), freshPath, len(freshTraj))
+	}
+	base, fresh := baseTraj[len(baseTraj)-1], freshTraj[len(freshTraj)-1]
+
+	memchrMBps := func(p benchPoint) float64 {
+		for _, r := range p.Records {
+			if r.Mode == "scan" && r.Input == "memchr" {
+				return r.MBps
+			}
+		}
+		return 0
+	}
+	baseRef, freshRef := memchrMBps(base), memchrMBps(fresh)
+	normalized := baseRef > 0 && freshRef > 0
+
+	freshByKey := make(map[string]benchRecord, len(fresh.Records))
+	for _, r := range fresh.Records {
+		freshByKey[r.key()] = r
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Throughput: %s (%s) vs %s (%s), threshold %.0f%%",
+			base.Rev, base.Date, fresh.Rev, fresh.Date, threshold),
+		"Configuration", "Base MiB/s", "Fresh MiB/s", "Delta", "Verdict")
+	var regressions []string
+	compared := 0
+	for _, b := range base.Records {
+		if normalized && b.Mode == "scan" && b.Input == "memchr" {
+			continue // the yardstick itself: machine speed, not code speed
+		}
+		f, ok := freshByKey[b.key()]
+		if !ok {
+			continue // the fresh run did not measure this configuration
+		}
+		bv, fv := b.MBps, f.MBps
+		if normalized {
+			bv /= baseRef
+			fv /= freshRef
+		}
+		if bv <= 0 {
+			continue
+		}
+		compared++
+		delta := 100 * (fv - bv) / bv
+		verdict := "ok"
+		if delta < -threshold {
+			verdict = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %+.1f%%", b.key(), delta))
+		}
+		t.AddRow(
+			b.key(),
+			stats.FormatFloat(b.MBps),
+			stats.FormatFloat(f.MBps),
+			fmt.Sprintf("%+.1f%%", delta),
+			verdict,
+		)
+	}
+	if normalized {
+		t.AddNote("deltas normalized by each point's memchr bandwidth reference (base %.0f, fresh %.0f MiB/s) to cancel machine-speed differences", baseRef, freshRef)
+	} else {
+		t.AddNote("%s", "raw MiB/s comparison — no memchr reference record in one of the points")
+	}
+	fmt.Fprint(stdout, t.String())
+	if compared == 0 {
+		return fmt.Errorf("no comparable configurations between %s and %s", basePath, freshPath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("throughput regressions beyond %.0f%%: %s", threshold, strings.Join(regressions, "; "))
+	}
+	return nil
 }
 
 // datasetFor resolves a benchmark query to its dataset: DTD source,

@@ -3,6 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -150,5 +154,170 @@ func TestRunMultiQueryMixedDatasets(t *testing.T) {
 	}, &stdout, &stderr)
 	if err == nil || !strings.Contains(err.Error(), "one dataset") {
 		t.Fatalf("err = %v, want one-dataset error", err)
+	}
+}
+
+func TestRunScanKernel(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-scan",
+		"-xmark", "400KiB",
+		"-json", jsonPath,
+		"-note", "unit test point",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Scan kernel bandwidth", "scan (swar)", "scalar reference", "memchr", "% of memchr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	trajectory, err := readTrajectory(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trajectory) != 1 {
+		t.Fatalf("trajectory has %d points, want 1", len(trajectory))
+	}
+	point := trajectory[0]
+	if point.Date == "" || point.Rev == "" {
+		t.Errorf("point missing rev/date: %+v", point)
+	}
+	if point.Note != "unit test point" {
+		t.Errorf("note = %q", point.Note)
+	}
+	inputs := map[string]bool{}
+	for _, r := range point.Records {
+		if r.Mode != "scan" {
+			t.Errorf("record mode = %q, want scan", r.Mode)
+		}
+		if r.MBps <= 0 {
+			t.Errorf("record %s has non-positive throughput", r.key())
+		}
+		inputs[r.Input] = true
+	}
+	for _, want := range []string{"scan", "scalar", "memchr"} {
+		if !inputs[want] {
+			t.Errorf("trajectory point missing %q record (got %v)", want, inputs)
+		}
+	}
+
+	// A second invocation appends a second point.
+	if err := run(context.Background(), []string{
+		"-scan", "-xmark", "400KiB", "-json", jsonPath,
+	}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if trajectory, err = readTrajectory(jsonPath); err != nil || len(trajectory) != 2 {
+		t.Fatalf("after second run: %d points (err %v), want 2", len(trajectory), err)
+	}
+}
+
+func TestRunColdStartInputColumn(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-coldstart",
+		"-xmark", "150KiB",
+		"-queries", "XM13",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Input") {
+		t.Errorf("cold-start table misses the Input column:\n%s", out)
+	}
+	if !strings.Contains(out, "stream") {
+		t.Errorf("cold-start table misses the stream row:\n%s", out)
+	}
+	if runtime.GOOS == "linux" && !strings.Contains(out, "mmap") {
+		t.Errorf("cold-start table misses the mmap row on linux:\n%s", out)
+	}
+}
+
+func TestRunMultiQueryInputColumn(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-multi", "2",
+		"-xmark", "400KiB",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Input") {
+		t.Errorf("multi-query table misses the Input column:\n%s", out)
+	}
+	if runtime.GOOS == "linux" && !strings.Contains(out, "mmap") {
+		t.Errorf("multi-query table misses the mmap shared-scan row on linux:\n%s", out)
+	}
+}
+
+func writeTrajectory(t *testing.T, path string, points []benchPoint) {
+	t.Helper()
+	data, err := json.Marshal(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	freshPath := filepath.Join(dir, "fresh.json")
+
+	// The fresh machine is 2x slower across the board (memchr included):
+	// normalization must cancel that out and pass.
+	writeTrajectory(t, basePath, []benchPoint{{
+		Rev: "aaa", Date: "2026-01-01",
+		Records: []benchRecord{
+			{Mode: "scan", K: 1, W: 1, Input: "scan", MBps: 1000},
+			{Mode: "scan", K: 1, W: 1, Input: "memchr", MBps: 2000},
+		},
+	}})
+	writeTrajectory(t, freshPath, []benchPoint{{
+		Rev: "bbb", Date: "2026-01-02",
+		Records: []benchRecord{
+			{Mode: "scan", K: 1, W: 1, Input: "scan", MBps: 500},
+			{Mode: "scan", K: 1, W: 1, Input: "memchr", MBps: 1000},
+		},
+	}})
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{
+		"-compare", basePath, "-against", freshPath,
+	}, &stdout, &stderr); err != nil {
+		t.Fatalf("uniformly slower machine flagged as regression: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "normalized") {
+		t.Errorf("compare did not normalize by the memchr reference:\n%s", stdout.String())
+	}
+
+	// A genuine kernel regression (memchr steady, scan halved) must fail.
+	writeTrajectory(t, freshPath, []benchPoint{{
+		Rev: "ccc", Date: "2026-01-03",
+		Records: []benchRecord{
+			{Mode: "scan", K: 1, W: 1, Input: "scan", MBps: 500},
+			{Mode: "scan", K: 1, W: 1, Input: "memchr", MBps: 2000},
+		},
+	}})
+	stdout.Reset()
+	err := run(context.Background(), []string{
+		"-compare", basePath, "-against", freshPath, "-threshold", "15",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("halved kernel throughput not flagged: err = %v\n%s", err, stdout.String())
+	}
+
+	// Missing -against is a usage error.
+	if err := run(context.Background(), []string{"-compare", basePath}, &stdout, &stderr); err == nil {
+		t.Error("compare without -against succeeded")
 	}
 }

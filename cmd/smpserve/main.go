@@ -68,6 +68,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -88,12 +89,14 @@ func main() {
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 		intra      = flag.Int("intra", runtime.GOMAXPROCS(0), "intra-document scan workers for large request bodies (<=1 = always serial)")
 		intraMin   = flag.Int64("intramin", 4<<20, "request body size in bytes from which intra-document parallelism kicks in (requires a Content-Length)")
+		docroot    = flag.String("docroot", "", "directory of server-local documents: /project?doc=<name> projects the named file (memory-mapped when possible) instead of the request body")
 	)
 	flag.Parse()
 
 	srv := newServer(*cache, *cacheBytes, smp.Options{ChunkSize: *chunk})
 	srv.intraWorkers = *intra
 	srv.intraMin = *intraMin
+	srv.docroot = *docroot
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smpserve:", err)
@@ -148,6 +151,13 @@ type server struct {
 	intraWorkers int
 	intraMin     int64
 
+	// docroot, when non-empty, lets /project?doc=<name> read the named
+	// server-local file instead of the request body. Files take the
+	// zero-copy mmap path (internal/mmapio) when the platform supports it;
+	// hot documents are then served straight out of the page cache with no
+	// upload and no read copies.
+	docroot string
+
 	requests           atomic.Int64
 	failures           atomic.Int64
 	intraRequests      atomic.Int64
@@ -157,6 +167,7 @@ type server struct {
 	cancelled          atomic.Int64
 	bytesRead          atomic.Int64
 	bytesWritten       atomic.Int64
+	zeroCopyRuns       atomic.Int64
 }
 
 func newServer(cacheSize int, cacheBytes int64, opts smp.Options) *server {
@@ -173,11 +184,16 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
-// handleProject streams the request body through the prefilter selected by
-// the query parameters and writes the projection as the response body.
+// handleProject streams the request body — or, with doc=<name> against a
+// configured -docroot, a server-local file — through the prefilter selected
+// by the query parameters and writes the projection as the response body.
+// Server-local files are memory-mapped when possible, so repeated
+// projections of a hot document run zero-copy out of the page cache.
 func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if r.Method != http.MethodPost {
+	doc := r.URL.Query().Get("doc")
+	// A doc= request carries no body, so GET is as natural as POST there.
+	if r.Method != http.MethodPost && !(r.Method == http.MethodGet && doc != "") {
 		s.fail(w, http.StatusMethodNotAllowed, "POST the document to /project")
 		return
 	}
@@ -185,6 +201,25 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err.Error())
 		return
+	}
+
+	src := io.Reader(r.Body)
+	srcSize := r.ContentLength
+	if doc != "" {
+		if s.docroot == "" {
+			s.fail(w, http.StatusBadRequest, "doc= requires the server to run with -docroot")
+			return
+		}
+		f, err := s.openDoc(doc)
+		if err != nil {
+			s.fail(w, http.StatusNotFound, "document not found")
+			return
+		}
+		defer f.Close()
+		if fi, err := f.Stat(); err == nil {
+			srcSize = fi.Size()
+		}
+		src = f
 	}
 
 	w.Header().Set("Content-Type", "application/xml")
@@ -196,8 +231,8 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	// silently falls back to the serial engine and /stats must not claim a
 	// parallel run.
 	var opts []smp.ProjectOption
-	if s.intraWorkers > 1 && r.ContentLength >= s.intraMin &&
-		r.ContentLength >= int64(pf.MinParallelInput(s.intraWorkers)) {
+	if s.intraWorkers > 1 && srcSize >= s.intraMin &&
+		srcSize >= int64(pf.MinParallelInput(s.intraWorkers)) {
 		opts = append(opts, smp.WithWorkers(s.intraWorkers))
 		s.intraRequests.Add(1)
 	}
@@ -205,9 +240,12 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	// The request context makes the projection cancellable end to end: a
 	// client that disconnects mid-stream aborts the in-flight run at its
 	// next chunk boundary instead of burning a core on a dead connection.
-	stats, err := pf.Project(r.Context(), out, r.Body, opts...)
+	stats, err := pf.Project(r.Context(), out, src, opts...)
 	s.bytesRead.Add(stats.BytesRead)
 	s.bytesWritten.Add(stats.BytesWritten)
+	if stats.ZeroCopyInput {
+		s.zeroCopyRuns.Add(1)
+	}
 	if err != nil {
 		s.failures.Add(1)
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || r.Context().Err() != nil {
@@ -231,6 +269,23 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 		panic(http.ErrAbortHandler)
 	}
 	setStatsHeaders(w.Header(), stats)
+}
+
+// openDoc resolves a doc= name inside the docroot. The name is cleaned as
+// a rooted path first, so ".." segments cannot escape the root, and only
+// regular files are served.
+func (s *server) openDoc(name string) (*os.File, error) {
+	path := filepath.Join(s.docroot, filepath.Clean("/"+name))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		f.Close()
+		return nil, fmt.Errorf("smpserve: %q is not a regular file", name)
+	}
+	return f, nil
 }
 
 // handleMultiProject projects one request body for K queries in a single
@@ -537,6 +592,7 @@ type statsResponse struct {
 	Cancelled          int64            `json:"cancelled"`
 	BytesRead          int64            `json:"bytes_read"`
 	BytesWritten       int64            `json:"bytes_written"`
+	ZeroCopyRuns       int64            `json:"zero_copy_runs"`
 	CacheSize          int              `json:"cache_size"`
 	CacheBytes         int64            `json:"cache_bytes"`
 	CacheHits          int64            `json:"cache_hits"`
@@ -560,6 +616,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cancelled:          s.cancelled.Load(),
 		BytesRead:          s.bytesRead.Load(),
 		BytesWritten:       s.bytesWritten.Load(),
+		ZeroCopyRuns:       s.zeroCopyRuns.Load(),
 		CacheSize:          size,
 		CacheBytes:         cacheBytes,
 		CacheHits:          hits,

@@ -9,6 +9,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -478,4 +481,62 @@ func TestClientDisconnectCancelsProjection(t *testing.T) {
 	if stats.Cancelled < 1 {
 		t.Errorf("stats.cancelled = %d, want >= 1", stats.Cancelled)
 	}
+}
+
+// TestDocrootProjection checks the server-local document path: doc=<name>
+// projects a file from -docroot (zero-copy where supported), GET works for
+// body-less requests, traversal is confined to the root, and the path is
+// rejected when no docroot is configured.
+func TestDocrootProjection(t *testing.T) {
+	srv, ts := testServer(t, 4)
+	dir := t.TempDir()
+	srv.docroot = dir
+	if err := os.WriteFile(filepath.Join(dir, "auction.xml"), []byte(auctionDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	params := "paths=" + url.QueryEscape("/*, //australia//name#") + "&doc=auction.xml"
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/project?"+params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-SMP-DTD", url.PathEscape(auctionDTD))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET doc= status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "<name>PDA</name>") {
+		t.Errorf("docroot projection %q misses the item name", body)
+	}
+	if runtime.GOOS == "linux" {
+		if got := srv.zeroCopyRuns.Load(); got != 1 {
+			t.Errorf("zeroCopyRuns = %d, want 1", got)
+		}
+	}
+
+	t.Run("missing document", func(t *testing.T) {
+		resp := postProject(t, ts, "paths="+url.QueryEscape("/*")+"&doc=nope.xml", url.PathEscape(auctionDTD), "")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("missing doc status %d, want 404", resp.StatusCode)
+		}
+	})
+	t.Run("traversal confined", func(t *testing.T) {
+		resp := postProject(t, ts, "paths="+url.QueryEscape("/*")+"&doc="+url.QueryEscape("../../etc/passwd"), url.PathEscape(auctionDTD), "")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("traversal doc status %d, want 404", resp.StatusCode)
+		}
+	})
+	t.Run("no docroot configured", func(t *testing.T) {
+		srv2, ts2 := testServer(t, 4)
+		_ = srv2
+		resp := postProject(t, ts2, "paths="+url.QueryEscape("/*")+"&doc=auction.xml", url.PathEscape(auctionDTD), "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("no-docroot status %d, want 400", resp.StatusCode)
+		}
+	})
 }

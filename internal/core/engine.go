@@ -22,10 +22,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 
 	"smp/internal/compile"
 	"smp/internal/glushkov"
+	"smp/internal/mmapio"
 	"smp/internal/projection"
 	"smp/internal/stringmatch"
 )
@@ -136,9 +138,26 @@ func (p *Prefilter) Project(ctx context.Context, dst io.Writer, src io.Reader) (
 }
 
 // ProjectWith is Project with per-run overrides.
+//
+// When src is an *os.File backed by a regular file (on platforms with mmap
+// support), the document is memory-mapped and the run takes the zero-copy
+// in-memory path — no window copies, Stats.ZeroCopyInput set — with the
+// file offset advanced past the scanned bytes afterwards so the file looks
+// consumed exactly as a streaming run would leave it. Pipes, FIFOs, other
+// readers, and mapping failures of any kind stream as before.
 func (p *Prefilter) ProjectWith(ctx context.Context, dst io.Writer, src io.Reader, opts RunOptions) (Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return Stats{}, err
+	}
+	if f, ok := src.(*os.File); ok {
+		if m, err := mmapio.Map(f); err == nil {
+			defer m.Close()
+			stats, err := p.ProjectBytesWith(ctx, dst, m.Bytes(), opts)
+			// Best-effort offset parity with the streaming path: BytesRead
+			// is exactly what the window would have consumed.
+			f.Seek(m.Offset()+stats.BytesRead, io.SeekStart)
+			return stats, err
+		}
 	}
 	chunk := opts.ChunkSize
 	if chunk <= 0 {
@@ -154,11 +173,42 @@ func (p *Prefilter) ProjectWith(ctx context.Context, dst io.Writer, src io.Reade
 	return stats, err
 }
 
+// ProjectBytesWith prefilters an in-memory document zero-copy: the engine
+// window aliases doc (which may be a read-only memory mapping) instead of
+// copying it chunk by chunk, while chunk-boundary context checks and
+// BytesRead accounting stay identical to a streaming run over the same
+// bytes. Stats.ZeroCopyInput is set; Stats.MaxBufferBytes stays zero, since
+// no private window buffer is held.
+func (p *Prefilter) ProjectBytesWith(ctx context.Context, dst io.Writer, doc []byte, opts RunOptions) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	chunk := opts.ChunkSize
+	if chunk <= 0 {
+		chunk = p.plan.opts.ChunkSize
+	}
+	e := p.pool.Get().(*engine)
+	e.win.pinTo(ctx, doc, chunk)
+	e.out = dst
+	e.copyActive = false
+	e.copyStart = 0
+	e.match = stringmatch.Counters{}
+	e.stats = Stats{}
+	e.writeErr = nil
+	err := e.run()
+	e.finishStats()
+	stats := e.stats
+	stats.ZeroCopyInput = true
+	e.release()
+	p.pool.Put(e)
+	return stats, err
+}
+
 // ProjectBytes prefilters an in-memory document and returns the projection.
 func (p *Prefilter) ProjectBytes(ctx context.Context, doc []byte) ([]byte, Stats, error) {
 	var out bytes.Buffer
 	out.Grow(len(doc) / 8)
-	stats, err := p.Project(ctx, &out, bytes.NewReader(doc))
+	stats, err := p.ProjectBytesWith(ctx, &out, doc, RunOptions{})
 	return out.Bytes(), stats, err
 }
 
@@ -199,6 +249,7 @@ func (e *engine) reset(ctx context.Context, r io.Reader, w io.Writer, chunk int)
 // values, so the pool does not pin a caller's reader, writer or context
 // alive.
 func (e *engine) release() {
+	e.win.unpin()
 	e.win.r = nil
 	e.win.ctx = context.Background()
 	e.out = nil

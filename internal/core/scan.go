@@ -91,6 +91,12 @@ type ScanPlan struct {
 type scanKeyword struct {
 	pattern []byte
 	token   glushkov.Token
+	// word and mask hold the first min(len(pattern), 8) pattern bytes as a
+	// little-endian word: loading the 8 input bytes at the anchor and testing
+	// load&mask == word verifies those bytes in a single branch-free compare
+	// (the SWAR kernel's short-keyword verification; see scan_swar.go).
+	// Patterns longer than 8 bytes compare their tail with bytes.Equal.
+	word, mask uint64
 }
 
 // NewScanPlan derives the global-vocabulary scan tables from a compiled
@@ -132,6 +138,10 @@ func NewScanPlanUnion(plans []*Plan) *ScanPlan {
 	sp.memSize = 2 * 256 * 24 // the two bucket arrays (slice headers)
 	for _, kw := range order {
 		sk := scanKeyword{pattern: []byte(kw), token: tokens[kw]}
+		for b := 0; b < len(sk.pattern) && b < 8; b++ {
+			sk.word |= uint64(sk.pattern[b]) << (8 * b)
+			sk.mask |= 0xFF << (8 * b)
+		}
 		if len(kw) > sp.maxKw {
 			sp.maxKw = len(kw)
 		}
@@ -203,6 +213,11 @@ func (s *SegmentScanner) Counters() (m stringmatch.Counters, inspected, rejected
 // final is true, running out of data mirrors the serial engine exactly: a
 // keyword without its terminator byte is invalid, a tag without '>' is the
 // "unexpected end of input inside tag" error.
+//
+// Scan runs the SWAR multi-anchor kernel (scan_swar.go) unless the
+// environment variable SMP_SCAN_KERNEL=scalar selects the byte-at-a-time
+// reference kernel. Both kernels produce identical candidate streams and
+// identical counters — ScanScalar is kept as the differential baseline.
 func (s *SegmentScanner) Scan(dst []Candidate, data []byte, base int64, owned int, final bool) []Candidate {
 	if owned > len(data) {
 		owned = len(data)
@@ -210,6 +225,30 @@ func (s *SegmentScanner) Scan(dst []Candidate, data []byte, base int64, owned in
 	if s.sp.count == 0 || owned <= 0 {
 		return dst
 	}
+	if useScalarKernel {
+		return s.scanScalar(dst, data, base, owned, final)
+	}
+	return s.scanSWAR(dst, data, base, owned, final)
+}
+
+// ScanScalar is Scan on the byte-at-a-time reference kernel —
+// bytes.IndexByte anchor hops and bytes.Equal verification — regardless of
+// the kernel selection. It is the differential baseline the SWAR kernel is
+// fuzzed and benchmarked against (FuzzScanEquivalence, smpbench -scan):
+// candidate streams and counters must be identical between the two.
+func (s *SegmentScanner) ScanScalar(dst []Candidate, data []byte, base int64, owned int, final bool) []Candidate {
+	if owned > len(data) {
+		owned = len(data)
+	}
+	if s.sp.count == 0 || owned <= 0 {
+		return dst
+	}
+	return s.scanScalar(dst, data, base, owned, final)
+}
+
+// scanScalar is the reference anchor loop: hop from '<' to '<' with the
+// vectorized bytes.IndexByte and verify each anchor byte by byte.
+func (s *SegmentScanner) scanScalar(dst []Candidate, data []byte, base int64, owned int, final bool) []Candidate {
 	i := 0
 	for i < owned {
 		j := bytes.IndexByte(data[i:owned], '<')
@@ -222,7 +261,7 @@ func (s *SegmentScanner) Scan(dst []Candidate, data []byte, base int64, owned in
 		s.match.Shifts++
 		s.match.ShiftTotal += int64(j + 1)
 		s.match.Comparisons++
-		if c, ok := s.verify(data, base, pos, final); ok {
+		if c, ok := s.verifyScalar(data, base, pos, final); ok {
 			dst = append(dst, c)
 		}
 		// Occurrences never overlap (no keyword has an interior '<'), so
@@ -232,10 +271,10 @@ func (s *SegmentScanner) Scan(dst []Candidate, data []byte, base int64, owned in
 	return dst
 }
 
-// verify finds the unique keyword valid at the '<' anchor pos (longest
+// verifyScalar finds the unique keyword valid at the '<' anchor pos (longest
 // first within its bucket, as the serial engine's verifyAt does) and
 // resolves its tag end.
-func (s *SegmentScanner) verify(data []byte, base int64, pos int, final bool) (Candidate, bool) {
+func (s *SegmentScanner) verifyScalar(data []byte, base int64, pos int, final bool) (Candidate, bool) {
 	// The keyword plus its terminator byte must be in view. At the end of
 	// the input this mirrors the serial engine's rejection; before it, the
 	// caller's lookahead guarantee keeps every straddling keyword visible.
@@ -280,21 +319,28 @@ func (s *SegmentScanner) verify(data []byte, base int64, pos int, final bool) (C
 // scanTagEnd resolves the tag's closing '>' within the available data,
 // mirroring the serial engine's quote handling and length bound.
 func (s *SegmentScanner) scanTagEnd(data []byte, base int64, tagStart, from int, final bool, c *Candidate) {
+	// inspected advances once per byte examined; it is derived from the
+	// loop index at each exit instead of incremented per byte — the
+	// read-modify-write on s.inspected would dominate this loop.
 	var ts TagScan
 	for i := from; i < len(data); i++ {
-		s.inspected++
 		done, bachelor := ts.Feed(data[i])
 		if done {
+			s.inspected += int64(i - from + 1)
 			c.TagEnd = base + int64(i)
 			c.Bachelor = bachelor
 			c.Complete = true
 			return
 		}
 		if i+1-tagStart > MaxTagLength {
+			s.inspected += int64(i - from + 1)
 			c.Complete = true
 			c.Err = TagTooLongError(base + int64(tagStart))
 			return
 		}
+	}
+	if len(data) > from {
+		s.inspected += int64(len(data) - from)
 	}
 	if final {
 		c.Complete = true

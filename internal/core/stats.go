@@ -43,7 +43,12 @@ type Stats struct {
 	// MaxBufferBytes is the high-water mark of the streaming window — the
 	// per-run memory. The shared table memory is reported separately by
 	// PlanStats (together they approximate the paper's "Mem" column).
+	// Zero-copy runs hold no private window buffer and report zero.
 	MaxBufferBytes int64
+	// ZeroCopyInput reports that the run scanned the document in place — a
+	// memory-mapped file or a caller-provided byte slice — instead of
+	// copying it through the streaming window.
+	ZeroCopyInput bool
 }
 
 // CharCompPercent returns CharComparisons relative to the document size.
@@ -103,6 +108,7 @@ func (s *Stats) Add(other Stats) {
 	if other.MaxBufferBytes > s.MaxBufferBytes {
 		s.MaxBufferBytes = other.MaxBufferBytes
 	}
+	s.ZeroCopyInput = s.ZeroCopyInput || other.ZeroCopyInput
 }
 
 // addMatcher accumulates the run's string-matcher counters.

@@ -29,6 +29,13 @@ type window struct {
 	// recorded here at the chunk boundary that observed it.
 	readErr error
 
+	// pin marks a zero-copy run: buf aliases a caller-owned (possibly
+	// read-only memory-mapped) document instead of a private chunk buffer.
+	// A pinned window never copies — more() re-slices buf forward chunk by
+	// chunk (keeping the per-chunk context check) and compact() keeps
+	// everything, since there is no private buffer to bound.
+	pin bool
+
 	bytesRead int64
 	maxBuffer int
 }
@@ -69,6 +76,35 @@ func (w *window) reset(ctx context.Context, r io.Reader, chunk int) {
 	w.maxBuffer = 0
 }
 
+// pinTo rebinds the window to an in-memory document for a zero-copy run:
+// buf aliases doc directly and no reader is involved. The document is
+// revealed chunk by chunk through more(), so chunk-boundary context checks
+// and BytesRead accounting behave exactly like a streaming run over the
+// same bytes.
+func (w *window) pinTo(ctx context.Context, doc []byte, chunk int) {
+	w.r = nil
+	w.ctx = ctx
+	w.chunk = clampChunk(chunk)
+	w.base = 0
+	w.n = 0
+	w.eof = false
+	w.readErr = nil
+	w.buf = doc[:0:len(doc)]
+	w.pin = true
+	w.bytesRead = 0
+	w.maxBuffer = 0
+}
+
+// unpin drops a pinned window's alias into the caller's document (which may
+// be unmapped right after the run) and restores streaming mode. The private
+// chunk buffer is gone with the alias; the next streaming reset regrows it.
+func (w *window) unpin() {
+	if w.pin {
+		w.buf = nil
+		w.pin = false
+	}
+}
+
 // end returns the absolute offset one past the last buffered byte.
 func (w *window) end() int64 { return w.base + int64(w.n) }
 
@@ -89,6 +125,11 @@ func (w *window) byteAt(pos int64) byte { return w.buf[pos-w.base] }
 // physically dropped once at least one chunk's worth of bytes can go;
 // keeping more data than necessary is always safe.
 func (w *window) compact(keep int64) {
+	if w.pin {
+		// A pinned window holds no private buffer to bound — and the alias
+		// may be a read-only mapping, so the memmove below must not run.
+		return
+	}
 	if keep > w.end() {
 		keep = w.end()
 	}
@@ -116,6 +157,21 @@ func (w *window) more() bool {
 			w.readErr = err
 		}
 		return false
+	}
+	if w.pin {
+		// Zero-copy: reveal the next chunk of the pinned document by
+		// re-slicing. cap(buf) is the document length.
+		m := w.chunk
+		if w.n+m > cap(w.buf) {
+			m = cap(w.buf) - w.n
+		}
+		w.n += m
+		w.buf = w.buf[:w.n]
+		w.bytesRead += int64(m)
+		if w.n == cap(w.buf) {
+			w.eof = true
+		}
+		return m > 0
 	}
 	if w.n+w.chunk > cap(w.buf) {
 		grown := make([]byte, w.n, w.n+2*w.chunk)

@@ -1,0 +1,28 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestMapFIFO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fifo")
+	if err := syscall.Mkfifo(path, 0o600); err != nil {
+		t.Skipf("mkfifo: %v", err)
+	}
+	// Open the read end non-blocking so the test does not hang waiting for
+	// a writer to show up.
+	f, err := os.OpenFile(path, os.O_RDONLY|syscall.O_NONBLOCK, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := Map(f); !errors.Is(err, ErrNotMappable) {
+		t.Fatalf("Map(fifo) = %v, want ErrNotMappable", err)
+	}
+}

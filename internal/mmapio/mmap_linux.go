@@ -1,0 +1,17 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmap maps the first size bytes of f read-only and shared: the scan never
+// writes to the document, and a shared mapping keeps the page cache as the
+// single copy of the file.
+func mmap(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

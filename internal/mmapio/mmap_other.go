@@ -1,0 +1,11 @@
+//go:build !linux
+
+package mmapio
+
+import "os"
+
+// Non-linux builds have no mapping support compiled in: Map always reports
+// ErrNotMappable and every caller takes its streaming fallback.
+func mmap(f *os.File, size int) ([]byte, error) { return nil, ErrNotMappable }
+
+func munmap(b []byte) error { return nil }

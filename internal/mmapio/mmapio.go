@@ -1,0 +1,81 @@
+// Package mmapio memory-maps regular files so file-backed projections can
+// take the zero-copy in-memory scan path instead of copying the document
+// through a streaming window chunk by chunk.
+//
+// Mapping is strictly best-effort: Map reports ErrNotMappable for anything
+// that is not a plain readable regular file with bytes left to read — pipes,
+// FIFOs, sockets, devices, empty files, exhausted files, non-linux builds,
+// and any mmap(2) failure — and callers fall back to their streaming path.
+// The fallback is part of the contract; no caller may require a mapping.
+package mmapio
+
+import (
+	"errors"
+	"io"
+	"math"
+	"os"
+)
+
+// ErrNotMappable reports that the input cannot be memory-mapped and the
+// caller should stream instead. It deliberately carries no detail: every
+// cause has the same remedy.
+var ErrNotMappable = errors.New("mmapio: input not mappable")
+
+// Mapping is a read-only memory mapping of the unread remainder of a file.
+// Close unmaps it; every slice of Bytes is invalid afterwards.
+type Mapping struct {
+	raw  []byte // the full page-aligned mapping, for munmap
+	data []byte // raw[offset:], the unread remainder
+	off  int64  // file offset Bytes()[0] corresponds to
+}
+
+// Bytes returns the mapped remainder of the file: the bytes from the file's
+// read offset at Map time to its end. The slice is read-only — writing to it
+// faults — and must not be retained past Close.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Offset returns the file offset that Bytes()[0] corresponds to (the file's
+// read offset when Map was called).
+func (m *Mapping) Offset() int64 { return m.off }
+
+// Close releases the mapping. It is safe to call on a nil Mapping and safe
+// to call twice.
+func (m *Mapping) Close() error {
+	if m == nil || m.raw == nil {
+		return nil
+	}
+	raw := m.raw
+	m.raw, m.data = nil, nil
+	return munmap(raw)
+}
+
+// Map memory-maps the unread remainder of f: the bytes from its current
+// read offset to its current size. It returns ErrNotMappable whenever
+// streaming should be used instead — f is not a regular file (pipe, FIFO,
+// socket, device), it has no unread bytes, the platform has no mmap support
+// compiled in, or the mapping itself fails. The file descriptor may be
+// closed once Map returns; the mapping stays valid until Close.
+//
+// Map never moves the file offset. Callers that replace a streaming read
+// with a mapping should advance the offset themselves (Offset plus however
+// many bytes they consumed) so the file looks the same to subsequent readers
+// either way.
+func Map(f *os.File) (*Mapping, error) {
+	fi, err := f.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		return nil, ErrNotMappable
+	}
+	off, err := f.Seek(0, io.SeekCurrent)
+	if err != nil || off < 0 || off >= fi.Size() {
+		return nil, ErrNotMappable
+	}
+	size := fi.Size()
+	if size > math.MaxInt {
+		return nil, ErrNotMappable
+	}
+	raw, err := mmap(f, int(size))
+	if err != nil {
+		return nil, ErrNotMappable
+	}
+	return &Mapping{raw: raw, data: raw[off:], off: off}, nil
+}

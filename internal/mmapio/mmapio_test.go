@@ -1,0 +1,116 @@
+package mmapio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "mmapio-*.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestMapRegularFile(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("no mmap support compiled in")
+	}
+	doc := bytes.Repeat([]byte("<item>x</item>"), 1000)
+	f := writeTemp(t, doc)
+	m, err := Map(f)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	defer m.Close()
+	if m.Offset() != 0 {
+		t.Fatalf("Offset = %d, want 0", m.Offset())
+	}
+	if !bytes.Equal(m.Bytes(), doc) {
+		t.Fatalf("mapped bytes differ from file contents")
+	}
+	// Map must not move the read offset.
+	if off, _ := f.Seek(0, io.SeekCurrent); off != 0 {
+		t.Fatalf("file offset moved to %d", off)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestMapPartiallyReadFile(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("no mmap support compiled in")
+	}
+	doc := []byte("prefix<item>rest of the document</item>")
+	f := writeTemp(t, doc)
+	if _, err := f.Seek(6, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(f)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	defer m.Close()
+	if m.Offset() != 6 {
+		t.Fatalf("Offset = %d, want 6", m.Offset())
+	}
+	if !bytes.Equal(m.Bytes(), doc[6:]) {
+		t.Fatalf("mapped remainder = %q, want %q", m.Bytes(), doc[6:])
+	}
+}
+
+func TestMapNotMappable(t *testing.T) {
+	t.Run("empty file", func(t *testing.T) {
+		f := writeTemp(t, nil)
+		if _, err := Map(f); !errors.Is(err, ErrNotMappable) {
+			t.Fatalf("Map(empty) = %v, want ErrNotMappable", err)
+		}
+	})
+	t.Run("exhausted file", func(t *testing.T) {
+		f := writeTemp(t, []byte("abc"))
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Map(f); !errors.Is(err, ErrNotMappable) {
+			t.Fatalf("Map(exhausted) = %v, want ErrNotMappable", err)
+		}
+	})
+	t.Run("pipe", func(t *testing.T) {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		defer w.Close()
+		if _, err := Map(r); !errors.Is(err, ErrNotMappable) {
+			t.Fatalf("Map(pipe) = %v, want ErrNotMappable", err)
+		}
+	})
+	t.Run("directory", func(t *testing.T) {
+		d, err := os.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if _, err := Map(d); !errors.Is(err, ErrNotMappable) {
+			t.Fatalf("Map(dir) = %v, want ErrNotMappable", err)
+		}
+	})
+}

@@ -5,8 +5,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 
 	"smp/internal/core"
+	"smp/internal/mmapio"
 )
 
 // Options configures one projection run.
@@ -206,6 +208,21 @@ func (e *Engine) MinParallelInput(opts Options) int {
 // inputs smaller than one segment plus its lookahead (see MinParallelInput)
 // take the serial source instead — no goroutines, no segment copies.
 func (e *Engine) Project(ctx context.Context, dsts []io.Writer, src io.Reader, opts Options) (Result, error) {
+	// A regular-file source is memory-mapped and scanned in place (see
+	// internal/mmapio): the segments alias the mapping instead of being
+	// copied out of a read loop, Result.Scan.ZeroCopyInput is set, and the
+	// file offset is advanced past the scanned bytes so the file looks
+	// consumed exactly as streaming would leave it. Pipes, FIFOs, and
+	// mapping failures of any kind stream as before.
+	if f, ok := src.(*os.File); ok {
+		if m, err := mmapio.Map(f); err == nil {
+			defer m.Close()
+			res, err := e.ProjectBuffered(ctx, dsts, m.Bytes(), opts)
+			res.Scan.ZeroCopyInput = true
+			f.Seek(m.Offset()+res.Scan.BytesRead, io.SeekStart)
+			return res, err
+		}
+	}
 	dsts, chunk, err := e.resolve(dsts, opts)
 	if err != nil {
 		return Result{}, err
@@ -240,8 +257,10 @@ func (e *Engine) Project(ctx context.Context, dsts []io.Writer, src io.Reader, o
 
 // ProjectBuffered is Project for a document already in memory: the segments
 // alias doc, so the parallel pipeline's only allocations are the candidate
-// lists. Runs that would not fan out (Workers <= 1, small inputs) take the
-// serial path over a bytes.Reader.
+// lists, and Result.Scan.ZeroCopyInput is set. Runs that would not fan out
+// (Workers <= 1, small inputs) take the serial path — single-query serial
+// runs scan doc in place through the core engine's pinned window; K > 1
+// serial fallbacks stream over a bytes.Reader.
 func (e *Engine) ProjectBuffered(ctx context.Context, dsts []io.Writer, doc []byte, opts Options) (Result, error) {
 	dsts, chunk, err := e.resolve(dsts, opts)
 	if err != nil {
@@ -249,11 +268,16 @@ func (e *Engine) ProjectBuffered(ctx context.Context, dsts []io.Writer, doc []by
 	}
 	segSize, overlap := e.sizing(opts.Workers, opts)
 	if opts.Workers <= 1 || len(doc) < segSize+overlap || ctx.Err() != nil {
+		if e.serial != nil {
+			return e.projectSerialBytes(ctx, dsts, doc, chunk)
+		}
 		return e.projectSerial(ctx, dsts, bytes.NewReader(doc), chunk)
 	}
 	ps := newParallelSource(ctx, e.scan, opts.Workers, segSize, overlap)
 	ps.startBuffered(doc)
-	return newDriver(e, dsts, ps).run()
+	res, err := newDriver(e, dsts, ps).run()
+	res.Scan.ZeroCopyInput = true
+	return res, err
 }
 
 // projectSerial runs the K replays over the sequential in-line source. The
@@ -270,6 +294,7 @@ func (e *Engine) projectSerial(ctx context.Context, dsts []io.Writer, src io.Rea
 		res := Result{Query: []core.Stats{st}}
 		res.Scan.BytesRead = st.BytesRead
 		res.Scan.MaxBufferBytes = st.MaxBufferBytes
+		res.Scan.ZeroCopyInput = st.ZeroCopyInput
 		if err != nil {
 			return res, &Error{Errs: []error{err}}
 		}
@@ -282,4 +307,24 @@ func (e *Engine) projectSerial(ctx context.Context, dsts []io.Writer, src io.Rea
 		segSize = 64
 	}
 	return newDriver(e, dsts, newSerialSource(ctx, src, e.scan, segSize)).run()
+}
+
+// projectSerialBytes is the single-query serial path for an in-memory
+// document: the core engine scans doc in place through its pinned window
+// (no window copies, Stats.ZeroCopyInput set). Only valid when e.serial is
+// non-nil.
+func (e *Engine) projectSerialBytes(ctx context.Context, dsts []io.Writer, doc []byte, chunk int) (Result, error) {
+	dst := dsts[0]
+	if dst == nil {
+		dst = io.Discard
+	}
+	st, err := e.serial.ProjectBytesWith(ctx, dst, doc, core.RunOptions{ChunkSize: chunk})
+	res := Result{Query: []core.Stats{st}}
+	res.Scan.BytesRead = st.BytesRead
+	res.Scan.MaxBufferBytes = st.MaxBufferBytes
+	res.Scan.ZeroCopyInput = st.ZeroCopyInput
+	if err != nil {
+		return res, &Error{Errs: []error{err}}
+	}
+	return res, nil
 }

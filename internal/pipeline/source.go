@@ -29,6 +29,11 @@ type mseg struct {
 	// scanned is closed by the scanning worker of a parallel source once
 	// cands is filled; nil for serial segments (scanned in-line).
 	scanned chan struct{}
+	// skipped marks a segment whose scan was skipped because the run
+	// context was cancelled; its empty candidate list must read as a
+	// cancellation, never as a clean end of input. Written by the scanning
+	// worker before scanned closes.
+	skipped bool
 }
 
 // end returns the absolute offset one past the segment's owned bytes — the
@@ -222,6 +227,8 @@ func (p *parallelSource) spawnScanners() {
 			for seg := range p.jobs {
 				if p.ctx.Err() == nil {
 					seg.cands = sc.Scan(seg.cands, seg.data, seg.base, seg.owned, seg.final)
+				} else {
+					seg.skipped = true
 				}
 				close(seg.scanned)
 			}
@@ -409,6 +416,14 @@ func (p *parallelSource) next() *mseg {
 		return nil
 	}
 	<-seg.scanned
+	if seg.skipped {
+		// The worker skipped this scan because the run was cancelled after
+		// the reader had already finished cleanly — without this check the
+		// replay would mistake the missing candidates for a short document.
+		p.done = true
+		p.terminal = p.ctx.Err()
+		return nil
+	}
 	return seg
 }
 

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# bench_compare.sh BASELINE.json FRESH.json [THRESHOLD_PCT]
+#
+# Gate a fresh smpbench trajectory against a committed baseline. Throughputs
+# are normalized by each point's memchr bandwidth reference, so the check is
+# about kernel quality, not machine speed. Exits non-zero when any
+# configuration regresses by more than THRESHOLD_PCT percent (default 15).
+set -eu
+if [ $# -lt 2 ]; then
+    echo "usage: $0 BASELINE.json FRESH.json [THRESHOLD_PCT]" >&2
+    exit 2
+fi
+cd "$(dirname "$0")/.."
+exec go run ./cmd/smpbench -compare "$1" -against "$2" -threshold "${3:-15}"
