@@ -106,6 +106,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		intra       = fs.Int("intra", 0, "intra-document mode: split one document across N scan workers and compare against the serial engine (0 = off)")
 		multi       = fs.Int("multi", 0, "multi-query mode: project one document for K queries in one shared scan and compare against K independent passes (0 = off); combine with -intra for the K×W grid")
 		scanMode    = fs.Bool("scan", false, "scan-kernel mode: measure raw candidate-scan throughput (SWAR, scalar reference, memchr bandwidth reference)")
+		serveURL    = fs.String("serve", "", "serve mode: load-test a running smpserve at this base URL (e.g. http://localhost:8080)")
+		conns       = fs.Int("conns", 8, "serve mode: concurrent connections")
+		serveDur    = fs.Duration("duration", 2*time.Second, "serve mode: timed length of each load phase")
+		dupRatio    = fs.Float64("dup", 1.0, "serve mode: fraction of requests targeting the shared hot document (the coalescable traffic)")
+		rate        = fs.Float64("rate", 0, "serve mode: open-loop arrival rate in requests/s across all connections (0 = closed loop)")
+		useBody     = fs.Bool("body", false, "serve mode: re-upload the document in every request body instead of referencing the server's content-addressed cache")
 		jsonPath    = fs.String("json", "", "append one trajectory point ({rev,date,note,records}) to this file")
 		note        = fs.String("note", "", "free-form note stored in the -json trajectory point")
 		comparePath = fs.String("compare", "", "compare mode: committed baseline trajectory file (use with -against)")
@@ -152,6 +158,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	blog := &benchLog{note: *note}
 	var tables []*stats.Table
 	switch {
+	case *serveURL != "":
+		xmarkExplicit := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "xmark" {
+				xmarkExplicit = true
+			}
+		})
+		t, err := runServe(ctx, serveConfig{
+			url:      *serveURL,
+			conns:    *conns,
+			duration: *serveDur,
+			dupRatio: *dupRatio,
+			rate:     *rate,
+			docSize:  serveWorkloadSize(cfg, xmarkExplicit),
+			useBody:  *useBody,
+			seed:     *seed,
+		}, blog)
+		if err != nil {
+			return err
+		}
+		tables = []*stats.Table{t}
 	case *scanMode:
 		t, err := runScanKernel(ctx, cfg, blog)
 		if err != nil {
@@ -229,6 +256,13 @@ type benchRecord struct {
 	Input  string  `json:"input,omitempty"`
 	MBps   float64 `json:"mbps"`
 	Allocs int64   `json:"allocs"`
+
+	// Latency fields, emitted by the -serve load mode only (K = connection
+	// count there; MBps counts document bytes offered).
+	QPS   float64 `json:"qps,omitempty"`
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P95Ms float64 `json:"p95_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
 }
 
 // key identifies a record across trajectory points: two points' records
@@ -256,6 +290,15 @@ type benchLog struct {
 
 func (l *benchLog) add(mode string, k, w int, input string, mbps float64, allocs int64) {
 	l.records = append(l.records, benchRecord{Mode: mode, K: k, W: w, Input: input, MBps: mbps, Allocs: allocs})
+}
+
+// addLatency records one serve-mode phase with its latency distribution.
+func (l *benchLog) addLatency(mode string, k, w int, input string, mbps, qps float64, p50, p95, p99 time.Duration) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	l.records = append(l.records, benchRecord{
+		Mode: mode, K: k, W: w, Input: input, MBps: mbps,
+		QPS: qps, P50Ms: ms(p50), P95Ms: ms(p95), P99Ms: ms(p99),
+	})
 }
 
 // write appends this invocation as one trajectory point to path. An

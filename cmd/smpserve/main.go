@@ -9,7 +9,10 @@
 //	POST /project?dataset=xmark&paths=/*,//item/name%23
 //	POST /project?dataset=medline&query=<q>{//MedlineCitation/Article}</q>
 //	POST /project?paths=...        (DTD source in the X-SMP-DTD header)
+//	POST /project?paths=...&doc=sha256:<hex>   (project a cached document)
 //	POST /multiproject?dataset=xmark&paths=...&paths=...   (one scan, N queries)
+//	POST /documents                (upload a document; answers with its ETag)
+//	GET  /documents/sha256:<hex>   (fetch a cached document)
 //	GET  /healthz
 //	GET  /stats
 //
@@ -20,36 +23,70 @@
 // query=) parameter per query, projects the body for all of them in a single
 // document scan (see smp.MultiPrefilter), and answers multipart/mixed with
 // one part per query in parameter order; per-query counters and errors ride
-// in the part headers. Its per-query plans go through the same LRU as
-// /project entries, and the merged entry is weighed merge-aware (only the
-// union scan tables it adds).
+// in the part headers.
+//
+// # Request coalescing
+//
+// Production traffic does not pre-batch its queries into /multiproject
+// calls, so the server batches for it: concurrent /project requests that
+// target the same document — identified by content hash, whether the
+// document arrives in the body, sits in the document cache, or lives under
+// -docroot — are held in a small window (-coalescewindow, fired early at
+// -coalescemax requests) and served by one MultiProject pass. Every
+// coalesced response is byte-identical to the uncoalesced response for the
+// same (document, paths) pair; per-query errors are isolated, and a client
+// that disconnects mid-wait abandons only its own response — the batch runs
+// to completion for its batchmates and is cancelled only when every waiter
+// is gone. A single request can opt out with ?coalesce=off. Bodies with an
+// unknown Content-Length or larger than -coalescemaxbytes bypass the
+// coalescer and stream with constant memory as before.
+//
+// # Document cache
+//
+// POST /documents uploads a document into a content-addressed cache: the
+// response carries the document's ETag ("sha256:<hex>", quoted), re-uploads
+// of identical content are deduplicated, and an If-None-Match request header
+// naming a cached digest answers 304 without reading the body. Subsequent
+// projections reference the document as /project?doc=sha256:<hex> with an
+// empty body — hot documents are scanned straight from a read-only memory
+// mapping of the server's spool directory (internal/mmapio; heap-backed on
+// platforms without mmap) instead of being re-uploaded per request. The
+// cache is LRU-bounded by -doccache bytes; an evicted document answers 404
+// and the client re-uploads.
+//
+// # Admission control
+//
+// Work the server must buffer — coalesced bodies and /documents uploads —
+// is bounded by -maxinflight bytes. Beyond the budget the server sheds load
+// with 429 + Retry-After instead of growing the heap. Streamed (uncoalesced)
+// projections use constant memory and are never shed.
 //
 // The document is the POST body; the projection is the response body. The
-// per-run counters are reported in X-SMP-* response trailers, service-level
-// counters (requests, cache hits, bytes in/out, per-entry plan footprints,
-// intra-document parallel runs, cancelled projections) at /stats. Every
-// projection runs under the request's context: when a client disconnects
-// mid-stream the in-flight projection is aborted at its next chunk boundary
-// and counted in /stats as "cancelled". Request bodies that declare a
-// Content-Length of at least -intramin bytes are projected with
+// per-run counters are reported in X-SMP-* response trailers (headers on
+// coalesced responses, which are buffered), service-level counters at
+// /stats: requests, failures, cache hits, coalesced_requests, the
+// batch-size histogram, document-cache hits/bytes, shed_requests, and more.
+// The /stats JSON is one consistent snapshot: every counter group is read
+// in a single cut under its lock, never assembled field-by-field while
+// requests mutate it.
+//
+// Every projection runs under the request's context: when a client
+// disconnects mid-stream the in-flight projection is aborted at its next
+// chunk boundary and counted in /stats as "cancelled". Request bodies that
+// declare a Content-Length of at least -intramin bytes are projected with
 // intra-document parallelism (-intra scan workers splitting the single
-// stream, see internal/pipeline); smaller or chunked bodies use the serial
-// engine. The same policy applies to /multiproject — a large body is served
-// by the unified K×W pipeline, K queries over W parallel segment scanners,
-// counted in /stats as "multi_intra_requests".
-// The prefilter cache can be bounded both by entry count (-cache)
-// and by the total memory of the compiled plans (-cachebytes); SIGINT or
-// SIGTERM triggers a graceful shutdown that drains in-flight projections
-// (-drain).
+// stream, see internal/pipeline); the same policy applies to coalesced
+// batches and /multiproject. The prefilter cache can be bounded both by
+// entry count (-cache) and by the total memory of the compiled plans
+// (-cachebytes); SIGINT or SIGTERM triggers a graceful shutdown that drains
+// in-flight projections (-drain).
 //
 // Example:
 //
 //	smpserve -addr :8080 -cache 64 &
-//	smpgen -dataset xmark -size 8MiB | curl -sg --data-binary @- \
-//	    'localhost:8080/project?dataset=xmark&query=<q>{//australia//description}</q>'
-//
-// (curl's -g disables URL globbing, which would otherwise strip the braces
-// from the query expression.)
+//	smpgen -dataset xmark -size 8MiB > doc.xml
+//	ETAG=$(curl -si --data-binary @doc.xml localhost:8080/documents | sed -n 's/^Etag: //Ip' | tr -d '\r')
+//	curl -sg "localhost:8080/project?dataset=xmark&paths=//australia//description%23&doc=${ETAG//\"/}"
 package main
 
 import (
@@ -72,7 +109,6 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -90,6 +126,13 @@ func main() {
 		intra      = flag.Int("intra", runtime.GOMAXPROCS(0), "intra-document scan workers for large request bodies (<=1 = always serial)")
 		intraMin   = flag.Int64("intramin", 4<<20, "request body size in bytes from which intra-document parallelism kicks in (requires a Content-Length)")
 		docroot    = flag.String("docroot", "", "directory of server-local documents: /project?doc=<name> projects the named file (memory-mapped when possible) instead of the request body")
+
+		coalesceWindow   = flag.Duration("coalescewindow", 2*time.Millisecond, "how long the first request for a document waits for same-document company (0 disables coalescing)")
+		coalesceMax      = flag.Int("coalescemax", 16, "coalesced batch fires early at this many requests")
+		coalesceMaxBytes = flag.Int64("coalescemaxbytes", 8<<20, "largest request body the coalescer will buffer; bigger bodies stream uncoalesced")
+		docCacheBytes    = flag.Int64("doccache", 256<<20, "byte budget of the content-addressed document cache (0 disables /documents)")
+		docCacheDir      = flag.String("doccachedir", "", "spool directory for cached documents (default: a fresh temp dir, removed on shutdown)")
+		maxInflight      = flag.Int64("maxinflight", 256<<20, "total bytes of request bodies buffered at once before shedding with 429 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -97,6 +140,26 @@ func main() {
 	srv.intraWorkers = *intra
 	srv.intraMin = *intraMin
 	srv.docroot = *docroot
+	srv.coalesceMaxBytes = *coalesceMaxBytes
+	srv.adm.max = *maxInflight
+	if *coalesceWindow > 0 {
+		srv.coal = newCoalescer(srv, *coalesceWindow, *coalesceMax)
+	}
+	var cleanupSpool func()
+	if *docCacheBytes > 0 {
+		dir := *docCacheDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "smpserve-docs-*")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smpserve:", err)
+				os.Exit(1)
+			}
+			dir = tmp
+			cleanupSpool = func() { os.RemoveAll(tmp) }
+		}
+		srv.docs = newDocCache(dir, *docCacheBytes)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smpserve:", err)
@@ -104,8 +167,13 @@ func main() {
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	log.Printf("smpserve: listening on %s (prefilter cache capacity %d, byte budget %d)", ln.Addr(), *cache, *cacheBytes)
-	if err := serveUntilSignal(&http.Server{Handler: srv.routes()}, ln, stop, *drain); err != nil {
+	log.Printf("smpserve: listening on %s (prefilter cache capacity %d, byte budget %d, coalesce window %s, doc cache %d bytes)",
+		ln.Addr(), *cache, *cacheBytes, *coalesceWindow, *docCacheBytes)
+	err = serveUntilSignal(&http.Server{Handler: srv.routes()}, ln, stop, *drain)
+	if cleanupSpool != nil {
+		cleanupSpool()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "smpserve:", err)
 		os.Exit(1)
 	}
@@ -138,8 +206,8 @@ func serveUntilSignal(hs *http.Server, ln net.Listener, stop <-chan os.Signal, t
 }
 
 // server holds the shared state of the service: the prefilter cache, the
-// compile options, the intra-document parallelism policy and the
-// service-level counters.
+// compile options, the coalescer, the document cache, the admission budget
+// and the service-level counters.
 type server struct {
 	cache *prefilterCache
 	opts  smp.Options
@@ -153,25 +221,27 @@ type server struct {
 
 	// docroot, when non-empty, lets /project?doc=<name> read the named
 	// server-local file instead of the request body. Files take the
-	// zero-copy mmap path (internal/mmapio) when the platform supports it;
-	// hot documents are then served straight out of the page cache with no
-	// upload and no read copies.
+	// zero-copy mmap path (internal/mmapio) when the platform supports it.
 	docroot string
 
-	requests           atomic.Int64
-	failures           atomic.Int64
-	intraRequests      atomic.Int64
-	multiRequests      atomic.Int64
-	multiIntraRequests atomic.Int64
-	multiQueries       atomic.Int64
-	cancelled          atomic.Int64
-	bytesRead          atomic.Int64
-	bytesWritten       atomic.Int64
-	zeroCopyRuns       atomic.Int64
+	// coal batches concurrent same-document requests (nil = coalescing
+	// off); docs is the content-addressed document cache (nil = off); adm
+	// bounds the bytes buffered for both.
+	coal             *coalescer
+	docs             *docCache
+	adm              admission
+	coalesceMaxBytes int64
+
+	metrics metrics
 }
 
 func newServer(cacheSize int, cacheBytes int64, opts smp.Options) *server {
-	return &server{cache: newPrefilterCache(cacheSize, cacheBytes), opts: opts, start: time.Now()}
+	return &server{
+		cache:            newPrefilterCache(cacheSize, cacheBytes),
+		opts:             opts,
+		start:            time.Now(),
+		coalesceMaxBytes: 8 << 20,
+	}
 }
 
 // routes wires up the endpoints.
@@ -179,47 +249,105 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/project", s.handleProject)
 	mux.HandleFunc("/multiproject", s.handleMultiProject)
+	mux.HandleFunc("/documents", s.handleDocuments)
+	mux.HandleFunc("/documents/", s.handleDocuments)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
 
+// admit marks a request in flight; the returned outcome must be committed
+// with finish exactly once (handlers defer it on entry).
+func (s *server) admit() *reqOutcome {
+	s.metrics.mutate(func(c *counters) { c.InFlight++ })
+	return &reqOutcome{}
+}
+
 // handleProject streams the request body — or, with doc=<name> against a
-// configured -docroot, a server-local file — through the prefilter selected
-// by the query parameters and writes the projection as the response body.
-// Server-local files are memory-mapped when possible, so repeated
-// projections of a hot document run zero-copy out of the page cache.
+// configured -docroot or doc=sha256:<hex> against the document cache, a
+// server-held document — through the prefilter selected by the query
+// parameters and writes the projection as the response body. When
+// coalescing is on, concurrent requests for the same document share one
+// MultiProject pass (see coalesce.go).
 func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	o := s.admit()
+	defer s.finish(o)
 	doc := r.URL.Query().Get("doc")
 	// A doc= request carries no body, so GET is as natural as POST there.
 	if r.Method != http.MethodPost && !(r.Method == http.MethodGet && doc != "") {
-		s.fail(w, http.StatusMethodNotAllowed, "POST the document to /project")
+		s.failOutcome(w, o, http.StatusMethodNotAllowed, "POST the document to /project")
 		return
 	}
-	pf, err := s.prefilterFor(r)
+	dtdSource, canonical, label, err := s.resolveSpec(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+		s.failOutcome(w, o, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if s.coal.enabled() && r.URL.Query().Get("coalesce") != "off" {
+		if s.serveCoalesced(w, r, o, dtdSource, canonical, label, doc) {
+			return
+		}
+	}
+
+	pf, err := s.cachedPrefilter(dtdSource, canonical, label)
+	if err != nil {
+		s.failOutcome(w, o, http.StatusBadRequest, err.Error())
 		return
 	}
 
 	src := io.Reader(r.Body)
 	srcSize := r.ContentLength
-	if doc != "" {
-		if s.docroot == "" {
-			s.fail(w, http.StatusBadRequest, "doc= requires the server to run with -docroot")
-			return
-		}
-		f, err := s.openDoc(doc)
+	if doc == "" && srcSize >= 0 && srcSize <= s.coalesceMaxBytes && s.adm.tryReserve(srcSize) {
+		// Buffer bounded bodies before projecting, on the coalesced and
+		// uncoalesced paths alike. Beyond a small read-ahead (256 KiB),
+		// net/http closes an unconsumed request body the moment the handler
+		// starts writing the response, so true duplex streaming only works
+		// for bodies the server has already drained; genuine streaming
+		// remains for chunked or oversized uploads, whose projections write
+		// nothing until well after the engine has consumed its input window.
+		defer s.adm.release(srcSize)
+		data, err := io.ReadAll(r.Body)
 		if err != nil {
-			s.fail(w, http.StatusNotFound, "document not found")
-			return
+			o.failed, o.cancelled = true, true
+			return // client aborted its own upload
 		}
-		defer f.Close()
-		if fi, err := f.Stat(); err == nil {
-			srcSize = fi.Size()
+		src = bytes.NewReader(data)
+		srcSize = int64(len(data))
+	}
+	if doc != "" {
+		if hash, ok := parseDocRef(doc); ok {
+			// A cache reference on the uncoalesced path (coalescing off or
+			// bypassed): scan the pinned bytes directly.
+			if !s.docs.enabled() {
+				s.failOutcome(w, o, http.StatusBadRequest, "doc="+hashScheme+":... requires the server to run with -doccache")
+				return
+			}
+			e, ok := s.docs.get(hash)
+			if !ok {
+				s.failOutcome(w, o, http.StatusNotFound, "document "+formatETag(hash)+" not cached; upload it to /documents first")
+				return
+			}
+			defer s.docs.release(e)
+			src = bytes.NewReader(e.data)
+			srcSize = int64(len(e.data))
+			o.zeroCopy = e.mapping != nil
+		} else {
+			if s.docroot == "" {
+				s.failOutcome(w, o, http.StatusBadRequest, "doc= requires the server to run with -docroot")
+				return
+			}
+			f, err := s.openDoc(doc)
+			if err != nil {
+				s.failOutcome(w, o, http.StatusNotFound, "document not found")
+				return
+			}
+			defer f.Close()
+			if fi, err := f.Stat(); err == nil {
+				srcSize = fi.Size()
+			}
+			src = f
 		}
-		src = f
 	}
 
 	w.Header().Set("Content-Type", "application/xml")
@@ -234,25 +362,25 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	if s.intraWorkers > 1 && srcSize >= s.intraMin &&
 		srcSize >= int64(pf.MinParallelInput(s.intraWorkers)) {
 		opts = append(opts, smp.WithWorkers(s.intraWorkers))
-		s.intraRequests.Add(1)
+		o.intra = true
 	}
 	out := &countingWriter{w: w}
 	// The request context makes the projection cancellable end to end: a
 	// client that disconnects mid-stream aborts the in-flight run at its
 	// next chunk boundary instead of burning a core on a dead connection.
 	stats, err := pf.Project(r.Context(), out, src, opts...)
-	s.bytesRead.Add(stats.BytesRead)
-	s.bytesWritten.Add(stats.BytesWritten)
+	o.bytesRead += stats.BytesRead
+	o.bytesWritten += stats.BytesWritten
 	if stats.ZeroCopyInput {
-		s.zeroCopyRuns.Add(1)
+		o.zeroCopy = true
 	}
 	if err != nil {
-		s.failures.Add(1)
+		o.failed = true
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || r.Context().Err() != nil {
 			// Client went away (or the handler deadline fired): the abort is
 			// accounted separately so /stats distinguishes dead-connection
 			// cleanup from real projection failures.
-			s.cancelled.Add(1)
+			o.cancelled = true
 		}
 		if out.n == 0 {
 			// Nothing streamed yet (e.g. a document that does not conform to
@@ -271,9 +399,98 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	setStatsHeaders(w.Header(), stats)
 }
 
+// handleDocuments implements the content-addressed document cache API:
+// POST /documents uploads (dedup by digest, ETag in the response,
+// If-None-Match skips the upload), GET /documents/sha256:<hex> fetches.
+func (s *server) handleDocuments(w http.ResponseWriter, r *http.Request) {
+	o := s.admit()
+	defer s.finish(o)
+	if !s.docs.enabled() {
+		s.failOutcome(w, o, http.StatusBadRequest, "document cache disabled (run with -doccache)")
+		return
+	}
+	switch {
+	case r.Method == http.MethodPost && strings.TrimSuffix(r.URL.Path, "/") == "/documents":
+		s.handleDocUpload(w, r, o)
+	case r.Method == http.MethodGet || r.Method == http.MethodHead:
+		ref := strings.TrimPrefix(r.URL.Path, "/documents/")
+		hash, ok := parseDocRef(ref)
+		if !ok {
+			s.failOutcome(w, o, http.StatusBadRequest, "malformed document reference (want /documents/"+hashScheme+":<64 hex digits>)")
+			return
+		}
+		e, ok := s.docs.get(hash)
+		if !ok {
+			s.failOutcome(w, o, http.StatusNotFound, "document not cached")
+			return
+		}
+		defer s.docs.release(e)
+		w.Header().Set("ETag", formatETag(hash))
+		if matchesIfNoneMatch(r.Header.Get("If-None-Match"), hash) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		w.Header().Set("Content-Length", strconv.Itoa(len(e.data)))
+		if r.Method == http.MethodHead {
+			return
+		}
+		n, _ := w.Write(e.data)
+		o.bytesWritten += int64(n)
+	default:
+		s.failOutcome(w, o, http.StatusMethodNotAllowed, "POST /documents to upload, GET /documents/"+hashScheme+":<hex> to fetch")
+	}
+}
+
+// handleDocUpload stores one document. With If-None-Match naming an already
+// cached digest the body is not even read — the point of content addressing
+// is that the client can skip the upload entirely.
+func (s *server) handleDocUpload(w http.ResponseWriter, r *http.Request, o *reqOutcome) {
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if hash, ok := parseDocRef(inm); ok {
+			if e, ok := s.docs.get(hash); ok {
+				s.docs.release(e)
+				w.Header().Set("ETag", formatETag(hash))
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	}
+	size := r.ContentLength
+	if size < 0 {
+		s.failOutcome(w, o, http.StatusLengthRequired, "upload needs a Content-Length")
+		return
+	}
+	if !s.adm.reserve(size) {
+		s.shedRequest(w, o)
+		return
+	}
+	defer s.adm.release(size)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		o.failed, o.cancelled = true, true
+		return // client aborted its own upload
+	}
+	o.bytesRead += int64(len(data))
+	hash := hashBytes(data)
+	e, err := s.docs.put(hash, data)
+	if err != nil {
+		s.failOutcome(w, o, http.StatusInsufficientStorage, err.Error())
+		return
+	}
+	s.docs.release(e)
+	etag := formatETag(hash)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Location", "/documents/"+hashScheme+":"+hash)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintf(w, "{\"etag\":%q,\"bytes\":%d}\n", etag, len(data))
+}
+
 // openDoc resolves a doc= name inside the docroot. The name is cleaned as
 // a rooted path first, so ".." segments cannot escape the root, and only
-// regular files are served.
+// regular files are served — directories, sockets and dangling symlinks
+// all answer "not found" instead of panicking downstream.
 func (s *server) openDoc(name string) (*os.File, error) {
 	path := filepath.Join(s.docroot, filepath.Clean("/"+name))
 	f, err := os.Open(path)
@@ -298,18 +515,19 @@ func (s *server) openDoc(name string) (*os.File, error) {
 // framing, so this endpoint suits query fan-out on moderate documents; for
 // huge single-query streams, /project streams unbuffered.
 func (s *server) handleMultiProject(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	o := s.admit()
+	defer s.finish(o)
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST the document to /multiproject")
+		s.failOutcome(w, o, http.StatusMethodNotAllowed, "POST the document to /multiproject")
 		return
 	}
 	multi, specs, err := s.multiPrefilterFor(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+		s.failOutcome(w, o, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.multiRequests.Add(1)
-	s.multiQueries.Add(int64(multi.Len()))
+	o.multi = true
+	o.queries = int64(multi.Len())
 
 	bufs := make([]bytes.Buffer, multi.Len())
 	dsts := make([]io.Writer, multi.Len())
@@ -324,24 +542,24 @@ func (s *server) handleMultiProject(w http.ResponseWriter, r *http.Request) {
 	if s.intraWorkers > 1 && r.ContentLength >= s.intraMin &&
 		r.ContentLength >= int64(multi.MinParallelInput(s.intraWorkers)) {
 		opts = append(opts, smp.WithWorkers(s.intraWorkers))
-		s.multiIntraRequests.Add(1)
+		o.multiIntra = true
 	}
 	var agg smp.Stats
 	qstats, runErr := multi.MultiProject(r.Context(), dsts, r.Body, append(opts, smp.WithStatsInto(&agg))...)
-	s.bytesRead.Add(agg.BytesRead)
-	s.bytesWritten.Add(agg.BytesWritten)
+	o.bytesRead += agg.BytesRead
+	o.bytesWritten += agg.BytesWritten
 	var merr *smp.MultiError
 	if runErr != nil {
-		s.failures.Add(1)
+		o.failed = true
 		if r.Context().Err() != nil {
 			// Client went away: nothing has been written yet (outputs are
 			// buffered), so just account for the abort and drop the
 			// connection.
-			s.cancelled.Add(1)
+			o.cancelled = true
 			panic(http.ErrAbortHandler)
 		}
 		if !errors.As(runErr, &merr) {
-			s.fail(w, http.StatusBadRequest, runErr.Error())
+			s.failOutcome(w, o, http.StatusBadRequest, runErr.Error())
 			return
 		}
 	}
@@ -467,26 +685,27 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// prefilterFor resolves the request's (DTD, paths) pair to a compiled
-// prefilter, consulting the LRU cache first.
-func (s *server) prefilterFor(r *http.Request) (*smp.Prefilter, error) {
-	dtdSource, err := requestDTD(r)
+// resolveSpec resolves the request's DTD source and canonical projection
+// spec without compiling anything — the parts of request validation that
+// are cheap enough to run before a coalescing decision.
+func (s *server) resolveSpec(r *http.Request) (dtdSource, canonical, label string, err error) {
+	dtdSource, err = requestDTD(r)
 	if err != nil {
-		return nil, err
+		return "", "", "", err
 	}
 	pathSpec := r.URL.Query().Get("paths")
 	querySpec := r.URL.Query().Get("query")
 	switch {
 	case pathSpec == "" && querySpec == "":
-		return nil, fmt.Errorf("missing ?paths=... or ?query=... parameter")
+		return "", "", "", fmt.Errorf("missing ?paths=... or ?query=... parameter")
 	case pathSpec != "" && querySpec != "":
-		return nil, fmt.Errorf("give either ?paths= or ?query=, not both")
+		return "", "", "", fmt.Errorf("give either ?paths= or ?query=, not both")
 	}
-	canonical, err := canonicalSpec(pathSpec, querySpec)
+	canonical, err = canonicalSpec(pathSpec, querySpec)
 	if err != nil {
-		return nil, err
+		return "", "", "", err
 	}
-	return s.cachedPrefilter(dtdSource, canonical, entryLabel(r, pathSpec, querySpec))
+	return dtdSource, canonical, entryLabel(r, pathSpec, querySpec), nil
 }
 
 // canonicalSpec resolves a request's projection spec — a literal path list
@@ -574,49 +793,78 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// statsResponse is the JSON shape of /stats. CacheBytes is the summed
+// statsResponse is the JSON shape of /stats. Each counter group is one
+// consistent snapshot: the request counters are copied in a single cut
+// under the metrics lock (see metrics.go), the prefilter-cache and
+// document-cache views each under their own lock — never assembled
+// field-by-field while requests mutate them. CacheBytes is the summed
 // eviction weight the -cachebytes budget counts (compiled plan plus cache
-// key per entry); CacheEntries breaks each entry into its plan footprint —
-// the shared, immutable tables its concurrent runs execute against — and
-// its full weight.
+// key per entry); CacheEntries breaks each entry into its plan footprint
+// and its full weight.
 type statsResponse struct {
-	UptimeSeconds      float64          `json:"uptime_seconds"`
-	Requests           int64            `json:"requests"`
-	Failures           int64            `json:"failures"`
-	IntraWorkers       int              `json:"intra_workers"`
-	IntraMinBytes      int64            `json:"intra_min_bytes"`
-	IntraRequests      int64            `json:"intra_requests"`
-	MultiRequests      int64            `json:"multi_requests"`
-	MultiIntraRequests int64            `json:"multi_intra_requests"`
-	MultiQueries       int64            `json:"multi_queries"`
-	Cancelled          int64            `json:"cancelled"`
-	BytesRead          int64            `json:"bytes_read"`
-	BytesWritten       int64            `json:"bytes_written"`
-	ZeroCopyRuns       int64            `json:"zero_copy_runs"`
-	CacheSize          int              `json:"cache_size"`
-	CacheBytes         int64            `json:"cache_bytes"`
-	CacheHits          int64            `json:"cache_hits"`
-	CacheMisses        int64            `json:"cache_misses"`
-	CacheEvictions     int64            `json:"cache_evictions"`
-	CacheEntries       []cacheEntryInfo `json:"cache_entries"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Requests           int64   `json:"requests"`
+	RequestsInFlight   int64   `json:"requests_in_flight"`
+	Failures           int64   `json:"failures"`
+	IntraWorkers       int     `json:"intra_workers"`
+	IntraMinBytes      int64   `json:"intra_min_bytes"`
+	IntraRequests      int64   `json:"intra_requests"`
+	MultiRequests      int64   `json:"multi_requests"`
+	MultiIntraRequests int64   `json:"multi_intra_requests"`
+	MultiQueries       int64   `json:"multi_queries"`
+	Cancelled          int64   `json:"cancelled"`
+	BytesRead          int64   `json:"bytes_read"`
+	BytesWritten       int64   `json:"bytes_written"`
+	ZeroCopyRuns       int64   `json:"zero_copy_runs"`
+
+	CoalescedRequests int64            `json:"coalesced_requests"`
+	CoalesceBatches   int64            `json:"coalesce_batches"`
+	CoalesceBatchHist map[string]int64 `json:"coalesce_batch_hist"`
+	CoalesceWindowMs  float64          `json:"coalesce_window_ms"`
+	CoalesceMaxBatch  int              `json:"coalesce_max_batch"`
+
+	ShedRequests  int64 `json:"shed_requests"`
+	BufferedBytes int64 `json:"buffered_bytes"`
+
+	DocCache docCacheStats `json:"doc_cache"`
+
+	CacheSize      int              `json:"cache_size"`
+	CacheBytes     int64            `json:"cache_bytes"`
+	CacheHits      int64            `json:"cache_hits"`
+	CacheMisses    int64            `json:"cache_misses"`
+	CacheEvictions int64            `json:"cache_evictions"`
+	CacheEntries   []cacheEntryInfo `json:"cache_entries"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	c := s.metrics.snapshot()
+	buffered, shed := s.adm.view()
 	entries, size, cacheBytes, hits, misses, evictions := s.cache.view()
+	hist := make(map[string]int64, len(batchBuckets))
+	for i, b := range batchBuckets {
+		hist[b.label] = c.BatchHist[i]
+	}
 	resp := statsResponse{
 		UptimeSeconds:      time.Since(s.start).Seconds(),
-		Requests:           s.requests.Load(),
-		Failures:           s.failures.Load(),
+		Requests:           c.Requests,
+		RequestsInFlight:   c.InFlight,
+		Failures:           c.Failures,
 		IntraWorkers:       s.intraWorkers,
 		IntraMinBytes:      s.intraMin,
-		IntraRequests:      s.intraRequests.Load(),
-		MultiRequests:      s.multiRequests.Load(),
-		MultiIntraRequests: s.multiIntraRequests.Load(),
-		MultiQueries:       s.multiQueries.Load(),
-		Cancelled:          s.cancelled.Load(),
-		BytesRead:          s.bytesRead.Load(),
-		BytesWritten:       s.bytesWritten.Load(),
-		ZeroCopyRuns:       s.zeroCopyRuns.Load(),
+		IntraRequests:      c.IntraRequests,
+		MultiRequests:      c.MultiRequests,
+		MultiIntraRequests: c.MultiIntraRequests,
+		MultiQueries:       c.MultiQueries,
+		Cancelled:          c.Cancelled,
+		BytesRead:          c.BytesRead,
+		BytesWritten:       c.BytesWritten,
+		ZeroCopyRuns:       c.ZeroCopyRuns,
+		CoalescedRequests:  c.CoalescedRequests,
+		CoalesceBatches:    c.CoalesceBatches,
+		CoalesceBatchHist:  hist,
+		ShedRequests:       shed,
+		BufferedBytes:      buffered,
+		DocCache:           s.docs.stats(),
 		CacheSize:          size,
 		CacheBytes:         cacheBytes,
 		CacheHits:          hits,
@@ -624,14 +872,27 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheEvictions:     evictions,
 		CacheEntries:       entries,
 	}
+	if s.coal.enabled() {
+		resp.CoalesceWindowMs = float64(s.coal.window) / float64(time.Millisecond)
+		resp.CoalesceMaxBatch = s.coal.maxBatch
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("smpserve: encoding /stats: %v", err)
 	}
 }
 
-// fail writes a plain-text error response and counts the failure.
-func (s *server) fail(w http.ResponseWriter, code int, msg string) {
-	s.failures.Add(1)
+// failOutcome writes a plain-text error response and marks the outcome
+// failed; the deferred finish commits it.
+func (s *server) failOutcome(w http.ResponseWriter, o *reqOutcome, code int, msg string) {
+	o.failed = true
 	http.Error(w, "smpserve: "+msg, code)
+}
+
+// shedRequest answers 429 + Retry-After: the admission budget is exhausted
+// and the client should back off briefly and retry.
+func (s *server) shedRequest(w http.ResponseWriter, o *reqOutcome) {
+	o.failed = true
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "smpserve: buffered-byte budget exhausted, retry shortly", http.StatusTooManyRequests)
 }

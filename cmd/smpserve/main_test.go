@@ -462,7 +462,7 @@ func TestClientDisconnectCancelsProjection(t *testing.T) {
 	cancel()
 
 	deadline := time.Now().Add(10 * time.Second)
-	for srv.cancelled.Load() == 0 {
+	for srv.metrics.snapshot().Cancelled == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("projection was not cancelled after the client disconnected")
 		}
@@ -514,7 +514,7 @@ func TestDocrootProjection(t *testing.T) {
 		t.Errorf("docroot projection %q misses the item name", body)
 	}
 	if runtime.GOOS == "linux" {
-		if got := srv.zeroCopyRuns.Load(); got != 1 {
+		if got := srv.metrics.snapshot().ZeroCopyRuns; got != 1 {
 			t.Errorf("zeroCopyRuns = %d, want 1", got)
 		}
 	}

@@ -1,0 +1,134 @@
+package main
+
+import "sync"
+
+// counters is the service-level counter set behind /stats. All fields are
+// plain integers mutated and read only under the owning metrics mutex: a
+// /stats snapshot is one consistent cut of the whole set, never a mix of
+// values from before and after a concurrent request.
+//
+// Request counters count *completions*: a request is added to Requests (and
+// at most one of Failures/Cancelled) in the same critical section that adds
+// its byte counts, so invariants like Failures <= Requests and
+// CoalescedRequests <= Requests hold in every snapshot. InFlight is the only
+// gauge: it is incremented when a request is admitted and decremented in the
+// completion record.
+type counters struct {
+	InFlight int64 // requests currently being served
+
+	Requests           int64 // completed requests (all endpoints but /healthz and /stats)
+	Failures           int64 // completed with an error response or aborted connection
+	Cancelled          int64 // aborted because the client disconnected
+	IntraRequests      int64 // served with intra-document parallelism
+	MultiRequests      int64 // /multiproject requests
+	MultiIntraRequests int64 // /multiproject served by the parallel K×W pipeline
+	MultiQueries       int64 // queries served across /multiproject requests
+	BytesRead          int64 // document bytes scanned (coalesced documents count once per batch)
+	BytesWritten       int64 // projection bytes produced
+	ZeroCopyRuns       int64 // projections served from a memory mapping
+
+	// Coalescing. CoalescedRequests counts requests that shared their batch
+	// with at least one other request; Batches counts every batch run
+	// (including singletons); BatchHist[bucketFor(n)] counts batches by
+	// size, so the histogram always sums to CoalesceBatches. The admission
+	// gauges (buffered bytes, shed count) live in the admission struct.
+	CoalescedRequests int64
+	CoalesceBatches   int64
+	BatchHist         [len(batchBuckets)]int64
+}
+
+// batchBuckets labels the batch-size histogram: bucket i counts batches of
+// size batchBuckets[i].lo..batchBuckets[i].hi.
+var batchBuckets = [...]struct {
+	lo, hi int
+	label  string
+}{
+	{1, 1, "1"},
+	{2, 2, "2"},
+	{3, 4, "3-4"},
+	{5, 8, "5-8"},
+	{9, 16, "9-16"},
+	{17, 1 << 30, "17+"},
+}
+
+// bucketFor maps a batch size to its histogram bucket index.
+func bucketFor(size int) int {
+	for i, b := range batchBuckets {
+		if size >= b.lo && size <= b.hi {
+			return i
+		}
+	}
+	return len(batchBuckets) - 1
+}
+
+// metrics guards the service counters. Every mutation and every snapshot
+// takes the one mutex, so /stats never observes a half-updated state. The
+// lock is held only for plain integer arithmetic — never across a
+// projection, a compile, or any I/O.
+type metrics struct {
+	mu sync.Mutex
+	c  counters
+}
+
+// mutate applies f to the counter set under the lock.
+func (m *metrics) mutate(f func(*counters)) {
+	m.mu.Lock()
+	f(&m.c)
+	m.mu.Unlock()
+}
+
+// snapshot returns one consistent copy of the counter set.
+func (m *metrics) snapshot() counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c
+}
+
+// reqOutcome accumulates what happened to one request; the handler commits
+// it exactly once on exit, as a single consistent counter update.
+type reqOutcome struct {
+	failed       bool
+	cancelled    bool
+	intra        bool
+	multi        bool
+	multiIntra   bool
+	queries      int64
+	coalesced    bool // shared a batch with at least one other request
+	zeroCopy     bool
+	bytesRead    int64
+	bytesWritten int64
+}
+
+// finish commits a request outcome. It is the only place a request reaches
+// the Requests counter, so every handler exit path records exactly one
+// completion.
+func (s *server) finish(o *reqOutcome) {
+	s.metrics.mutate(func(c *counters) {
+		c.InFlight--
+		c.Requests++
+		if o.failed {
+			c.Failures++
+		}
+		if o.cancelled {
+			c.Cancelled++
+		}
+		if o.intra {
+			c.IntraRequests++
+		}
+		if o.multi {
+			c.MultiRequests++
+			c.MultiQueries += o.queries
+		}
+		if o.multiIntra {
+			c.MultiIntraRequests++
+		}
+		if o.coalesced {
+			c.CoalescedRequests++
+		}
+		if o.zeroCopy {
+			c.ZeroCopyRuns++
+		}
+		c.BytesRead += o.bytesRead
+		c.BytesWritten += o.bytesWritten
+	})
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# load_smoke.sh [OUT.json]
+#
+# End-to-end load smoke for the serving layer: build smpserve and smpbench,
+# start the server with request coalescing and the document cache on, drive
+# it with the smpbench -serve closed-loop harness (duplicate-document
+# traffic, so the coalescer has something to merge), and append one
+# serve-mode latency point to OUT.json (default BENCH_loadsmoke.json).
+#
+# The harness compares every response byte-for-byte against an uncoalesced
+# reference captured from the same server, so this script is the CI gate
+# for response equivalence: any divergence between the coalesced and
+# uncoalesced paths exits non-zero.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_loadsmoke.json}"
+ADDR="127.0.0.1:18190"
+
+go build -o /tmp/load_smoke_smpserve ./cmd/smpserve
+go build -o /tmp/load_smoke_smpbench ./cmd/smpbench
+
+/tmp/load_smoke_smpserve -addr "$ADDR" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT INT TERM
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "load_smoke: smpserve did not come up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+/tmp/load_smoke_smpbench -serve "http://$ADDR" \
+    -conns 8 -duration 2s -dup 1.0 \
+    -json "$OUT" -note "load smoke"
+
+# Graceful shutdown, so the drain path gets exercised too.
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT INT TERM
+
+echo "load_smoke: ok (trajectory point appended to $OUT)"
