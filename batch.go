@@ -48,6 +48,20 @@ func BatchMultiFromFile(inPath string, outPaths []string) BatchJob {
 	return corpus.FromFileMulti(inPath, outPaths)
 }
 
+// WithBatchIndex attaches a sidecar loader to a job: the worker that picks
+// the job up reads the document's conventional sidecar
+// (IndexSidecarPath(sidecarFor)) and, when it is present, intact, fresh and
+// covering, replays it instead of scanning (Stats.IndexHits); any other
+// outcome — including a sidecar deleted mid-batch — falls back to the scan
+// and is counted in Stats.IndexSkips. Documents whose vocabulary summary
+// rules out every query keyword replay without touching their bytes
+// (Stats.IndexSummarySkips) — the paper's prefiltering idea at corpus
+// granularity.
+func WithBatchIndex(job BatchJob, sidecarFor string) BatchJob {
+	job.Index = func() (*Index, error) { return ReadIndex(IndexSidecarPath(sidecarFor)) }
+	return job
+}
+
 // Batch shards a corpus of documents across a pool of worker goroutines
 // driving one compiled Prefilter. Every worker gets a private engine built
 // over the prefilter's immutable plan, so K workers hold one copy of the
@@ -121,22 +135,36 @@ func (b *Batch) Run(ctx context.Context, jobs []BatchJob) ([]BatchResult, BatchA
 	}
 	plan := b.Prefilter.engine.Plan()
 	chunk := b.ChunkSize
+	pipe := b.Prefilter.projector()
 	runner := corpus.Runner{
-		NewEngine: func() corpus.Engine { return batchEngine{core.NewFromPlan(plan), chunk} },
+		NewEngine: func() corpus.Engine { return batchEngine{core.NewFromPlan(plan), chunk, pipe} },
 		Workers:   b.Workers,
 	}
 	return runner.Run(ctx, jobs)
 }
 
 // batchEngine adapts a shared-plan core engine to the corpus runner,
-// carrying the batch's chunk-size override into every run.
+// carrying the batch's chunk-size override into every run. Jobs with a
+// sidecar loader route through the prefilter's shared pipeline engine, which
+// owns the replay stage.
 type batchEngine struct {
 	pf    *core.Prefilter
 	chunk int
+	pipe  *pipeline.Engine
 }
 
 func (e batchEngine) Project(ctx context.Context, dst io.Writer, src io.Reader) (core.Stats, error) {
 	return e.pf.ProjectWith(ctx, dst, src, core.RunOptions{ChunkSize: e.chunk})
+}
+
+func (e batchEngine) ProjectIndexed(ctx context.Context, dst io.Writer, src io.Reader, ix *Index) (core.Stats, error) {
+	if ix == nil {
+		st, err := e.Project(ctx, dst, src)
+		st.IndexSkips = 1
+		return st, err
+	}
+	res, err := replayOrScan(ctx, e.pipe, []io.Writer{dst}, src, ix, pipeline.Options{ChunkSize: e.chunk})
+	return res.Aggregate(), singleQueryErr(err)
 }
 
 // intraBatchEngine adapts the K=1 pipeline engine to the corpus runner for
@@ -151,6 +179,16 @@ func (e intraBatchEngine) Project(ctx context.Context, dst io.Writer, src io.Rea
 	return res.Aggregate(), singleQueryErr(err)
 }
 
+func (e intraBatchEngine) ProjectIndexed(ctx context.Context, dst io.Writer, src io.Reader, ix *Index) (core.Stats, error) {
+	if ix == nil {
+		st, err := e.Project(ctx, dst, src)
+		st.IndexSkips = 1
+		return st, err
+	}
+	res, err := replayOrScan(ctx, e.eng, []io.Writer{dst}, src, ix, e.opts)
+	return res.Aggregate(), singleQueryErr(err)
+}
+
 // multiBatchEngine adapts a merged multi-query projection to the corpus
 // runner, carrying the batch's worker and chunk-size overrides into every
 // run.
@@ -161,5 +199,15 @@ type multiBatchEngine struct {
 
 func (e multiBatchEngine) MultiProject(ctx context.Context, dsts []io.Writer, src io.Reader) ([]core.Stats, core.Stats, error) {
 	res, err := e.m.Project(ctx, dsts, src, e.opts)
+	return res.Query, res.Aggregate(), err
+}
+
+func (e multiBatchEngine) MultiProjectIndexed(ctx context.Context, dsts []io.Writer, src io.Reader, ix *Index) ([]core.Stats, core.Stats, error) {
+	if ix == nil {
+		query, run, err := e.MultiProject(ctx, dsts, src)
+		run.IndexSkips = 1
+		return query, run, err
+	}
+	res, err := replayOrScan(ctx, e.m, dsts, src, ix, e.opts)
 	return res.Query, res.Aggregate(), err
 }

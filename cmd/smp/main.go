@@ -7,10 +7,14 @@
 //	smp -dtd auction.dtd -paths '/*, //australia//description#' -in site.xml -out projected.xml
 //	smp -dtd auction.dtd -query '<q>{//australia//description}</q>' -in site.xml -stats
 //	smp -dtd auction.dtd -paths '/*, //item/name#' -in big.xml -out projected.xml -j 4
+//	smp -dtd auction.dtd -paths '/*, //item/name#' -in big.xml -index -out projected.xml
 //	smp -dtd auction.dtd -paths '/*' -describe
 //
 // With -j N the document is projected with intra-document parallelism (N
-// segment-scan workers, byte-identical output); -j 0 uses every core. File
+// segment-scan workers, byte-identical output); -j 0 uses every core. With
+// -index the document's candidate-index sidecar (<in>.smpidx) is replayed —
+// byte-identical output without re-searching for keywords — and is built
+// first when missing, corrupt, stale, or built for a different vocabulary. File
 // mode (-in plus -out) and stream mode share one code path — the v2
 // Project/ProjectFile API with options. SIGINT/SIGTERM cancel the run's
 // context, so an interrupted projection exits promptly; a projection that
@@ -53,6 +57,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chunk     = fs.Int("chunk", 0, "streaming window chunk size in bytes (0 = default)")
 		noJumps   = fs.Bool("nojumps", false, "disable the initial-jump table J")
 		jobs      = fs.Int("j", 1, "intra-document parallel scan workers (1 = serial, 0 = all cores)")
+		useIndex  = fs.Bool("index", false, "use the document's candidate-index sidecar (<in>.smpidx), building it first when missing, stale, or uncovering (requires -in)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,8 +97,53 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		runOpts = append(runOpts, smp.WithWorkers(*jobs))
 	}
 
+	if *useIndex {
+		// Index mode: load the document's sidecar and replay it; build (or
+		// rebuild) the sidecar first when it is missing, corrupt, stale
+		// against the current bytes, or does not cover this vocabulary.
+		if *inPath == "" {
+			return fmt.Errorf("-index requires -in")
+		}
+		doc, err := os.ReadFile(*inPath)
+		if err != nil {
+			return err
+		}
+		side := smp.IndexSidecarPath(*inPath)
+		ix, readErr := smp.ReadIndex(side)
+		if readErr != nil || ix.Bind(doc) != nil || !pf.IndexCovers(ix) {
+			ix = pf.BuildIndex(doc)
+			if err := ix.WriteFile(side); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "built index sidecar %s (%d candidates)\n", side, len(ix.Candidates()))
+		}
+		runOpts = append(runOpts, smp.WithIndex(ix))
+	}
+
 	var stats smp.Stats
-	if *inPath != "" && *outPath != "" {
+	if *useIndex {
+		// The index is bound to the in-memory document: nothing is read from
+		// -in again. Output handling matches the stream path below.
+		out := stdout
+		var outFile *os.File
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			outFile = f
+			out = f
+		}
+		stats, err = pf.Project(ctx, out, nil, runOpts...)
+		if outFile != nil {
+			if closeErr := outFile.Close(); err == nil {
+				err = closeErr
+			}
+			if err != nil {
+				os.Remove(*outPath)
+			}
+		}
+	} else if *inPath != "" && *outPath != "" {
 		// File mode: ProjectFile shares the streaming code path and removes
 		// the partial output file if the run fails or is interrupted.
 		stats, err = pf.ProjectFile(ctx, *inPath, *outPath, runOpts...)
@@ -138,6 +188,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "states %d (%d CW + %d BM), char comparisons %.2f%%, avg shift %.2f, initial jumps %.2f%%\n",
 			stats.States, stats.CWStates, stats.BMStates,
 			stats.CharCompPercent(), stats.AvgShift(), stats.InitialJumpPercent())
+		if stats.IndexHits+stats.IndexSkips > 0 {
+			fmt.Fprintf(stderr, "index: hits %d, skips %d, summary skips %d\n",
+				stats.IndexHits, stats.IndexSkips, stats.IndexSummarySkips)
+		}
 	}
 	return nil
 }

@@ -85,6 +85,86 @@ func TestRunProjectsWithQueryToStdout(t *testing.T) {
 	}
 }
 
+func TestRunIndexBuildsAndReplaysSidecar(t *testing.T) {
+	dtdPath, docPath, dir := writeFiles(t)
+	want := `<site><australia><description>Palm</description></australia></site>`
+	args := func(out string) []string {
+		return []string{
+			"-dtd", dtdPath,
+			"-paths", "/*, //australia//description#",
+			"-in", docPath,
+			"-out", out,
+			"-index", "-stats",
+		}
+	}
+
+	// First run: no sidecar yet — it is built, persisted, and replayed.
+	out1 := filepath.Join(dir, "out1.xml")
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), args(out1), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "built index sidecar") {
+		t.Errorf("first run did not report building the sidecar: %q", stderr.String())
+	}
+	if _, err := os.Stat(docPath + ".smpidx"); err != nil {
+		t.Fatalf("sidecar not persisted: %v", err)
+	}
+
+	// Second run: the sidecar is loaded and replayed, not rebuilt.
+	out2 := filepath.Join(dir, "out2.xml")
+	stderr.Reset()
+	if err := run(context.Background(), args(out2), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stderr.String(), "built index sidecar") {
+		t.Errorf("second run rebuilt the sidecar: %q", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "index: hits 1") {
+		t.Errorf("second run stats missing index hit: %q", stderr.String())
+	}
+	for _, out := range []string{out1, out2} {
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != want {
+			t.Errorf("%s = %q, want %q", out, data, want)
+		}
+	}
+
+	// Mutate the document: the stale sidecar is rebuilt, output follows the
+	// new bytes.
+	mutated := strings.Replace(testDoc, "Palm", "Pilot", 1)
+	if err := os.WriteFile(docPath, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out3 := filepath.Join(dir, "out3.xml")
+	stderr.Reset()
+	if err := run(context.Background(), args(out3), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "built index sidecar") {
+		t.Errorf("stale run did not rebuild the sidecar: %q", stderr.String())
+	}
+	data, err := os.ReadFile(out3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Pilot") {
+		t.Errorf("stale rebuild projected %q, want mutated content", data)
+	}
+}
+
+func TestRunIndexRequiresIn(t *testing.T) {
+	dtdPath, _, _ := writeFiles(t)
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{"-dtd", dtdPath, "-paths", "/*", "-index"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-index requires -in") {
+		t.Fatalf("err = %v, want -index requires -in", err)
+	}
+}
+
 func TestRunDescribe(t *testing.T) {
 	dtdPath, _, _ := writeFiles(t)
 	var stdout, stderr bytes.Buffer

@@ -218,6 +218,66 @@ func TestRunScanKernel(t *testing.T) {
 	}
 }
 
+func TestRunIndexMode(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-index",
+		"-xmark", "400KiB",
+		"-medline", "400KiB",
+		"-json", jsonPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Persistent candidate index", "XM13", "M4", "Speedup", "byte-compared against the scan path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	trajectory, err := readTrajectory(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trajectory) != 1 {
+		t.Fatalf("trajectory has %d points, want 1", len(trajectory))
+	}
+	keys := map[string]bool{}
+	for _, r := range trajectory[0].Records {
+		if r.MBps <= 0 {
+			t.Errorf("record %s has non-positive throughput", r.key())
+		}
+		keys[r.key()] = true
+	}
+	// The scan baseline and the indexed replay of one dataset must land
+	// under distinct keys (-compare gates like against like only), and the
+	// point must carry the memchr bandwidth reference -compare normalizes by.
+	for _, want := range []string{
+		"index-xmark k=1 w=1 input=scan",
+		"index-xmark k=1 w=1 input=index",
+		"index-build-xmark k=1 w=1 input=index",
+		"index-medline k=1 w=1 input=scan",
+		"index-medline k=1 w=1 input=index",
+		"index-build-medline k=1 w=1 input=index",
+		"scan k=1 w=1 input=memchr",
+	} {
+		if !keys[want] {
+			t.Errorf("trajectory point missing record %q (got %v)", want, keys)
+		}
+	}
+}
+
+func TestRunIndexModeUnknownQuery(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{"-index", "-queries", "NOPE"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown query") {
+		t.Fatalf("err = %v, want unknown query", err)
+	}
+}
+
 func TestRunColdStartInputColumn(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	err := run(context.Background(), []string{

@@ -59,7 +59,8 @@ func (c *coalescer) enabled() bool { return c != nil && c.window > 0 }
 type heldDoc struct {
 	data     []byte
 	hash     string
-	zeroCopy bool // served from a mapping, not a heap buffer
+	zeroCopy bool      // served from a mapping, not a heap buffer
+	entry    *docEntry // non-nil for document-cache references: index serving
 	once     sync.Once
 	releaseF func()
 }
@@ -244,9 +245,23 @@ func (c *coalescer) run(b *coalesceBatch) {
 		docSize >= int64(multi.MinParallelInput(c.srv.intraWorkers)) {
 		opts = append(opts, smp.WithWorkers(c.srv.intraWorkers))
 	}
+	// A document-cache batch replays the document's candidate index when one
+	// exists (or can be built) for this batch's union vocabulary: repeated
+	// hot-document batches with the same query mix then skip the scan
+	// entirely and still answer byte-identically.
+	indexWanted := false
+	if b.doc.entry != nil {
+		indexWanted = true
+		if ix := c.srv.docIndex(b.doc.entry, multi); ix != nil {
+			opts = append(opts, smp.WithIndex(ix))
+		}
+	}
 	var agg smp.Stats
 	qstats, runErr := multi.MultiProject(ctx, dsts, bytes.NewReader(b.doc.data),
 		append(opts, smp.WithStatsInto(&agg))...)
+	if indexWanted && agg.IndexHits == 0 && agg.IndexSkips == 0 {
+		agg.IndexSkips = 1 // at the per-document index cap: the batch scanned
+	}
 	for i, spec := range slots {
 		b.results[spec].stats = qstats[i]
 	}
@@ -273,6 +288,8 @@ func (c *coalescer) account(size int, agg smp.Stats) {
 		m.CoalesceBatches++
 		m.BatchHist[bucketFor(size)]++
 		m.BytesRead += agg.BytesRead
+		m.IndexHits += agg.IndexHits
+		m.IndexSkips += agg.IndexSkips
 	})
 }
 
@@ -348,6 +365,7 @@ func (s *server) acquireCoalesceDoc(w http.ResponseWriter, r *http.Request, o *r
 				data:     e.data,
 				hash:     hash,
 				zeroCopy: e.mapping != nil,
+				entry:    e,
 				releaseF: func() { s.docs.release(e) },
 			}, false
 		}

@@ -8,8 +8,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"sync"
 
+	"smp"
 	"smp/internal/mmapio"
 )
 
@@ -38,7 +41,10 @@ type docCache struct {
 }
 
 // docEntry is one cached document. data aliases the mapping when mapped,
-// or is a private heap copy otherwise.
+// or is a private heap copy otherwise. indexes holds the document's
+// candidate indexes, one per query-vocabulary fingerprint (guarded by the
+// cache mutex, bounded by maxDocIndexes): scan the document once per
+// vocabulary, replay the stored candidates on every later projection.
 type docEntry struct {
 	hash    string
 	data    []byte
@@ -46,7 +52,13 @@ type docEntry struct {
 	path    string          // spool file; removed when the entry dies
 	refs    int
 	dead    bool
+	indexes map[uint64]*smp.Index
 }
+
+// maxDocIndexes bounds the candidate indexes cached per document: one per
+// distinct query-vocabulary fingerprint. Beyond the cap new vocabularies
+// simply scan — bounded memory and spool-dir growth beat marginal hits.
+const maxDocIndexes = 8
 
 // docCacheStats is the /stats view of the document cache, taken in one cut
 // under the cache lock.
@@ -55,6 +67,7 @@ type docCacheStats struct {
 	Bytes     int64 `json:"bytes"`
 	MaxBytes  int64 `json:"max_bytes"`
 	Mapped    int   `json:"mapped"`
+	Indexes   int   `json:"indexes"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Stores    int64 `json:"stores"`
@@ -189,6 +202,47 @@ func (dc *docCache) spool(hash string, data []byte) (*docEntry, error) {
 	return e, nil
 }
 
+// sidecarPath is where a document's candidate index for one vocabulary
+// fingerprint persists: <hash>.<fp as 16 hex digits>.smpidx next to the
+// spool file, so a warm restart finds both together.
+func (dc *docCache) sidecarPath(hash string, fp uint64) string {
+	return filepath.Join(dc.dir, fmt.Sprintf("%s.%016x%s", hash, fp, smp.IndexSidecarExt))
+}
+
+// index returns the cached candidate index of an entry for one vocabulary
+// fingerprint, plus whether a miss may be admitted (the entry is alive and
+// under its index cap).
+func (dc *docCache) index(e *docEntry, fp uint64) (ix *smp.Index, admittable bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if ix, ok := e.indexes[fp]; ok {
+		return ix, false
+	}
+	return nil, !e.dead && len(e.indexes) < maxDocIndexes
+}
+
+// admitIndex caches a candidate index on its entry. It reports false when
+// the entry died or filled its cap in the meantime — the caller then serves
+// this one run from ix and removes any sidecar it just wrote.
+func (dc *docCache) admitIndex(e *docEntry, fp uint64, ix *smp.Index) bool {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if e.dead {
+		return false
+	}
+	if _, ok := e.indexes[fp]; ok {
+		return true // a concurrent builder won; both indexes are equivalent
+	}
+	if len(e.indexes) >= maxDocIndexes {
+		return false
+	}
+	if e.indexes == nil {
+		e.indexes = make(map[uint64]*smp.Index)
+	}
+	e.indexes[fp] = ix
+	return true
+}
+
 // release drops one reference. The last release of a dead (evicted) entry
 // unmaps and removes its spool file.
 func (dc *docCache) release(e *docEntry) {
@@ -225,18 +279,126 @@ func (dc *docCache) evictLocked() (victims []*docEntry) {
 	return victims
 }
 
-// destroy unmaps the entry and removes its spool file. Only called once:
-// either by the losing inserter, by eviction (refs == 0), or by the last
-// release of a dead entry.
+// destroy unmaps the entry and removes its spool file plus every index
+// sidecar persisted for it (named <hash>.<fp>.smpidx next to the spool
+// file, so a glob finds sidecars from earlier processes too). Only called
+// once: either by the losing inserter, by eviction (refs == 0), or by the
+// last release of a dead entry.
 func (e *docEntry) destroy() {
 	if e.mapping != nil {
 		e.mapping.Close()
 		e.mapping = nil
 	}
 	e.data = nil
+	e.indexes = nil
 	if e.path != "" {
 		os.Remove(e.path)
+		if base, ok := strings.CutSuffix(e.path, ".xml"); ok {
+			if sidecars, err := filepath.Glob(base + ".*" + smp.IndexSidecarExt); err == nil {
+				for _, sc := range sidecars {
+					os.Remove(sc)
+				}
+			}
+		}
 	}
+}
+
+// spoolDocName matches the spool file of one cached document: its sha256
+// digest plus ".xml", exactly as spool names them.
+var spoolDocName = regexp.MustCompile(`^[0-9a-f]{64}\.xml$`)
+
+// warmRestart re-admits the documents a previous process spooled into a
+// persistent cache directory: every <digest>.xml file whose content still
+// hashes to its name is adopted in place (memory-mapped when possible) —
+// its persisted index sidecars load lazily on the first projection that
+// wants them, exactly as they were written. Files whose digest no longer
+// matches (truncated, mutated underfoot) are removed along with their
+// sidecars, as are sidecars whose document is gone: the directory again
+// holds only verified content-addressed state. Returns the number of
+// documents restored. Call before serving; warmRestart takes the cache
+// lock per insertion but verification runs unlocked.
+func (dc *docCache) warmRestart() (restored int) {
+	dirents, err := os.ReadDir(dc.dir)
+	if err != nil {
+		return 0
+	}
+	valid := make(map[string]bool)
+	for _, de := range dirents {
+		name := de.Name()
+		if !de.Type().IsRegular() || !spoolDocName.MatchString(name) {
+			continue
+		}
+		hash := strings.TrimSuffix(name, ".xml")
+		path := filepath.Join(dc.dir, name)
+		e, ok := dc.adopt(hash, path)
+		if !ok {
+			e = &docEntry{hash: hash, path: path}
+			e.destroy() // digest mismatch: drop the file and its sidecars
+			continue
+		}
+		valid[hash] = true
+		dc.mu.Lock()
+		if _, dup := dc.entries[hash]; dup {
+			dc.mu.Unlock()
+			e.path = "" // the live entry owns the spool file
+			e.destroy()
+			continue
+		}
+		dc.entries[hash] = dc.order.PushBack(e) // restored docs start cold
+		dc.total += int64(len(e.data))
+		dc.stores++
+		restored++
+		victims := dc.evictLocked()
+		dc.mu.Unlock()
+		for _, v := range victims {
+			if v.hash != "" {
+				delete(valid, v.hash)
+			}
+			v.destroy()
+			if v == e {
+				restored--
+			}
+		}
+	}
+	// Orphaned sidecars — their document was removed, evicted or never
+	// verified — would otherwise accumulate across restarts.
+	for _, de := range dirents {
+		name := de.Name()
+		if !strings.HasSuffix(name, smp.IndexSidecarExt) {
+			continue
+		}
+		if hash, _, ok := strings.Cut(name, "."); !ok || !valid[hash] {
+			os.Remove(filepath.Join(dc.dir, name))
+		}
+	}
+	return restored
+}
+
+// adopt builds a docEntry over an existing spool file, verifying that its
+// bytes still hash to the expected digest (mapped in place when possible, a
+// heap copy otherwise — the same degradation spool applies).
+func (dc *docCache) adopt(hash, path string) (*docEntry, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	e := &docEntry{hash: hash, path: path}
+	if m, err := mmapio.Map(f); err == nil {
+		f.Close()
+		if hashBytes(m.Bytes()) != hash {
+			m.Close()
+			return nil, false
+		}
+		e.mapping, e.data = m, m.Bytes()
+		return e, true
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil || hashBytes(data) != hash {
+		return nil, false
+	}
+	e.data = data
+	return e, true
 }
 
 // stats returns one consistent cut of the cache counters.
@@ -256,11 +418,57 @@ func (dc *docCache) stats() docCacheStats {
 		Evictions: dc.evictions,
 	}
 	for el := dc.order.Front(); el != nil; el = el.Next() {
-		if el.Value.(*docEntry).mapping != nil {
+		e := el.Value.(*docEntry)
+		if e.mapping != nil {
 			st.Mapped++
 		}
+		st.Indexes += len(e.indexes)
 	}
 	return st
+}
+
+// indexBuilder is the slice of the public API both *smp.Prefilter and
+// *smp.MultiPrefilter offer for index serving: the vocabulary identity, the
+// coverage check, and the build.
+type indexBuilder interface {
+	VocabularyFingerprint() uint64
+	IndexCovers(*smp.Index) bool
+	BuildIndex([]byte) *smp.Index
+}
+
+// docIndex resolves the candidate index serving one (cached document,
+// query vocabulary) pair: the entry's in-memory map first, then a sidecar
+// persisted in the spool directory (by this process or a previous one — the
+// -doccachedir warm-restart path), and finally a fresh build, persisted and
+// admitted for every later projection. Returns nil when the entry is at its
+// index cap (the run then scans; the caller counts an index skip). The
+// caller must hold a reference on e for the duration.
+func (s *server) docIndex(e *docEntry, eng indexBuilder) *smp.Index {
+	fp := eng.VocabularyFingerprint()
+	ix, admittable := s.docs.index(e, fp)
+	if ix != nil {
+		return ix
+	}
+	if !admittable {
+		return nil
+	}
+	path := s.docs.sidecarPath(e.hash, fp)
+	if loaded, err := smp.ReadIndex(path); err == nil &&
+		loaded.Bind(e.data) == nil && eng.IndexCovers(loaded) {
+		// A decoded sidecar that fails any check — corrupt bytes, content
+		// mismatch, foreign vocabulary — falls through to a rebuild, which
+		// atomically replaces it.
+		if s.docs.admitIndex(e, fp, loaded) {
+			return loaded
+		}
+		return loaded // entry died or filled up mid-load: serve this run only
+	}
+	ix = eng.BuildIndex(e.data)
+	persisted := ix.WriteFile(path) == nil
+	if !s.docs.admitIndex(e, fp, ix) && persisted {
+		os.Remove(path) // the entry died underfoot; don't leak the sidecar
+	}
+	return ix
 }
 
 // admission is the in-flight byte budget: every request that buffers its

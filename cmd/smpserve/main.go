@@ -54,6 +54,20 @@
 // cache is LRU-bounded by -doccache bytes; an evicted document answers 404
 // and the client re-uploads.
 //
+// # Candidate index
+//
+// The first projection of a cached document for a given query vocabulary
+// scans it once and persists the verified candidate stream as an index
+// sidecar next to the spool file (smp.Index, <hash>.<fingerprint>.smpidx);
+// every later ?doc= projection with a covered vocabulary replays the stored
+// candidates through the automaton instead of re-searching the document —
+// byte-identical output, counted as index_hits in /stats (index_skips when
+// a projection had to scan, e.g. past the per-document index cap). This
+// serves the coalesced and uncoalesced paths alike. With a persistent
+// -doccachedir the server warm-restarts: spooled documents are
+// digest-verified and re-admitted on startup, and their sidecars serve
+// again without a single rescan — scan once, serve forever.
+//
 // # Admission control
 //
 // Work the server must buffer — coalesced bodies and /documents uploads —
@@ -158,6 +172,14 @@ func main() {
 			cleanupSpool = func() { os.RemoveAll(tmp) }
 		}
 		srv.docs = newDocCache(dir, *docCacheBytes)
+		if *docCacheDir != "" {
+			// A persistent spool directory warm-restarts the cache: documents
+			// a previous process spooled are digest-verified and re-admitted,
+			// their index sidecars served again on first use.
+			if n := srv.docs.warmRestart(); n > 0 {
+				log.Printf("smpserve: warm restart re-admitted %d cached documents from %s", n, dir)
+			}
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -315,10 +337,13 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 		src = bytes.NewReader(data)
 		srcSize = int64(len(data))
 	}
+	var docIx *smp.Index
 	if doc != "" {
 		if hash, ok := parseDocRef(doc); ok {
 			// A cache reference on the uncoalesced path (coalescing off or
-			// bypassed): scan the pinned bytes directly.
+			// bypassed): scan the pinned bytes directly — or better, replay
+			// the document's candidate index, built lazily on the first
+			// projection for this vocabulary and persisted as a sidecar.
 			if !s.docs.enabled() {
 				s.failOutcome(w, o, http.StatusBadRequest, "doc="+hashScheme+":... requires the server to run with -doccache")
 				return
@@ -332,6 +357,9 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 			src = bytes.NewReader(e.data)
 			srcSize = int64(len(e.data))
 			o.zeroCopy = e.mapping != nil
+			if docIx = s.docIndex(e, pf); docIx == nil {
+				o.indexSkips++ // at the per-document index cap: this run scans
+			}
 		} else {
 			if s.docroot == "" {
 				s.failOutcome(w, o, http.StatusBadRequest, "doc= requires the server to run with -docroot")
@@ -364,6 +392,9 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, smp.WithWorkers(s.intraWorkers))
 		o.intra = true
 	}
+	if docIx != nil {
+		opts = append(opts, smp.WithIndex(docIx))
+	}
 	out := &countingWriter{w: w}
 	// The request context makes the projection cancellable end to end: a
 	// client that disconnects mid-stream aborts the in-flight run at its
@@ -371,6 +402,8 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	stats, err := pf.Project(r.Context(), out, src, opts...)
 	o.bytesRead += stats.BytesRead
 	o.bytesWritten += stats.BytesWritten
+	o.indexHits += stats.IndexHits
+	o.indexSkips += stats.IndexSkips
 	if stats.ZeroCopyInput {
 		o.zeroCopy = true
 	}
@@ -816,6 +849,8 @@ type statsResponse struct {
 	BytesRead          int64   `json:"bytes_read"`
 	BytesWritten       int64   `json:"bytes_written"`
 	ZeroCopyRuns       int64   `json:"zero_copy_runs"`
+	IndexHits          int64   `json:"index_hits"`
+	IndexSkips         int64   `json:"index_skips"`
 
 	CoalescedRequests int64            `json:"coalesced_requests"`
 	CoalesceBatches   int64            `json:"coalesce_batches"`
@@ -859,6 +894,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BytesRead:          c.BytesRead,
 		BytesWritten:       c.BytesWritten,
 		ZeroCopyRuns:       c.ZeroCopyRuns,
+		IndexHits:          c.IndexHits,
+		IndexSkips:         c.IndexSkips,
 		CoalescedRequests:  c.CoalescedRequests,
 		CoalesceBatches:    c.CoalesceBatches,
 		CoalesceBatchHist:  hist,

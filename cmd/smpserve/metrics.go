@@ -26,6 +26,8 @@ type counters struct {
 	BytesRead          int64 // document bytes scanned (coalesced documents count once per batch)
 	BytesWritten       int64 // projection bytes produced
 	ZeroCopyRuns       int64 // projections served from a memory mapping
+	IndexHits          int64 // projections replayed from a candidate index
+	IndexSkips         int64 // indexed documents that fell back to scanning
 
 	// Coalescing. CoalescedRequests counts requests that shared their batch
 	// with at least one other request; Batches counts every batch run
@@ -97,6 +99,8 @@ type reqOutcome struct {
 	zeroCopy     bool
 	bytesRead    int64
 	bytesWritten int64
+	indexHits    int64
+	indexSkips   int64
 }
 
 // finish commits a request outcome. It is the only place a request reaches
@@ -130,5 +134,7 @@ func (s *server) finish(o *reqOutcome) {
 		}
 		c.BytesRead += o.bytesRead
 		c.BytesWritten += o.bytesWritten
+		c.IndexHits += o.indexHits
+		c.IndexSkips += o.indexSkips
 	})
 }

@@ -83,9 +83,15 @@ type ScanPlan struct {
 	// open[c] holds the keywords "<c…" and closing[c] the keywords "</c…",
 	// longest first, indexed by the first tagname byte.
 	open, closing [256][]scanKeyword
-	count         int
-	maxKw         int
-	memSize       int64
+	// keywords is the union vocabulary in canonical order (longest first,
+	// ties lexicographic — the bucket insertion order); fp is the FNV-1a
+	// fingerprint of that list. Together they identify the vocabulary a
+	// persisted candidate index was built for (internal/index).
+	keywords []string
+	fp       uint64
+	count    int
+	maxKw    int
+	memSize  int64
 }
 
 type scanKeyword struct {
@@ -134,7 +140,8 @@ func NewScanPlanUnion(plans []*Plan) *ScanPlan {
 		}
 		return order[a] < order[b]
 	})
-	sp := &ScanPlan{plan: plans[0], count: len(order)}
+	sp := &ScanPlan{plan: plans[0], count: len(order), keywords: order}
+	sp.fp = FingerprintKeywords(order)
 	sp.memSize = 2 * 256 * 24 // the two bucket arrays (slice headers)
 	for _, kw := range order {
 		sk := scanKeyword{pattern: []byte(kw), token: tokens[kw]}
@@ -167,6 +174,32 @@ func (sp *ScanPlan) Plan() *Plan { return sp.plan }
 // Cache implementations that already weigh the underlying plans should count
 // only this for a merged entry.
 func (sp *ScanPlan) MemSize() int64 { return sp.memSize }
+
+// Keywords returns the union vocabulary in the scan tables' canonical order
+// (longest first, ties lexicographic). The slice is shared read-only state of
+// the plan — callers must not mutate it.
+func (sp *ScanPlan) Keywords() []string { return sp.keywords }
+
+// Fingerprint returns the FNV-1a hash of the canonical keyword list: the
+// identity of the scanned vocabulary. Two ScanPlans with equal fingerprints
+// search for exactly the same keyword set, so a candidate stream recorded
+// under one replays under the other (internal/index keys its sidecars by
+// this value).
+func (sp *ScanPlan) Fingerprint() uint64 { return sp.fp }
+
+// FingerprintKeywords hashes a keyword list with FNV-1a, separating entries
+// with a NUL byte (keywords are tag prefixes and never contain NUL).
+func FingerprintKeywords(keywords []string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, kw := range keywords {
+		for i := 0; i < len(kw); i++ {
+			h = (h ^ uint64(kw[i])) * prime64
+		}
+		h *= prime64 // the NUL separator (h ^ 0x00 == h)
+	}
+	return h
+}
 
 // MaxKeywordLen returns the length of the longest keyword in the union
 // vocabulary. Callers scanning non-final segments must provide at least

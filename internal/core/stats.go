@@ -49,6 +49,19 @@ type Stats struct {
 	// memory-mapped file or a caller-provided byte slice — instead of
 	// copying it through the streaming window.
 	ZeroCopyInput bool
+	// IndexHits counts runs served by replaying a persisted candidate index
+	// (internal/index) instead of scanning the document; IndexSkips counts
+	// runs that were offered an index but fell back to the scan because the
+	// sidecar was missing, stale (content-hash mismatch) or did not cover
+	// the query vocabulary. A single run contributes at most one of the two;
+	// batches aggregate them through Add.
+	IndexHits  int64
+	IndexSkips int64
+	// IndexSummarySkips counts index-served runs where the per-document
+	// vocabulary summary proved that no query keyword occurs at all, so even
+	// the replay ran over an empty candidate stream (corpus-granularity
+	// prefiltering). Always <= IndexHits.
+	IndexSummarySkips int64
 }
 
 // CharCompPercent returns CharComparisons relative to the document size.
@@ -109,6 +122,9 @@ func (s *Stats) Add(other Stats) {
 		s.MaxBufferBytes = other.MaxBufferBytes
 	}
 	s.ZeroCopyInput = s.ZeroCopyInput || other.ZeroCopyInput
+	s.IndexHits += other.IndexHits
+	s.IndexSkips += other.IndexSkips
+	s.IndexSummarySkips += other.IndexSummarySkips
 }
 
 // addMatcher accumulates the run's string-matcher counters.

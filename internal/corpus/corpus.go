@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"smp/internal/core"
+	"smp/internal/index"
 	"smp/internal/stats"
 )
 
@@ -29,6 +30,21 @@ type Engine interface {
 // every query's output.
 type MultiEngine interface {
 	MultiProject(ctx context.Context, dsts []io.Writer, src io.Reader) (query []core.Stats, run core.Stats, err error)
+}
+
+// IndexedEngine is the optional capability of an Engine that can serve a
+// job from a persisted candidate index (internal/index). ix may be nil —
+// the job's sidecar was missing or unreadable — in which case the engine
+// must scan and count the fall-back in Stats.IndexSkips.
+type IndexedEngine interface {
+	Engine
+	ProjectIndexed(ctx context.Context, dst io.Writer, src io.Reader, ix *index.Index) (core.Stats, error)
+}
+
+// IndexedMultiEngine is the multi-query variant of IndexedEngine.
+type IndexedMultiEngine interface {
+	MultiEngine
+	MultiProjectIndexed(ctx context.Context, dsts []io.Writer, src io.Reader, ix *index.Index) (query []core.Stats, run core.Stats, err error)
 }
 
 // Job is one document of a batch: a name for reporting, a source, and an
@@ -50,6 +66,13 @@ type Job struct {
 	// job's Result, including a cancelled context) so file-backed
 	// destinations can remove their partial output. FromFile sets it.
 	Cleanup func()
+	// Index, if non-nil, loads the document's persisted candidate index (a
+	// decoded sidecar, see internal/index). It is called once, by the worker
+	// that picks the job up, and only when the runner's engine supports
+	// indexes (IndexedEngine/IndexedMultiEngine). A load error — the sidecar
+	// was deleted mid-batch, or is corrupt — does not fail the job: the
+	// engine scans instead and counts the fall-back in Stats.IndexSkips.
+	Index func() (*index.Index, error)
 }
 
 // FromBytes builds a Job over an in-memory document that discards its
@@ -112,6 +135,13 @@ type Aggregate struct {
 	// CharComparisons and TagsMatched are summed over all successful runs.
 	CharComparisons int64
 	TagsMatched     int64
+	// IndexHits, IndexSkips and IndexSummarySkips sum the persisted-index
+	// counters over all successful runs: documents served by replaying a
+	// sidecar, documents that fell back to the scan, and index-served
+	// documents the vocabulary summary proved irrelevant.
+	IndexHits         int64
+	IndexSkips        int64
+	IndexSummarySkips int64
 	// Elapsed is the wall-clock time of the whole batch (not the sum of the
 	// per-job times: with N workers it is roughly their sum divided by N).
 	Elapsed time.Duration
@@ -226,6 +256,9 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, Aggregate) {
 	agg.BytesWritten = sum.BytesWritten
 	agg.CharComparisons = sum.CharComparisons
 	agg.TagsMatched = sum.TagsMatched
+	agg.IndexHits = sum.IndexHits
+	agg.IndexSkips = sum.IndexSkips
+	agg.IndexSummarySkips = sum.IndexSummarySkips
 	return results, agg
 }
 
@@ -264,7 +297,12 @@ func runJob(ctx context.Context, worker int, engine Engine, job Job) Result {
 		dstCloser = wc
 	}
 
-	res.Stats, res.Err = engine.Project(ctx, dst, src)
+	if ie, ok := engine.(IndexedEngine); ok && job.Index != nil {
+		ix, _ := job.Index() // nil on load failure: the engine scans and counts the skip
+		res.Stats, res.Err = ie.ProjectIndexed(ctx, dst, src, ix)
+	} else {
+		res.Stats, res.Err = engine.Project(ctx, dst, src)
+	}
 	if dstCloser != nil {
 		if cerr := dstCloser.Close(); res.Err == nil {
 			res.Err = cerr
@@ -320,7 +358,12 @@ func runMultiJob(ctx context.Context, worker int, engine MultiEngine, job Job) R
 		}
 	}
 
-	res.QueryStats, res.Stats, res.Err = engine.MultiProject(ctx, dsts, src)
+	if ie, ok := engine.(IndexedMultiEngine); ok && job.Index != nil {
+		ix, _ := job.Index() // nil on load failure: the engine scans and counts the skip
+		res.QueryStats, res.Stats, res.Err = ie.MultiProjectIndexed(ctx, dsts, src, ix)
+	} else {
+		res.QueryStats, res.Stats, res.Err = engine.MultiProject(ctx, dsts, src)
+	}
 	for _, c := range closers {
 		if cerr := c.Close(); res.Err == nil {
 			res.Err = cerr

@@ -1,0 +1,50 @@
+package index
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// SidecarExt is the filename extension of posting sidecars.
+const SidecarExt = ".smpidx"
+
+// SidecarPath returns the conventional sidecar path for a document path.
+func SidecarPath(docPath string) string { return docPath + SidecarExt }
+
+// WriteFile encodes the index and writes it atomically (temp file + rename)
+// next to the target path, so a crashed writer never leaves a truncated
+// sidecar where a reader expects a valid one.
+func (ix *Index) WriteFile(path string) error {
+	data, err := ix.Encode()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".smpidx-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ReadFile reads and decodes a sidecar. The returned index is unbound.
+func ReadFile(path string) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

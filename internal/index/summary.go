@@ -1,0 +1,112 @@
+package index
+
+// Summary is the per-document vocabulary summary stored in a sidecar header:
+// a 256-bit bitmap over the first byte of every tag name occurring in the
+// document, plus a small Bloom filter over the full names. It answers "may
+// keyword k occur in this document?" with no false negatives: if the summary
+// says a tag name is absent, no verified candidate for any keyword naming it
+// exists, so a query whose entire vocabulary is absent projects exactly as a
+// replay over an empty candidate stream would (corpus-granularity
+// prefiltering).
+type Summary struct {
+	// firstLetter has bit b set when some tag name in the document starts
+	// with byte b.
+	firstLetter [32]byte
+	// bloom is a bloomBits-bit filter over the tag names, bloomHashes probes
+	// per name.
+	bloom [bloomBits / 8]byte
+}
+
+const (
+	bloomBits   = 2048
+	bloomHashes = 4
+)
+
+// fnv64a hashes a byte slice with FNV-1a.
+func fnv64a(data []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range data {
+		h = (h ^ uint64(c)) * prime64
+	}
+	return h
+}
+
+// bloomProbe returns the i-th bit index for a name hash (double hashing).
+func bloomProbe(h uint64, i int) uint {
+	h1, h2 := uint32(h), uint32(h>>32)
+	return uint(h1+uint32(i)*h2) % bloomBits
+}
+
+// add records one tag name.
+func (s *Summary) add(name []byte) {
+	if len(name) == 0 {
+		return
+	}
+	s.firstLetter[name[0]>>3] |= 1 << (name[0] & 7)
+	h := fnv64a(name)
+	for i := 0; i < bloomHashes; i++ {
+		bit := bloomProbe(h, i)
+		s.bloom[bit>>3] |= 1 << (bit & 7)
+	}
+}
+
+// MayContain reports whether a tag name may occur in the document. False
+// means definitely absent; true may be a Bloom false positive.
+func (s *Summary) MayContain(name string) bool {
+	if len(name) == 0 {
+		return false
+	}
+	if s.firstLetter[name[0]>>3]&(1<<(name[0]&7)) == 0 {
+		return false
+	}
+	h := fnv64a([]byte(name))
+	for i := 0; i < bloomHashes; i++ {
+		bit := bloomProbe(h, i)
+		if s.bloom[bit>>3]&(1<<(bit&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// nameStop reports whether c ends a tag name in the summary sweep. The set
+// is a superset of the scan's tag terminators (whitespace, '>', '/') plus
+// '<' and quotes; no DTD element name contains any of these bytes, so for
+// every position where a keyword verifies, the sweep extracts exactly the
+// keyword's tag name — which is what makes the summary sound (no false
+// negatives).
+func nameStop(c byte) bool {
+	switch c {
+	case ' ', '\t', '\r', '\n', '>', '/', '<', '"', '\'':
+		return true
+	}
+	return false
+}
+
+// buildSummary sweeps every '<' anchor of the document and records the tag
+// name that follows (skipping the '/' of closing tags). Anchors inside text
+// or quoted attribute values contribute harmless false positives — exactly
+// like the position-exhaustive candidate scan, the sweep over-approximates
+// and never misses a real tag.
+func buildSummary(doc []byte) Summary {
+	var s Summary
+	for i := 0; i < len(doc); i++ {
+		if doc[i] != '<' {
+			continue
+		}
+		j := i + 1
+		if j < len(doc) && doc[j] == '/' {
+			j++
+		}
+		start := j
+		for j < len(doc) && !nameStop(doc[j]) {
+			j++
+		}
+		if j > start {
+			s.add(doc[start:j])
+		}
+		i = start - 1 // resume after the anchor (names may contain no '<')
+	}
+	return s
+}

@@ -20,6 +20,7 @@ import (
 	"smp/internal/compile"
 	"smp/internal/core"
 	"smp/internal/dtd"
+	"smp/internal/index"
 	"smp/internal/paths"
 	"smp/internal/pipeline"
 	"smp/internal/xmlgen"
@@ -341,12 +342,46 @@ func defaultInts(v, def []int) []int {
 	return v
 }
 
+// RoundTripIndex builds the candidate index of doc for the engine's union
+// vocabulary and pushes it through the sidecar codec (Encode, Decode, Bind),
+// so grid replays exercise exactly what a persisted sidecar would serve.
+func RoundTripIndex(t testing.TB, eng *pipeline.Engine, doc []byte) *index.Index {
+	t.Helper()
+	enc, err := index.Build(doc, eng.ScanPlan()).Encode()
+	if err != nil {
+		t.Fatalf("encode index: %v", err)
+	}
+	ix, err := index.Decode(enc)
+	if err != nil {
+		t.Fatalf("decode index: %v", err)
+	}
+	if err := ix.Bind(doc); err != nil {
+		t.Fatalf("bind index: %v", err)
+	}
+	return ix
+}
+
 // Run drives the full grid over one workload.
 func (g Grid) Run(t *testing.T, wl Workload) {
 	ks := defaultInts(g.Ks, []int{1, 2, 4, 8})
 	ws := defaultInts(g.Ws, []int{1, 2, 4, 8})
 	chunks := defaultInts(g.Chunks, []int{301, 8 << 10})
 	segs := defaultInts(g.SegmentSizes, []int{0, 512})
+
+	// The super index is built from the union vocabulary of the largest K.
+	// The specs cycle, so it covers every smaller K's engine — replaying it
+	// there is the persisted form of PR 5's subset-oracle property.
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	superSpecs := make([]string, maxK)
+	for i := range superSpecs {
+		superSpecs[i] = wl.Specs[i%len(wl.Specs)]
+	}
+	superIx := RoundTripIndex(t, pipeline.New(MakePlans(t, wl.DTD, superSpecs, core.Options{})), wl.Doc)
 
 	for _, k := range ks {
 		specs := make([]string, k)
@@ -360,13 +395,14 @@ func (g Grid) Run(t *testing.T, wl Workload) {
 		for i, p := range plans {
 			want[i], wantErr[i] = SerialProject(t, p, wl.Doc)
 		}
+		exactIx := RoundTripIndex(t, eng, wl.Doc)
 		for _, w := range ws {
 			w := w
 			t.Run(fmt.Sprintf("%s/k%d/w%d", wl.Name, k, w), func(t *testing.T) {
 				for _, chunk := range chunks {
 					for _, seg := range segs {
 						opts := pipeline.Options{Workers: w, ChunkSize: chunk, SegmentSize: seg}
-						g.checkCell(t, eng, wl.Doc, want, wantErr, opts)
+						g.checkCell(t, eng, wl.Doc, want, wantErr, exactIx, superIx, opts)
 					}
 				}
 			})
@@ -375,8 +411,9 @@ func (g Grid) Run(t *testing.T, wl Workload) {
 }
 
 // checkCell runs one (K, W, chunk, segment) cell through every input and
-// failure shape.
-func (g Grid) checkCell(t *testing.T, eng *pipeline.Engine, doc []byte, want [][]byte, wantErr []error, opts pipeline.Options) {
+// failure shape, including replays of the persisted candidate index (the
+// cell's exact vocabulary and the covering super-vocabulary).
+func (g Grid) checkCell(t *testing.T, eng *pipeline.Engine, doc []byte, want [][]byte, wantErr []error, exactIx, superIx *index.Index, opts pipeline.Options) {
 	t.Helper()
 	k := eng.Len()
 	label := fmt.Sprintf("chunk=%d seg=%d", opts.ChunkSize, opts.SegmentSize)
@@ -447,6 +484,31 @@ func (g Grid) checkCell(t *testing.T, eng *pipeline.Engine, doc []byte, want [][
 			outs[i] = bufs[i].Bytes()
 		}
 		compare("buffered", outs, errs)
+	}
+
+	// Indexed replay: the stored candidate stream replayed through the same
+	// driver must be byte-identical to the scan — for the index built from
+	// this cell's exact vocabulary and for one built from a covering
+	// superset (whose extra candidates the replay must ignore).
+	for _, c := range []struct {
+		shape string
+		ix    *index.Index
+	}{{"indexed", exactIx}, {"indexed-subset", superIx}} {
+		if !c.ix.Covers(eng.ScanPlan()) {
+			t.Fatalf("%s %s: index does not cover the engine vocabulary", label, c.shape)
+		}
+		bufs := make([]bytes.Buffer, k)
+		dsts := make([]io.Writer, k)
+		for i := range dsts {
+			dsts[i] = &bufs[i]
+		}
+		_, err := eng.Replay(ctx, dsts, c.ix.Doc(), c.ix.Candidates(), opts)
+		errs := PerQueryErrors(t, err, k)
+		outs := make([][]byte, k)
+		for i := range bufs {
+			outs[i] = bufs[i].Bytes()
+		}
+		compare(c.shape, outs, errs)
 	}
 
 	// Write-error isolation: query 0's destination fails after 64 bytes;

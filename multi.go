@@ -167,7 +167,17 @@ func (m *MultiPrefilter) MinParallelInput(workers int, opts ...ProjectOption) in
 // valid either way.
 func (m *MultiPrefilter) MultiProject(ctx context.Context, dsts []io.Writer, src io.Reader, opts ...ProjectOption) ([]Stats, error) {
 	cfg := resolveOptions(opts)
-	res, err := m.multi.Project(ctx, dsts, src, pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize})
+	popts := pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize}
+	var res pipeline.Result
+	var err error
+	if cfg.index != nil {
+		// WithIndex: replay the stored candidate stream when it covers the
+		// merged vocabulary and matches the document, scan otherwise (see
+		// WithIndex and BuildIndex).
+		res, err = replayOrScan(ctx, m.multi, dsts, src, cfg.index, popts)
+	} else {
+		res, err = m.multi.Project(ctx, dsts, src, popts)
+	}
 	if cfg.statsInto != nil {
 		*cfg.statsInto = res.Aggregate()
 	}

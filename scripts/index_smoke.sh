@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# index_smoke.sh
+#
+# Round-trip smoke for the persistent candidate index: generate a small
+# XMark-like and MEDLINE-like corpus, project each document three times with
+# cmd/smp — a plain scan, an -index run that builds and persists the
+# sidecar, and an -index run that replays it — and require (a) the sidecar
+# to be built exactly once, (b) the replay run to report an index hit and
+# no fallback, and (c) all three outputs to be byte-identical. Any
+# divergence between the scanned and the replayed projection exits
+# non-zero: this is the CI gate for the scan-once/replay-forever contract.
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/smp" ./cmd/smp
+go build -o "$TMP/smpgen" ./cmd/smpgen
+
+check() {
+    ds="$1"
+    paths="$2"
+    "$TMP/smpgen" -dataset "$ds" -size 2MiB -out "$TMP/$ds.xml" -dtdout "$TMP/$ds.dtd"
+
+    "$TMP/smp" -dtd "$TMP/$ds.dtd" -paths "$paths" \
+        -in "$TMP/$ds.xml" -out "$TMP/$ds.scan.xml"
+
+    # First -index run: no sidecar yet, so it must build and say so.
+    "$TMP/smp" -dtd "$TMP/$ds.dtd" -paths "$paths" \
+        -in "$TMP/$ds.xml" -out "$TMP/$ds.build.xml" -index 2>"$TMP/$ds.build.log"
+    grep -q "built index sidecar" "$TMP/$ds.build.log" || {
+        echo "index_smoke: $ds: first -index run did not build a sidecar" >&2
+        exit 1
+    }
+    test -f "$TMP/$ds.xml.smpidx" || {
+        echo "index_smoke: $ds: sidecar file missing after build" >&2
+        exit 1
+    }
+
+    # Second -index run: replay, no rebuild, counted as a hit.
+    "$TMP/smp" -dtd "$TMP/$ds.dtd" -paths "$paths" \
+        -in "$TMP/$ds.xml" -out "$TMP/$ds.replay.xml" -index -stats 2>"$TMP/$ds.replay.log"
+    if grep -q "built index sidecar" "$TMP/$ds.replay.log"; then
+        echo "index_smoke: $ds: replay run rebuilt the sidecar" >&2
+        exit 1
+    fi
+    grep -q "index: hits 1, skips 0" "$TMP/$ds.replay.log" || {
+        echo "index_smoke: $ds: replay run did not report an index hit:" >&2
+        cat "$TMP/$ds.replay.log" >&2
+        exit 1
+    }
+
+    cmp "$TMP/$ds.scan.xml" "$TMP/$ds.build.xml" || {
+        echo "index_smoke: $ds: build-run output differs from the scan" >&2
+        exit 1
+    }
+    cmp "$TMP/$ds.scan.xml" "$TMP/$ds.replay.xml" || {
+        echo "index_smoke: $ds: replayed output differs from the scan" >&2
+        exit 1
+    }
+}
+
+check xmark "/*, /site/regions/australia/item/name#, /site/regions/australia/item/description#"
+check medline "/*, /MedlineCitationSet//CopyrightInformation#"
+
+echo "index_smoke: ok (build + replay byte-identical to the scan on both corpora)"

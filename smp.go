@@ -171,6 +171,7 @@ type projectConfig struct {
 	workers   int
 	chunkSize int
 	statsInto *Stats
+	index     *Index
 }
 
 func resolveOptions(opts []ProjectOption) projectConfig {
@@ -241,12 +242,18 @@ func (p *Prefilter) Project(ctx context.Context, dst io.Writer, src io.Reader, o
 	cfg := resolveOptions(opts)
 	var stats Stats
 	var err error
-	if cfg.workers > 1 {
+	switch {
+	case cfg.index != nil:
+		var res pipeline.Result
+		res, err = replayOrScan(ctx, p.projector(), []io.Writer{dst}, src, cfg.index, pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize})
+		stats = res.Aggregate()
+		err = singleQueryErr(err)
+	case cfg.workers > 1:
 		var res pipeline.Result
 		res, err = p.projector().Project(ctx, []io.Writer{dst}, src, pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize})
 		stats = res.Aggregate()
 		err = singleQueryErr(err)
-	} else {
+	default:
 		stats, err = p.engine.ProjectWith(ctx, dst, src, core.RunOptions{ChunkSize: cfg.chunkSize})
 	}
 	if cfg.statsInto != nil {
