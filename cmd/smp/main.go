@@ -8,6 +8,7 @@
 //	smp -dtd auction.dtd -query '<q>{//australia//description}</q>' -in site.xml -stats
 //	smp -dtd auction.dtd -paths '/*, //item/name#' -in big.xml -out projected.xml -j 4
 //	smp -dtd auction.dtd -paths '/*, //item/name#' -in big.xml -index -out projected.xml
+//	smp -dtd auction.dtd -paths '/*, //item/name#' -in big.xml -out projected.xml -trace trace.json
 //	smp -dtd auction.dtd -paths '/*' -describe
 //
 // With -j N the document is projected with intra-document parallelism (N
@@ -16,7 +17,9 @@
 // byte-identical output without re-searching for keywords — and is built
 // first when missing, corrupt, stale, or built for a different vocabulary. File
 // mode (-in plus -out) and stream mode share one code path — the v2
-// Project/ProjectFile API with options. SIGINT/SIGTERM cancel the run's
+// Project/ProjectFile API with options. With -trace the run's per-stage
+// spans (compile, segment scan, candidate replay, output stitch) are written
+// as Chrome trace-event JSON, loadable in Perfetto. SIGINT/SIGTERM cancel the run's
 // context, so an interrupted projection exits promptly; a projection that
 // fails or is interrupted mid-stream removes its partial -out file and
 // exits non-zero.
@@ -30,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"smp"
 )
@@ -58,6 +62,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		noJumps   = fs.Bool("nojumps", false, "disable the initial-jump table J")
 		jobs      = fs.Int("j", 1, "intra-document parallel scan workers (1 = serial, 0 = all cores)")
 		useIndex  = fs.Bool("index", false, "use the document's candidate-index sidecar (<in>.smpidx), building it first when missing, stale, or uncovering (requires -in)")
+		tracePath = fs.String("trace", "", "write per-stage Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +100,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		runOpts = append(runOpts, smp.WithAutoWorkers())
 	case *jobs > 1:
 		runOpts = append(runOpts, smp.WithWorkers(*jobs))
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if closeErr := f.Close(); closeErr != nil {
+				fmt.Fprintf(stderr, "smp: closing trace file: %v\n", closeErr)
+			}
+		}()
+		runOpts = append(runOpts, smp.WithTrace(f))
 	}
 
 	if *useIndex {
@@ -191,6 +208,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if stats.IndexHits+stats.IndexSkips > 0 {
 			fmt.Fprintf(stderr, "index: hits %d, skips %d, summary skips %d\n",
 				stats.IndexHits, stats.IndexSkips, stats.IndexSummarySkips)
+		}
+		if stats.ScanDuration > 0 || stats.ReplayDuration > 0 {
+			fmt.Fprintf(stderr, "stages: scan %s, replay %s\n",
+				stats.ScanDuration.Round(time.Microsecond),
+				stats.ReplayDuration.Round(time.Microsecond))
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -273,5 +274,52 @@ func TestRunCancelledRemovesPartialOutput(t *testing.T) {
 	}
 	if _, statErr := os.Stat(outPath); !os.IsNotExist(statErr) {
 		t.Errorf("partial output file left behind (stat err = %v)", statErr)
+	}
+}
+
+// TestRunTraceEmitsChromeJSON checks the -trace flag: the projection output
+// is unchanged and the trace file is a Chrome trace-event JSON array with
+// the per-stage spans.
+func TestRunTraceEmitsChromeJSON(t *testing.T) {
+	dtdPath, docPath, dir := writeFiles(t)
+	outPath := filepath.Join(dir, "out.xml")
+	tracePath := filepath.Join(dir, "trace.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-dtd", dtdPath,
+		"-paths", "/*, //australia//description#",
+		"-in", docPath,
+		"-out", outPath,
+		"-trace", tracePath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<site><australia><description>Palm</description></australia></site>`
+	if string(data) != want {
+		t.Errorf("traced output = %q, want %q", data, want)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace file is not a JSON array: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range events {
+		if name, ok := ev["name"].(string); ok {
+			names[name] = true
+		}
+	}
+	for _, span := range []string{"compile", "scan", "replay (drive)"} {
+		if !names[span] {
+			t.Errorf("trace missing %q span", span)
+		}
 	}
 }

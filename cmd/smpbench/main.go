@@ -121,6 +121,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		dupRatio    = fs.Float64("dup", 1.0, "serve mode: fraction of requests targeting the shared hot document (the coalescable traffic)")
 		rate        = fs.Float64("rate", 0, "serve mode: open-loop arrival rate in requests/s across all connections (0 = closed loop)")
 		useBody     = fs.Bool("body", false, "serve mode: re-upload the document in every request body instead of referencing the server's content-addressed cache")
+		serveScrape = fs.Bool("metrics", true, "serve mode: verify /healthz build info and scrape /metrics at the end of the run for server-side latency percentiles")
 		jsonPath    = fs.String("json", "", "append one trajectory point ({rev,date,note,records}) to this file")
 		note        = fs.String("note", "", "free-form note stored in the -json trajectory point")
 		comparePath = fs.String("compare", "", "compare mode: committed baseline trajectory file (use with -against)")
@@ -183,6 +184,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			docSize:  serveWorkloadSize(cfg, xmarkExplicit),
 			useBody:  *useBody,
 			seed:     *seed,
+			metrics:  *serveScrape,
 		}, blog)
 		if err != nil {
 			return err

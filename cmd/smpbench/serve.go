@@ -3,17 +3,21 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"smp/internal/experiments"
+	"smp/internal/obs"
 	"smp/internal/stats"
 	"smp/internal/xmlgen"
 )
@@ -40,6 +44,7 @@ type serveConfig struct {
 	docSize  int64         // generated document size
 	useBody  bool          // re-upload the document per request instead of doc=sha256:<hex>
 	seed     uint64
+	metrics  bool // verify /healthz build info and scrape /metrics after the run
 }
 
 // serveResult aggregates one timed phase.
@@ -333,7 +338,127 @@ func runServe(ctx context.Context, scfg serveConfig, blog *benchLog) (*stats.Tab
 		)
 	}
 	t.AddNote("every response in both phases verified byte-identical to its uncoalesced reference; Doc MiB/s counts document bytes offered, so coalesced batches show as served bandwidth above one scan's worth; Speedup is coalesced over uncoalesced document bandwidth on the same server")
+
+	if scfg.metrics {
+		if err := checkHealthz(ctx, client, base); err != nil {
+			return nil, err
+		}
+		p50, p95, p99, count, err := scrapeServerLatency(ctx, client, base)
+		if err != nil {
+			return nil, fmt.Errorf("scraping %s/metrics: %w", base, err)
+		}
+		blog.addLatency("serve-server", scfg.conns, 1, "metrics", 0, 0, p50, p95, p99)
+		t.AddNote(fmt.Sprintf(
+			"server-side /metrics histogram over %d /project requests: p50 %s, p95 %s, p99 %s (includes the reference captures; client-side numbers above add network and queueing)",
+			count, stats.FormatDuration(p50), stats.FormatDuration(p95), stats.FormatDuration(p99)))
+	}
 	return t, nil
+}
+
+// checkHealthz asserts that the server's liveness endpoint answers ok and
+// reports its build identity — the -serve harness then records which build
+// produced the numbers.
+func checkHealthz(ctx context.Context, client *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("checking %s/healthz: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/healthz answered status %d", base, resp.StatusCode)
+	}
+	var h struct {
+		Status    string `json:"status"`
+		GoVersion string `json:"goversion"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("decoding %s/healthz: %w", base, err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("%s/healthz status = %q, want ok", base, h.Status)
+	}
+	if h.GoVersion == "" {
+		return fmt.Errorf("%s/healthz reports no build info (goversion missing)", base)
+	}
+	return nil
+}
+
+// scrapeServerLatency reads the server's /project latency histogram from the
+// Prometheus exposition and estimates the percentiles the same way the live
+// histogram would (obs.EstimateQuantile over the de-cumulated buckets).
+// Server-side numbers exclude the network and the client's queueing, so they
+// bracket the client-observed latencies from below.
+func scrapeServerLatency(ctx context.Context, client *http.Client, base string) (p50, p95, p99 time.Duration, count int64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	type bucket struct {
+		le  float64
+		cum int64
+	}
+	var buckets []bucket
+	const metric = `smpserve_http_request_seconds_bucket{`
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, metric) || !strings.Contains(line, `endpoint="/project"`) {
+			continue
+		}
+		leStart := strings.Index(line, `le="`)
+		if leStart < 0 {
+			continue
+		}
+		rest := line[leStart+len(`le="`):]
+		leEnd := strings.IndexByte(rest, '"')
+		sp := strings.LastIndexByte(line, ' ')
+		if leEnd < 0 || sp < 0 {
+			return 0, 0, 0, 0, fmt.Errorf("malformed bucket line %q", line)
+		}
+		le := math.Inf(1)
+		if leStr := rest[:leEnd]; leStr != "+Inf" {
+			if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+				return 0, 0, 0, 0, fmt.Errorf("malformed le in %q: %v", line, err)
+			}
+		}
+		cum, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("malformed value in %q: %v", line, err)
+		}
+		buckets = append(buckets, bucket{le: le, cum: int64(cum)})
+	}
+	if len(buckets) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("no smpserve_http_request_seconds buckets for /project in the exposition")
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	bounds := make([]float64, 0, len(buckets)-1)
+	counts := make([]int64, len(buckets))
+	var prev int64
+	for i, b := range buckets {
+		if !math.IsInf(b.le, 1) {
+			bounds = append(bounds, b.le)
+		}
+		counts[i] = b.cum - prev
+		prev = b.cum
+	}
+	secs := func(q float64) time.Duration {
+		return time.Duration(obs.EstimateQuantile(q, bounds, counts) * float64(time.Second))
+	}
+	return secs(0.50), secs(0.95), secs(0.99), buckets[len(buckets)-1].cum, nil
 }
 
 // newSplitMix returns a tiny deterministic PRNG (splitmix64) so the load

@@ -14,8 +14,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"smp"
+	"smp/internal/obs"
 	"smp/internal/xmlgen"
 )
 
@@ -29,10 +31,20 @@ type stubServe struct {
 	mu   sync.Mutex
 	docs map[string][]byte
 	pfs  map[string]*smp.Prefilter
+
+	reg *obs.Registry
+	lat *obs.Histogram
 }
 
 func newStubServe() *stubServe {
-	return &stubServe{docs: make(map[string][]byte), pfs: make(map[string]*smp.Prefilter)}
+	reg := obs.NewRegistry()
+	return &stubServe{
+		docs: make(map[string][]byte),
+		pfs:  make(map[string]*smp.Prefilter),
+		reg:  reg,
+		lat: reg.Histogram("smpserve_http_request_seconds", "stub latency", obs.ExpBuckets(0.0005, 4, 8),
+			obs.Label{Key: "endpoint", Value: "/project"}),
+	}
 }
 
 func (s *stubServe) prefilter(spec string) (*smp.Prefilter, error) {
@@ -64,7 +76,16 @@ func (s *stubServe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		w.Header().Set("ETag", `"sha256:`+hash+`"`)
 		w.WriteHeader(http.StatusCreated)
+	case r.URL.Path == "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok","goversion":"go-stub","version":"(test)","revision":"none"}`)
+	case r.URL.Path == "/metrics":
+		s.reg.WritePrometheus(w)
 	case r.URL.Path == "/project":
+		start := time.Now()
+		defer func() {
+			s.reg.Commit(func() { s.lat.Observe(time.Since(start).Seconds()) })
+		}()
 		var doc []byte
 		if ref := r.URL.Query().Get("doc"); ref != "" {
 			hash := strings.TrimPrefix(ref, "sha256:")
@@ -114,7 +135,7 @@ func TestRunServe(t *testing.T) {
 		t.Fatalf("run -serve: %v\nstderr: %s", err, stderr.String())
 	}
 	out := stdout.String()
-	for _, want := range []string{"Serve-mode load", "coalesced", "uncoalesced", "p95", "byte-identical"} {
+	for _, want := range []string{"Serve-mode load", "coalesced", "uncoalesced", "p95", "byte-identical", "server-side /metrics histogram"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
@@ -133,11 +154,19 @@ func TestRunServe(t *testing.T) {
 		t.Fatalf("trajectory has %d points, want 1", len(trajectory))
 	}
 	records := trajectory[0].Records
-	if len(records) != 2 {
-		t.Fatalf("point has %d records, want 2 (coalesce, nocoalesce)", len(records))
+	if len(records) != 3 {
+		t.Fatalf("point has %d records, want 3 (coalesce, nocoalesce, server-side scrape)", len(records))
 	}
 	inputs := map[string]bool{}
 	for _, r := range records {
+		inputs[r.Input] = true
+		if r.Mode == "serve-server" {
+			// The end-of-run scrape: server-side percentiles from /metrics.
+			if r.P50Ms <= 0 || r.P50Ms > r.P95Ms || r.P95Ms > r.P99Ms {
+				t.Errorf("scrape record %+v: percentiles missing or out of order", r)
+			}
+			continue
+		}
 		if r.Mode != "serve" || r.K != 4 {
 			t.Errorf("record %+v: want mode=serve k=4", r)
 		}
@@ -147,10 +176,11 @@ func TestRunServe(t *testing.T) {
 		if r.P50Ms > r.P95Ms || r.P95Ms > r.P99Ms {
 			t.Errorf("record %+v: percentiles out of order", r)
 		}
-		inputs[r.Input] = true
 	}
-	if !inputs["coalesce"] || !inputs["nocoalesce"] {
-		t.Errorf("records cover inputs %v, want coalesce and nocoalesce", inputs)
+	for _, want := range []string{"coalesce", "nocoalesce", "metrics"} {
+		if !inputs[want] {
+			t.Errorf("records cover inputs %v, want %s among them", inputs, want)
+		}
 	}
 }
 

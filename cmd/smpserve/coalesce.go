@@ -284,12 +284,13 @@ func (c *coalescer) run(b *coalesceBatch) {
 // and the document bytes (scanned once per batch, however many requests it
 // served) in one consistent update.
 func (c *coalescer) account(size int, agg smp.Stats) {
-	c.srv.metrics.mutate(func(m *counters) {
-		m.CoalesceBatches++
-		m.BatchHist[bucketFor(size)]++
-		m.BytesRead += agg.BytesRead
-		m.IndexHits += agg.IndexHits
-		m.IndexSkips += agg.IndexSkips
+	m := c.srv.metrics
+	m.reg.Commit(func() {
+		m.coalesceBatches.Observe(float64(size))
+		m.bytesRead.Add(agg.BytesRead)
+		m.indexHits.Add(agg.IndexHits)
+		m.indexSkips.Add(agg.IndexSkips)
+		m.indexSummarySkips.Add(agg.IndexSummarySkips)
 	})
 }
 

@@ -119,6 +119,15 @@ func (c *prefilterCache) put(key, label string, val any, planBytes int64) any {
 	return val
 }
 
+// counters returns the aggregate cache counters without materialising the
+// per-entry list — the cheap accessor behind the scrape-time /metrics
+// instruments.
+func (c *prefilterCache) counters() (size int, bytes int64, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.totalBytes, c.hits, c.misses, c.evictions
+}
+
 // view returns the per-entry footprints (most-recently-used first) together
 // with the aggregate counters, all under one lock, so the totals always
 // match the entry list.

@@ -15,6 +15,7 @@
 //	GET  /documents/sha256:<hex>   (fetch a cached document)
 //	GET  /healthz
 //	GET  /stats
+//	GET  /metrics
 //
 // Cache keys are canonical: a path set is parsed, deduplicated and sorted
 // before it is looked up, so requests naming the same projection paths in a
@@ -75,6 +76,8 @@
 // with 429 + Retry-After instead of growing the heap. Streamed (uncoalesced)
 // projections use constant memory and are never shed.
 //
+// # Observability
+//
 // The document is the POST body; the projection is the response body. The
 // per-run counters are reported in X-SMP-* response trailers (headers on
 // coalesced responses, which are buffered), service-level counters at
@@ -83,6 +86,16 @@
 // The /stats JSON is one consistent snapshot: every counter group is read
 // in a single cut under its lock, never assembled field-by-field while
 // requests mutate it.
+//
+// GET /metrics renders the same registry (internal/obs) in Prometheus text
+// exposition format: every /stats counter plus per-endpoint request counts
+// and latency histograms, the coalesce batch-size histogram, and a
+// build-info gauge — /stats and /metrics reconcile by construction because
+// they are two views of one instrument set. Requests are logged as
+// structured log/slog lines (method, path, status, bytes, duration,
+// coalesce batch); -logformat selects text or JSON, and -slowlog promotes
+// requests over the threshold to warnings. -pprof serves net/http/pprof on
+// a separate admin listener, kept off the public mux.
 //
 // Every projection runs under the request's context: when a client
 // disconnects mid-stream the in-flight projection is aborted at its next
@@ -111,10 +124,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"mime/multipart"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/textproto"
 	"net/url"
 	"os"
@@ -147,10 +161,22 @@ func main() {
 		docCacheBytes    = flag.Int64("doccache", 256<<20, "byte budget of the content-addressed document cache (0 disables /documents)")
 		docCacheDir      = flag.String("doccachedir", "", "spool directory for cached documents (default: a fresh temp dir, removed on shutdown)")
 		maxInflight      = flag.Int64("maxinflight", 256<<20, "total bytes of request bodies buffered at once before shedding with 429 (0 = unlimited)")
+
+		logFormat = flag.String("logformat", "text", "structured log format: text or json")
+		slowLog   = flag.Duration("slowlog", 0, "log requests at least this slow as warnings (0 disables the threshold)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate admin address (e.g. 127.0.0.1:6060; empty disables)")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smpserve:", err)
+		os.Exit(1)
+	}
+
 	srv := newServer(*cache, *cacheBytes, smp.Options{ChunkSize: *chunk})
+	srv.log = logger
+	srv.slowLog = *slowLog
 	srv.intraWorkers = *intra
 	srv.intraMin = *intraMin
 	srv.docroot = *docroot
@@ -177,9 +203,13 @@ func main() {
 			// a previous process spooled are digest-verified and re-admitted,
 			// their index sidecars served again on first use.
 			if n := srv.docs.warmRestart(); n > 0 {
-				log.Printf("smpserve: warm restart re-admitted %d cached documents from %s", n, dir)
+				logger.Info("warm restart re-admitted cached documents", "docs", n, "dir", dir)
 			}
 		}
+	}
+
+	if *pprofAddr != "" {
+		go serveAdmin(*pprofAddr, logger)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -189,9 +219,13 @@ func main() {
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	log.Printf("smpserve: listening on %s (prefilter cache capacity %d, byte budget %d, coalesce window %s, doc cache %d bytes)",
-		ln.Addr(), *cache, *cacheBytes, *coalesceWindow, *docCacheBytes)
-	err = serveUntilSignal(&http.Server{Handler: srv.routes()}, ln, stop, *drain)
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"cache_capacity", *cache,
+		"cache_bytes", *cacheBytes,
+		"coalesce_window", *coalesceWindow,
+		"doc_cache_bytes", *docCacheBytes)
+	err = serveUntilSignal(&http.Server{Handler: srv.routes()}, ln, stop, *drain, logger)
 	if cleanupSpool != nil {
 		cleanupSpool()
 	}
@@ -199,21 +233,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smpserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("smpserve: shut down cleanly")
+	logger.Info("shut down cleanly")
+}
+
+// serveAdmin serves the pprof endpoints on a dedicated admin listener so
+// profiling never rides the public mux. The explicit handler wiring (instead
+// of net/http/pprof's DefaultServeMux side effect) keeps the admin surface
+// enumerable: index, cmdline, profile, symbol, trace.
+func serveAdmin(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof admin listener", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof admin listener failed", "err", err)
+	}
 }
 
 // serveUntilSignal serves HTTP on ln until a signal arrives on stop, then
 // shuts down gracefully: the listener closes immediately, in-flight requests
 // get up to timeout to finish, and only then are connections cut. It returns
 // nil on a clean shutdown.
-func serveUntilSignal(hs *http.Server, ln net.Listener, stop <-chan os.Signal, timeout time.Duration) error {
+func serveUntilSignal(hs *http.Server, ln net.Listener, stop <-chan os.Signal, timeout time.Duration, logger *slog.Logger) error {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err // the listener failed before any signal arrived
 	case sig := <-stop:
-		log.Printf("smpserve: received %v, draining in-flight requests (up to %s)", sig, timeout)
+		logger.Info("draining in-flight requests", "signal", sig.String(), "timeout", timeout)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -254,34 +305,47 @@ type server struct {
 	adm              admission
 	coalesceMaxBytes int64
 
-	metrics metrics
+	// metrics is the obs.Registry-backed instrument set behind /metrics and
+	// /stats; log and slowLog drive the structured request log.
+	metrics *metrics
+	log     *slog.Logger
+	slowLog time.Duration
 }
 
 func newServer(cacheSize int, cacheBytes int64, opts smp.Options) *server {
-	return &server{
+	s := &server{
 		cache:            newPrefilterCache(cacheSize, cacheBytes),
 		opts:             opts,
 		start:            time.Now(),
 		coalesceMaxBytes: 8 << 20,
+		log:              slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
+	// The func-backed instruments close over s, reading the subsystem
+	// counters at scrape time; they tolerate the coalescer and doc cache
+	// being wired up (or left nil) after construction.
+	s.metrics = newMetrics(s)
+	return s
 }
 
-// routes wires up the endpoints.
+// routes wires up the endpoints, each behind the instrumentation middleware
+// (per-endpoint counters, latency histogram, request log line).
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/project", s.handleProject)
-	mux.HandleFunc("/multiproject", s.handleMultiProject)
-	mux.HandleFunc("/documents", s.handleDocuments)
-	mux.HandleFunc("/documents/", s.handleDocuments)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/project", s.instrument("/project", s.handleProject))
+	mux.Handle("/multiproject", s.instrument("/multiproject", s.handleMultiProject))
+	mux.Handle("/documents", s.instrument("/documents", s.handleDocuments))
+	mux.Handle("/documents/", s.instrument("/documents", s.handleDocuments))
+	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("/stats", s.instrument("/stats", s.handleStats))
+	mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
 }
 
 // admit marks a request in flight; the returned outcome must be committed
 // with finish exactly once (handlers defer it on entry).
 func (s *server) admit() *reqOutcome {
-	s.metrics.mutate(func(c *counters) { c.InFlight++ })
+	m := s.metrics
+	m.reg.Commit(func() { m.inFlight.Add(1) })
 	return &reqOutcome{}
 }
 
@@ -404,6 +468,7 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 	o.bytesWritten += stats.BytesWritten
 	o.indexHits += stats.IndexHits
 	o.indexSkips += stats.IndexSkips
+	o.indexSummarySkips += stats.IndexSummarySkips
 	if stats.ZeroCopyInput {
 		o.zeroCopy = true
 	}
@@ -426,7 +491,7 @@ func (s *server) handleProject(w http.ResponseWriter, r *http.Request) {
 		}
 		// Headers are already sent once the projection started streaming, so
 		// a mid-stream failure can only be logged and the connection cut.
-		log.Printf("smpserve: projection failed after %d bytes: %v", out.n, err)
+		s.log.Error("projection failed mid-stream", "bytes_written", out.n, "err", err)
 		panic(http.ErrAbortHandler)
 	}
 	setStatsHeaders(w.Header(), stats)
@@ -613,18 +678,18 @@ func (s *server) handleMultiProject(w http.ResponseWriter, r *http.Request) {
 		}
 		pw, err := mw.CreatePart(h)
 		if err != nil {
-			log.Printf("smpserve: multipart framing: %v", err)
+			s.log.Error("multipart framing failed", "err", err)
 			panic(http.ErrAbortHandler)
 		}
 		if merr == nil || merr.Errs[i] == nil {
 			if _, err := pw.Write(bufs[i].Bytes()); err != nil {
-				log.Printf("smpserve: writing query %d output: %v", i, err)
+				s.log.Error("writing query output failed", "query", i, "err", err)
 				panic(http.ErrAbortHandler)
 			}
 		}
 	}
 	if err := mw.Close(); err != nil {
-		log.Printf("smpserve: closing multipart response: %v", err)
+		s.log.Error("closing multipart response failed", "err", err)
 	}
 }
 
@@ -821,9 +886,14 @@ func setStatsHeaders(h http.Header, stats smp.Stats) {
 	h.Set("X-SMP-Tags-Matched", strconv.FormatInt(stats.TagsMatched, 10))
 }
 
+// handleHealthz answers the liveness probe with the binary's build identity
+// (Go version, module version, VCS revision), so a fleet check can tell
+// which build answered. "status":"ok" is kept for probes that grep for it.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	goVersion, modVersion, revision := buildInfo()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"goversion\":%q,\"version\":%q,\"revision\":%q}\n",
+		goVersion, modVersion, revision)
 }
 
 // statsResponse is the JSON shape of /stats. Each counter group is one
@@ -851,6 +921,7 @@ type statsResponse struct {
 	ZeroCopyRuns       int64   `json:"zero_copy_runs"`
 	IndexHits          int64   `json:"index_hits"`
 	IndexSkips         int64   `json:"index_skips"`
+	IndexSummarySkips  int64   `json:"index_summary_skips"`
 
 	CoalescedRequests int64            `json:"coalesced_requests"`
 	CoalesceBatches   int64            `json:"coalesce_batches"`
@@ -896,6 +967,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ZeroCopyRuns:       c.ZeroCopyRuns,
 		IndexHits:          c.IndexHits,
 		IndexSkips:         c.IndexSkips,
+		IndexSummarySkips:  c.IndexSummarySkips,
 		CoalescedRequests:  c.CoalescedRequests,
 		CoalesceBatches:    c.CoalesceBatches,
 		CoalesceBatchHist:  hist,
@@ -915,7 +987,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("smpserve: encoding /stats: %v", err)
+		s.log.Error("encoding /stats failed", "err", err)
 	}
 }
 

@@ -32,7 +32,7 @@ func TestServeUntilSignalGracefulShutdown(t *testing.T) {
 	stop := make(chan os.Signal, 1)
 	served := make(chan error, 1)
 	go func() {
-		served <- serveUntilSignal(&http.Server{Handler: mux}, ln, stop, 5*time.Second)
+		served <- serveUntilSignal(&http.Server{Handler: mux}, ln, stop, 5*time.Second, testLogger())
 	}()
 
 	url := "http://" + ln.Addr().String() + "/slow"
@@ -100,7 +100,7 @@ func TestServeUntilSignalListenerError(t *testing.T) {
 	ln.Close() // Serve on a closed listener fails immediately
 
 	stop := make(chan os.Signal, 1)
-	if err := serveUntilSignal(&http.Server{Handler: http.NewServeMux()}, ln, stop, time.Second); err == nil {
+	if err := serveUntilSignal(&http.Server{Handler: http.NewServeMux()}, ln, stop, time.Second, testLogger()); err == nil {
 		t.Fatal("serveUntilSignal = nil, want listener error")
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"smp/internal/stringmatch"
 )
@@ -62,6 +63,19 @@ type Stats struct {
 	// the replay ran over an empty candidate stream (corpus-granularity
 	// prefiltering). Always <= IndexHits.
 	IndexSummarySkips int64
+	// ScanDuration, ReplayDuration and StitchDuration split a staged
+	// (internal/pipeline) run's wall time into its stages: segment scanning
+	// (in parallel mode: time the driver spent waiting on scan workers),
+	// candidate replay through the runtime automaton, and stitching the
+	// projected output to the writers. ScanDuration is always measured on
+	// staged runs; StitchDuration is only measured when a trace is attached
+	// (per-write clock reads are not free), and ReplayDuration is the
+	// remainder — so without a trace it also absorbs the stitch time.
+	// Serial-core runs (single query, no trace, no workers) bypass the
+	// staged driver entirely and leave all three zero.
+	ScanDuration   time.Duration
+	ReplayDuration time.Duration
+	StitchDuration time.Duration
 }
 
 // CharCompPercent returns CharComparisons relative to the document size.
@@ -125,6 +139,9 @@ func (s *Stats) Add(other Stats) {
 	s.IndexHits += other.IndexHits
 	s.IndexSkips += other.IndexSkips
 	s.IndexSummarySkips += other.IndexSummarySkips
+	s.ScanDuration += other.ScanDuration
+	s.ReplayDuration += other.ReplayDuration
+	s.StitchDuration += other.StitchDuration
 }
 
 // addMatcher accumulates the run's string-matcher counters.

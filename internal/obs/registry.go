@@ -1,0 +1,415 @@
+// Package obs is the dependency-free observability kit of the repository:
+// atomic counters, gauges and bucketed histograms behind a registry with a
+// Prometheus text-exposition writer, plus a lightweight span recorder
+// (trace.go) that emits Chrome trace-event JSON for per-run pipeline stage
+// timings.
+//
+// # Consistency model
+//
+// Instrument mutators (Counter.Add, Gauge.Set, Histogram.Observe) are plain
+// atomic operations and never block each other. Cross-metric consistency is
+// the registry's job: a group of related updates wrapped in Commit runs
+// under the registry's shared (read) lock, while every exposition —
+// WritePrometheus and Read — takes the exclusive lock. An exposition
+// therefore observes every Commit group entirely or not at all: invariants
+// like "failures <= requests" or "a histogram's count equals the requests
+// that observed into it" hold in every scrape, yet concurrent committers
+// only ever contend on an RLock plus a handful of atomic adds — the hot
+// path never serializes behind a scrape-wide mutex.
+//
+// Updates made outside Commit are still safe (each is a single atomic op)
+// but are only consistent with themselves; wrap related updates in Commit
+// whenever a scrape must not see them torn. Do not nest Commit or Read, and
+// do not touch the registry from inside a CounterFunc/GaugeFunc callback —
+// both would deadlock on the registry lock.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric label pair. Labels are rendered in the order given at
+// registration; values are escaped per the Prometheus text format.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v      atomic.Int64
+	labels string
+}
+
+// Add increments the counter by n (n must be >= 0 to keep the counter
+// monotone; this is not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an int64 metric that can go up and down.
+type Gauge struct {
+	v      atomic.Int64
+	labels string
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram over float64 observations. Bucket
+// bounds are upper bounds (Prometheus "le" semantics); an implicit +Inf
+// bucket catches everything beyond the last bound. Per-bucket counts are
+// stored non-cumulatively and cumulated at exposition.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sumBits atomic.Uint64
+	labels  string
+}
+
+// Observe records one value. For scrape-consistent sums (count and sum
+// advancing together in every exposition) call Observe inside
+// Registry.Commit.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Counts returns the non-cumulative per-bucket counts; the last element is
+// the +Inf overflow bucket.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the owning bucket — the same
+// estimate a Prometheus histogram_quantile() query computes. It returns the
+// last finite bound for observations in the +Inf bucket and 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.Counts()
+	return EstimateQuantile(q, h.bounds, counts)
+}
+
+// EstimateQuantile is Histogram.Quantile over raw bucket data: bounds are
+// the finite upper bounds and counts the non-cumulative per-bucket counts
+// with one trailing +Inf bucket. Exported so scrape consumers (e.g. the
+// smpbench -metrics end-of-run scrape) estimate percentiles exactly as the
+// live histogram would.
+func EstimateQuantile(q float64, bounds []float64, counts []int64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen int64
+	for i, c := range counts {
+		if float64(seen+c) < rank {
+			seen += c
+			continue
+		}
+		if i >= len(bounds) { // +Inf bucket: no upper bound to interpolate to
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		if c == 0 {
+			return bounds[i]
+		}
+		return lo + (bounds[i]-lo)*(rank-float64(seen))/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start: start, start*factor, start*factor^2, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// fnMetric is a read-through metric: its value is computed by a callback at
+// exposition time, under the registry's exclusive lock. It lets counters
+// owned by another subsystem (a cache's hit count under the cache's own
+// mutex) appear in the exposition without double bookkeeping.
+type fnMetric struct {
+	fn     func() int64
+	labels string
+}
+
+// family is one metric name: its HELP/TYPE header and every labeled series
+// registered under it.
+type family struct {
+	name, help, typ string
+	counters        []*Counter
+	gauges          []*Gauge
+	hists           []*Histogram
+	fns             []fnMetric
+	labelSets       map[string]bool
+}
+
+// Registry holds a set of metric families and writes them in Prometheus
+// text exposition format. Registration methods panic on conflicting reuse
+// of a name — metrics are wired once, at startup.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Commit runs f under the registry's shared lock: the instrument updates f
+// makes are observed by every exposition entirely or not at all. Multiple
+// Commits run concurrently; only expositions exclude them.
+func (r *Registry) Commit(f func()) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f()
+}
+
+// Read runs f under the exclusive lock — a consistent cut of the whole
+// registry, for callers that assemble a snapshot from instrument values
+// (e.g. a JSON stats view that must agree with the Prometheus exposition).
+func (r *Registry) Read(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f()
+}
+
+// Counter registers (and returns) a counter series under name.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{labels: renderLabels(labels)}
+	fam := r.admit(name, help, "counter", c.labels)
+	fam.counters = append(fam.counters, c)
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge registers (and returns) a gauge series under name.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{labels: renderLabels(labels)}
+	fam := r.admit(name, help, "gauge", g.labels)
+	fam.gauges = append(fam.gauges, g)
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram registers (and returns) a histogram series under name with the
+// given finite bucket upper bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+		labels: renderLabels(labels),
+	}
+	fam := r.admit(name, help, "histogram", h.labels)
+	fam.hists = append(fam.hists, h)
+	r.mu.Unlock()
+	return h
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// exposition time. fn runs under the registry's exclusive lock and must not
+// touch the registry; it may take its own subsystem's lock.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	m := fnMetric{fn: fn, labels: renderLabels(labels)}
+	fam := r.admit(name, help, "counter", m.labels)
+	fam.fns = append(fam.fns, m)
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// exposition time. The same callback rules as CounterFunc apply.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	m := fnMetric{fn: fn, labels: renderLabels(labels)}
+	fam := r.admit(name, help, "gauge", m.labels)
+	fam.fns = append(fam.fns, m)
+	r.mu.Unlock()
+}
+
+// admit resolves (or creates) the family for one registration and checks
+// name/type/label-set conflicts. It returns with r.mu held — the caller
+// appends its series and unlocks.
+func (r *Registry) admit(name, help, typ, labels string) *family {
+	r.mu.Lock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, typ: typ, labelSets: make(map[string]bool)}
+		r.families[name] = fam
+	}
+	if fam.typ != typ {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, fam.typ, typ))
+	}
+	if fam.labelSets[labels] {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("obs: duplicate series %s%s", name, labels))
+	}
+	fam.labelSets[labels] = true
+	return fam
+}
+
+// WritePrometheus writes every family in Prometheus text exposition format
+// (text/plain; version=0.0.4), families sorted by name. The write happens
+// under the exclusive lock, so the exposition is one consistent cut across
+// every metric and every Commit group.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		fam := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, c := range fam.counters {
+			fmt.Fprintf(&b, "%s%s %d\n", fam.name, c.labels, c.Value())
+		}
+		for _, g := range fam.gauges {
+			fmt.Fprintf(&b, "%s%s %d\n", fam.name, g.labels, g.Value())
+		}
+		for _, m := range fam.fns {
+			fmt.Fprintf(&b, "%s%s %d\n", fam.name, m.labels, m.fn())
+		}
+		for _, h := range fam.hists {
+			writeHistogram(&b, fam.name, h)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits one histogram series: cumulative _bucket lines with
+// le labels, then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, addLabel(h.labels, "le", formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, addLabel(h.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, h.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, h.labels, cum)
+}
+
+// renderLabels renders a label set as `{k="v",...}` with escaped values, or
+// "" for the empty set.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// addLabel appends one more label pair to an already-rendered label set.
+func addLabel(rendered, key, value string) string {
+	pair := key + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP text per the text exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// form, with +Inf spelled literally.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("smp_test_total", "test counter")
+	g := r.Gauge("smp_test_gauge", "test gauge")
+	c.Inc()
+	c.Add(41)
+	g.Set(7)
+	g.Add(-3)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("smp_test_hist", "test histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	// le semantics: v <= bound lands in that bucket.
+	want := []int64{2, 2, 1, 1} // (<=1)=0.5,1  (<=2)=1.5,2  (<=4)=3  (+Inf)=100
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-108) > 1e-9 {
+		t.Errorf("sum = %g, want 108", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("smp_test_q", "quantile test", []float64{10, 20, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 40))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 10 || p50 > 30 {
+		t.Errorf("p50 = %g, want within [10,30]", p50)
+	}
+	h.Observe(1e9) // lands in +Inf: quantile clamps to last finite bound
+	if got := h.Quantile(1.0); got != 40 {
+		t.Errorf("p100 with +Inf observation = %g, want 40 (last bound)", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistrationConflictsPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("smp_x_total", "x")
+	mustPanic("type conflict", func() { r.Gauge("smp_x_total", "x") })
+	mustPanic("duplicate series", func() { r.Counter("smp_x_total", "x") })
+	mustPanic("non-increasing bounds", func() {
+		r.Histogram("smp_bad_hist", "bad", []float64{1, 1})
+	})
+	// Distinct label sets under one name are fine.
+	r.Counter("smp_labeled_total", "labeled", Label{"k", "a"})
+	r.Counter("smp_labeled_total", "labeled", Label{"k", "b"})
+	mustPanic("duplicate labeled series", func() {
+		r.Counter("smp_labeled_total", "labeled", Label{"k", "a"})
+	})
+}
+
+// TestRegistryHammer is the concurrency gate for the registry's consistency
+// model: mutator goroutines commit correlated updates (requests, failures,
+// a histogram observation per request) through Commit while scraper
+// goroutines concurrently take expositions. Every exposition must observe
+// each commit group atomically: failures <= requests, histogram count ==
+// requests, and histogram sum == sum of observed values implied by the
+// count. Run under -race this also exercises every lock path.
+func TestRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	requests := r.Counter("smp_hammer_requests_total", "requests")
+	failures := r.Counter("smp_hammer_failures_total", "failures")
+	inflight := r.Gauge("smp_hammer_in_flight", "in flight")
+	lat := r.Histogram("smp_hammer_seconds", "latency", ExpBuckets(0.001, 4, 6))
+
+	const (
+		writers       = 8
+		perWriter     = 2000
+		scrapers      = 4
+		observedValue = 0.25 // constant so sum == count*value is checkable exactly
+	)
+
+	var writerWG, scraperWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				fail := (seed+i)%7 == 0
+				r.Commit(func() {
+					inflight.Add(1)
+					requests.Inc()
+					if fail {
+						failures.Inc()
+					}
+					lat.Observe(observedValue)
+					inflight.Add(-1)
+				})
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	scrapeErrs := make(chan string, scrapers*4)
+	for s := 0; s < scrapers; s++ {
+		scraperWG.Add(1)
+		go func() {
+			defer scraperWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					scrapeErrs <- "write: " + err.Error()
+					return
+				}
+				m := parseExposition(t, sb.String())
+				req := m["smp_hammer_requests_total"]
+				fails := m["smp_hammer_failures_total"]
+				count := m["smp_hammer_seconds_count"]
+				sum := m["smp_hammer_seconds_sum"]
+				if fails > req {
+					scrapeErrs <- "failures > requests"
+					return
+				}
+				if count != req {
+					scrapeErrs <- "histogram count != requests"
+					return
+				}
+				if math.Abs(sum-count*observedValue) > 1e-6*math.Max(1, sum) {
+					scrapeErrs <- "histogram sum inconsistent with count"
+					return
+				}
+				if fl := m["smp_hammer_in_flight"]; fl != 0 {
+					// In-flight is incremented and decremented inside one
+					// commit group, so a consistent cut always sees zero.
+					scrapeErrs <- "in-flight visible mid-commit"
+					return
+				}
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(done)
+	scraperWG.Wait()
+	select {
+	case e := <-scrapeErrs:
+		t.Fatalf("scrape invariant violated: %s", e)
+	default:
+	}
+
+	if got := requests.Value(); got != writers*perWriter {
+		t.Errorf("requests = %d, want %d", got, writers*perWriter)
+	}
+	if got := lat.Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// parseExposition flattens an exposition into name{labels} -> value,
+// skipping comment lines. Histogram _bucket series keep their le label in
+// the key; _sum/_count are bare.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte: HELP
+// and TYPE lines, family sort order, label rendering and escaping,
+// cumulative histogram buckets with +Inf, _sum/_count. Update with
+// go test ./internal/obs -run Golden -update.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("smp_requests_total", "Requests handled.", Label{"endpoint", "/project"})
+	reqs2 := r.Counter("smp_requests_total", "Requests handled.", Label{"endpoint", "/multiproject"})
+	fl := r.Gauge("smp_in_flight", "Requests in flight.")
+	weird := r.Counter("smp_weird_total", `help with \ backslash
+and newline`, Label{"path", `a"b\c` + "\nd"})
+	h := r.Histogram("smp_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	r.GaugeFunc("smp_cache_bytes", "Cache size.", func() int64 { return 1024 })
+
+	reqs.Add(5)
+	reqs2.Add(2)
+	fl.Set(3)
+	weird.Inc()
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// maxTraceSpans caps a Trace's span list so a pathological run (millions of
+// segments) cannot grow the recorder without bound. Dropped spans are
+// counted and surfaced as an instant event in the emitted trace.
+const maxTraceSpans = 1 << 14
+
+// Span is one completed interval on a trace timeline: a named stage that
+// ran on logical thread tid from Start (offset from the trace origin) for
+// Dur.
+type Span struct {
+	Name  string
+	TID   int
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Trace records pipeline stage spans for one projection run and writes them
+// as Chrome trace-event JSON (the format chrome://tracing and Perfetto
+// load). It is safe for concurrent use by the pipeline's workers; recording
+// a span is one short critical section with no allocation beyond the slice
+// append.
+type Trace struct {
+	mu      sync.Mutex
+	origin  time.Time
+	spans   []Span
+	dropped int
+	threads map[int]string
+}
+
+// NewTrace returns a trace whose timeline starts now.
+func NewTrace() *Trace {
+	return &Trace{origin: time.Now(), threads: make(map[int]string)}
+}
+
+// Origin returns the trace's zero timestamp. Callers that time stages with
+// their own clock reads convert to offsets against this.
+func (t *Trace) Origin() time.Time { return t.origin }
+
+// NameThread assigns a display name to a logical thread id, emitted as
+// thread_name metadata so Perfetto labels the track.
+func (t *Trace) NameThread(tid int, name string) {
+	t.mu.Lock()
+	t.threads[tid] = name
+	t.mu.Unlock()
+}
+
+// Add records one completed span at an explicit offset from the origin.
+func (t *Trace) Add(name string, tid int, offset, dur time.Duration) {
+	t.mu.Lock()
+	if len(t.spans) >= maxTraceSpans {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, Span{Name: name, TID: tid, Start: offset, Dur: dur})
+	}
+	t.mu.Unlock()
+}
+
+// Since records a span that started at t0 and ends now.
+func (t *Trace) Since(name string, tid int, t0 time.Time) {
+	t.Add(name, tid, t0.Sub(t.origin), time.Since(t0))
+}
+
+// Spans returns a copy of the recorded spans, ordered by start offset.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// traceEvent is one Chrome trace-event object. Complete events (ph "X")
+// carry ts+dur in microseconds; metadata events (ph "M") name the process
+// and threads; instant events (ph "i") flag anomalies like dropped spans.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the recorded spans as a JSON array of trace
+// events. The output loads directly in chrome://tracing and Perfetto.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	dropped := t.dropped
+	threads := make(map[int]string, len(t.threads))
+	for tid, name := range t.threads {
+		threads[tid] = name
+	}
+	t.mu.Unlock()
+
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+
+	events := make([]traceEvent, 0, len(spans)+len(threads)+2)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]string{"name": "smp"},
+	})
+	tids := make([]int, 0, len(threads))
+	for tid := range threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]string{"name": threads[tid]},
+		})
+	}
+	for _, s := range spans {
+		events = append(events, traceEvent{
+			Name: s.Name, Ph: "X", PID: 1, TID: s.TID,
+			TS:  float64(s.Start) / float64(time.Microsecond),
+			Dur: float64(s.Dur) / float64(time.Microsecond),
+		})
+	}
+	if dropped > 0 {
+		events = append(events, traceEvent{
+			Name: "spans dropped (cap reached)", Ph: "i", PID: 1, S: "g",
+			Args: map[string]string{"dropped": strconv.Itoa(dropped)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansOrdered(t *testing.T) {
+	tr := NewTrace()
+	tr.Add("b", 2, 10*time.Millisecond, 5*time.Millisecond)
+	tr.Add("a", 1, 2*time.Millisecond, 3*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Errorf("spans not ordered by start: %+v", spans)
+	}
+}
+
+func TestTraceSince(t *testing.T) {
+	tr := NewTrace()
+	time.Sleep(time.Millisecond)
+	t0 := time.Now()
+	tr.Since("stage", 1, t0)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Start < time.Millisecond {
+		t.Errorf("start offset = %v, want >= 1ms", spans[0].Start)
+	}
+	if spans[0].Dur < 0 {
+		t.Errorf("negative duration: %v", spans[0].Dur)
+	}
+}
+
+// TestWriteChromeTrace verifies the emitted JSON is a well-formed trace
+// event array: process/thread metadata, complete ("X") events with
+// microsecond ts/dur, all under pid 1 — the shape Perfetto and
+// chrome://tracing load without transformation.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTrace()
+	tr.NameThread(1, "scan")
+	tr.NameThread(2, "replay q0")
+	tr.Add("segment scan", 1, 100*time.Microsecond, 250*time.Microsecond)
+	tr.Add("replay", 2, 350*time.Microsecond, 40*time.Microsecond)
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, sb.String())
+	}
+
+	var meta, complete int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev["pid"] != float64(1) {
+				t.Errorf("event pid = %v, want 1", ev["pid"])
+			}
+		}
+	}
+	if meta != 3 { // process_name + two thread_name entries
+		t.Errorf("got %d metadata events, want 3", meta)
+	}
+	if complete != 2 {
+		t.Errorf("got %d complete events, want 2", complete)
+	}
+
+	// Spot-check microsecond conversion on the first complete event.
+	for _, ev := range events {
+		if ev["ph"] == "X" && ev["name"] == "segment scan" {
+			if ev["ts"] != float64(100) || ev["dur"] != float64(250) {
+				t.Errorf("ts/dur = %v/%v, want 100/250", ev["ts"], ev["dur"])
+			}
+		}
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < maxTraceSpans+10; i++ {
+		tr.Add("s", 1, 0, time.Microsecond)
+	}
+	if got := len(tr.Spans()); got != maxTraceSpans {
+		t.Errorf("recorded %d spans, want cap %d", got, maxTraceSpans)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "spans dropped") {
+		t.Error("dropped-span marker missing from trace output")
+	}
+}

@@ -2,11 +2,21 @@ package pipeline
 
 import (
 	"io"
+	"time"
 
 	"smp/internal/compile"
 	"smp/internal/core"
 	"smp/internal/glushkov"
+	"smp/internal/obs"
 	"smp/internal/projection"
+)
+
+// Logical trace-thread ids for the stage spans a traced run records. Tid 0
+// is reserved for the caller's compile span (see smp.WithTrace).
+const (
+	traceTIDScan   = 1
+	traceTIDReplay = 2
+	traceTIDStitch = 3
 )
 
 // qrun is the replay state of one query: its automaton position, cursor,
@@ -67,10 +77,28 @@ type driver struct {
 
 	held    int // bytes across live segments (the run's memory)
 	maxHeld int
+
+	// Stage timing. scanDur (time spent pulling segments from the source —
+	// with a parallel source, time blocked waiting on scan workers) is
+	// always measured: two clock reads per segment round, noise against the
+	// per-segment scan itself. stitchDur (time inside output writes) is
+	// only measured when a trace is attached — a clock read per Write would
+	// tax candidate-dense replays — so untraced runs fold stitching into
+	// the replay remainder. elapsed is run()'s wall time; the replay share
+	// is derived as elapsed - scanDur - stitchDur in result().
+	trace     *obs.Trace
+	scanDur   time.Duration
+	stitchDur time.Duration
+	elapsed   time.Duration
 }
 
-func newDriver(e *Engine, dsts []io.Writer, src source) *driver {
-	d := &driver{src: src}
+func newDriver(e *Engine, dsts []io.Writer, src source, trace *obs.Trace) *driver {
+	d := &driver{src: src, trace: trace}
+	if trace != nil {
+		trace.NameThread(traceTIDScan, "scan")
+		trace.NameThread(traceTIDReplay, "replay")
+		trace.NameThread(traceTIDStitch, "stitch")
+	}
 	d.queries = make([]*qrun, len(e.plans))
 	for i, plan := range e.plans {
 		out := dsts[i]
@@ -97,7 +125,13 @@ func (d *driver) anyLive() bool {
 // load appends the next scanned segment to the chain. It reports false when
 // the input is exhausted (d.src.err then carries any terminal error).
 func (d *driver) load() bool {
+	t0 := time.Now()
 	seg := d.src.next()
+	dur := time.Since(t0)
+	d.scanDur += dur
+	if d.trace != nil && seg != nil {
+		d.trace.Add("scan", traceTIDScan, t0.Sub(d.trace.Origin()), dur)
+	}
 	if seg == nil {
 		return false
 	}
@@ -117,6 +151,7 @@ func (d *driver) load() bool {
 // catch up on the next pass, so the loop only ends once the input is
 // exhausted AND every live query has consumed every loaded segment.
 func (d *driver) run() (Result, error) {
+	start := time.Now()
 	for _, k := range d.queries {
 		k.enter(k.table.Initial)
 	}
@@ -135,6 +170,11 @@ func (d *driver) run() (Result, error) {
 		}
 	}
 	d.finish()
+	d.elapsed = time.Since(start)
+	if d.trace != nil {
+		d.trace.Add("replay (drive)", traceTIDReplay, start.Sub(d.trace.Origin()), d.elapsed)
+		d.trace.Add("stitch (total)", traceTIDStitch, start.Sub(d.trace.Origin()), d.stitchDur)
+	}
 	return d.result()
 }
 
@@ -273,9 +313,9 @@ func (d *driver) performOpen(k *qrun, st *compile.State, tagStart, tagEnd int64,
 	case projection.CopyTag:
 		open, _, bach := k.plan.TagStrings(st)
 		if bachelor {
-			k.writeString(bach)
+			d.writeString(k, bach)
 		} else {
-			k.writeString(open)
+			d.writeString(k, open)
 		}
 	}
 }
@@ -290,12 +330,12 @@ func (d *driver) performClose(k *qrun, st *compile.State, tagEnd int64, bachelor
 			k.copyActive = false
 		} else if !bachelor {
 			_, closeTag, _ := k.plan.TagStrings(st)
-			k.writeString(closeTag)
+			d.writeString(k, closeTag)
 		}
 	case projection.CopyTagAttrs, projection.CopyTag:
 		if !bachelor {
 			_, closeTag, _ := k.plan.TagStrings(st)
-			k.writeString(closeTag)
+			d.writeString(k, closeTag)
 		}
 	}
 }
@@ -339,7 +379,14 @@ func (d *driver) writeRaw(k *qrun, from, to int64) {
 		if lo >= hi {
 			continue
 		}
+		var t0 time.Time
+		if d.trace != nil {
+			t0 = time.Now()
+		}
 		n, err := k.out.Write(seg.data[lo-seg.base : hi-seg.base])
+		if d.trace != nil {
+			d.stitchDur += time.Since(t0)
+		}
 		k.stats.BytesWritten += int64(n)
 		if err != nil {
 			k.writeErr = err
@@ -349,11 +396,18 @@ func (d *driver) writeRaw(k *qrun, from, to int64) {
 }
 
 // writeString writes a synthesized tag to k's output.
-func (k *qrun) writeString(str string) {
+func (d *driver) writeString(k *qrun, str string) {
 	if k.writeErr != nil {
 		return
 	}
+	var t0 time.Time
+	if d.trace != nil {
+		t0 = time.Now()
+	}
 	n, err := io.WriteString(k.out, str)
+	if d.trace != nil {
+		d.stitchDur += time.Since(t0)
+	}
 	k.stats.BytesWritten += int64(n)
 	if err != nil {
 		k.writeErr = err
@@ -423,6 +477,11 @@ func (d *driver) result() (Result, error) {
 	res := Result{Query: make([]core.Stats, len(d.queries))}
 	d.src.close(&res.Scan)
 	res.Scan.MaxBufferBytes = int64(d.maxHeld)
+	res.Scan.ScanDuration = d.scanDur
+	res.Scan.StitchDuration = d.stitchDur
+	if rep := d.elapsed - d.scanDur - d.stitchDur; rep > 0 {
+		res.Scan.ReplayDuration = rep
+	}
 
 	failed := false
 	for i, k := range d.queries {

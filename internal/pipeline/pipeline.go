@@ -9,6 +9,7 @@ import (
 
 	"smp/internal/core"
 	"smp/internal/mmapio"
+	"smp/internal/obs"
 )
 
 // Options configures one projection run.
@@ -26,6 +27,12 @@ type Options struct {
 	// sizing and the parallel lookahead. 0 selects the largest chunk size
 	// among the merged plans.
 	ChunkSize int
+	// Trace, when non-nil, records per-stage spans (segment scan, replay,
+	// stitch) of the run for Chrome trace-event output, and enables the
+	// per-write stitch timing that untraced runs skip. A traced single-query
+	// run always takes the staged driver — not the serial core shortcut —
+	// so every stage is visible; the output stays byte-identical.
+	Trace *obs.Trace
 }
 
 // Engine is a compiled K-query projection: K immutable per-query plans
@@ -231,7 +238,7 @@ func (e *Engine) Project(ctx context.Context, dsts []io.Writer, src io.Reader, o
 		// A pre-cancelled context takes the serial path too: its source
 		// observes the cancellation before the first read, so the run fails
 		// without spawning anything.
-		return e.projectSerial(ctx, dsts, src, chunk)
+		return e.projectSerial(ctx, dsts, src, chunk, opts.Trace)
 	}
 	segSize, overlap := e.sizing(opts.Workers, opts)
 
@@ -245,14 +252,14 @@ func (e *Engine) Project(ctx context.Context, dsts []io.Writer, src io.Reader, o
 	switch err {
 	case nil:
 	case io.EOF, io.ErrUnexpectedEOF:
-		return e.projectSerial(ctx, dsts, bytes.NewReader(first[:n]), chunk)
+		return e.projectSerial(ctx, dsts, bytes.NewReader(first[:n]), chunk, opts.Trace)
 	default:
-		return e.projectSerial(ctx, dsts, io.MultiReader(bytes.NewReader(first[:n]), errorReader{err}), chunk)
+		return e.projectSerial(ctx, dsts, io.MultiReader(bytes.NewReader(first[:n]), errorReader{err}), chunk, opts.Trace)
 	}
 
 	ps := newParallelSource(ctx, e.scan, opts.Workers, segSize, overlap)
 	ps.startStreaming(src, first)
-	return newDriver(e, dsts, ps).run()
+	return newDriver(e, dsts, ps, opts.Trace).run()
 }
 
 // ProjectBuffered is Project for a document already in memory: the segments
@@ -268,14 +275,14 @@ func (e *Engine) ProjectBuffered(ctx context.Context, dsts []io.Writer, doc []by
 	}
 	segSize, overlap := e.sizing(opts.Workers, opts)
 	if opts.Workers <= 1 || len(doc) < segSize+overlap || ctx.Err() != nil {
-		if e.serial != nil {
+		if e.serial != nil && opts.Trace == nil {
 			return e.projectSerialBytes(ctx, dsts, doc, chunk)
 		}
-		return e.projectSerial(ctx, dsts, bytes.NewReader(doc), chunk)
+		return e.projectSerial(ctx, dsts, bytes.NewReader(doc), chunk, opts.Trace)
 	}
 	ps := newParallelSource(ctx, e.scan, opts.Workers, segSize, overlap)
 	ps.startBuffered(doc)
-	res, err := newDriver(e, dsts, ps).run()
+	res, err := newDriver(e, dsts, ps, opts.Trace).run()
 	res.Scan.ZeroCopyInput = true
 	return res, err
 }
@@ -284,8 +291,10 @@ func (e *Engine) ProjectBuffered(ctx context.Context, dsts []io.Writer, doc []by
 // single-query case short-circuits to the shared-plan serial core engine —
 // the byte-identity reference itself, and faster than a replay because its
 // state-directed search skips input the speculative union scan must touch.
-func (e *Engine) projectSerial(ctx context.Context, dsts []io.Writer, src io.Reader, chunk int) (Result, error) {
-	if e.serial != nil {
+// A traced run skips the shortcut: only the staged driver can attribute
+// time to the scan/replay/stitch stages, and its output is byte-identical.
+func (e *Engine) projectSerial(ctx context.Context, dsts []io.Writer, src io.Reader, chunk int, trace *obs.Trace) (Result, error) {
+	if e.serial != nil && trace == nil {
 		dst := dsts[0]
 		if dst == nil {
 			dst = io.Discard
@@ -306,7 +315,7 @@ func (e *Engine) projectSerial(ctx context.Context, dsts []io.Writer, src io.Rea
 	if segSize < 64 {
 		segSize = 64
 	}
-	return newDriver(e, dsts, newSerialSource(ctx, src, e.scan, segSize)).run()
+	return newDriver(e, dsts, newSerialSource(ctx, src, e.scan, segSize), trace).run()
 }
 
 // projectSerialBytes is the single-query serial path for an in-memory

@@ -97,7 +97,7 @@ func (e *Engine) Replay(ctx context.Context, dsts []io.Writer, doc []byte, cands
 		segSize = 64
 	}
 	src := &replaySource{ctx: ctx, doc: doc, cands: cands, segSize: segSize}
-	res, runErr := newDriver(e, dsts, src).run()
+	res, runErr := newDriver(e, dsts, src, opts.Trace).run()
 	res.Scan.ZeroCopyInput = true
 	return res, runErr
 }

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"smp/internal/core"
+	"smp/internal/obs"
 	"smp/internal/pipeline"
 )
 
@@ -167,7 +169,8 @@ func (m *MultiPrefilter) MinParallelInput(workers int, opts ...ProjectOption) in
 // valid either way.
 func (m *MultiPrefilter) MultiProject(ctx context.Context, dsts []io.Writer, src io.Reader, opts ...ProjectOption) ([]Stats, error) {
 	cfg := resolveOptions(opts)
-	popts := pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize}
+	tr := m.newRunTrace(cfg)
+	popts := pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize, Trace: tr}
 	var res pipeline.Result
 	var err error
 	if cfg.index != nil {
@@ -178,8 +181,26 @@ func (m *MultiPrefilter) MultiProject(ctx context.Context, dsts []io.Writer, src
 	} else {
 		res, err = m.multi.Project(ctx, dsts, src, popts)
 	}
+	err = finishTrace(tr, cfg.traceOut, err)
 	if cfg.statsInto != nil {
 		*cfg.statsInto = res.Aggregate()
 	}
 	return res.Query, err
+}
+
+// newRunTrace builds the run's span recorder when WithTrace was given. The
+// per-query compile spans (each prefilter's static analysis, paid once at
+// Compile) open the timeline back to back on the compile thread.
+func (m *MultiPrefilter) newRunTrace(cfg projectConfig) *obs.Trace {
+	if cfg.traceOut == nil {
+		return nil
+	}
+	tr := obs.NewTrace()
+	tr.NameThread(0, "compile")
+	var off time.Duration
+	for i, pf := range m.pfs {
+		tr.Add(fmt.Sprintf("compile q%d", i), 0, off, pf.compileDur)
+		off += pf.compileDur
+	}
+	return tr
 }

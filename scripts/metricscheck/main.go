@@ -1,0 +1,319 @@
+// Command metricscheck validates Prometheus text-exposition scrapes for the
+// load smoke: every sample line must parse (metric name, well-escaped
+// labels, numeric value), every family needs its # TYPE line before the
+// first sample, histogram buckets must be cumulative with the +Inf bucket
+// equal to _count — and, given two scrapes of the same server, counters
+// must grow monotonically from the first to the second.
+//
+// Usage:
+//
+//	metricscheck SCRAPE.txt            # well-formedness only
+//	metricscheck PRE.txt POST.txt      # plus counter monotonicity pre -> post
+//
+// Exits non-zero with one line per violation.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck SCRAPE.txt [POST.txt]")
+		os.Exit(2)
+	}
+	var failures []string
+	pre, errs := parseFile(os.Args[1])
+	failures = append(failures, errs...)
+	failures = append(failures, checkHistograms(os.Args[1], pre)...)
+	if len(os.Args) == 3 {
+		post, errs := parseFile(os.Args[2])
+		failures = append(failures, errs...)
+		failures = append(failures, checkHistograms(os.Args[2], post)...)
+		failures = append(failures, checkMonotone(pre, post)...)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "metricscheck:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("metricscheck: ok")
+}
+
+// scrape is one parsed exposition: sample values by full series key
+// (name{labels}) and the declared type per family name.
+type scrape struct {
+	samples map[string]float64
+	types   map[string]string
+}
+
+func parseFile(path string) (*scrape, []string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return &scrape{samples: map[string]float64{}, types: map[string]string{}}, []string{err.Error()}
+	}
+	s := &scrape{samples: make(map[string]float64), types: make(map[string]string)}
+	var errs []string
+	fail := func(lineNo int, format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("%s:%d: %s", path, lineNo, fmt.Sprintf(format, args...)))
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		switch {
+		case line == "" || strings.HasPrefix(line, "# HELP "):
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				fail(lineNo, "malformed TYPE line %q", line)
+				continue
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "untyped":
+				s.types[fields[2]] = fields[3]
+			default:
+				fail(lineNo, "unknown metric type %q", fields[3])
+			}
+			continue
+		case strings.HasPrefix(line, "#"):
+			fail(lineNo, "unknown comment line %q", line)
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(lineNo, "%v", err)
+			continue
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := s.types[family]; !ok {
+			if _, ok := s.types[name]; !ok {
+				fail(lineNo, "sample %q has no preceding # TYPE line", name)
+			}
+		}
+		key := name
+		if labels != "" {
+			key = name + "{" + labels + "}"
+		}
+		if _, dup := s.samples[key]; dup {
+			fail(lineNo, "duplicate series %q", key)
+		}
+		s.samples[key] = value
+	}
+	return s, errs
+}
+
+// parseSample splits one sample line into name, canonical label text and
+// value, validating label-value escaping on the way.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if brace := strings.IndexByte(line, '{'); brace >= 0 {
+		name = line[:brace]
+		end := strings.LastIndexByte(line, '}')
+		if end < brace {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = line[brace+1 : end]
+		rest = strings.TrimSpace(line[end+1:])
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, fmt.Errorf("%v in %q", err, line)
+		}
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("no value in %q", line)
+		}
+		name = line[:sp]
+		rest = strings.TrimSpace(line[sp:])
+	}
+	if name == "" || !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("invalid value %q", rest)
+	}
+	return name, labels, v, nil
+}
+
+func validMetricName(name string) bool {
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validateLabels walks a label set, checking name syntax and that every
+// value is a double-quoted string using only the \" \\ \n escapes.
+func validateLabels(labels string) error {
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair near %q", rest)
+		}
+		lname := rest[:eq]
+		if !validMetricName(lname) || strings.ContainsRune(lname, ':') {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %s value is not quoted", lname)
+		}
+		rest = rest[1:]
+		for {
+			switch {
+			case rest == "":
+				return fmt.Errorf("unterminated value of label %s", lname)
+			case rest[0] == '\\':
+				if len(rest) < 2 || (rest[1] != '"' && rest[1] != '\\' && rest[1] != 'n') {
+					return fmt.Errorf("invalid escape in value of label %s", lname)
+				}
+				rest = rest[2:]
+				continue
+			case rest[0] == '"':
+				rest = rest[1:]
+			default:
+				rest = rest[1:]
+				continue
+			}
+			break
+		}
+		if rest != "" {
+			if rest[0] != ',' {
+				return fmt.Errorf("expected ',' after label %s", lname)
+			}
+			rest = rest[1:]
+		}
+	}
+	return nil
+}
+
+// checkHistograms verifies, per histogram series set, that bucket counts
+// are cumulative (non-decreasing in le order) and that the +Inf bucket
+// equals the _count sample.
+func checkHistograms(path string, s *scrape) []string {
+	type hist struct {
+		les   []float64
+		cums  map[float64]float64
+		count float64
+		has   bool
+	}
+	hists := make(map[string]*hist) // key: name + base labels (le stripped)
+	get := func(key string) *hist {
+		h, ok := hists[key]
+		if !ok {
+			h = &hist{cums: make(map[float64]float64)}
+			hists[key] = h
+		}
+		return h
+	}
+	for key, v := range s.samples {
+		name, labels := key, ""
+		if brace := strings.IndexByte(key, '{'); brace >= 0 {
+			name, labels = key[:brace], key[brace+1:len(key)-1]
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base, le, ok := splitLE(labels)
+			if !ok {
+				return []string{fmt.Sprintf("%s: bucket series %q has no le label", path, key)}
+			}
+			h := get(strings.TrimSuffix(name, "_bucket") + "{" + base + "}")
+			h.les = append(h.les, le)
+			h.cums[le] = v
+		case strings.HasSuffix(name, "_count"):
+			if s.types[strings.TrimSuffix(name, "_count")] == "histogram" {
+				h := get(strings.TrimSuffix(name, "_count") + "{" + labels + "}")
+				h.count, h.has = v, true
+			}
+		}
+	}
+	var errs []string
+	for key, h := range hists {
+		sort.Float64s(h.les)
+		prev := 0.0
+		for _, le := range h.les {
+			if h.cums[le] < prev {
+				errs = append(errs, fmt.Sprintf("%s: histogram %s bucket le=%g count %g below previous bucket %g",
+					path, key, le, h.cums[le], prev))
+			}
+			prev = h.cums[le]
+		}
+		if len(h.les) == 0 || !math.IsInf(h.les[len(h.les)-1], 1) {
+			errs = append(errs, fmt.Sprintf("%s: histogram %s has no +Inf bucket", path, key))
+			continue
+		}
+		if !h.has {
+			errs = append(errs, fmt.Sprintf("%s: histogram %s has buckets but no _count sample", path, key))
+			continue
+		}
+		if inf := h.cums[math.Inf(1)]; inf != h.count {
+			errs = append(errs, fmt.Sprintf("%s: histogram %s +Inf bucket %g != _count %g", path, key, inf, h.count))
+		}
+	}
+	return errs
+}
+
+// splitLE strips the le label out of a label set, returning the remaining
+// labels and the parsed bound.
+func splitLE(labels string) (base string, le float64, ok bool) {
+	var kept []string
+	for _, pair := range strings.Split(labels, ",") {
+		if v, found := strings.CutPrefix(pair, `le="`); found {
+			v = strings.TrimSuffix(v, `"`)
+			if v == "+Inf" {
+				le, ok = math.Inf(1), true
+				continue
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return "", 0, false
+			}
+			le, ok = f, true
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return strings.Join(kept, ","), le, ok
+}
+
+// checkMonotone verifies that counter families never decrease between two
+// scrapes of the same process.
+func checkMonotone(pre, post *scrape) []string {
+	var errs []string
+	keys := make([]string, 0, len(pre.samples))
+	for key := range pre.samples {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		name := key
+		if brace := strings.IndexByte(key, '{'); brace >= 0 {
+			name = key[:brace]
+		}
+		// Counters are monotone by definition; histogram buckets, counts and
+		// sums are too (observations are non-negative).
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if pre.types[name] != "counter" && pre.types[family] != "histogram" {
+			continue
+		}
+		after, ok := post.samples[key]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("series %q vanished between scrapes", key))
+			continue
+		}
+		if after < pre.samples[key] {
+			errs = append(errs, fmt.Sprintf("counter %q went backwards: %g -> %g", key, pre.samples[key], after))
+		}
+	}
+	return errs
+}

@@ -46,10 +46,12 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"smp/internal/compile"
 	"smp/internal/core"
 	"smp/internal/dtd"
+	"smp/internal/obs"
 	"smp/internal/paths"
 	"smp/internal/pipeline"
 	"smp/internal/xmlgen"
@@ -117,6 +119,10 @@ type Prefilter struct {
 	table  *compile.Table
 	engine *core.Prefilter
 
+	// compileDur is the wall time Compile spent on the static analysis and
+	// plan construction, reported as the "compile" span of traced runs.
+	compileDur time.Duration
+
 	// pipeOnce lazily builds the K=1 unified pipeline engine (its global
 	// scan tables are only paid for once a run asks for workers).
 	pipeOnce sync.Once
@@ -145,6 +151,7 @@ func CompileQuery(dtdSource, query string, opts Options) (*Prefilter, error) {
 }
 
 func compileSet(dtdSource string, set *paths.Set, opts Options) (*Prefilter, error) {
+	t0 := time.Now()
 	schema, err := dtd.Parse(dtdSource)
 	if err != nil {
 		return nil, err
@@ -158,7 +165,7 @@ func compileSet(dtdSource string, set *paths.Set, opts Options) (*Prefilter, err
 		Single:    opts.Single,
 		Multi:     opts.Multi,
 	})
-	return &Prefilter{schema: schema, set: set, table: table, engine: engine}, nil
+	return &Prefilter{schema: schema, set: set, table: table, engine: engine, compileDur: time.Since(t0)}, nil
 }
 
 // ProjectOption configures one projection run. Options are the v2
@@ -172,6 +179,7 @@ type projectConfig struct {
 	chunkSize int
 	statsInto *Stats
 	index     *Index
+	traceOut  io.Writer
 }
 
 func resolveOptions(opts []ProjectOption) projectConfig {
@@ -211,6 +219,19 @@ func WithChunkSize(n int) ProjectOption {
 	return func(c *projectConfig) { c.chunkSize = n }
 }
 
+// WithTrace records per-stage spans of the run — compile, segment scan,
+// candidate replay, output stitch — and writes them to w as Chrome
+// trace-event JSON when the run finishes; the file loads directly in
+// Perfetto or chrome://tracing. Tracing also populates the per-stage
+// duration fields on Stats (ScanDuration, ReplayDuration, StitchDuration).
+// A traced single-query run takes the staged pipeline driver instead of the
+// serial core shortcut so every stage is attributable; the projected output
+// is byte-identical either way, at a small per-write timing cost. A trace
+// write failure is reported only if the projection itself succeeded.
+func WithTrace(w io.Writer) ProjectOption {
+	return func(c *projectConfig) { c.traceOut = w }
+}
+
 // WithStatsInto stores the run's counters in *st before Project returns.
 // The value is identical to Project's Stats result; the pointer form exists
 // for callers that discard the return in an error path but still want the
@@ -240,26 +261,57 @@ func WithStatsInto(st *Stats) ProjectOption {
 // so steady-state calls do not allocate fresh engine state.
 func (p *Prefilter) Project(ctx context.Context, dst io.Writer, src io.Reader, opts ...ProjectOption) (Stats, error) {
 	cfg := resolveOptions(opts)
+	tr := p.newRunTrace(cfg)
+	popts := pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize, Trace: tr}
 	var stats Stats
 	var err error
 	switch {
 	case cfg.index != nil:
 		var res pipeline.Result
-		res, err = replayOrScan(ctx, p.projector(), []io.Writer{dst}, src, cfg.index, pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize})
+		res, err = replayOrScan(ctx, p.projector(), []io.Writer{dst}, src, cfg.index, popts)
 		stats = res.Aggregate()
 		err = singleQueryErr(err)
-	case cfg.workers > 1:
+	case cfg.workers > 1 || tr != nil:
+		// Traced runs take the staged pipeline even serially: stage
+		// attribution needs the driver, and the output is byte-identical.
 		var res pipeline.Result
-		res, err = p.projector().Project(ctx, []io.Writer{dst}, src, pipeline.Options{Workers: cfg.workers, ChunkSize: cfg.chunkSize})
+		res, err = p.projector().Project(ctx, []io.Writer{dst}, src, popts)
 		stats = res.Aggregate()
 		err = singleQueryErr(err)
 	default:
 		stats, err = p.engine.ProjectWith(ctx, dst, src, core.RunOptions{ChunkSize: cfg.chunkSize})
 	}
+	err = finishTrace(tr, cfg.traceOut, err)
 	if cfg.statsInto != nil {
 		*cfg.statsInto = stats
 	}
 	return stats, err
+}
+
+// newRunTrace builds the run's span recorder when WithTrace was given: the
+// trace opens with the prefilter's compile span (the static analysis paid
+// once, rendered at the timeline origin) on its own logical thread.
+func (p *Prefilter) newRunTrace(cfg projectConfig) *obs.Trace {
+	if cfg.traceOut == nil {
+		return nil
+	}
+	tr := obs.NewTrace()
+	tr.NameThread(0, "compile")
+	tr.Add("compile", 0, 0, p.compileDur)
+	return tr
+}
+
+// finishTrace writes the recorded trace as Chrome trace-event JSON. The
+// projection's own error wins; a trace write failure surfaces only on an
+// otherwise clean run.
+func finishTrace(tr *obs.Trace, w io.Writer, runErr error) error {
+	if tr == nil {
+		return runErr
+	}
+	if err := tr.WriteChromeTrace(w); err != nil && runErr == nil {
+		return err
+	}
+	return runErr
 }
 
 // singleQueryErr unwraps the pipeline's per-query error envelope for K=1

@@ -1,0 +1,112 @@
+package smp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestWithTrace verifies the WithTrace contract end to end on a real
+// projection: the traced output stays byte-identical to the untraced run,
+// the per-stage duration fields on Stats come back non-zero, and the
+// emitted trace is a well-formed Chrome trace-event array containing the
+// compile/scan/replay/stitch spans.
+func TestWithTrace(t *testing.T) {
+	pf, err := Compile(testDTD, "/*, //australia//description#", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A document large enough for several segment rounds at a 1 KiB chunk.
+	doc := append([]byte("<site><regions><africa/><asia/><australia>"), bytes.Repeat([]byte("<item><location>x</location><name>n</name><payment>p</payment><description>d</description><shipping/><incategory category=\"1\"/></item>"), 200)...)
+	doc = append(doc, []byte("</australia></regions></site>")...)
+
+	want, _ := projectBytes(t, pf, doc)
+
+	var traced bytes.Buffer
+	var traceJSON bytes.Buffer
+	stats, err := pf.Project(context.Background(), &traced, bytes.NewReader(doc),
+		WithTrace(&traceJSON), WithChunkSize(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traced.Bytes(), want) {
+		t.Errorf("traced output differs from untraced (%d vs %d bytes)", traced.Len(), len(want))
+	}
+	if stats.ScanDuration <= 0 {
+		t.Errorf("ScanDuration = %v, want > 0", stats.ScanDuration)
+	}
+	if stats.ReplayDuration <= 0 {
+		t.Errorf("ReplayDuration = %v, want > 0", stats.ReplayDuration)
+	}
+	if stats.StitchDuration <= 0 {
+		t.Errorf("StitchDuration = %v, want > 0", stats.StitchDuration)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(traceJSON.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not a JSON array: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range events {
+		if name, ok := ev["name"].(string); ok {
+			names[name] = true
+		}
+	}
+	for _, want := range []string{"compile", "scan", "replay (drive)", "stitch (total)", "process_name", "thread_name"} {
+		if !names[want] {
+			t.Errorf("trace is missing %q events (have %v)", want, keys(names))
+		}
+	}
+}
+
+// TestWithTraceMulti checks trace wiring through MultiProject: per-query
+// compile spans and byte-identical per-query outputs.
+func TestWithTraceMulti(t *testing.T) {
+	pf1, err := Compile(testDTD, "/*, //australia//description#", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf2, err := Compile(testDTD, "/*, //africa//name#", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := NewMultiPrefilter(pf1, pf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, _ := projectBytes(t, pf1, []byte(testDoc))
+	want2, _ := projectBytes(t, pf2, []byte(testDoc))
+
+	var out1, out2, traceJSON bytes.Buffer
+	_, err = mp.MultiProject(context.Background(), []io.Writer{&out1, &out2}, strings.NewReader(testDoc), WithTrace(&traceJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), want1) || !bytes.Equal(out2.Bytes(), want2) {
+		t.Error("traced multi-query outputs differ from standalone runs")
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(traceJSON.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not a JSON array: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range events {
+		if name, ok := ev["name"].(string); ok {
+			names[name] = true
+		}
+	}
+	if !names["compile q0"] || !names["compile q1"] {
+		t.Errorf("per-query compile spans missing (have %v)", keys(names))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
